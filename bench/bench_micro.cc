@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark): throughput of the primitives the
+// experiments stress — noise sampling, SVT streaming, EM top-c selection,
+// dataset generation and FP-growth.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "audit/closed_form.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "core/exponential_mechanism.h"
+#include "core/svt.h"
+#include "core/svt_retraversal.h"
+#include "data/fpgrowth.h"
+#include "data/generators.h"
+
+namespace svt {
+namespace {
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_LaplaceSample(benchmark::State& state) {
+  Rng rng(2);
+  const Laplace d(0.0, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Sample(rng));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_GumbelSample(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleGumbel(rng));
+  }
+}
+BENCHMARK(BM_GumbelSample);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> weights(state.range(0));
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 / (i + 1.0);
+  AliasSampler sampler(std::move(weights));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1000)->Arg(100000);
+
+void BM_SvtProcess(benchmark::State& state) {
+  Rng rng(5);
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 1 << 20;  // effectively no abort during the benchmark
+  o.monotonic = true;
+  auto mech = SparseVector::Create(o, &rng).value();
+  // The query noise scale is ~2e7 here (c is huge), so the answer must sit
+  // far below the threshold for the ⊥ hot path to dominate.
+  double q = -1e12;
+  for (auto _ : state) {
+    if (mech->exhausted()) mech->Reset();
+    benchmark::DoNotOptimize(mech->Process(q, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvtProcess);
+
+void BM_EmTopC(benchmark::State& state) {
+  Rng rng(6);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) scores[i] = static_cast<double>(n - i);
+  EmOptions o;
+  o.epsilon = 0.1;
+  o.num_selections = c;
+  o.monotonic = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExponentialMechanism::SelectTopC(scores, o, rng).value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EmTopC)->Args({10000, 100})->Args({100000, 300});
+
+void BM_EmSequentialTopC(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) scores[i] = static_cast<double>(n - i);
+  EmOptions o;
+  o.epsilon = 0.1;
+  o.num_selections = c;
+  o.monotonic = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExponentialMechanism::SelectTopCSequential(scores, o, rng).value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EmSequentialTopC)->Args({10000, 100});
+
+void BM_SvtSelection(benchmark::State& state) {
+  Rng rng(8);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) scores[i] = static_cast<double>(n - i);
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 100;
+  o.monotonic = true;
+  o.allocation = BudgetAllocation::Optimal(100, true);
+  const double threshold = scores[100];
+  for (auto _ : state) {
+    auto mech = SparseVector::Create(o, &rng).value();
+    size_t selected = 0;
+    for (size_t i = 0; i < n && !mech->exhausted(); ++i) {
+      selected += mech->Process(scores[i], threshold).is_positive();
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SvtSelection)->Arg(10000)->Arg(100000);
+
+void BM_GenerateScores(benchmark::State& state) {
+  DatasetSpec spec = ZipfSpec();
+  spec.num_items = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(GenerateScores(spec, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateScores)->Arg(10000)->Arg(100000);
+
+void BM_FpGrowth(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<double> profile(50);
+  for (int i = 0; i < 50; ++i) profile[i] = 1000.0 / (i + 1);
+  const TransactionDb db =
+      GenerateTransactions(ScoreVector(profile), 2000, rng);
+  FpGrowthOptions o;
+  o.min_support = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineFrequentItemsets(db, o));
+  }
+}
+BENCHMARK(BM_FpGrowth)->Arg(100)->Arg(30);
+
+void BM_ClosedFormAudit(benchmark::State& state) {
+  // Cost of one closed-form output probability (the audit's inner loop).
+  const VariantSpec spec = MakeAlg1Spec(1.0, 1.0, 2);
+  const std::vector<double> q = {0.5, -0.5, 0.2, 0.9};
+  const std::vector<OutputEvent> pattern = PatternFromString("_T_T");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogOutputProbability(spec, q, 0.0, pattern));
+  }
+}
+BENCHMARK(BM_ClosedFormAudit);
+
+}  // namespace
+}  // namespace svt

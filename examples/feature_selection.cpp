@@ -1,0 +1,89 @@
+// The Stoddard et al. use case ([18] in the paper): private feature
+// selection — pick the features whose relevance score clears a threshold.
+//
+// This example contrasts what [18] did (Alg. 5: no query noise, no cutoff;
+// NOT differentially private, Theorem 3) with the correct procedure
+// (Alg. 7 / SVT-S), and shows why the broken variant looks attractive:
+// its selections are much more accurate — precisely because it is leaking.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/svt.h"
+#include "core/svt_variants.h"
+#include "core/top_select.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+int main() {
+  svt::Rng rng(5);
+
+  // Relevance scores (e.g. per-feature chi^2 counts) for 400 candidate
+  // features: a handful informative, a long noisy tail.
+  const size_t num_features = 400;
+  std::vector<double> scores(num_features);
+  for (size_t i = 0; i < num_features; ++i) {
+    scores[i] = 3000.0 / std::pow(static_cast<double>(i + 1), 0.8);
+  }
+  svt::Rng shuffle_rng = rng.Fork();
+  svt::ScoreVector score_vec(scores);
+  const svt::ScoreVector shuffled = score_vec.Shuffled(shuffle_rng);
+
+  const int c = 25;
+  const double epsilon = 0.25;
+  const double threshold =
+      svt::PaperThreshold(shuffled.scores(), static_cast<size_t>(c));
+
+  std::cout << "Selecting " << c << " of " << num_features
+            << " features at epsilon = " << epsilon << ", threshold "
+            << svt::FormatDouble(threshold, 1) << "\n\n";
+
+  svt::TablePrinter table({"mechanism", "selected", "SER", "FNR",
+                           "privacy"});
+
+  {  // What [18] shipped: Alg. 5.
+    auto broken = svt::StoddardSvt::Create(epsilon, 1.0, &rng).value();
+    std::vector<size_t> sel;
+    for (size_t i = 0; i < shuffled.size(); ++i) {
+      if (broken->Process(shuffled[i], threshold).is_positive()) {
+        sel.push_back(i);
+      }
+    }
+    table.AddRow(
+        {"Alg5 (Stoddard, as published)", std::to_string(sel.size()),
+         svt::FormatDouble(svt::ScoreErrorRate(sel, shuffled.scores(), c), 3),
+         svt::FormatDouble(svt::FalseNegativeRate(sel, shuffled.scores(), c),
+                           3),
+         "NONE (inf-DP, Thm 3)"});
+  }
+
+  {  // The correct mechanism at the same claimed budget.
+    svt::SvtOptions o;
+    o.epsilon = epsilon;
+    o.cutoff = c;
+    o.monotonic = true;
+    o.allocation = svt::BudgetAllocation::Optimal(c, true);
+    svt::Rng run = rng.Fork();
+    const auto sel =
+        svt::SelectTopCWithSvt(shuffled.scores(), threshold, o, run).value();
+    table.AddRow(
+        {"Alg7 / SVT-S-1:c^2/3 (correct)", std::to_string(sel.size()),
+         svt::FormatDouble(svt::ScoreErrorRate(sel, shuffled.scores(), c), 3),
+         svt::FormatDouble(svt::FalseNegativeRate(sel, shuffled.scores(), c),
+                           3),
+         "eps-DP (Thm 4/5)"});
+  }
+
+  table.Print(std::cout);
+
+  std::cout
+      << "\nThe broken variant looks better on accuracy — the paper's "
+         "point exactly:\n\"When using a correct version of SVT in these "
+         "papers, one would get significantly worse accuracy. Since these "
+         "papers seek to improve the tradeoff between privacy and utility, "
+         "the results in them are thus invalid.\"\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Privacy audit walkthrough: numerically reproduce the paper's Figure 2
+// "Privacy Property" row with the closed-form auditor.
+//
+// For each published SVT variant this example:
+//   1. builds its VariantSpec (exactly the Figure 1 parameterization),
+//   2. evaluates output probabilities on the paper's counterexample,
+//   3. reports the measured log-probability ratio next to the claimed ε —
+//      making the difference between "proved private" and "claimed
+//      private" tangible.
+
+#include <cmath>
+#include <iostream>
+
+#include "audit/counterexamples.h"
+#include "audit/privacy_auditor.h"
+#include "core/variant_spec.h"
+#include "eval/reporting.h"
+
+int main() {
+  const double epsilon = 1.0;
+  const int c = 2;
+
+  std::cout << "Auditing the six published SVT variants at claimed epsilon "
+            << epsilon << ", c = " << c << "\n\n";
+  svt::TablePrinter table({"variant", "instance", "ln Pr[D]", "ln Pr[D']",
+                           "|ln ratio|", "verdict"});
+
+  const auto add_row = [&](const svt::VariantSpec& spec,
+                           const svt::NeighborInstance& inst,
+                           double allowed) {
+    const svt::AuditReport r = svt::AuditInstance(spec, inst);
+    const double ratio = r.abs_log_ratio();
+    std::string verdict;
+    if (std::isinf(ratio)) {
+      verdict = "INFINITE ratio -> not DP at all";
+    } else if (ratio > allowed + 1e-6) {
+      verdict = "VIOLATES claimed eps";
+    } else {
+      verdict = "within bound";
+    }
+    table.AddRow({spec.name, inst.name,
+                  std::isinf(r.log_p_d) ? "-inf"
+                                        : svt::FormatDouble(r.log_p_d, 3),
+                  std::isinf(r.log_p_dprime)
+                      ? "-inf"
+                      : svt::FormatDouble(r.log_p_dprime, 3),
+                  std::isinf(ratio) ? "inf" : svt::FormatDouble(ratio, 3),
+                  verdict});
+  };
+
+  // Alg. 1 (the paper's fix) on the worst-case shift instance: private.
+  add_row(svt::MakeAlg1Spec(epsilon, 1.0, c),
+          svt::ShiftInstance(4, "_T_T"), epsilon);
+
+  // Alg. 2 (Dwork-Roth book): private.
+  add_row(svt::MakeAlg2Spec(epsilon, 1.0, c),
+          svt::ShiftInstance(4, "_T_T"), epsilon);
+
+  // Alg. 3 (Roth's notes): the Appendix 10.1 instance; ratio (m-1)ε/2.
+  add_row(svt::MakeAlg3Spec(epsilon, 1.0, 1), svt::Alg3Counterexample(9),
+          epsilon);
+
+  // Alg. 4 (Lee-Clifton): exceeds ε, bounded by (1+6c)/4·ε.
+  add_row(svt::MakeAlg4Spec(epsilon, 1.0, c),
+          svt::Alg4StressInstance(c, 10, 80.0), epsilon);
+
+  // Alg. 5 (Stoddard): Theorem 3's two-query instance, infinite ratio.
+  add_row(svt::MakeAlg5Spec(epsilon, 1.0), svt::Alg5Counterexample(),
+          epsilon);
+
+  // Alg. 6 (Chen): Theorem 7's instance, ratio >= mε/2.
+  add_row(svt::MakeAlg6Spec(epsilon, 1.0), svt::Alg6Counterexample(8),
+          epsilon);
+
+  // GPTT (the [2] abstraction): §3.3's instance.
+  add_row(svt::MakeGpttSpec(epsilon / 2, epsilon / 2, 1.0),
+          svt::GpttCounterexample(8), epsilon);
+
+  table.Print(std::cout);
+
+  // Exhaustive verification for the private variant: enumerate EVERY
+  // output pattern and confirm the ratio never exceeds ε.
+  std::cout << "\nExhaustive pattern search for Alg. 1 (all outputs over 5 "
+               "queries, mixed-direction neighbors):\n";
+  const svt::VariantSpec alg1 = svt::MakeAlg1Spec(epsilon, 1.0, c);
+  const std::vector<double> qd = {0.0, 0.4, -0.3, 0.9, 0.1};
+  const std::vector<double> qdp = {1.0, -0.6, 0.7, -0.1, 1.1};
+  const auto search = svt::MaxAbsLogRatioOverPatterns(alg1, qd, qdp, 0.5);
+  std::cout << "  max |ln ratio| = "
+            << svt::FormatDouble(search.max_abs_log_ratio, 6)
+            << " (<= eps = " << epsilon << ") at pattern '"
+            << search.argmax_pattern << "'\n";
+  return 0;
+}

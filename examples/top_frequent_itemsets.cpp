@@ -1,0 +1,126 @@
+// The Lee–Clifton use case ([13] in the paper): privately select the top-c
+// frequent itemsets of a transaction database.
+//
+// Pipeline: synthesize a market-basket database → mine candidate itemsets
+// with FP-growth → select the top c under ε-DP three ways:
+//   * SVT-S with the optimal 1:c^{2/3} allocation (interactive-capable),
+//   * SVT-ReTr with a 3D threshold boost (non-interactive),
+//   * the Exponential Mechanism (non-interactive; the paper's
+//     recommendation for this setting).
+// Prints SER/FNR for each so the §6 conclusion is visible on a laptop.
+
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/exponential_mechanism.h"
+#include "core/svt.h"
+#include "core/svt_retraversal.h"
+#include "core/top_select.h"
+#include "data/fpgrowth.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+
+int main() {
+  svt::Rng rng(7);
+
+  // A market-basket database with a power-law item popularity profile.
+  std::vector<double> popularity(120);
+  for (size_t i = 0; i < popularity.size(); ++i) {
+    popularity[i] = 20000.0 / static_cast<double>(i + 1);
+  }
+  const svt::TransactionDb db =
+      svt::GenerateTransactions(svt::ScoreVector(popularity), 20000, rng);
+  std::cout << "database: " << db.num_transactions() << " transactions, "
+            << db.num_items() << " items, " << db.TotalOccurrences()
+            << " occurrences\n";
+
+  // Candidate itemsets (size <= 2) with their true supports.
+  svt::FpGrowthOptions mine;
+  mine.min_support = 200;
+  mine.max_itemset_size = 2;
+  const auto candidates = svt::MineFrequentItemsets(db, mine);
+  std::cout << "FP-growth candidates: " << candidates.size()
+            << " itemsets with support >= " << mine.min_support << "\n\n";
+
+  std::vector<double> supports;
+  supports.reserve(candidates.size());
+  for (const auto& s : candidates) {
+    supports.push_back(static_cast<double>(s.support));
+  }
+
+  const int c = 15;
+  const double epsilon = 0.5;
+  const double threshold =
+      svt::PaperThreshold(supports, static_cast<size_t>(c));
+
+  // Shuffle once: SVT's result depends on traversal order.
+  svt::Rng order_rng = rng.Fork();
+  std::vector<uint32_t> perm;
+  order_rng.ShuffleIndices(supports.size(), &perm);
+  std::vector<double> shuffled(supports.size());
+  for (size_t i = 0; i < perm.size(); ++i) shuffled[i] = supports[perm[i]];
+
+  svt::TablePrinter table({"method", "SER", "FNR", "selected"});
+
+  {  // SVT-S, optimal allocation, monotone noise.
+    svt::SvtOptions o;
+    o.epsilon = epsilon;
+    o.cutoff = c;
+    o.monotonic = true;
+    o.allocation = svt::BudgetAllocation::Optimal(c, true);
+    svt::Rng run = rng.Fork();
+    const auto sel =
+        svt::SelectTopCWithSvt(shuffled, threshold, o, run).value();
+    table.AddRow({"SVT-S-1:c^2/3",
+                  svt::FormatDouble(svt::ScoreErrorRate(sel, shuffled, c), 3),
+                  svt::FormatDouble(svt::FalseNegativeRate(sel, shuffled, c),
+                                    3),
+                  std::to_string(sel.size())});
+  }
+
+  {  // SVT with retraversal, 3D boost.
+    svt::RetraversalOptions o;
+    o.svt.epsilon = epsilon;
+    o.svt.cutoff = c;
+    o.svt.monotonic = true;
+    o.svt.allocation = svt::BudgetAllocation::Optimal(c, true);
+    o.threshold_boost_devs = 3.0;
+    svt::Rng run = rng.Fork();
+    const auto result =
+        svt::SelectWithRetraversal(shuffled, threshold, o, run).value();
+    table.AddRow(
+        {"SVT-ReTr-3D",
+         svt::FormatDouble(svt::ScoreErrorRate(result.selected, shuffled, c),
+                           3),
+         svt::FormatDouble(
+             svt::FalseNegativeRate(result.selected, shuffled, c), 3),
+         std::to_string(result.selected.size()) + " (" +
+             std::to_string(result.passes_used) + " passes)"});
+  }
+
+  {  // Exponential Mechanism.
+    svt::EmOptions o;
+    o.epsilon = epsilon;
+    o.num_selections = c;
+    o.monotonic = true;
+    svt::Rng run = rng.Fork();
+    const auto sel =
+        svt::ExponentialMechanism::SelectTopC(shuffled, o, run).value();
+    table.AddRow({"EM",
+                  svt::FormatDouble(svt::ScoreErrorRate(sel, shuffled, c), 3),
+                  svt::FormatDouble(svt::FalseNegativeRate(sel, shuffled, c),
+                                    3),
+                  std::to_string(sel.size())});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\ntrue top-" << c << " itemsets:\n";
+  for (int i = 0; i < c; ++i) {
+    std::cout << "  " << svt::ToString(candidates[i]) << "\n";
+  }
+  std::cout << "\n(§6's conclusion: in this non-interactive setting EM "
+               "should match or beat both SVT variants)\n";
+  return 0;
+}

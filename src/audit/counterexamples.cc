@@ -1,0 +1,110 @@
+#include "audit/counterexamples.h"
+
+#include "common/check.h"
+
+namespace svt {
+
+NeighborInstance Alg5Counterexample() {
+  NeighborInstance inst;
+  inst.name = "thm3-alg5";
+  // T = 0, Δ = 1, q(D) = ⟨0, 1⟩, q(D') = ⟨1, 0⟩, a = ⟨⊥, ⊤⟩.
+  inst.answers_d = {0.0, 1.0};
+  inst.answers_dprime = {1.0, 0.0};
+  inst.threshold = 0.0;
+  inst.sensitivity = 1.0;
+  inst.pattern = PatternFromString("_T");
+  return inst;
+}
+
+NeighborInstance Alg3Counterexample(int m) {
+  SVT_CHECK(m >= 1);
+  NeighborInstance inst;
+  inst.name = "thm6-alg3-m" + std::to_string(m);
+  // m+1 queries, Δ = 1, T = 0: q(D) = 0^m · Δ, q(D') = Δ^m · 0; the output
+  // is ⊥^m followed by the numeric answer 0 (i.e. the last query's noisy
+  // value came out exactly 0, which also reveals the noisy threshold ≤ 0).
+  inst.answers_d.assign(m, 0.0);
+  inst.answers_d.push_back(1.0);
+  inst.answers_dprime.assign(m, 1.0);
+  inst.answers_dprime.push_back(0.0);
+  inst.threshold = 0.0;
+  inst.sensitivity = 1.0;
+  inst.pattern = PatternFromString(std::string(m, '_'));
+  inst.pattern.push_back(OutputEvent::AboveValue(0.0));
+  return inst;
+}
+
+NeighborInstance Alg6Counterexample(int m) {
+  SVT_CHECK(m >= 1);
+  NeighborInstance inst;
+  inst.name = "thm7-alg6-m" + std::to_string(m);
+  // 2m queries, Δ = 1, T = 0: q(D) = 0^{2m}, q(D') = 1^m (−1)^m,
+  // a = ⊥^m ⊤^m. Ratio grows as e^{mε/2}.
+  inst.answers_d.assign(2 * m, 0.0);
+  inst.answers_dprime.assign(m, 1.0);
+  inst.answers_dprime.insert(inst.answers_dprime.end(), m, -1.0);
+  inst.threshold = 0.0;
+  inst.sensitivity = 1.0;
+  inst.pattern =
+      PatternFromString(std::string(m, '_') + std::string(m, 'T'));
+  return inst;
+}
+
+NeighborInstance GpttCounterexample(int t) {
+  SVT_CHECK(t >= 1);
+  NeighborInstance inst;
+  inst.name = "sec3.3-gptt-t" + std::to_string(t);
+  // 2t queries, Δ = 1, T = 0: q(D) = 0^t 1^t, q(D') = 1^t 0^t, a = ⊥^t ⊤^t.
+  inst.answers_d.assign(t, 0.0);
+  inst.answers_d.insert(inst.answers_d.end(), t, 1.0);
+  inst.answers_dprime.assign(t, 1.0);
+  inst.answers_dprime.insert(inst.answers_dprime.end(), t, 0.0);
+  inst.threshold = 0.0;
+  inst.sensitivity = 1.0;
+  inst.pattern =
+      PatternFromString(std::string(t, '_') + std::string(t, 'T'));
+  return inst;
+}
+
+NeighborInstance ShiftInstance(int length, const std::string& pattern,
+                               double sensitivity, double base) {
+  SVT_CHECK(length >= 1);
+  SVT_CHECK(pattern.size() == static_cast<size_t>(length));
+  SVT_CHECK(sensitivity > 0.0);
+  NeighborInstance inst;
+  inst.name = "shift-l" + std::to_string(length) + "-" + pattern;
+  inst.answers_d.assign(length, base);
+  inst.answers_dprime.assign(length, base + sensitivity);
+  inst.threshold = base;
+  inst.sensitivity = sensitivity;
+  inst.pattern = PatternFromString(pattern);
+  return inst;
+}
+
+NeighborInstance Alg4StressInstance(int cutoff, int below_queries,
+                                    double depth) {
+  SVT_CHECK(cutoff >= 1);
+  SVT_CHECK(below_queries >= 0);
+  SVT_CHECK(depth > 0.0);
+  NeighborInstance inst;
+  inst.name = "alg4-stress-c" + std::to_string(cutoff);
+  // The worst case for Alg. 4 is non-monotonic: the ⊥-queries move up by Δ
+  // from D to D' (forcing the proof's z → z+Δ threshold shift) while the
+  // ⊤-queries move *down* by Δ, so each positive factor faces a 2Δ shift
+  // against noise of scale only Δ/ε₂. Positives sit `depth` below the
+  // threshold, deep in the Laplace tail where the per-factor ratio is the
+  // full e^{2ε₂}; the total log-ratio approaches ε₁ + 2c·ε₂ =
+  // ((1+6c)/4)·ε.
+  inst.answers_d.assign(below_queries, 0.0);
+  inst.answers_dprime.assign(below_queries, 1.0);
+  inst.answers_d.insert(inst.answers_d.end(), cutoff, -depth);
+  inst.answers_dprime.insert(inst.answers_dprime.end(), cutoff,
+                             -depth - 1.0);
+  inst.threshold = 0.0;
+  inst.sensitivity = 1.0;
+  inst.pattern = PatternFromString(std::string(below_queries, '_') +
+                                   std::string(cutoff, 'T'));
+  return inst;
+}
+
+}  // namespace svt

@@ -1,0 +1,70 @@
+// The paper's counterexample instances, as data.
+//
+// Each instance is a pair of neighboring query-answer vectors plus the
+// output pattern whose probability ratio witnesses (non-)privacy:
+//
+//   * Theorem 3  (Alg. 5): q(D)=⟨0,1⟩, q(D')=⟨1,0⟩, a=⟨⊥,⊤⟩ — the ratio is
+//     literally ∞ (the event has probability 0 under D').
+//   * Theorem 6 / Appendix 10.1 (Alg. 3): m+1 queries, q(D)=0^m·Δ,
+//     q(D')=Δ^m·0, a=⊥^m then numeric 0; ratio = e^{(m−1)ε/2}.
+//   * Theorem 7 / Appendix 10.2 (Alg. 6): 2m queries, q(D)=0^{2m},
+//     q(D')=1^m(−1)^m, a=⊥^m⊤^m; ratio ≥ e^{mε/2}.
+//   * §3.3 (GPTT, from [2]): 2t queries, q(D)=0^t·1^t, q(D')=1^t·0^t,
+//     a=⊥^t⊤^t. (The paper shows the *proof* in [2] based on this instance
+//     was flawed; the instance still exhibits growth, which our numeric
+//     audit quantifies.)
+//   * Alg. 4 stress instance: mixed patterns where the missing factor of c
+//     in the query noise pushes the ratio toward ((1+6c)/4)ε.
+//   * Shift instance for private variants: q(D)=0^ℓ vs q(D')=Δ^ℓ — the
+//     worst case used in Lemma 1/Theorem 2's proof; the audit verifies the
+//     ratio stays ≤ ε for Alg. 1/2/7 across all patterns.
+
+#ifndef SPARSEVEC_AUDIT_COUNTEREXAMPLES_H_
+#define SPARSEVEC_AUDIT_COUNTEREXAMPLES_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/closed_form.h"
+
+namespace svt {
+
+/// A pair of neighboring query-answer vectors and a target output pattern.
+struct NeighborInstance {
+  std::string name;
+  std::vector<double> answers_d;        // q(D)
+  std::vector<double> answers_dprime;   // q(D')
+  double threshold = 0.0;               // common T
+  double sensitivity = 1.0;             // Δ consistent with the answers
+  std::vector<OutputEvent> pattern;     // the witnessing output
+};
+
+/// Theorem 3's two-query instance against Alg. 5.
+NeighborInstance Alg5Counterexample();
+
+/// Appendix 10.1's instance against Alg. 3 (m ≥ 1 below-threshold queries
+/// followed by one numerically-answered positive).
+NeighborInstance Alg3Counterexample(int m);
+
+/// Appendix 10.2's instance against Alg. 6 (m ⊥'s then m ⊤'s).
+NeighborInstance Alg6Counterexample(int m);
+
+/// §3.3's GPTT instance from [2] (t ⊥'s then t ⊤'s).
+NeighborInstance GpttCounterexample(int t);
+
+/// Worst-case shift instance for verifying the ε-DP bound of the private
+/// variants: q(D) = base^ℓ, q(D') = (base+Δ)^ℓ with the given pattern.
+NeighborInstance ShiftInstance(int length, const std::string& pattern,
+                               double sensitivity = 1.0, double base = 0.0);
+
+/// Instance stressing Alg. 4: `below_queries` ⊥-queries that move up by Δ
+/// between neighbors followed by `cutoff` ⊤-queries that move down by Δ and
+/// sit `depth` below the threshold (deep in the noise tail, where each
+/// positive pays its full e^{2ε₂} factor). The |log-ratio| approaches the
+/// paper's ((1+6c)/4)·ε bound as below_queries and depth grow.
+NeighborInstance Alg4StressInstance(int cutoff, int below_queries = 8,
+                                    double depth = 60.0);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_AUDIT_COUNTEREXAMPLES_H_

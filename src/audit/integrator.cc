@@ -1,0 +1,179 @@
+#include "audit/integrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace svt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double SimpsonRule(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+// Classic adaptive Simpson with Richardson correction.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double fa, double fm, double fb,
+                       double whole, double tol, int depth,
+                       const IntegrationOptions& options) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = SimpsonRule(fa, flm, fm, m - a);
+  const double right = SimpsonRule(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  if (depth >= options.max_depth ||
+      std::abs(delta) <= 15.0 * std::max(tol, options.abs_tol)) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveSimpson(f, a, m, fa, flm, fm, left, 0.5 * tol, depth + 1,
+                         options) +
+         AdaptiveSimpson(f, m, b, fm, frm, fb, right, 0.5 * tol, depth + 1,
+                         options);
+}
+
+}  // namespace
+
+double IntegrateInterval(const std::function<double(double)>& f, double lo,
+                         double hi, const IntegrationOptions& options) {
+  SVT_CHECK(std::isfinite(lo) && std::isfinite(hi));
+  if (lo >= hi) return 0.0;
+  const double m = 0.5 * (lo + hi);
+  const double fa = f(lo);
+  const double fm = f(m);
+  const double fb = f(hi);
+  const double whole = SimpsonRule(fa, fm, fb, hi - lo);
+  // Seed the tolerance from the first estimate's magnitude.
+  const double tol =
+      std::max(options.abs_tol, std::abs(whole) * options.rel_tol);
+  return AdaptiveSimpson(f, lo, hi, fa, fm, fb, whole, tol, 0, options);
+}
+
+double IntegratePiecewise(const std::function<double(double)>& f, double lo,
+                          double hi, std::vector<double> knots,
+                          const IntegrationOptions& options) {
+  if (lo >= hi) return 0.0;
+  knots.push_back(lo);
+  knots.push_back(hi);
+  std::sort(knots.begin(), knots.end());
+  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+
+  KahanAccumulator acc;
+  double prev = lo;
+  for (double k : knots) {
+    if (k <= lo || k > hi) continue;
+    const double piece_hi = std::min(k, hi);
+    if (piece_hi > prev) {
+      acc.Add(IntegrateInterval(f, prev, piece_hi, options));
+      prev = piece_hi;
+    }
+  }
+  if (prev < hi) acc.Add(IntegrateInterval(f, prev, hi, options));
+  return acc.sum();
+}
+
+double LogIntegratePiecewise(const std::function<double(double)>& log_f,
+                             double lo, double hi, std::vector<double> knots,
+                             const IntegrationOptions& options) {
+  if (lo >= hi) return -kInf;
+
+  // The SVT-audit integrands are log-concave (Laplace log-pdf plus sums of
+  // Laplace log-CDF/log-SF terms, all concave in z), so the maximum is
+  // found reliably by coarse probing refined with ternary search, and the
+  // integration window can be clipped where log_f falls `kMarginNats`
+  // below the peak — contributions there are beneath any tolerance.
+  constexpr double kMarginNats = 70.0;
+  constexpr int kProbesPerPanel = 8;
+
+  std::vector<double> panels = knots;
+  panels.push_back(lo);
+  panels.push_back(hi);
+  std::sort(panels.begin(), panels.end());
+  panels.erase(std::remove_if(panels.begin(), panels.end(),
+                              [&](double x) { return x < lo || x > hi; }),
+               panels.end());
+  panels.erase(std::unique(panels.begin(), panels.end()), panels.end());
+
+  double max_log = -kInf;
+  double argmax = lo;
+  const auto consider = [&](double x) {
+    const double v = log_f(x);
+    if (v > max_log) {
+      max_log = v;
+      argmax = x;
+    }
+  };
+  for (size_t i = 0; i + 1 < panels.size(); ++i) {
+    for (int j = 0; j <= kProbesPerPanel; ++j) {
+      consider(panels[i] +
+               (panels[i + 1] - panels[i]) * j / kProbesPerPanel);
+    }
+  }
+
+  // Ternary-search refinement (valid for concave log_f; for an all -inf
+  // integrand both probes stay -inf and the loop just shrinks to a point).
+  {
+    double a = lo;
+    double b = hi;
+    for (int it = 0; it < 200 && (b - a) > 1e-12 * (hi - lo); ++it) {
+      const double m1 = a + (b - a) / 3.0;
+      const double m2 = b - (b - a) / 3.0;
+      const double f1 = log_f(m1);
+      const double f2 = log_f(m2);
+      if (f1 < f2) {
+        a = m1;
+      } else if (f2 < f1) {
+        b = m2;
+      } else {
+        a = m1;
+        b = m2;
+      }
+    }
+    consider(0.5 * (a + b));
+  }
+  if (max_log == -kInf) return -kInf;
+
+  // Clip the window where the integrand drops kMarginNats below the peak:
+  // bisect for the crossing on each side of the argmax.
+  const double floor_log = max_log - kMarginNats;
+  const auto bisect_cut = [&](double inside, double outside) {
+    // log_f(inside) >= floor_log, monotone toward `outside` (concavity).
+    if (log_f(outside) >= floor_log) return outside;
+    double good = inside;
+    double bad = outside;
+    for (int it = 0; it < 80 && std::abs(bad - good) >
+                                    1e-9 * (1.0 + std::abs(good));
+         ++it) {
+      const double mid = 0.5 * (good + bad);
+      if (log_f(mid) >= floor_log) {
+        good = mid;
+      } else {
+        bad = mid;
+      }
+    }
+    return bad;  // just outside the level set: safe to include
+  };
+  const double clip_lo = bisect_cut(argmax, lo);
+  const double clip_hi = bisect_cut(argmax, hi);
+  if (clip_lo >= clip_hi) return -kInf;
+
+  const double shift = max_log;
+  const auto f = [&log_f, shift](double z) {
+    const double lg = log_f(z);
+    return lg == -kInf ? 0.0 : std::exp(lg - shift);
+  };
+  const double integral = IntegratePiecewise(f, clip_lo, clip_hi, knots,
+                                             options);
+  if (integral <= 0.0) return -kInf;
+  return shift + std::log(integral);
+}
+
+}  // namespace svt

@@ -1,0 +1,58 @@
+// Adaptive numerical integration with knot handling.
+//
+// The audit module evaluates Pr[A(D) = a] = ∫ p_ρ(z) Π_i factor_i(z) dz
+// where p_ρ is a Laplace density (kinked at its center) and the factors are
+// Laplace CDFs/survival functions (kinked at q_i − T_i). The integrand is
+// therefore piecewise-smooth with known breakpoints; we integrate each
+// smooth piece with adaptive Simpson and expose a log-space variant for
+// patterns long enough that the product underflows.
+
+#ifndef SPARSEVEC_AUDIT_INTEGRATOR_H_
+#define SPARSEVEC_AUDIT_INTEGRATOR_H_
+
+#include <functional>
+#include <vector>
+
+namespace svt {
+
+/// Tolerances for adaptive Simpson.
+struct IntegrationOptions {
+  /// Per-piece relative tolerance.
+  double rel_tol = 1e-10;
+  /// Absolute floor below which refinement stops. The log-space integrator
+  /// normalizes its integrand to a peak of 1, so this is effectively a
+  /// relative floor there.
+  double abs_tol = 1e-15;
+  /// Maximum bisection depth per piece (2^depth panels worst case).
+  int max_depth = 32;
+};
+
+/// Integrates f over [lo, hi] (finite) with adaptive Simpson.
+double IntegrateInterval(const std::function<double(double)>& f, double lo,
+                         double hi, const IntegrationOptions& options = {});
+
+/// Integrates f over [lo, hi], first splitting at the interior `knots`
+/// (points where f is continuous but not smooth). Knots outside (lo, hi)
+/// are ignored; duplicates are fine.
+double IntegratePiecewise(const std::function<double(double)>& f, double lo,
+                          double hi, std::vector<double> knots,
+                          const IntegrationOptions& options = {});
+
+/// Computes log ∫ exp(log_f(z)) dz over [lo, hi] with knot splitting,
+/// stable when log_f is very negative everywhere (probabilities ~1e-300 and
+/// below): locates the peak of log_f (coarse probing + ternary search),
+/// clips the window where log_f falls ~70 nats below the peak, integrates
+/// exp(log_f − max) over the clipped window and returns max + log(integral).
+/// Returns -inf when the integrand is 0 a.e.
+///
+/// Requires log_f to be (quasi-)concave on [lo, hi] — true for every SVT
+/// output-probability integrand (Laplace log-pdf plus Laplace log-CDF/SF
+/// terms, all concave), and the reason the peak search and tail clipping
+/// are sound.
+double LogIntegratePiecewise(const std::function<double(double)>& log_f,
+                             double lo, double hi, std::vector<double> knots,
+                             const IntegrationOptions& options = {});
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_AUDIT_INTEGRATOR_H_

@@ -1,0 +1,51 @@
+#include "audit/monte_carlo.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/svt_variants.h"
+
+namespace svt {
+
+McEstimate EstimateOutputProbability(const VariantSpec& spec,
+                                     std::span<const double> query_answers,
+                                     double threshold,
+                                     const std::string& pattern, Rng& rng,
+                                     const McOptions& options) {
+  SVT_CHECK(pattern.size() <= query_answers.size())
+      << "pattern longer than the answer stream";
+  SVT_CHECK(options.trials > 0);
+  for (char c : pattern) {
+    SVT_CHECK(c == '_' || c == 'T') << "invalid pattern char '" << c << "'";
+  }
+
+  CustomSvt mech(spec, &rng);
+  int64_t hits = 0;
+  for (int64_t trial = 0; trial < options.trials; ++trial) {
+    mech.Reset();
+    bool match = true;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (mech.exhausted()) {
+        // Mechanism aborted before producing pattern.size() outputs.
+        match = false;
+        break;
+      }
+      const Response r = mech.Process(query_answers[i], threshold);
+      const bool want_positive = pattern[i] == 'T';
+      if (r.is_positive() != want_positive) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++hits;
+  }
+
+  McEstimate est;
+  est.hits = hits;
+  est.trials = options.trials;
+  est.p_hat = static_cast<double>(hits) / static_cast<double>(options.trials);
+  est.lower = BinomialLowerBound(hits, options.trials, options.confidence);
+  est.upper = BinomialUpperBound(hits, options.trials, options.confidence);
+  return est;
+}
+
+}  // namespace svt

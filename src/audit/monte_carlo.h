@@ -1,0 +1,48 @@
+// Monte-Carlo estimation of SVT output probabilities.
+//
+// Simulates the actual mechanism (via core/svt_variants.h CustomSvt, i.e.
+// the sampling code path) and counts how often it reproduces a target
+// indicator pattern. Used to cross-validate the closed-form engine — the
+// two paths share no code beyond the Laplace sampler, so agreement is
+// strong evidence both are right.
+
+#ifndef SPARSEVEC_AUDIT_MONTE_CARLO_H_
+#define SPARSEVEC_AUDIT_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+
+struct McOptions {
+  int64_t trials = 100000;
+  /// Confidence level of the reported interval (Wilson bounds).
+  double confidence = 0.999;
+};
+
+struct McEstimate {
+  double p_hat = 0.0;   ///< hits / trials
+  double lower = 0.0;   ///< confidence lower bound
+  double upper = 1.0;   ///< confidence upper bound
+  int64_t hits = 0;
+  int64_t trials = 0;
+};
+
+/// Estimates Pr[first |pattern| outputs == pattern] for the mechanism
+/// described by `spec` on `query_answers` with a common `threshold`.
+/// Only indicator patterns ('_'/'T') are supported — numeric outputs have
+/// densities, not probabilities. For variants with numeric positives the
+/// comparison treats any positive outcome as matching 'T'.
+McEstimate EstimateOutputProbability(const VariantSpec& spec,
+                                     std::span<const double> query_answers,
+                                     double threshold,
+                                     const std::string& pattern, Rng& rng,
+                                     const McOptions& options = {});
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_AUDIT_MONTE_CARLO_H_

@@ -1,0 +1,158 @@
+#include "audit/privacy_auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "audit/monte_carlo.h"
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/stats.h"
+
+namespace svt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double AuditReport::abs_log_ratio() const {
+  const bool d_zero = (log_p_d == -kInf);
+  const bool dp_zero = (log_p_dprime == -kInf);
+  if (d_zero && dp_zero) return 0.0;  // event impossible on both sides
+  if (d_zero || dp_zero) return kInf;
+  return std::abs(log_p_d - log_p_dprime);
+}
+
+bool AuditReport::infinite() const { return abs_log_ratio() == kInf; }
+
+AuditReport AuditInstance(const VariantSpec& spec,
+                          const NeighborInstance& instance,
+                          const IntegrationOptions& options) {
+  SVT_CHECK(instance.answers_d.size() == instance.answers_dprime.size());
+  SVT_CHECK(instance.answers_d.size() == instance.pattern.size());
+  AuditReport report;
+  report.log_p_d = LogOutputProbability(spec, instance.answers_d,
+                                        instance.threshold, instance.pattern,
+                                        options);
+  report.log_p_dprime =
+      LogOutputProbability(spec, instance.answers_dprime, instance.threshold,
+                           instance.pattern, options);
+  return report;
+}
+
+namespace {
+
+void EnumerateRec(size_t length, std::optional<int> cutoff, int positives,
+                  std::string* current, std::vector<std::string>* out) {
+  if (cutoff.has_value() && positives == *cutoff) {
+    // Mechanism aborted right after the cutoff-th positive; the pattern is
+    // complete regardless of remaining queries.
+    out->push_back(*current);
+    return;
+  }
+  if (current->size() == length) {
+    out->push_back(*current);
+    return;
+  }
+  current->push_back('_');
+  EnumerateRec(length, cutoff, positives, current, out);
+  current->back() = 'T';
+  EnumerateRec(length, cutoff, positives + 1, current, out);
+  current->pop_back();
+}
+
+}  // namespace
+
+std::vector<std::string> EnumerateOutputPatterns(size_t length,
+                                                 std::optional<int> cutoff) {
+  SVT_CHECK(length <= 22) << "pattern enumeration is exponential; length "
+                          << length << " is too large";
+  std::vector<std::string> out;
+  std::string current;
+  EnumerateRec(length, cutoff, 0, &current, &out);
+  return out;
+}
+
+PatternSearchResult MaxAbsLogRatioOverPatterns(
+    const VariantSpec& spec, std::span<const double> answers_d,
+    std::span<const double> answers_dprime, double threshold,
+    const IntegrationOptions& options) {
+  SVT_CHECK(answers_d.size() == answers_dprime.size());
+  const std::vector<std::string> patterns =
+      EnumerateOutputPatterns(answers_d.size(), spec.cutoff);
+
+  PatternSearchResult result;
+  for (const std::string& pattern_str : patterns) {
+    const std::vector<OutputEvent> pattern = PatternFromString(pattern_str);
+    const size_t n = pattern.size();
+    AuditReport report;
+    report.log_p_d = LogOutputProbability(
+        spec, answers_d.subspan(0, n), threshold, pattern, options);
+    report.log_p_dprime = LogOutputProbability(
+        spec, answers_dprime.subspan(0, n), threshold, pattern, options);
+    const double ratio = report.abs_log_ratio();
+    if (ratio > result.max_abs_log_ratio) {
+      result.max_abs_log_ratio = ratio;
+      result.argmax_pattern = pattern_str;
+      result.found_infinite = report.infinite();
+    }
+  }
+  return result;
+}
+
+McEpsilonBound EstimateEpsilonLowerBoundMc(const VariantSpec& spec,
+                                           const NeighborInstance& instance,
+                                           int64_t trials, double confidence,
+                                           Rng& rng) {
+  // Render the target pattern as an indicator string; the black-box path
+  // only distinguishes ⊥ from positive, which suffices for indicator
+  // patterns (numeric-output instances need the closed form instead).
+  std::string pattern;
+  pattern.reserve(instance.pattern.size());
+  for (const OutputEvent& ev : instance.pattern) {
+    pattern += ev.is_positive() ? 'T' : '_';
+  }
+
+  McOptions mc;
+  mc.trials = trials;
+  mc.confidence = confidence;
+  const McEstimate on_d = EstimateOutputProbability(
+      spec, instance.answers_d, instance.threshold, pattern, rng, mc);
+  const McEstimate on_dprime = EstimateOutputProbability(
+      spec, instance.answers_dprime, instance.threshold, pattern, rng, mc);
+
+  McEpsilonBound bound;
+  bound.hits_d = on_d.hits;
+  bound.hits_dprime = on_dprime.hits;
+  bound.trials = trials;
+  if (on_d.p_hat > 0.0 && on_dprime.p_hat > 0.0) {
+    bound.point_estimate =
+        std::max(0.0, std::log(on_d.p_hat / on_dprime.p_hat));
+  } else if (on_d.p_hat > 0.0) {
+    bound.point_estimate = kInf;
+  }
+  if (on_d.lower > 0.0 && on_dprime.upper > 0.0) {
+    bound.certified_lower =
+        std::max(0.0, std::log(on_d.lower / on_dprime.upper));
+  }
+  return bound;
+}
+
+double TotalProbabilityOverPatterns(const VariantSpec& spec,
+                                    std::span<const double> answers,
+                                    double threshold,
+                                    const IntegrationOptions& options) {
+  const std::vector<std::string> patterns =
+      EnumerateOutputPatterns(answers.size(), spec.cutoff);
+  KahanAccumulator total;
+  for (const std::string& pattern_str : patterns) {
+    const std::vector<OutputEvent> pattern = PatternFromString(pattern_str);
+    const double log_p = LogOutputProbability(
+        spec, answers.subspan(0, pattern.size()), threshold, pattern,
+        options);
+    if (log_p != -kInf) total.Add(std::exp(log_p));
+  }
+  return total.sum();
+}
+
+}  // namespace svt

@@ -1,0 +1,96 @@
+// Privacy auditor: empirical differential-privacy verification.
+//
+// Combines the closed-form engine with the counterexample library to
+// measure, for any VariantSpec, the worst log-probability ratio
+//
+//   sup_a | ln Pr[A(D)=a] − ln Pr[A(D')=a] |
+//
+// over a target instance or over *all* valid output patterns of a bounded
+// length. For ε-DP mechanisms this must stay ≤ ε; for the broken variants
+// it grows without bound along the paper's counterexample families —
+// numerically reproducing the "Privacy Property" row of Figure 2.
+
+#ifndef SPARSEVEC_AUDIT_PRIVACY_AUDITOR_H_
+#define SPARSEVEC_AUDIT_PRIVACY_AUDITOR_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audit/closed_form.h"
+#include "audit/counterexamples.h"
+#include "common/rng.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+
+/// Result of auditing one (instance, pattern) pair.
+struct AuditReport {
+  double log_p_d = 0.0;       ///< ln Pr[A(D) = pattern]
+  double log_p_dprime = 0.0;  ///< ln Pr[A(D') = pattern]
+
+  /// |ln ratio|; +infinity when exactly one side has probability 0.
+  double abs_log_ratio() const;
+
+  /// True when the ratio is infinite (a hard ∞-DP witness, Theorem 3).
+  bool infinite() const;
+};
+
+/// Audits a single instance: computes both output (log-)probabilities via
+/// the closed form.
+AuditReport AuditInstance(const VariantSpec& spec,
+                          const NeighborInstance& instance,
+                          const IntegrationOptions& options = {});
+
+/// Enumerates every complete output pattern an SVT run over `length`
+/// queries can produce: all indicator strings with fewer than `cutoff`
+/// positives of full length, plus every prefix that ends exactly at the
+/// cutoff-th positive (the mechanism aborts there). Without a cutoff,
+/// simply all 2^length strings. Exponential — intended for length ≲ 14.
+std::vector<std::string> EnumerateOutputPatterns(size_t length,
+                                                 std::optional<int> cutoff);
+
+/// Max |log ratio| over all enumerated patterns for a neighboring pair of
+/// answer vectors — a certified-by-quadrature lower bound on the variant's
+/// true ε, and for private variants a verification that it stays ≤ ε.
+struct PatternSearchResult {
+  double max_abs_log_ratio = 0.0;
+  std::string argmax_pattern;
+  bool found_infinite = false;
+};
+PatternSearchResult MaxAbsLogRatioOverPatterns(
+    const VariantSpec& spec, std::span<const double> answers_d,
+    std::span<const double> answers_dprime, double threshold,
+    const IntegrationOptions& options = {});
+
+/// Sum of Pr[pattern] over all enumerated patterns — must be 1 for any
+/// correctly implemented closed form (used as a self-check in tests and by
+/// the Figure 2 bench).
+double TotalProbabilityOverPatterns(const VariantSpec& spec,
+                                    std::span<const double> answers,
+                                    double threshold,
+                                    const IntegrationOptions& options = {});
+
+/// A *statistically certified* empirical-ε lower bound obtained purely by
+/// running the mechanism (no closed form): with confidence `confidence`,
+/// the variant is NOT ε-DP for any ε below the returned
+/// `certified_lower`. Uses Wilson bounds on the two Monte-Carlo output
+/// frequencies, so it holds without any assumption on the mechanism's
+/// structure — the black-box counterpart of AuditInstance. Returns 0 when
+/// the trials cannot separate the two distributions.
+struct McEpsilonBound {
+  double point_estimate = 0.0;    ///< ln(p̂_D / p̂_D'), clamped at 0
+  double certified_lower = 0.0;   ///< ln(lower_D / upper_D'), clamped at 0
+  int64_t hits_d = 0;
+  int64_t hits_dprime = 0;
+  int64_t trials = 0;
+};
+McEpsilonBound EstimateEpsilonLowerBoundMc(const VariantSpec& spec,
+                                           const NeighborInstance& instance,
+                                           int64_t trials, double confidence,
+                                           Rng& rng);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_AUDIT_PRIVACY_AUDITOR_H_

@@ -1,0 +1,77 @@
+// Fatal invariant checks (SVT_CHECK) in the style of glog/absl CHECK.
+//
+// SVT_CHECK is always on (including release builds): the mechanisms here
+// protect privacy guarantees, and a silently violated invariant could mean a
+// silently violated privacy proof. SVT_DCHECK compiles out in NDEBUG builds
+// and is reserved for hot-loop bounds checks.
+
+#ifndef SPARSEVEC_COMMON_CHECK_H_
+#define SPARSEVEC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace svt {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "SVT_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< adapter so the ternary in SVT_CHECK has void
+/// type on both branches (the glog "voidify" idiom).
+struct Voidify {
+  template <typename T>
+  void operator&(T&&) {}
+};
+
+}  // namespace internal
+}  // namespace svt
+
+#define SVT_CHECK(condition)                               \
+  (condition) ? (void)0                                    \
+              : ::svt::internal::Voidify() &               \
+                    ::svt::internal::CheckFailureStream(   \
+                        #condition, __FILE__, __LINE__)
+
+#define SVT_CHECK_OK(status_expr)                                      \
+  do {                                                                 \
+    const ::svt::Status _svt_chk = (status_expr);                      \
+    if (!_svt_chk.ok()) {                                              \
+      ::svt::internal::CheckFailureStream _svt_chk_stream(             \
+          #status_expr, __FILE__, __LINE__);                           \
+      _svt_chk_stream << _svt_chk.ToString();                          \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+// Not evaluated, but still compiled, so the condition stays well-formed.
+#define SVT_DCHECK(condition) (void)(true || (condition))
+#else
+#define SVT_DCHECK(condition) SVT_CHECK(condition)
+#endif
+
+#endif  // SPARSEVEC_COMMON_CHECK_H_

@@ -1,0 +1,186 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace svt {
+
+Laplace::Laplace(double mu, double b) : mu_(mu), b_(b) {
+  SVT_CHECK(b > 0.0) << "Laplace scale must be positive, got " << b;
+  SVT_CHECK(std::isfinite(mu));
+}
+
+double Laplace::stddev() const { return std::sqrt(2.0) * b_; }
+
+double Laplace::Pdf(double x) const {
+  return 0.5 / b_ * std::exp(-std::abs(x - mu_) / b_);
+}
+
+double Laplace::LogPdf(double x) const {
+  return -std::log(2.0 * b_) - std::abs(x - mu_) / b_;
+}
+
+double Laplace::Cdf(double x) const {
+  const double z = (x - mu_) / b_;
+  if (z < 0.0) return 0.5 * std::exp(z);
+  return 1.0 - 0.5 * std::exp(-z);
+}
+
+double Laplace::LogCdf(double x) const {
+  const double z = (x - mu_) / b_;
+  if (z < 0.0) return std::log(0.5) + z;
+  return std::log1p(-0.5 * std::exp(-z));
+}
+
+double Laplace::Sf(double x) const {
+  const double z = (x - mu_) / b_;
+  if (z > 0.0) return 0.5 * std::exp(-z);
+  return 1.0 - 0.5 * std::exp(z);
+}
+
+double Laplace::LogSf(double x) const {
+  const double z = (x - mu_) / b_;
+  if (z > 0.0) return std::log(0.5) - z;
+  return std::log1p(-0.5 * std::exp(z));
+}
+
+double Laplace::Quantile(double p) const {
+  SVT_CHECK(p > 0.0 && p < 1.0) << "Laplace quantile requires p in (0,1)";
+  if (p < 0.5) return mu_ + b_ * std::log(2.0 * p);
+  return mu_ - b_ * std::log(2.0 * (1.0 - p));
+}
+
+double Laplace::Sample(Rng& rng) const {
+  // Exact two-draw scheme: Laplace = signed Exponential. Avoids the
+  // open/closed interval edge cases of the single-uniform inverse CDF.
+  const double e = -std::log(rng.NextDoublePositive());
+  const bool negative = rng.NextBernoulli(0.5);
+  return negative ? mu_ - b_ * e : mu_ + b_ * e;
+}
+
+double SampleLaplace(Rng& rng, double scale) {
+  return Laplace::Centered(scale).Sample(rng);
+}
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  SVT_CHECK(rate > 0.0) << "Exponential rate must be positive, got " << rate;
+}
+
+double Exponential::Pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::Cdf(double x) const {
+  return x < 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+}
+
+double Exponential::Quantile(double p) const {
+  SVT_CHECK(p >= 0.0 && p < 1.0);
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::Sample(Rng& rng) const {
+  return -std::log(rng.NextDoublePositive()) / rate_;
+}
+
+double Gumbel::Pdf(double x) const {
+  return std::exp(-(x + std::exp(-x)));
+}
+
+double Gumbel::Cdf(double x) const { return std::exp(-std::exp(-x)); }
+
+double Gumbel::Quantile(double p) const {
+  SVT_CHECK(p > 0.0 && p < 1.0);
+  return -std::log(-std::log(p));
+}
+
+double Gumbel::Sample(Rng& rng) const { return SampleGumbel(rng); }
+
+double SampleGumbel(Rng& rng) {
+  return -std::log(-std::log(rng.NextDoublePositive()));
+}
+
+AliasSampler::AliasSampler(std::vector<double> weights) {
+  const size_t n = weights.size();
+  SVT_CHECK(n >= 1) << "AliasSampler needs at least one weight";
+  double total = 0.0;
+  for (double w : weights) {
+    SVT_CHECK(w >= 0.0) << "AliasSampler weights must be non-negative";
+    total += w;
+  }
+  SVT_CHECK(total > 0.0) << "AliasSampler weights must not all be zero";
+
+  norm_.resize(n);
+  for (size_t i = 0; i < n; ++i) norm_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Scaled probabilities; split into under- and over-full columns.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = norm_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are 1 up to rounding.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t AliasSampler::Sample(Rng& rng) const {
+  const uint32_t column =
+      static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+double AliasSampler::Probability(uint32_t i) const {
+  SVT_CHECK(i < norm_.size());
+  return norm_[i];
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) {
+  SVT_CHECK(n >= 1);
+  SVT_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Pmf(uint32_t k) const {
+  SVT_CHECK(k >= 1 && k <= cdf_.size());
+  if (k == 1) return cdf_[0];
+  return cdf_[k - 1] - cdf_[k - 2];
+}
+
+}  // namespace svt

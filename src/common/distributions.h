@@ -1,0 +1,149 @@
+// Probability distributions used by the DP mechanisms.
+//
+// Each distribution offers density / log-density / CDF / quantile and
+// sampling via inverse-CDF over Rng's 53-bit uniforms, so every draw is
+// platform-reproducible. The Laplace distribution is the workhorse: both the
+// SVT threshold noise rho and the per-query noise nu_i are Laplace, and the
+// audit module (src/audit) consumes the pdf/cdf to evaluate output
+// probabilities in closed form.
+
+#ifndef SPARSEVEC_COMMON_DISTRIBUTIONS_H_
+#define SPARSEVEC_COMMON_DISTRIBUTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace svt {
+
+/// Laplace(mu, b): density (1/2b) exp(-|x-mu|/b).
+///
+/// In DP terms, `Lap(b)` with b = sensitivity/epsilon satisfies
+/// epsilon-indistinguishability under shifts of up to `sensitivity`.
+class Laplace {
+ public:
+  /// Creates a Laplace distribution with location `mu` and scale `b > 0`.
+  Laplace(double mu, double b);
+
+  /// Zero-centered convenience, matching the paper's Lap(b) notation.
+  static Laplace Centered(double b) { return Laplace(0.0, b); }
+
+  double mu() const { return mu_; }
+  double scale() const { return b_; }
+
+  /// Standard deviation: sqrt(2) * b. Used by SVT-ReTr's "kD" threshold
+  /// boosts ("1D means adding one standard deviation of the added noises").
+  double stddev() const;
+
+  /// Probability density at x.
+  double Pdf(double x) const;
+
+  /// Natural log of the density at x.
+  double LogPdf(double x) const;
+
+  /// Cumulative distribution function P(X <= x).
+  double Cdf(double x) const;
+
+  /// log P(X <= x), stable in the deep lower tail.
+  double LogCdf(double x) const;
+
+  /// P(X > x) = 1 - Cdf(x), stable in the deep upper tail.
+  double Sf(double x) const;
+
+  /// log P(X > x).
+  double LogSf(double x) const;
+
+  /// Inverse CDF; p must lie in (0, 1).
+  double Quantile(double p) const;
+
+  /// Draws a sample by inverse-CDF.
+  double Sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double b_;
+};
+
+/// Samples Lap(scale) centered at zero — the paper's `Lap(scale)` notation.
+double SampleLaplace(Rng& rng, double scale);
+
+/// Exponential(rate): density rate * exp(-rate x) on x >= 0.
+class Exponential {
+ public:
+  explicit Exponential(double rate);
+
+  double rate() const { return rate_; }
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+  double Sample(Rng& rng) const;
+
+ private:
+  double rate_;
+};
+
+/// Standard Gumbel(0, 1): density exp(-(x + exp(-x))).
+///
+/// Used for the Gumbel-max implementation of the Exponential Mechanism:
+/// argmax_i (phi_i + G_i) with i.i.d. standard Gumbel G_i samples exactly
+/// from the softmax over phi, and taking the top-c of the perturbed values
+/// samples c rounds of EM without replacement (Gumbel-top-k).
+class Gumbel {
+ public:
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double p) const;
+  double Sample(Rng& rng) const;
+};
+
+/// Draws one standard Gumbel variate: -log(-log(U)).
+double SampleGumbel(Rng& rng);
+
+/// O(1) sampling from an arbitrary discrete distribution (Walker/Vose alias
+/// method). Used by the synthetic transaction generator, where item draws
+/// follow a fitted power-law popularity profile over up to millions of
+/// items.
+class AliasSampler {
+ public:
+  /// Builds the alias table from non-negative weights (sum > 0). O(n).
+  explicit AliasSampler(std::vector<double> weights);
+
+  /// Draws an index in [0, size()) with probability weight_i / sum.
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index i (for tests).
+  double Probability(uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;      // acceptance probability per column
+  std::vector<uint32_t> alias_;   // alias target per column
+  std::vector<double> norm_;      // normalized input weights
+};
+
+/// Bounded Zipf(s) over ranks {1, ..., n}: P(k) proportional to k^-s.
+///
+/// Used by the synthetic transaction generator to draw item occurrences
+/// matching a target power-law frequency profile. Sampling is inverse-CDF
+/// over a precomputed cumulative table (exact, O(log n) per draw).
+class ZipfSampler {
+ public:
+  /// n >= 1 ranks, exponent s >= 0 (s = 0 is uniform).
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws a rank in {1, ..., n}.
+  uint32_t Sample(Rng& rng) const;
+
+  /// Probability of rank k (1-based).
+  double Pmf(uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_DISTRIBUTIONS_H_

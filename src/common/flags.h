@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and bare `--bool_flag`.
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+
+#ifndef SPARSEVEC_COMMON_FLAGS_H_
+#define SPARSEVEC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace svt {
+
+/// A registry of typed flags. Register flags with pointers to defaults, then
+/// call Parse(). Example:
+///
+///   FlagSet flags;
+///   int64_t runs = 30;
+///   flags.AddInt64("runs", &runs, "number of repetitions");
+///   SVT_CHECK_OK(flags.Parse(argc, argv));
+class FlagSet {
+ public:
+  void AddInt64(const std::string& name, int64_t* value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  /// Parses argv; on `--help`, prints usage to stdout and exits(0).
+  Status Parse(int argc, char** argv);
+
+  /// Usage text listing all registered flags with defaults.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_FLAGS_H_

@@ -1,0 +1,62 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svt {
+
+double LogAddExp(double a, double b) {
+  if (std::isinf(a) && a < 0.0) return b;
+  if (std::isinf(b) && b < 0.0) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSumExp(std::span<const double> values) {
+  if (values.empty()) return -std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) hi = std::max(hi, v);
+  if (std::isinf(hi)) return hi;
+  double acc = 0.0;
+  for (double v : values) acc += std::exp(v - hi);
+  return hi + std::log(acc);
+}
+
+void KahanAccumulator::Add(double value) {
+  const double y = value - compensation_;
+  const double t = sum_ + y;
+  compensation_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+void KahanAccumulator::Reset() {
+  sum_ = 0.0;
+  compensation_ = 0.0;
+}
+
+int Sgn(double x) {
+  if (x > 0.0) return 1;
+  if (x < 0.0) return -1;
+  return 0;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double RelativeDifference(double a, double b, double floor) {
+  const double denom = std::max({std::abs(a), std::abs(b), floor});
+  return std::abs(a - b) / denom;
+}
+
+double GeneralizedHarmonic(size_t n, double s) {
+  KahanAccumulator acc;
+  for (size_t i = 1; i <= n; ++i) {
+    acc.Add(std::pow(static_cast<double>(i), -s));
+  }
+  return acc.sum();
+}
+
+}  // namespace svt

@@ -1,0 +1,45 @@
+// Small numeric helpers shared across modules.
+
+#ifndef SPARSEVEC_COMMON_MATH_UTIL_H_
+#define SPARSEVEC_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace svt {
+
+/// log(exp(a) + exp(b)) without overflow.
+double LogAddExp(double a, double b);
+
+/// log(sum_i exp(values[i])) without overflow. Returns -inf for empty input.
+double LogSumExp(std::span<const double> values);
+
+/// Kahan compensated summation; keeps long experiment accumulations exact to
+/// within a couple of ulps.
+class KahanAccumulator {
+ public:
+  void Add(double value);
+  double sum() const { return sum_; }
+  void Reset();
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sign of x in {-1, 0, +1}.
+int Sgn(double x);
+
+/// x clamped into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Relative difference |a-b| / max(|a|, |b|, floor); 0 if both are ~0.
+double RelativeDifference(double a, double b, double floor = 1e-300);
+
+/// Harmonic-like partial sum: sum_{i=1}^{n} i^{-s}. (s = 1 gives H_n.)
+double GeneralizedHarmonic(size_t n, double s);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_MATH_UTIL_H_

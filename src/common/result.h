@@ -1,0 +1,70 @@
+// Result<T>: a value-or-Status container (a small StatusOr).
+
+#ifndef SPARSEVEC_COMMON_RESULT_H_
+#define SPARSEVEC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace svt {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SVT_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; fatal if !ok().
+  const T& value() const& {
+    SVT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SVT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SVT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace svt
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define SVT_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto _svt_result_tmp = (expr);                  \
+  if (!_svt_result_tmp.ok()) {                    \
+    return _svt_result_tmp.status();              \
+  }                                               \
+  lhs = std::move(_svt_result_tmp).value()
+
+#endif  // SPARSEVEC_COMMON_RESULT_H_

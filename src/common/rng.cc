@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace svt {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64Next(sm);
+  // xoshiro requires a nonzero state; SplitMix64 outputs four zero words
+  // with probability 2^-256, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Rng::Rng(const std::array<uint64_t, 4>& state) : state_(state) {
+  SVT_CHECK(state_[0] != 0 || state_[1] != 0 || state_[2] != 0 ||
+            state_[3] != 0);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SVT_CHECK(bound > 0);
+  // Rejection sampling over the top of the range to avoid modulo bias
+  // (Lemire's threshold formulation).
+  const uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // Top 53 bits scaled into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoublePositive() {
+  // (0, 1]: shift the [0,1) lattice up by one ulp of the 53-bit grid.
+  return (static_cast<double>(NextUint64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  SVT_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  return NextDouble() < p;
+}
+
+void Rng::LongJump() {
+  static constexpr uint64_t kLongJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::array<uint64_t, 4> acc = {0, 0, 0, 0};
+  for (uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        acc[0] ^= state_[0];
+        acc[1] ^= state_[1];
+        acc[2] ^= state_[2];
+        acc[3] ^= state_[3];
+      }
+      NextUint64();
+    }
+  }
+  state_ = acc;
+}
+
+Rng Rng::Fork() {
+  Rng child(state_);
+  child.LongJump();
+  // Also advance this stream so repeated Fork() calls yield distinct
+  // children.
+  NextUint64();
+  return child;
+}
+
+}  // namespace svt

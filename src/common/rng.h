@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through svt::Rng so that (a) every
+// mechanism is reproducible from a seed, and (b) results are identical
+// across platforms and standard libraries. The std::* distribution classes
+// are explicitly avoided because the C++ standard does not pin down their
+// algorithms; the samplers in distributions.h are hand-written inverse-CDF
+// transforms over Rng's 53-bit uniforms.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// SplitMix64 so that low-entropy seeds (0, 1, 2, ...) still produce
+// well-separated streams.
+
+#ifndef SPARSEVEC_COMMON_RNG_H_
+#define SPARSEVEC_COMMON_RNG_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace svt {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+/// Advances `state` and returns the next 64-bit output.
+uint64_t SplitMix64Next(uint64_t& state);
+
+/// xoshiro256++ generator with convenience draws used by the samplers.
+///
+/// Not thread-safe; use one Rng per thread (Fork() produces independent
+/// streams for parallel experiment runs).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  /// Constructs directly from internal state (used by Fork()).
+  explicit Rng(const std::array<uint64_t, 4>& state);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in (0, 1]; never returns 0 (safe for log()).
+  double NextDoublePositive();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool NextBernoulli(double p);
+
+  /// Returns a new Rng whose stream is independent of (and does not
+  /// advance) subsequent draws from this one in any correlated way.
+  /// Implemented as the xoshiro long-jump applied to a copy.
+  Rng Fork();
+
+  /// Fisher-Yates shuffles indices [0, n) into `out` (resized to n).
+  /// Convenience for randomized query orders in the experiments.
+  template <typename Container>
+  void ShuffleIndices(size_t n, Container* out) {
+    out->resize(n);
+    for (size_t i = 0; i < n; ++i) (*out)[i] = static_cast<uint32_t>(i);
+    for (size_t i = n; i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*out)[i - 1], (*out)[j]);
+    }
+  }
+
+  /// In-place Fisher-Yates shuffle of an arbitrary random-access container.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    for (size_t i = c->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*c)[i - 1], (*c)[j]);
+    }
+  }
+
+  /// Internal state snapshot (for tests and serialization).
+  const std::array<uint64_t, 4>& state() const { return state_; }
+
+ private:
+  void LongJump();
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_RNG_H_

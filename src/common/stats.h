@@ -1,0 +1,57 @@
+// Streaming summary statistics (Welford) for experiment aggregation.
+
+#ifndef SPARSEVEC_COMMON_STATS_H_
+#define SPARSEVEC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace svt {
+
+/// Accumulates count/mean/variance/min/max in one pass (Welford's update),
+/// numerically stable for long experiment sweeps.
+class RunningStats {
+ public:
+  void Add(double value);
+
+  /// Merges another accumulator (parallel runs).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// "mean±stddev" with fixed precision, for table cells.
+  std::string ToString(int precision = 3) const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot helpers.
+double Mean(std::span<const double> values);
+double SampleStddev(std::span<const double> values);
+
+/// Two-sided binomial (Clopper-Pearson style via normal approx + continuity)
+/// upper bound on a probability given `successes` out of `trials` at level
+/// `confidence` (e.g. 0.999). Used by the Monte-Carlo privacy auditor to
+/// report conservative empirical-epsilon intervals.
+double BinomialUpperBound(int64_t successes, int64_t trials,
+                          double confidence);
+
+/// Matching lower bound.
+double BinomialLowerBound(int64_t successes, int64_t trials,
+                          double confidence);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_STATS_H_

@@ -1,0 +1,100 @@
+// Status / error-code plumbing used throughout the library.
+//
+// The library follows the RocksDB/Arrow convention of returning a Status (or
+// Result<T>, see result.h) instead of throwing exceptions: differential
+// privacy mechanisms are frequently embedded in long-running query-serving
+// systems where exception propagation across module boundaries is
+// undesirable.
+
+#ifndef SPARSEVEC_COMMON_STATUS_H_
+#define SPARSEVEC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace svt {
+
+/// Error categories. Mirrors the subset of canonical codes the library needs.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Caller passed a value that violates a documented precondition
+  /// (e.g. epsilon <= 0, cutoff < 1).
+  kInvalidArgument = 1,
+  /// Operation is not valid in the current state (e.g. Process() after the
+  /// positive-outcome budget is exhausted).
+  kFailedPrecondition = 2,
+  /// An index or parameter is outside the valid range.
+  kOutOfRange = 3,
+  /// An internal invariant failed; indicates a library bug.
+  kInternal = 4,
+  /// A resource (privacy budget, query stream) is exhausted.
+  kExhausted = 5,
+  /// Numerical routine failed to converge to the requested tolerance.
+  kNumericalError = 6,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Exhausted(std::string msg) {
+    return Status(StatusCode::kExhausted, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace svt
+
+/// Propagates a non-OK Status to the caller. Mirrors the common
+/// RETURN_NOT_OK idiom from Arrow/RocksDB.
+#define SVT_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::svt::Status _svt_status = (expr);        \
+    if (!_svt_status.ok()) return _svt_status; \
+  } while (false)
+
+#endif  // SPARSEVEC_COMMON_STATUS_H_

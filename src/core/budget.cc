@@ -1,0 +1,121 @@
+#include "core/budget.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace svt {
+
+BudgetAllocation::BudgetAllocation(double r1, double r2, std::string name)
+    : r1_(r1), r2_(r2), name_(std::move(name)) {
+  SVT_CHECK(r1 > 0.0 && r2 > 0.0)
+      << "allocation ratio must be positive: " << r1 << ":" << r2;
+}
+
+BudgetAllocation BudgetAllocation::Halves() {
+  return BudgetAllocation(1.0, 1.0, "1:1");
+}
+
+BudgetAllocation BudgetAllocation::Ratio(double r1, double r2) {
+  std::ostringstream name;
+  name << r1 << ":" << r2;
+  return BudgetAllocation(r1, r2, name.str());
+}
+
+BudgetAllocation BudgetAllocation::OneToThree() {
+  return BudgetAllocation(1.0, 3.0, "1:3");
+}
+
+BudgetAllocation BudgetAllocation::OneToC(int cutoff) {
+  SVT_CHECK(cutoff >= 1);
+  return BudgetAllocation(1.0, static_cast<double>(cutoff), "1:c");
+}
+
+BudgetAllocation BudgetAllocation::Optimal(int cutoff, bool monotonic) {
+  SVT_CHECK(cutoff >= 1);
+  const double c = static_cast<double>(cutoff);
+  if (monotonic) {
+    return BudgetAllocation(1.0, std::pow(c, 2.0 / 3.0), "1:c^2/3");
+  }
+  return BudgetAllocation(1.0, std::pow(2.0 * c, 2.0 / 3.0), "1:(2c)^2/3");
+}
+
+BudgetSplit BudgetAllocation::Split(double epsilon,
+                                    double numeric_fraction) const {
+  SVT_CHECK(epsilon > 0.0) << "epsilon must be positive, got " << epsilon;
+  SVT_CHECK(numeric_fraction >= 0.0 && numeric_fraction < 1.0)
+      << "numeric_fraction must be in [0,1), got " << numeric_fraction;
+  BudgetSplit split;
+  split.epsilon3 = epsilon * numeric_fraction;
+  const double indicator = epsilon - split.epsilon3;
+  split.epsilon1 = indicator * r1_ / (r1_ + r2_);
+  split.epsilon2 = indicator * r2_ / (r1_ + r2_);
+  return split;
+}
+
+double ComparisonNoiseVariance(const BudgetSplit& split, double sensitivity,
+                               int cutoff, bool monotonic) {
+  SVT_CHECK(split.epsilon1 > 0.0 && split.epsilon2 > 0.0);
+  SVT_CHECK(sensitivity > 0.0);
+  SVT_CHECK(cutoff >= 1);
+  const double c = static_cast<double>(cutoff);
+  const double k = monotonic ? 1.0 : 2.0;
+  const double rho_scale = sensitivity / split.epsilon1;
+  const double nu_scale = k * c * sensitivity / split.epsilon2;
+  // Var[Lap(b)] = 2 b^2; the two noises are independent, so variances add.
+  return 2.0 * rho_scale * rho_scale + 2.0 * nu_scale * nu_scale;
+}
+
+double AdvancedCompositionEpsilon(int k, double epsilon, double delta_prime) {
+  SVT_CHECK(k >= 1);
+  SVT_CHECK(epsilon > 0.0);
+  SVT_CHECK(delta_prime > 0.0 && delta_prime < 1.0);
+  const double kk = static_cast<double>(k);
+  return std::sqrt(2.0 * kk * std::log(1.0 / delta_prime)) * epsilon +
+         kk * epsilon * std::expm1(epsilon);
+}
+
+double PerStepEpsilonForAdvancedComposition(int k, double target_epsilon,
+                                            double delta_prime) {
+  SVT_CHECK(k >= 1);
+  SVT_CHECK(target_epsilon > 0.0);
+  SVT_CHECK(delta_prime > 0.0 && delta_prime < 1.0);
+  // eps' is strictly increasing in eps; bisect on [0, target].
+  double lo = 0.0;
+  double hi = target_epsilon;  // composing never shrinks the budget
+  for (int it = 0; it < 200 && (hi - lo) > 1e-15 * (1.0 + hi); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= 0.0) break;
+    if (AdvancedCompositionEpsilon(k, mid, delta_prime) <= target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PrivacyAccountant::PrivacyAccountant(double total_epsilon)
+    : total_(total_epsilon) {
+  SVT_CHECK(total_epsilon > 0.0);
+}
+
+Status PrivacyAccountant::Charge(double epsilon) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("cannot charge negative epsilon");
+  }
+  // Tolerate rounding at the boundary: many small charges that sum to the
+  // total should not spuriously fail.
+  constexpr double kSlack = 1e-9;
+  if (spent_ + epsilon > total_ * (1.0 + kSlack)) {
+    return Status::Exhausted("privacy budget exhausted: spent " +
+                             std::to_string(spent_) + " + " +
+                             std::to_string(epsilon) + " > total " +
+                             std::to_string(total_));
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+}  // namespace svt

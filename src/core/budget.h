@@ -1,0 +1,109 @@
+// Privacy budget arithmetic: splits, allocation policies, and a sequential
+// composition accountant.
+//
+// Section 4.2 of the paper shows the ratio ε₁:ε₂ between threshold noise and
+// query noise should not be the customary 1:1 — minimizing the variance of
+// Lap(Δ/ε₁) − Lap(2cΔ/ε₂) under ε₁+ε₂ fixed gives ε₁:ε₂ = 1:(2c)^{2/3}
+// (Eq. 12), and 1:c^{2/3} for monotonic queries. BudgetAllocation models
+// those policies plus the 1:1, 1:3 and 1:c baselines evaluated in §6.
+
+#ifndef SPARSEVEC_CORE_BUDGET_H_
+#define SPARSEVEC_CORE_BUDGET_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace svt {
+
+/// A concrete three-way split of a total privacy budget.
+/// epsilon3 is the portion used to release numeric answers for positives
+/// (Alg. 7's second phase); it is zero for indicator-only SVT.
+struct BudgetSplit {
+  double epsilon1 = 0.0;  ///< threshold perturbation
+  double epsilon2 = 0.0;  ///< query perturbation
+  double epsilon3 = 0.0;  ///< numeric release of positives
+
+  double total() const { return epsilon1 + epsilon2 + epsilon3; }
+};
+
+/// A policy for dividing the indicator budget (ε − ε₃) between ε₁ and ε₂.
+class BudgetAllocation {
+ public:
+  /// The customary 1:1 split used by Alg. 1–3, 5, 6.
+  static BudgetAllocation Halves();
+
+  /// Arbitrary ratio r1:r2 (both positive).
+  static BudgetAllocation Ratio(double r1, double r2);
+
+  /// 1:3, the split implied by Alg. 4's ε₁ = ε/4.
+  static BudgetAllocation OneToThree();
+
+  /// 1:c — evaluated in §6 as "SVT-S-1:c".
+  static BudgetAllocation OneToC(int cutoff);
+
+  /// The paper's recommendation (Eq. 12): 1:(2c)^{2/3}, or 1:c^{2/3} when
+  /// queries are monotonic (§4.3).
+  static BudgetAllocation Optimal(int cutoff, bool monotonic);
+
+  /// Splits `epsilon` into (ε₁, ε₂, ε₃). `numeric_fraction` ∈ [0,1) is the
+  /// share given to ε₃ first; the remainder is divided per this policy.
+  BudgetSplit Split(double epsilon, double numeric_fraction = 0.0) const;
+
+  /// ε₂ / ε₁ for this policy.
+  double ratio() const { return r2_ / r1_; }
+
+  /// Display name, e.g. "1:1", "1:3", "1:c", "1:c^2/3", "1:(2c)^2/3".
+  const std::string& name() const { return name_; }
+
+ private:
+  BudgetAllocation(double r1, double r2, std::string name);
+
+  double r1_;
+  double r2_;
+  std::string name_;
+};
+
+/// Variance of the comparison noise Lap(Δ/ε₁) − Lap(kcΔ/ε₂) for a split,
+/// where k = 2 in general and k = 1 for monotonic queries. This is the
+/// objective Eq. (12) minimizes; exposed so tests and the ablation bench can
+/// verify the optimum.
+double ComparisonNoiseVariance(const BudgetSplit& split, double sensitivity,
+                               int cutoff, bool monotonic);
+
+/// Advanced composition (Dwork, Rothblum & Vadhan 2010), referenced in
+/// §3.4: running k ε-DP mechanisms satisfies (ε', δ')-DP with
+///   ε' = sqrt(2k ln(1/δ')) ε + k ε (e^ε − 1).
+/// Returns ε' for the given k ≥ 1, ε > 0, δ' ∈ (0, 1).
+double AdvancedCompositionEpsilon(int k, double epsilon, double delta_prime);
+
+/// Inverse of the above: the largest per-step ε such that k steps compose
+/// to at most `target_epsilon` at the given δ'. Solved by bisection.
+double PerStepEpsilonForAdvancedComposition(int k, double target_epsilon,
+                                            double delta_prime);
+
+/// Tracks cumulative ε spent under sequential composition.
+///
+/// Mechanisms do not charge it implicitly; the interactive layer
+/// (src/interactive) charges it as budget is consumed so callers can enforce
+/// a global budget across many SVT/Laplace invocations.
+class PrivacyAccountant {
+ public:
+  /// Creates an accountant with the given total budget (> 0).
+  explicit PrivacyAccountant(double total_epsilon);
+
+  /// Consumes `epsilon`; fails with kExhausted if it would exceed the total.
+  Status Charge(double epsilon);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_BUDGET_H_

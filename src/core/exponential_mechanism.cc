@@ -1,0 +1,113 @@
+#include "core/exponential_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/distributions.h"
+#include "common/math_util.h"
+
+namespace svt {
+
+Status EmOptions::Validate(size_t num_candidates) const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be positive and finite");
+  }
+  if (num_selections < 1) {
+    return Status::InvalidArgument("num_selections must be >= 1");
+  }
+  if (static_cast<size_t>(num_selections) > num_candidates) {
+    return Status::InvalidArgument(
+        "num_selections exceeds number of candidates");
+  }
+  return Status::OK();
+}
+
+Result<size_t> ExponentialMechanism::SelectOne(std::span<const double> scores,
+                                               double epsilon,
+                                               double sensitivity,
+                                               bool monotonic, Rng& rng) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("SelectOne requires at least one score");
+  }
+  if (!(epsilon > 0.0) || !(sensitivity > 0.0)) {
+    return Status::InvalidArgument("epsilon and sensitivity must be positive");
+  }
+  const double coef =
+      monotonic ? epsilon / sensitivity : epsilon / (2.0 * sensitivity);
+
+  // Inverse-CDF in log space: draw u, find smallest prefix with cumulative
+  // log-weight >= log(u) + logZ. Exact regardless of score magnitudes.
+  std::vector<double> logw(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) logw[i] = coef * scores[i];
+  const double log_z = LogSumExp(logw);
+
+  const double u = rng.NextDoublePositive();
+  const double target = std::log(u) + log_z;
+
+  double cumulative = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < logw.size(); ++i) {
+    cumulative = LogAddExp(cumulative, logw[i]);
+    if (cumulative >= target) return i;
+  }
+  // Rounding can leave the final cumulative infinitesimally below logZ.
+  return scores.size() - 1;
+}
+
+Result<std::vector<size_t>> ExponentialMechanism::SelectTopCSequential(
+    std::span<const double> scores, const EmOptions& options, Rng& rng) {
+  SVT_RETURN_NOT_OK(options.Validate(scores.size()));
+  const double round_epsilon =
+      options.epsilon / static_cast<double>(options.num_selections);
+
+  std::vector<size_t> remaining(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) remaining[i] = i;
+  std::vector<double> pool(scores.begin(), scores.end());
+
+  std::vector<size_t> selected;
+  selected.reserve(options.num_selections);
+  for (int round = 0; round < options.num_selections; ++round) {
+    SVT_ASSIGN_OR_RETURN(
+        size_t pick, SelectOne(pool, round_epsilon, options.sensitivity,
+                               options.monotonic, rng));
+    selected.push_back(remaining[pick]);
+    // Swap-remove the chosen candidate from the pool.
+    remaining[pick] = remaining.back();
+    remaining.pop_back();
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+  return selected;
+}
+
+Result<std::vector<size_t>> ExponentialMechanism::SelectTopC(
+    std::span<const double> scores, const EmOptions& options, Rng& rng) {
+  SVT_RETURN_NOT_OK(options.Validate(scores.size()));
+  const double round_epsilon =
+      options.epsilon / static_cast<double>(options.num_selections);
+  const double coef = options.monotonic
+                          ? round_epsilon / options.sensitivity
+                          : round_epsilon / (2.0 * options.sensitivity);
+
+  // Gumbel-top-k: keys_i = coef*score_i + Gumbel_i; the indices of the c
+  // largest keys are distributed exactly as c rounds of EM without
+  // replacement over these scores.
+  std::vector<std::pair<double, size_t>> keys(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    keys[i] = {coef * scores[i] + SampleGumbel(rng), i};
+  }
+  const size_t c = static_cast<size_t>(options.num_selections);
+  std::partial_sort(
+      keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(c), keys.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<size_t> selected(c);
+  for (size_t i = 0; i < c; ++i) selected[i] = keys[i].second;
+  return selected;
+}
+
+}  // namespace svt

@@ -1,0 +1,70 @@
+// The Exponential Mechanism (McSherry & Talwar 2007), §2 and §5 of the
+// paper.
+//
+// Selects an output r with probability ∝ exp(ε q(D,r) / (2Δq)); when quality
+// changes between neighbors are one-directional ("monotonic", e.g. counting
+// queries under add/remove-one-tuple neighbors), exp(ε q(D,r) / Δq) is
+// private and more accurate (§2).
+//
+// For the paper's non-interactive top-c selection (§5), EM is run c times
+// with budget ε/c per round, removing each selected query from the pool.
+// Two implementations are provided:
+//
+//  * SelectTopCSequential — the literal c-round procedure, sampling each
+//    round by inverse-CDF in log space. Reference implementation.
+//  * SelectTopC — one-pass Gumbel-top-c: perturb each score's logit with
+//    i.i.d. standard Gumbel noise and take the top c. Sampling c items
+//    without replacement from a fixed softmax is *exactly* equivalent to
+//    taking the top-c of Gumbel-perturbed logits (the Gumbel-top-k trick),
+//    and all c EM rounds here share the same per-round budget and scores.
+//    O(n + c log c) instead of O(nc); the equivalence is property-tested.
+
+#ifndef SPARSEVEC_CORE_EXPONENTIAL_MECHANISM_H_
+#define SPARSEVEC_CORE_EXPONENTIAL_MECHANISM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace svt {
+
+/// Options for top-c selection with EM.
+struct EmOptions {
+  /// Total budget across all rounds (> 0); each round uses ε/c.
+  double epsilon = 1.0;
+  /// Quality-function sensitivity Δq (> 0).
+  double sensitivity = 1.0;
+  /// Number of selections c (≥ 1, ≤ number of candidates).
+  int num_selections = 1;
+  /// Use the one-sided exponent ε/(cΔ) for monotonic qualities.
+  bool monotonic = false;
+
+  Status Validate(size_t num_candidates) const;
+};
+
+class ExponentialMechanism {
+ public:
+  /// Selects one index with probability ∝ exp(coef · scores[i]) where
+  /// coef = ε/(2Δ) (or ε/Δ when monotonic). Log-space inverse-CDF; exact
+  /// for any score magnitudes.
+  static Result<size_t> SelectOne(std::span<const double> scores,
+                                  double epsilon, double sensitivity,
+                                  bool monotonic, Rng& rng);
+
+  /// Literal c-round EM without replacement (reference implementation).
+  static Result<std::vector<size_t>> SelectTopCSequential(
+      std::span<const double> scores, const EmOptions& options, Rng& rng);
+
+  /// Gumbel-top-c one-pass equivalent (production implementation).
+  static Result<std::vector<size_t>> SelectTopC(std::span<const double> scores,
+                                                const EmOptions& options,
+                                                Rng& rng);
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_EXPONENTIAL_MECHANISM_H_

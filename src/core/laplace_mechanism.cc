@@ -1,0 +1,29 @@
+#include "core/laplace_mechanism.h"
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace svt {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon),
+      sensitivity_(sensitivity),
+      scale_(sensitivity / epsilon) {
+  SVT_CHECK(epsilon > 0.0) << "epsilon must be positive, got " << epsilon;
+  SVT_CHECK(sensitivity > 0.0)
+      << "sensitivity must be positive, got " << sensitivity;
+}
+
+double LaplaceMechanism::Answer(double true_value, Rng& rng) const {
+  return true_value + SampleLaplace(rng, scale_);
+}
+
+std::vector<double> LaplaceMechanism::AnswerAll(std::span<const double> values,
+                                                Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Answer(v, rng));
+  return out;
+}
+
+}  // namespace svt

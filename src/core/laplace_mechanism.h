@@ -1,0 +1,44 @@
+// The Laplace mechanism (Dwork et al. 2006), §2 of the paper.
+//
+// Answers a numeric query of sensitivity Δ with f(D) + Lap(Δ/ε), which
+// satisfies ε-DP. Used standalone, as Alg. 7's numeric-output phase, and by
+// the interactive PMW substrate to answer above-threshold queries.
+
+#ifndef SPARSEVEC_CORE_LAPLACE_MECHANISM_H_
+#define SPARSEVEC_CORE_LAPLACE_MECHANISM_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace svt {
+
+class LaplaceMechanism {
+ public:
+  /// epsilon > 0, sensitivity > 0 (checked).
+  LaplaceMechanism(double epsilon, double sensitivity);
+
+  /// One private answer: true_value + Lap(Δ/ε).
+  double Answer(double true_value, Rng& rng) const;
+
+  /// Answers a batch; under sequential composition this consumes
+  /// |values| · ε, which is the caller's to account for.
+  std::vector<double> AnswerAll(std::span<const double> values,
+                                Rng& rng) const;
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+  /// Noise scale b = Δ/ε.
+  double scale() const { return scale_; }
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+  double scale_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_LAPLACE_MECHANISM_H_

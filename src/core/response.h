@@ -1,0 +1,66 @@
+// Response: one SVT answer, ⊥ / ⊤ / numeric.
+//
+// The paper's output alphabet is {⊥, ⊤} ∪ ℝ: Alg. 3 (Roth's lecture notes)
+// answers positives with the noisy query value q_i(D)+ν_i — which is exactly
+// what breaks its privacy — and Alg. 7 with ε₃ > 0 answers positives with a
+// fresh Laplace-perturbed value, which is private. Response models all
+// three cases.
+
+#ifndef SPARSEVEC_CORE_RESPONSE_H_
+#define SPARSEVEC_CORE_RESPONSE_H_
+
+#include <string>
+#include <vector>
+
+namespace svt {
+
+/// Which of the paper's output symbols a query produced.
+enum class Outcome {
+  kBelow,       ///< ⊥ — answer tested below the noisy threshold.
+  kAbove,       ///< ⊤ — above the noisy threshold (indicator only).
+  kAboveValue,  ///< above the noisy threshold, with a numeric answer.
+};
+
+/// One per-query answer.
+struct Response {
+  Outcome outcome = Outcome::kBelow;
+  /// Numeric answer; meaningful only when outcome == kAboveValue.
+  double value = 0.0;
+
+  static Response Below() { return {Outcome::kBelow, 0.0}; }
+  static Response Above() { return {Outcome::kAbove, 0.0}; }
+  static Response AboveValue(double v) { return {Outcome::kAboveValue, v}; }
+
+  /// True for ⊤ and numeric answers — the outcomes that consume budget.
+  bool is_positive() const { return outcome != Outcome::kBelow; }
+
+  friend bool operator==(const Response& a, const Response& b) {
+    if (a.outcome != b.outcome) return false;
+    if (a.outcome == Outcome::kAboveValue) return a.value == b.value;
+    return true;
+  }
+};
+
+/// "⊥", "⊤", or "⊤(value)".
+inline std::string ToString(const Response& r) {
+  switch (r.outcome) {
+    case Outcome::kBelow:
+      return "_";
+    case Outcome::kAbove:
+      return "T";
+    case Outcome::kAboveValue:
+      return "T(" + std::to_string(r.value) + ")";
+  }
+  return "?";
+}
+
+/// Compact pattern string, e.g. "__T_T".
+inline std::string ToString(const std::vector<Response>& rs) {
+  std::string out;
+  for (const Response& r : rs) out += ToString(r);
+  return out;
+}
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_RESPONSE_H_

@@ -1,0 +1,100 @@
+#include "core/svt.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace svt {
+
+std::vector<Response> SvtMechanism::Run(std::span<const double> answers,
+                                        std::span<const double> thresholds) {
+  SVT_CHECK(answers.size() == thresholds.size())
+      << "answers/thresholds size mismatch: " << answers.size() << " vs "
+      << thresholds.size();
+  std::vector<Response> out;
+  out.reserve(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (exhausted()) break;
+    out.push_back(Process(answers[i], thresholds[i]));
+  }
+  return out;
+}
+
+std::vector<Response> SvtMechanism::Run(std::span<const double> answers,
+                                        double threshold) {
+  std::vector<Response> out;
+  out.reserve(answers.size());
+  for (double a : answers) {
+    if (exhausted()) break;
+    out.push_back(Process(a, threshold));
+  }
+  return out;
+}
+
+Status SvtOptions::Validate() const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be positive and finite");
+  }
+  if (cutoff < 1) {
+    return Status::InvalidArgument("cutoff must be >= 1, got " +
+                                   std::to_string(cutoff));
+  }
+  if (numeric_output_fraction < 0.0 || numeric_output_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "numeric_output_fraction must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SparseVector>> SparseVector::Create(
+    const SvtOptions& options, Rng* rng) {
+  SVT_RETURN_NOT_OK(options.Validate());
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  const BudgetSplit split =
+      options.allocation.Split(options.epsilon, options.numeric_output_fraction);
+  VariantSpec spec = MakeStandardSpec(split, options.sensitivity,
+                                      options.cutoff, options.monotonic);
+  return std::unique_ptr<SparseVector>(
+      new SparseVector(options, std::move(spec), rng));
+}
+
+SparseVector::SparseVector(const SvtOptions& options, VariantSpec spec,
+                           Rng* rng)
+    : options_(options), spec_(std::move(spec)), rng_(rng) {
+  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
+}
+
+Response SparseVector::Process(double query_answer, double threshold) {
+  SVT_CHECK(!exhausted_)
+      << "SparseVector::Process called after the cutoff aborted the run; "
+         "check exhausted() or call Reset()";
+  ++processed_;
+  const double nu = SampleLaplace(*rng_, spec_.nu_scale);
+  if (query_answer + nu >= threshold + rho_) {
+    ++positives_;
+    if (positives_ >= options_.cutoff) exhausted_ = true;
+    if (spec_.numeric_scale > 0.0) {
+      // Alg. 7 line 6: answer the positive with a fresh Laplace draw funded
+      // by ε₃ (never the comparison noise ν — that is Alg. 3's mistake).
+      return Response::AboveValue(query_answer +
+                                  SampleLaplace(*rng_, spec_.numeric_scale));
+    }
+    return Response::Above();
+  }
+  return Response::Below();
+}
+
+void SparseVector::Reset() {
+  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
+  positives_ = 0;
+  processed_ = 0;
+  exhausted_ = false;
+}
+
+}  // namespace svt

@@ -1,0 +1,138 @@
+// The paper's proposed SVT: Alg. 7 ("Our Proposed Standard SVT"), of which
+// Alg. 1 is the instantiation with ε₁ = ε₂ = ε/2 and ε₃ = 0.
+//
+// The primary interface is *streaming*: Process(answer, threshold) returns
+// one Response. This is what makes SVT valuable in the interactive setting —
+// queries need not be known in advance, and negative outcomes consume no
+// privacy budget. Batch helpers are provided for the non-interactive
+// experiments.
+//
+// Privacy (Theorems 2, 4, 5 of the paper): with ρ ~ Lap(Δ/ε₁),
+// ν_i ~ Lap(2cΔ/ε₂) (Lap(cΔ/ε₂) for monotonic queries), at most c positive
+// outcomes, and positives optionally answered with fresh Lap(cΔ/ε₃) noise,
+// the mechanism is (ε₁+ε₂+ε₃)-DP.
+
+#ifndef SPARSEVEC_CORE_SVT_H_
+#define SPARSEVEC_CORE_SVT_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/budget.h"
+#include "core/response.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+
+/// Abstract interface shared by every SVT-family mechanism in the library
+/// (the proposed SparseVector and the six published variants), so the audit
+/// and evaluation layers can drive them uniformly.
+class SvtMechanism {
+ public:
+  virtual ~SvtMechanism() = default;
+
+  /// Tests one query answer against `threshold`. Must not be called once
+  /// exhausted() is true (checked).
+  virtual Response Process(double query_answer, double threshold) = 0;
+
+  /// True once the mechanism has emitted its c-th positive outcome and
+  /// aborted. Always false for variants without a cutoff.
+  virtual bool exhausted() const = 0;
+
+  /// Re-draws the threshold noise and clears counters — a fresh run with a
+  /// fresh privacy budget.
+  virtual void Reset() = 0;
+
+  /// Declarative noise structure (drives the closed-form audit).
+  virtual const VariantSpec& spec() const = 0;
+
+  /// Number of positive outcomes emitted since the last Reset().
+  virtual int positives_emitted() const = 0;
+
+  /// Number of queries processed since the last Reset().
+  virtual int64_t queries_processed() const = 0;
+
+  /// Runs the mechanism over a batch with per-query thresholds, stopping at
+  /// the cutoff. Returns one Response per processed query (the result may be
+  /// shorter than `answers` if the cutoff hit early).
+  std::vector<Response> Run(std::span<const double> answers,
+                            std::span<const double> thresholds);
+
+  /// Single-threshold convenience overload.
+  std::vector<Response> Run(std::span<const double> answers,
+                            double threshold);
+};
+
+/// Configuration for SparseVector. Defaults give Alg. 1 at ε = 1.
+struct SvtOptions {
+  /// Total privacy budget ε = ε₁ + ε₂ + ε₃ (> 0).
+  double epsilon = 1.0;
+  /// Query sensitivity Δ (> 0).
+  double sensitivity = 1.0;
+  /// Maximum positive outcomes c (≥ 1).
+  int cutoff = 1;
+  /// How to divide the indicator budget between threshold and query noise.
+  /// §4.2 recommends BudgetAllocation::Optimal(cutoff, monotonic).
+  BudgetAllocation allocation = BudgetAllocation::Halves();
+  /// Fraction of ε reserved as ε₃ for numeric answers to positives
+  /// (Alg. 7 lines 5–6); 0 disables numeric output.
+  double numeric_output_fraction = 0.0;
+  /// Queries are monotonic (§4.3): all answers move the same direction
+  /// between neighboring datasets, e.g. counting queries. Halves the query
+  /// noise (Lap(cΔ/ε₂) instead of Lap(2cΔ/ε₂), Theorem 5).
+  bool monotonic = false;
+
+  /// Validates ranges; returned Status explains the first violation.
+  Status Validate() const;
+};
+
+/// The paper's standard SVT (Alg. 7; Alg. 1 by default parameterization).
+///
+/// Typical streaming use:
+///
+///   Rng rng(seed);
+///   auto svt = SparseVector::Create(options, &rng).value();
+///   for (...) {
+///     if (svt->exhausted()) break;
+///     Response r = svt->Process(query.Evaluate(db), threshold);
+///   }
+class SparseVector final : public SvtMechanism {
+ public:
+  /// Validates `options` and draws the threshold noise from `rng`.
+  /// `rng` must outlive the mechanism.
+  static Result<std::unique_ptr<SparseVector>> Create(
+      const SvtOptions& options, Rng* rng);
+
+  Response Process(double query_answer, double threshold) override;
+  bool exhausted() const override { return exhausted_; }
+  void Reset() override;
+  const VariantSpec& spec() const override { return spec_; }
+  int positives_emitted() const override { return positives_; }
+  int64_t queries_processed() const override { return processed_; }
+
+  /// The realized (ε₁, ε₂, ε₃) split.
+  const BudgetSplit& budget() const { return spec_.budget; }
+
+  /// Scale of the per-query noise ν_i (used by SVT-ReTr's "kD" boosts).
+  double query_noise_scale() const { return spec_.nu_scale; }
+
+ private:
+  SparseVector(const SvtOptions& options, VariantSpec spec, Rng* rng);
+
+  SvtOptions options_;
+  VariantSpec spec_;
+  Rng* rng_;
+
+  double rho_ = 0.0;  // current noisy-threshold offset
+  int positives_ = 0;
+  int64_t processed_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_SVT_H_

@@ -1,0 +1,63 @@
+// SVT with Retraversal (SVT-ReTr), §5 of the paper.
+//
+// In the non-interactive setting the whole query list is known, so when a
+// run of SVT exhausts the list having selected fewer than c queries, the
+// remaining budget would be wasted. SVT-ReTr instead raises the threshold
+// (so it selects more conservatively) and, on reaching the end of the list
+// with fewer than c positives, re-traverses the not-yet-selected queries —
+// negative outcomes are free in SVT, so this costs no extra budget.
+//
+// The "kD" configurations of Figure 5 raise the threshold by k standard
+// deviations (√2·scale) of the per-query Laplace noise.
+
+#ifndef SPARSEVEC_CORE_SVT_RETRAVERSAL_H_
+#define SPARSEVEC_CORE_SVT_RETRAVERSAL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/svt.h"
+
+namespace svt {
+
+/// Configuration for SVT-ReTr.
+struct RetraversalOptions {
+  /// Base SVT configuration (budget, cutoff, allocation, monotonicity).
+  SvtOptions svt;
+  /// k in "kD": how many standard deviations of the query noise to add to
+  /// the threshold. 0 disables the boost (plain SVT + retraversal).
+  double threshold_boost_devs = 0.0;
+  /// Safety cap on full passes over the remaining queries. The paper does
+  /// not bound retraversal; with a high boost and few near-threshold
+  /// queries, termination can take many passes, so production code needs a
+  /// cap. When hit, the selection returns with fewer than c indices.
+  int max_passes = 256;
+
+  Status Validate() const;
+};
+
+/// Result of a retraversal selection.
+struct RetraversalResult {
+  /// Indices (into the input span) selected, in selection order.
+  std::vector<size_t> selected;
+  /// Number of passes over the query list actually used.
+  int passes_used = 0;
+  /// Total threshold comparisons performed.
+  int64_t comparisons = 0;
+  /// Boosted threshold actually used (base + k·√2·nu_scale).
+  double boosted_threshold = 0.0;
+};
+
+/// Runs SVT-ReTr over `scores` (queries in the given order — shuffle before
+/// calling to randomize, as the paper's experiments do) against
+/// `base_threshold`. Selects up to svt.cutoff indices.
+Result<RetraversalResult> SelectWithRetraversal(
+    std::span<const double> scores, double base_threshold,
+    const RetraversalOptions& options, Rng& rng);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_SVT_RETRAVERSAL_H_

@@ -1,0 +1,175 @@
+#include "core/svt_variants.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace svt {
+
+SpecDrivenSvt::SpecDrivenSvt(VariantSpec spec, Rng* rng)
+    : spec_(std::move(spec)), rng_(rng) {
+  SVT_CHECK(rng_ != nullptr);
+  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
+}
+
+Response SpecDrivenSvt::Process(double query_answer, double threshold) {
+  SVT_CHECK(!exhausted_) << spec_.name
+                         << "::Process called after cutoff abort";
+  ++processed_;
+  const double nu =
+      spec_.nu_scale > 0.0 ? SampleLaplace(*rng_, spec_.nu_scale) : 0.0;
+  if (query_answer + nu >= threshold + rho_) {
+    ++positives_;
+    if (spec_.cutoff.has_value() && positives_ >= *spec_.cutoff) {
+      exhausted_ = true;
+    }
+    if (spec_.resample_rho_after_positive) {
+      rho_ = SampleLaplace(*rng_, spec_.rho_resample_scale);
+    }
+    if (spec_.output_query_value_on_positive) {
+      // Alg. 3: emits the very noise used in the comparison — this is the
+      // leak that makes it non-private.
+      return Response::AboveValue(query_answer + nu);
+    }
+    if (spec_.numeric_scale > 0.0) {
+      return Response::AboveValue(query_answer +
+                                  SampleLaplace(*rng_, spec_.numeric_scale));
+    }
+    return Response::Above();
+  }
+  return Response::Below();
+}
+
+void SpecDrivenSvt::Reset() {
+  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
+  positives_ = 0;
+  processed_ = 0;
+  exhausted_ = false;
+}
+
+namespace {
+
+Status CheckArgs(double epsilon, double sensitivity, Rng* rng) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be positive");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DworkRothSvt>> DworkRothSvt::Create(double epsilon,
+                                                           double sensitivity,
+                                                           int cutoff,
+                                                           Rng* rng) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  if (cutoff < 1) return Status::InvalidArgument("cutoff must be >= 1");
+  return std::unique_ptr<DworkRothSvt>(
+      new DworkRothSvt(MakeAlg2Spec(epsilon, sensitivity, cutoff), rng));
+}
+
+Result<std::unique_ptr<RothNotesSvt>> RothNotesSvt::Create(double epsilon,
+                                                           double sensitivity,
+                                                           int cutoff,
+                                                           Rng* rng) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  if (cutoff < 1) return Status::InvalidArgument("cutoff must be >= 1");
+  return std::unique_ptr<RothNotesSvt>(
+      new RothNotesSvt(MakeAlg3Spec(epsilon, sensitivity, cutoff), rng));
+}
+
+Result<std::unique_ptr<LeeCliftonSvt>> LeeCliftonSvt::Create(
+    double epsilon, double sensitivity, int cutoff, Rng* rng,
+    bool monotonic) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  if (cutoff < 1) return Status::InvalidArgument("cutoff must be >= 1");
+  return std::unique_ptr<LeeCliftonSvt>(new LeeCliftonSvt(
+      MakeAlg4Spec(epsilon, sensitivity, cutoff, monotonic), rng));
+}
+
+Result<std::unique_ptr<StoddardSvt>> StoddardSvt::Create(double epsilon,
+                                                         double sensitivity,
+                                                         Rng* rng) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  return std::unique_ptr<StoddardSvt>(
+      new StoddardSvt(MakeAlg5Spec(epsilon, sensitivity), rng));
+}
+
+Result<std::unique_ptr<ChenSvt>> ChenSvt::Create(double epsilon,
+                                                 double sensitivity,
+                                                 Rng* rng) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  return std::unique_ptr<ChenSvt>(
+      new ChenSvt(MakeAlg6Spec(epsilon, sensitivity), rng));
+}
+
+Result<std::unique_ptr<Gptt>> Gptt::Create(double epsilon1, double epsilon2,
+                                           double sensitivity, Rng* rng) {
+  if (!(epsilon1 > 0.0) || !(epsilon2 > 0.0)) {
+    return Status::InvalidArgument("epsilon1/epsilon2 must be positive");
+  }
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon1 + epsilon2, sensitivity, rng));
+  return std::unique_ptr<Gptt>(
+      new Gptt(MakeGpttSpec(epsilon1, epsilon2, sensitivity), rng));
+}
+
+Result<std::unique_ptr<SvtMechanism>> MakeVariantMechanism(
+    VariantId id, double epsilon, double sensitivity, int cutoff, Rng* rng) {
+  switch (id) {
+    case VariantId::kAlg1:
+    case VariantId::kStandard: {
+      SvtOptions options;
+      options.epsilon = epsilon;
+      options.sensitivity = sensitivity;
+      options.cutoff = cutoff;
+      options.allocation = BudgetAllocation::Halves();
+      SVT_ASSIGN_OR_RETURN(std::unique_ptr<SparseVector> sv,
+                           SparseVector::Create(options, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(sv));
+    }
+    case VariantId::kAlg2: {
+      SVT_ASSIGN_OR_RETURN(
+          std::unique_ptr<DworkRothSvt> m,
+          DworkRothSvt::Create(epsilon, sensitivity, cutoff, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kAlg3: {
+      SVT_ASSIGN_OR_RETURN(
+          std::unique_ptr<RothNotesSvt> m,
+          RothNotesSvt::Create(epsilon, sensitivity, cutoff, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kAlg4: {
+      SVT_ASSIGN_OR_RETURN(
+          std::unique_ptr<LeeCliftonSvt> m,
+          LeeCliftonSvt::Create(epsilon, sensitivity, cutoff, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kAlg5: {
+      SVT_ASSIGN_OR_RETURN(std::unique_ptr<StoddardSvt> m,
+                           StoddardSvt::Create(epsilon, sensitivity, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kAlg6: {
+      SVT_ASSIGN_OR_RETURN(std::unique_ptr<ChenSvt> m,
+                           ChenSvt::Create(epsilon, sensitivity, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kGptt: {
+      SVT_ASSIGN_OR_RETURN(
+          std::unique_ptr<Gptt> m,
+          Gptt::Create(epsilon / 2.0, epsilon / 2.0, sensitivity, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+  }
+  return Status::InvalidArgument("unknown VariantId");
+}
+
+}  // namespace svt

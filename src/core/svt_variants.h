@@ -1,0 +1,158 @@
+// The six published SVT variants analyzed in §3 (Figure 1) plus GPTT.
+//
+// Alg. 1 is realized by SparseVector (core/svt.h) with default options.
+// The classes below implement the remaining variants *exactly as published*,
+// including the ones that are not differentially private — those exist so
+// that the audit module can demonstrate their privacy failures numerically
+// (reproducing Theorems 3, 6, 7) and so the benches can reproduce Figure 2.
+//
+// ┌──────────────────────┬────────┬───────────────┬──────────────┬────────┐
+// │ class                │ ε₁     │ ρ scale       │ ν scale      │ DP?    │
+// ├──────────────────────┼────────┼───────────────┼──────────────┼────────┤
+// │ DworkRothSvt  (Alg2) │ ε/2    │ cΔ/ε₁ (resmpl)│ 2cΔ/ε₁       │ ε-DP   │
+// │ RothNotesSvt  (Alg3) │ ε/2    │ Δ/ε₁          │ cΔ/ε₂  (emit)│ ∞-DP   │
+// │ LeeCliftonSvt (Alg4) │ ε/4    │ Δ/ε₁          │ Δ/ε₂         │ scaled │
+// │ StoddardSvt   (Alg5) │ ε/2    │ Δ/ε₁          │ 0            │ ∞-DP   │
+// │ ChenSvt       (Alg6) │ ε/2    │ Δ/ε₁          │ Δ/ε₂         │ ∞-DP   │
+// │ Gptt                 │ ε₁     │ Δ/ε₁          │ Δ/ε₂         │ ∞-DP   │
+// └──────────────────────┴────────┴───────────────┴──────────────┴────────┘
+
+#ifndef SPARSEVEC_CORE_SVT_VARIANTS_H_
+#define SPARSEVEC_CORE_SVT_VARIANTS_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/svt.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+
+/// Shared machinery for the published variants: a noisy threshold, optional
+/// query noise, optional cutoff, optional ρ resampling, optional numeric
+/// output. Concrete classes differ only in their VariantSpec.
+class SpecDrivenSvt : public SvtMechanism {
+ public:
+  Response Process(double query_answer, double threshold) override;
+  bool exhausted() const override { return exhausted_; }
+  void Reset() override;
+  const VariantSpec& spec() const override { return spec_; }
+  int positives_emitted() const override { return positives_; }
+  int64_t queries_processed() const override { return processed_; }
+
+ protected:
+  SpecDrivenSvt(VariantSpec spec, Rng* rng);
+
+ private:
+  VariantSpec spec_;
+  Rng* rng_;
+  double rho_ = 0.0;
+  int positives_ = 0;
+  int64_t processed_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Alg. 2 — SVT as given in Dwork & Roth's 2014 book. ε-DP, but both noise
+/// scales carry an extra factor of c relative to Alg. 1, making it the
+/// least accurate private variant (§6's SVT-DPBook curves).
+class DworkRothSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<DworkRothSvt>> Create(double epsilon,
+                                                      double sensitivity,
+                                                      int cutoff, Rng* rng);
+
+ private:
+  DworkRothSvt(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Alg. 3 — Roth's 2011 lecture notes. NOT differentially private for any
+/// finite ε (Theorem 6 / Appendix 10.1): it answers positives with
+/// q_i(D)+ν_i, and the emitted value upper-bounds the noisy threshold,
+/// leaking ρ.
+class RothNotesSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<RothNotesSvt>> Create(double epsilon,
+                                                      double sensitivity,
+                                                      int cutoff, Rng* rng);
+
+ private:
+  RothNotesSvt(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Alg. 4 — Lee & Clifton 2014. Claims ε-DP but satisfies only
+/// ((1+6c)/4)ε-DP in general ((1+3c)/4 for monotonic queries): the query
+/// noise Lap(Δ/ε₂) does not scale with the cutoff c.
+class LeeCliftonSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<LeeCliftonSvt>> Create(
+      double epsilon, double sensitivity, int cutoff, Rng* rng,
+      bool monotonic = false);
+
+ private:
+  LeeCliftonSvt(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Alg. 5 — Stoddard et al. 2014. NOT differentially private for any finite
+/// ε (Theorem 3): adds no query noise and never stops, so a single
+/// ⟨⊥,⊤⟩-vs-⟨⊤,⊥⟩ pair of neighboring datasets already has unbounded
+/// probability ratio.
+class StoddardSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<StoddardSvt>> Create(double epsilon,
+                                                     double sensitivity,
+                                                     Rng* rng);
+
+ private:
+  StoddardSvt(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Alg. 6 — Chen et al. 2015. NOT differentially private for any finite ε
+/// (Theorem 7 / Appendix 10.2): per-query noise without the factor of c and
+/// no cutoff on positive outcomes.
+class ChenSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<ChenSvt>> Create(double epsilon,
+                                                 double sensitivity,
+                                                 Rng* rng);
+
+ private:
+  ChenSvt(VariantSpec spec, Rng* rng) : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// GPTT — the "generalized private threshold testing" abstraction of
+/// [Chen & Machanavajjhala 2015] analyzed in §3.3: threshold noise Lap(Δ/ε₁),
+/// query noise Lap(Δ/ε₂), no cutoff. Equals Alg. 6 at ε₁ = ε₂ = ε/2.
+/// ∞-DP (although, as §3.3 shows, the non-privacy proof in [2] was itself
+/// flawed; see audit/counterexamples.h).
+class Gptt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<Gptt>> Create(double epsilon1,
+                                              double epsilon2,
+                                              double sensitivity, Rng* rng);
+
+ private:
+  Gptt(VariantSpec spec, Rng* rng) : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Runs an arbitrary VariantSpec directly. This is how the audit module's
+/// Monte-Carlo estimator simulates exactly the noise structure whose output
+/// probability the closed-form path computes analytically.
+class CustomSvt final : public SpecDrivenSvt {
+ public:
+  CustomSvt(VariantSpec spec, Rng* rng) : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Builds any variant by id with its paper-default parameterization.
+/// For kAlg1/kStandard this wraps SparseVector; `cutoff` is ignored by the
+/// no-cutoff variants (Alg. 5, 6, GPTT).
+Result<std::unique_ptr<SvtMechanism>> MakeVariantMechanism(
+    VariantId id, double epsilon, double sensitivity, int cutoff, Rng* rng);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_SVT_VARIANTS_H_

@@ -1,0 +1,216 @@
+#include "core/variant_spec.h"
+
+#include "common/check.h"
+
+namespace svt {
+
+namespace {
+
+void CheckCommon(double epsilon, double sensitivity) {
+  SVT_CHECK(epsilon > 0.0) << "epsilon must be positive, got " << epsilon;
+  SVT_CHECK(sensitivity > 0.0)
+      << "sensitivity must be positive, got " << sensitivity;
+}
+
+}  // namespace
+
+std::string_view PrivacyClassToString(PrivacyClass c) {
+  switch (c) {
+    case PrivacyClass::kPureDp:
+      return "eps-DP";
+    case PrivacyClass::kScaledDp:
+      return "scaled-eps-DP";
+    case PrivacyClass::kInfiniteDp:
+      return "inf-DP";
+  }
+  return "unknown";
+}
+
+std::string_view VariantIdToString(VariantId id) {
+  switch (id) {
+    case VariantId::kAlg1:
+      return "Alg1-LyuSuLi";
+    case VariantId::kAlg2:
+      return "Alg2-DworkRoth";
+    case VariantId::kAlg3:
+      return "Alg3-RothNotes";
+    case VariantId::kAlg4:
+      return "Alg4-LeeClifton";
+    case VariantId::kAlg5:
+      return "Alg5-Stoddard";
+    case VariantId::kAlg6:
+      return "Alg6-Chen";
+    case VariantId::kStandard:
+      return "Alg7-Standard";
+    case VariantId::kGptt:
+      return "GPTT";
+  }
+  return "unknown";
+}
+
+VariantSpec MakeAlg1Spec(double epsilon, double sensitivity, int cutoff) {
+  CheckCommon(epsilon, sensitivity);
+  SVT_CHECK(cutoff >= 1);
+  VariantSpec s;
+  s.name = "Alg1-LyuSuLi";
+  s.epsilon = epsilon;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon / 2.0, epsilon / 2.0, 0.0};
+  s.rho_scale = sensitivity / s.budget.epsilon1;
+  s.nu_scale = 2.0 * cutoff * sensitivity / s.budget.epsilon2;
+  s.cutoff = cutoff;
+  s.actual_privacy = PrivacyClass::kPureDp;
+  return s;
+}
+
+VariantSpec MakeAlg2Spec(double epsilon, double sensitivity, int cutoff) {
+  CheckCommon(epsilon, sensitivity);
+  SVT_CHECK(cutoff >= 1);
+  VariantSpec s;
+  s.name = "Alg2-DworkRoth";
+  s.epsilon = epsilon;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon / 2.0, epsilon / 2.0, 0.0};
+  const double c = static_cast<double>(cutoff);
+  // Figure 1, Alg. 2: rho ~ Lap(cΔ/ε₁); ν ~ Lap(2cΔ/ε₁); on ⊤ the threshold
+  // noise is re-drawn as Lap(cΔ/ε₂). With ε₁ = ε₂ = ε/2 the two rho scales
+  // coincide, but we keep them as written.
+  s.rho_scale = c * sensitivity / s.budget.epsilon1;
+  s.nu_scale = 2.0 * c * sensitivity / s.budget.epsilon1;
+  s.resample_rho_after_positive = true;
+  s.rho_resample_scale = c * sensitivity / s.budget.epsilon2;
+  s.cutoff = cutoff;
+  s.actual_privacy = PrivacyClass::kPureDp;
+  return s;
+}
+
+VariantSpec MakeAlg3Spec(double epsilon, double sensitivity, int cutoff) {
+  CheckCommon(epsilon, sensitivity);
+  SVT_CHECK(cutoff >= 1);
+  VariantSpec s;
+  s.name = "Alg3-RothNotes";
+  s.epsilon = epsilon;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon / 2.0, epsilon / 2.0, 0.0};
+  s.rho_scale = sensitivity / s.budget.epsilon1;
+  s.nu_scale = cutoff * sensitivity / s.budget.epsilon2;
+  s.cutoff = cutoff;
+  s.output_query_value_on_positive = true;
+  s.actual_privacy = PrivacyClass::kInfiniteDp;
+  return s;
+}
+
+VariantSpec MakeAlg4Spec(double epsilon, double sensitivity, int cutoff,
+                         bool monotonic) {
+  CheckCommon(epsilon, sensitivity);
+  SVT_CHECK(cutoff >= 1);
+  VariantSpec s;
+  s.name = "Alg4-LeeClifton";
+  s.epsilon = epsilon;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon / 4.0, 3.0 * epsilon / 4.0, 0.0};
+  s.rho_scale = sensitivity / s.budget.epsilon1;
+  s.nu_scale = sensitivity / s.budget.epsilon2;
+  s.cutoff = cutoff;
+  s.actual_privacy = PrivacyClass::kScaledDp;
+  // §3.2: (1+6c)/4 in general; (1+3c)/4 for monotonic counting queries.
+  s.privacy_scale_factor =
+      monotonic ? (1.0 + 3.0 * cutoff) / 4.0 : (1.0 + 6.0 * cutoff) / 4.0;
+  return s;
+}
+
+VariantSpec MakeAlg5Spec(double epsilon, double sensitivity) {
+  CheckCommon(epsilon, sensitivity);
+  VariantSpec s;
+  s.name = "Alg5-Stoddard";
+  s.epsilon = epsilon;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon / 2.0, epsilon / 2.0, 0.0};
+  s.rho_scale = sensitivity / s.budget.epsilon1;
+  s.nu_scale = 0.0;  // no query noise at all
+  s.cutoff = std::nullopt;
+  s.actual_privacy = PrivacyClass::kInfiniteDp;
+  return s;
+}
+
+VariantSpec MakeAlg6Spec(double epsilon, double sensitivity) {
+  CheckCommon(epsilon, sensitivity);
+  VariantSpec s;
+  s.name = "Alg6-Chen";
+  s.epsilon = epsilon;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon / 2.0, epsilon / 2.0, 0.0};
+  s.rho_scale = sensitivity / s.budget.epsilon1;
+  s.nu_scale = sensitivity / s.budget.epsilon2;
+  s.cutoff = std::nullopt;
+  s.actual_privacy = PrivacyClass::kInfiniteDp;
+  return s;
+}
+
+VariantSpec MakeStandardSpec(const BudgetSplit& split, double sensitivity,
+                             int cutoff, bool monotonic) {
+  SVT_CHECK(split.epsilon1 > 0.0 && split.epsilon2 > 0.0);
+  SVT_CHECK(split.epsilon3 >= 0.0);
+  SVT_CHECK(sensitivity > 0.0);
+  SVT_CHECK(cutoff >= 1);
+  VariantSpec s;
+  s.name = "Alg7-Standard";
+  s.epsilon = split.total();
+  s.sensitivity = sensitivity;
+  s.budget = split;
+  const double c = static_cast<double>(cutoff);
+  s.rho_scale = sensitivity / split.epsilon1;
+  const double k = monotonic ? 1.0 : 2.0;
+  s.nu_scale = k * c * sensitivity / split.epsilon2;
+  s.cutoff = cutoff;
+  if (split.epsilon3 > 0.0) {
+    s.numeric_scale = c * sensitivity / split.epsilon3;
+  }
+  s.actual_privacy = PrivacyClass::kPureDp;
+  return s;
+}
+
+VariantSpec MakeGpttSpec(double epsilon1, double epsilon2,
+                         double sensitivity) {
+  SVT_CHECK(epsilon1 > 0.0 && epsilon2 > 0.0);
+  SVT_CHECK(sensitivity > 0.0);
+  VariantSpec s;
+  s.name = "GPTT";
+  s.epsilon = epsilon1 + epsilon2;
+  s.sensitivity = sensitivity;
+  s.budget = BudgetSplit{epsilon1, epsilon2, 0.0};
+  s.rho_scale = sensitivity / epsilon1;
+  s.nu_scale = sensitivity / epsilon2;
+  s.cutoff = std::nullopt;
+  s.actual_privacy = PrivacyClass::kInfiniteDp;
+  return s;
+}
+
+VariantSpec MakeSpec(VariantId id, double epsilon, double sensitivity,
+                     int cutoff) {
+  switch (id) {
+    case VariantId::kAlg1:
+      return MakeAlg1Spec(epsilon, sensitivity, cutoff);
+    case VariantId::kAlg2:
+      return MakeAlg2Spec(epsilon, sensitivity, cutoff);
+    case VariantId::kAlg3:
+      return MakeAlg3Spec(epsilon, sensitivity, cutoff);
+    case VariantId::kAlg4:
+      return MakeAlg4Spec(epsilon, sensitivity, cutoff);
+    case VariantId::kAlg5:
+      return MakeAlg5Spec(epsilon, sensitivity);
+    case VariantId::kAlg6:
+      return MakeAlg6Spec(epsilon, sensitivity);
+    case VariantId::kStandard: {
+      const BudgetSplit split =
+          BudgetAllocation::Halves().Split(epsilon, /*numeric_fraction=*/0.0);
+      return MakeStandardSpec(split, sensitivity, cutoff);
+    }
+    case VariantId::kGptt:
+      return MakeGpttSpec(epsilon / 2.0, epsilon / 2.0, sensitivity);
+  }
+  SVT_CHECK(false) << "unknown VariantId";
+  return VariantSpec{};
+}
+
+}  // namespace svt

@@ -1,0 +1,133 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace svt {
+
+namespace {
+
+Result<uint32_t> ParseItemId(const std::string& token, const std::string& path,
+                             size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0' ||
+      value > 0xFFFFFFFFull) {
+    return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                   ": bad item id '" + token + "'");
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+Result<TransactionDb> LoadFimiTransactions(const std::string& path,
+                                           uint32_t min_items) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+
+  std::vector<Transaction> transactions;
+  uint32_t max_item = 0;
+  bool any_item = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    Transaction txn;
+    std::string token;
+    while (tokens >> token) {
+      SVT_ASSIGN_OR_RETURN(uint32_t item, ParseItemId(token, path, line_no));
+      txn.push_back(item);
+      max_item = std::max(max_item, item);
+      any_item = true;
+    }
+    if (!txn.empty()) transactions.push_back(std::move(txn));
+  }
+  if (transactions.empty()) {
+    return Status::OutOfRange(path + ": no transactions found");
+  }
+
+  const uint32_t num_items =
+      std::max(min_items, any_item ? max_item + 1 : 1u);
+  TransactionDb db(num_items);
+  for (Transaction& txn : transactions) db.Add(std::move(txn));
+  return db;
+}
+
+Status SaveFimiTransactions(const TransactionDb& db,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  for (const Transaction& txn : db.transactions()) {
+    for (size_t i = 0; i < txn.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << txn[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Result<ScoreVector> LoadScores(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::vector<std::pair<uint32_t, double>> entries;
+  uint32_t max_item = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string id_token;
+    double score = 0.0;
+    if (!(tokens >> id_token >> score)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected 'item score'");
+    }
+    SVT_ASSIGN_OR_RETURN(uint32_t item, ParseItemId(id_token, path, line_no));
+    if (score < 0.0) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": negative score");
+    }
+    entries.emplace_back(item, score);
+    max_item = std::max(max_item, item);
+  }
+  if (entries.empty()) {
+    return Status::OutOfRange(path + ": no scores found");
+  }
+  std::vector<double> scores(max_item + 1, 0.0);
+  for (const auto& [item, score] : entries) scores[item] = score;
+  return ScoreVector(std::move(scores));
+}
+
+Status SaveScores(const ScoreVector& scores, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << "# item score\n";
+  out.precision(17);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out << i << ' ' << scores[i] << '\n';
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace svt

@@ -1,0 +1,41 @@
+// Transaction-data I/O in the FIMI format — one transaction per line,
+// whitespace-separated integer item ids — which is exactly how the paper's
+// real datasets (BMS-POS, Kosarak from the FIMI repository) are
+// distributed. Users who have the real files can reproduce Figures 4/5 on
+// them directly; the synthetic generators remain the default.
+//
+// Also reads/writes plain score vectors (one "item_id score" pair per
+// line) so experiment inputs can be checkpointed.
+
+#ifndef SPARSEVEC_DATA_DATASET_IO_H_
+#define SPARSEVEC_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/score_vector.h"
+#include "data/transaction_db.h"
+
+namespace svt {
+
+/// Parses a FIMI transaction file. Item ids may be arbitrary non-negative
+/// integers; they are kept as-is, and the database is sized to the largest
+/// id + 1 (or `min_items`, whichever is larger). Blank lines are skipped.
+/// Fails with kInvalidArgument on unparsable tokens, kOutOfRange on files
+/// that declare no transactions.
+Result<TransactionDb> LoadFimiTransactions(const std::string& path,
+                                           uint32_t min_items = 0);
+
+/// Writes a database in FIMI format. Overwrites `path`.
+Status SaveFimiTransactions(const TransactionDb& db, const std::string& path);
+
+/// Loads "item score" lines (ids must cover 0..n-1 after reading; missing
+/// ids default to score 0). Lines starting with '#' are comments.
+Result<ScoreVector> LoadScores(const std::string& path);
+
+/// Writes "item score" lines with a header comment.
+Status SaveScores(const ScoreVector& scores, const std::string& path);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_DATA_DATASET_IO_H_

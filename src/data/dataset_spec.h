@@ -1,0 +1,70 @@
+// Dataset specifications for the paper's four evaluation workloads
+// (Table 1), plus the power-law calibration used by the synthetic
+// generators.
+//
+// Substitution note (see DESIGN.md §3): the paper evaluates on item
+// frequencies from three real datasets (BMS-POS, Kosarak, AOL) and a Zipf
+// synthetic. The real datasets are not redistributable here, and §6 uses
+// them purely as "representative distributions of query scores". We
+// therefore generate synthetic score vectors with (a) the exact record and
+// item counts of Table 1 and (b) truncated power-law score profiles whose
+// top-300 curves match the qualitative shapes of the paper's Figure 3
+// (log-log, heavy-tailed, with per-dataset slopes). The SVT/EM algorithms
+// consume only the score vector, so this exercises the identical code path.
+
+#ifndef SPARSEVEC_DATA_DATASET_SPEC_H_
+#define SPARSEVEC_DATA_DATASET_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svt {
+
+/// Parameters of one synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  /// Number of records (transactions) — Table 1, column 2.
+  uint64_t num_records = 0;
+  /// Number of distinct items — Table 1, column 3.
+  uint32_t num_items = 0;
+  /// Power-law exponent of the item-frequency profile: score_i ∝ i^-alpha.
+  /// alpha = 1 is classic Zipf.
+  double alpha = 1.0;
+  /// Optional second regime ("knee"): ranks beyond tail_start_rank decay
+  /// with the steeper tail_alpha. Real keyword-frequency data (AOL) has
+  /// this shape — a broad head but a tail dominated by items that occur
+  /// only a handful of times. tail_start_rank = 0 disables the knee.
+  uint32_t tail_start_rank = 0;
+  double tail_alpha = 0.0;
+  /// Average transaction length; total item occurrences ≈
+  /// num_records * avg_transaction_len, which fixes the score scale.
+  double avg_transaction_len = 1.0;
+  /// Multiplicative log-normal-ish jitter applied to the deterministic
+  /// profile so synthetic scores are not perfectly smooth (0 = none).
+  double jitter = 0.0;
+
+  /// Total item occurrences implied by the spec.
+  double total_occurrences() const {
+    return static_cast<double>(num_records) * avg_transaction_len;
+  }
+};
+
+/// Table 1 presets. The record/item counts are the paper's exactly; alpha,
+/// avg_transaction_len and jitter are our calibration (documented above).
+DatasetSpec BmsPosSpec();
+DatasetSpec KosarakSpec();
+DatasetSpec AolSpec();
+DatasetSpec ZipfSpec();
+
+/// All four presets in the paper's presentation order.
+std::vector<DatasetSpec> AllDatasetSpecs();
+
+/// Returns `spec` with the item count (and record count, proportionally)
+/// scaled by `fraction` in (0, 1]. Used by bench defaults to keep the
+/// full suite minutes-long; `--scale=1` restores Table 1 sizes.
+DatasetSpec ScaledSpec(const DatasetSpec& spec, double fraction);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_DATA_DATASET_SPEC_H_

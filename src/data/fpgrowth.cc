@@ -1,0 +1,258 @@
+#include "data/fpgrowth.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace svt {
+
+namespace {
+
+struct FpNode {
+  ItemId item = 0;
+  uint64_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next_same_item = nullptr;  // header-table chain
+  std::unordered_map<ItemId, std::unique_ptr<FpNode>> children;
+};
+
+// FP-tree with ownership rooted at `root`; header chains give per-item
+// access to all nodes carrying that item.
+class FpTree {
+ public:
+  FpTree() : root_(std::make_unique<FpNode>()) {}
+
+  // Inserts a frequency-descending-ordered transaction with multiplicity
+  // `count`.
+  void Insert(const std::vector<ItemId>& ordered_items, uint64_t count) {
+    FpNode* node = root_.get();
+    for (ItemId item : ordered_items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        child->next_same_item = header_[item];
+        header_[item] = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      node = it->second.get();
+    }
+  }
+
+  const std::unordered_map<ItemId, FpNode*>& header() const {
+    return header_;
+  }
+
+  bool empty() const { return root_->children.empty(); }
+
+ private:
+  std::unique_ptr<FpNode> root_;
+  std::unordered_map<ItemId, FpNode*> header_;
+};
+
+struct MinerState {
+  const FpGrowthOptions* options;
+  std::vector<FrequentItemset>* results;
+};
+
+// One conditional "pattern base" row: the prefix path items + multiplicity.
+struct PatternRow {
+  std::vector<ItemId> items;
+  uint64_t count;
+};
+
+void Mine(const std::vector<PatternRow>& rows, std::vector<ItemId>* suffix,
+          MinerState* state);
+
+// Builds the conditional rows for `item` from the given tree and recurses.
+void MineTree(const FpTree& tree, std::vector<ItemId>* suffix,
+              MinerState* state) {
+  // Collect item counts in this (conditional) tree.
+  std::map<ItemId, uint64_t> item_counts;
+  for (const auto& [item, head] : tree.header()) {
+    uint64_t total = 0;
+    for (const FpNode* n = head; n != nullptr; n = n->next_same_item) {
+      total += n->count;
+    }
+    item_counts[item] = total;
+  }
+
+  for (const auto& [item, total] : item_counts) {
+    if (total < state->options->min_support) continue;
+
+    suffix->push_back(item);
+    std::vector<ItemId> itemset = *suffix;
+    std::sort(itemset.begin(), itemset.end());
+    const uint32_t max_size = state->options->max_itemset_size;
+    if (max_size == 0 || itemset.size() <= max_size) {
+      state->results->push_back(FrequentItemset{std::move(itemset), total});
+    }
+
+    const bool can_grow =
+        max_size == 0 || suffix->size() < max_size;
+    if (can_grow) {
+      // Conditional pattern base: prefix paths of every node of `item`.
+      std::vector<PatternRow> rows;
+      auto it = tree.header().find(item);
+      SVT_CHECK(it != tree.header().end());
+      for (const FpNode* n = it->second; n != nullptr;
+           n = n->next_same_item) {
+        PatternRow row;
+        row.count = n->count;
+        for (const FpNode* p = n->parent; p != nullptr && p->parent != nullptr;
+             p = p->parent) {
+          row.items.push_back(p->item);
+        }
+        if (!row.items.empty()) rows.push_back(std::move(row));
+      }
+      Mine(rows, suffix, state);
+    }
+    suffix->pop_back();
+  }
+}
+
+void Mine(const std::vector<PatternRow>& rows, std::vector<ItemId>* suffix,
+          MinerState* state) {
+  if (rows.empty()) return;
+
+  // Count items in the pattern base, prune below min_support.
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const PatternRow& row : rows) {
+    for (ItemId item : row.items) counts[item] += row.count;
+  }
+
+  FpTree conditional;
+  for (const PatternRow& row : rows) {
+    std::vector<ItemId> kept;
+    for (ItemId item : row.items) {
+      if (counts[item] >= state->options->min_support) kept.push_back(item);
+    }
+    if (kept.empty()) continue;
+    // Order by descending conditional count (ties by id) — canonical
+    // FP-tree insertion order.
+    std::sort(kept.begin(), kept.end(), [&counts](ItemId a, ItemId b) {
+      if (counts[a] != counts[b]) return counts[a] > counts[b];
+      return a < b;
+    });
+    conditional.Insert(kept, row.count);
+  }
+  if (!conditional.empty()) MineTree(conditional, suffix, state);
+}
+
+void SortCanonically(std::vector<FrequentItemset>* results) {
+  std::sort(results->begin(), results->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionDb& db, const FpGrowthOptions& options) {
+  SVT_CHECK(options.min_support >= 1);
+
+  // Pass 1: global item supports; keep frequent items, order descending.
+  const std::vector<uint64_t> supports = db.ItemSupports();
+
+  // Pass 2: build the global FP-tree from filtered, reordered transactions.
+  FpTree tree;
+  for (const Transaction& t : db.transactions()) {
+    std::vector<ItemId> kept;
+    for (ItemId item : t) {
+      if (supports[item] >= options.min_support) kept.push_back(item);
+    }
+    if (kept.empty()) continue;
+    std::sort(kept.begin(), kept.end(), [&supports](ItemId a, ItemId b) {
+      if (supports[a] != supports[b]) return supports[a] > supports[b];
+      return a < b;
+    });
+    tree.Insert(kept, 1);
+  }
+
+  std::vector<FrequentItemset> results;
+  std::vector<ItemId> suffix;
+  MinerState state{&options, &results};
+  if (!tree.empty()) MineTree(tree, &suffix, &state);
+
+  SortCanonically(&results);
+  if (options.max_results > 0 && results.size() > options.max_results) {
+    results.resize(options.max_results);
+  }
+  return results;
+}
+
+std::vector<FrequentItemset> MineFrequentItemsetsBruteForce(
+    const TransactionDb& db, const FpGrowthOptions& options) {
+  SVT_CHECK(options.min_support >= 1);
+  // Level-wise Apriori: candidates of size k extend frequent sets of size
+  // k-1. Exponential in the worst case; for tests only.
+  std::vector<FrequentItemset> results;
+
+  const std::vector<uint64_t> supports = db.ItemSupports();
+  std::vector<std::vector<ItemId>> frontier;
+  for (ItemId i = 0; i < db.num_items(); ++i) {
+    if (supports[i] >= options.min_support) {
+      results.push_back(FrequentItemset{{i}, supports[i]});
+      frontier.push_back({i});
+    }
+  }
+
+  uint32_t size = 1;
+  while (!frontier.empty()) {
+    ++size;
+    if (options.max_itemset_size != 0 && size > options.max_itemset_size) {
+      break;
+    }
+    std::vector<std::vector<ItemId>> next;
+    for (const std::vector<ItemId>& base : frontier) {
+      for (ItemId ext = base.back() + 1; ext < db.num_items(); ++ext) {
+        if (supports[ext] < options.min_support) continue;
+        std::vector<ItemId> candidate = base;
+        candidate.push_back(ext);
+        const uint64_t support = db.ItemsetSupport(candidate);
+        if (support >= options.min_support) {
+          results.push_back(FrequentItemset{candidate, support});
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  if (options.max_results > 0 && results.size() > options.max_results) {
+    results.resize(options.max_results);
+  }
+  return results;
+}
+
+std::string ToString(const FrequentItemset& itemset) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < itemset.items.size(); ++i) {
+    if (i > 0) os << ",";
+    os << itemset.items[i];
+  }
+  os << "}:" << itemset.support;
+  return os.str();
+}
+
+}  // namespace svt

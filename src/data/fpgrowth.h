@@ -1,0 +1,61 @@
+// FP-growth frequent-itemset mining (Han et al. 2000).
+//
+// This is the substrate behind the paper's headline use case: Lee & Clifton
+// [13] privately select the top-c frequent itemsets, with itemset supports
+// as the SVT query stream. The miner produces the candidate itemsets and
+// their true supports; the private selection layer (core/) then chooses
+// among them under DP.
+//
+// The implementation builds a standard FP-tree (prefix tree ordered by
+// descending item frequency with per-item node chains) and mines it
+// recursively via conditional pattern bases.
+
+#ifndef SPARSEVEC_DATA_FPGROWTH_H_
+#define SPARSEVEC_DATA_FPGROWTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/transaction_db.h"
+
+namespace svt {
+
+/// A mined itemset with its support.
+struct FrequentItemset {
+  std::vector<ItemId> items;  // sorted ascending
+  uint64_t support = 0;
+
+  friend bool operator==(const FrequentItemset& a, const FrequentItemset& b) {
+    return a.support == b.support && a.items == b.items;
+  }
+};
+
+/// Mining options.
+struct FpGrowthOptions {
+  /// Minimum support (absolute count, >= 1).
+  uint64_t min_support = 1;
+  /// Cap on itemset size; 0 = unlimited.
+  uint32_t max_itemset_size = 0;
+  /// Cap on number of itemsets returned (0 = unlimited); the miner keeps
+  /// the highest-support ones.
+  size_t max_results = 0;
+};
+
+/// Mines all itemsets with support >= options.min_support from `db`.
+/// Results are sorted by descending support, ties by ascending size then
+/// lexicographic items (deterministic).
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionDb& db, const FpGrowthOptions& options);
+
+/// Reference miner (exhaustive Apriori-style, exponential): used by tests
+/// to validate FP-growth on small databases.
+std::vector<FrequentItemset> MineFrequentItemsetsBruteForce(
+    const TransactionDb& db, const FpGrowthOptions& options);
+
+/// Human-readable "{a,b,c}:support".
+std::string ToString(const FrequentItemset& itemset);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_DATA_FPGROWTH_H_

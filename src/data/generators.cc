@@ -1,0 +1,187 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+#include "common/math_util.h"
+
+namespace svt {
+
+namespace {
+
+// Calibration constants for the synthetic stand-ins (see dataset_spec.h for
+// the substitution rationale). alpha controls the log-log slope of the
+// top-300 curve in Figure 3; avg_transaction_len scales total mass so top
+// scores land in the paper's ranges (BMS-POS ~1e4..1e5, Kosarak ~1e5..1e6,
+// AOL ~1e5..1e6, Zipf ~1e5).
+constexpr double kBmsAlpha = 0.55;
+constexpr double kKosarakAlpha = 1.05;
+constexpr double kAolAlpha = 0.90;
+
+}  // namespace
+
+DatasetSpec BmsPosSpec() {
+  DatasetSpec s;
+  s.name = "BMS-POS";
+  s.num_records = 515597;
+  s.num_items = 1657;
+  s.alpha = kBmsAlpha;
+  s.avg_transaction_len = 6.5;
+  s.jitter = 0.05;
+  return s;
+}
+
+DatasetSpec KosarakSpec() {
+  DatasetSpec s;
+  s.name = "Kosarak";
+  s.num_records = 990002;
+  s.num_items = 41270;
+  s.alpha = kKosarakAlpha;
+  s.avg_transaction_len = 8.1;
+  s.jitter = 0.05;
+  return s;
+}
+
+DatasetSpec AolSpec() {
+  DatasetSpec s;
+  s.name = "AOL";
+  s.num_records = 647377;
+  s.num_items = 2290685;
+  s.alpha = kAolAlpha;
+  // Keyword-frequency knee: beyond rank ~20k the counts collapse toward
+  // the ~1-occurrence regime typical of query logs. Without this, a pure
+  // power law puts far too much near-threshold mass in the 2.29M-item tail
+  // and every mechanism saturates.
+  s.tail_start_rank = 20000;
+  s.tail_alpha = 2.2;
+  s.avg_transaction_len = 28.0;
+  s.jitter = 0.05;
+  return s;
+}
+
+DatasetSpec ZipfSpec() {
+  DatasetSpec s;
+  s.name = "Zipf";
+  s.num_records = 1000000;
+  s.num_items = 10000;
+  s.alpha = 1.0;
+  // The paper's Zipf dataset distributes 1M records over the 1/i profile
+  // directly (each record is one item occurrence).
+  s.avg_transaction_len = 1.0;
+  s.jitter = 0.0;
+  return s;
+}
+
+std::vector<DatasetSpec> AllDatasetSpecs() {
+  return {BmsPosSpec(), KosarakSpec(), AolSpec(), ZipfSpec()};
+}
+
+DatasetSpec ScaledSpec(const DatasetSpec& spec, double fraction) {
+  SVT_CHECK(fraction > 0.0 && fraction <= 1.0)
+      << "scale fraction must be in (0,1], got " << fraction;
+  if (fraction == 1.0) return spec;
+  DatasetSpec out = spec;
+  out.num_items = std::max<uint32_t>(
+      2, static_cast<uint32_t>(std::llround(spec.num_items * fraction)));
+  out.num_records = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(
+             static_cast<double>(spec.num_records) * fraction)));
+  if (spec.tail_start_rank > 0) {
+    // Keep the knee at the same relative rank so the scaled shape matches.
+    out.tail_start_rank = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::llround(spec.tail_start_rank *
+                                              fraction)));
+  }
+  out.name = spec.name + "@" + std::to_string(fraction);
+  return out;
+}
+
+ScoreVector GenerateScores(const DatasetSpec& spec, Rng& rng) {
+  SVT_CHECK(spec.num_items >= 1);
+  const size_t n = spec.num_items;
+  std::vector<double> scores(n);
+
+  // Deterministic profile: A * i^-alpha, switching to the steeper
+  // tail_alpha beyond the knee (continuous at the knee), with A
+  // normalizing the sum to the spec's total occurrence count.
+  const bool has_knee =
+      spec.tail_start_rank > 0 && spec.tail_start_rank < n;
+  const auto raw_profile = [&](size_t rank1) {  // 1-based rank
+    if (!has_knee || rank1 <= spec.tail_start_rank) {
+      return std::pow(static_cast<double>(rank1), -spec.alpha);
+    }
+    const double knee =
+        std::pow(static_cast<double>(spec.tail_start_rank), -spec.alpha);
+    return knee * std::pow(static_cast<double>(rank1) /
+                               static_cast<double>(spec.tail_start_rank),
+                           -spec.tail_alpha);
+  };
+  double profile_sum = 0.0;
+  {
+    KahanAccumulator acc;
+    for (size_t i = 1; i <= n; ++i) acc.Add(raw_profile(i));
+    profile_sum = acc.sum();
+  }
+  const double a = spec.total_occurrences() / profile_sum;
+  for (size_t i = 0; i < n; ++i) {
+    double s = a * raw_profile(i + 1);
+    if (spec.jitter > 0.0) {
+      // Multiplicative log-uniform jitter: breaks exact power-law smoothness
+      // the way real item frequencies do, without reordering the head badly.
+      const double u = rng.NextUniform(-1.0, 1.0);
+      s *= std::exp(spec.jitter * u);
+    }
+    // Supports are counts; round to integers like real item frequencies.
+    scores[i] = std::max(0.0, std::round(s));
+  }
+  return ScoreVector(std::move(scores));
+}
+
+TransactionDb GenerateTransactions(const ScoreVector& scores,
+                                   uint64_t num_records, Rng& rng) {
+  SVT_CHECK(!scores.empty());
+  SVT_CHECK(num_records >= 1);
+  const uint32_t num_items = static_cast<uint32_t>(scores.size());
+
+  std::vector<double> weights(scores.scores().begin(),
+                              scores.scores().end());
+  // Guard fully-zero tails: give every item an epsilon weight so the alias
+  // table is well-formed.
+  bool any_positive = false;
+  for (double w : weights) any_positive |= (w > 0.0);
+  if (!any_positive) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+  }
+  AliasSampler sampler(std::move(weights));
+
+  const double mean_len =
+      std::max(1.0, scores.Total() / static_cast<double>(num_records));
+  // Geometric transaction lengths with the desired mean: P(L = k) =
+  // (1-p)^(k-1) p, mean 1/p.
+  const double p = 1.0 / mean_len;
+
+  TransactionDb db(num_items);
+  Transaction txn;
+  for (uint64_t r = 0; r < num_records; ++r) {
+    // Geometric draw via inverse CDF.
+    const double u = rng.NextDoublePositive();
+    uint32_t len = static_cast<uint32_t>(
+        std::ceil(std::log(u) / std::log1p(-p)));
+    len = std::max<uint32_t>(1, std::min(len, num_items));
+    txn.clear();
+    for (uint32_t k = 0; k < len; ++k) {
+      txn.push_back(sampler.Sample(rng));
+    }
+    db.Add(txn);  // Add() dedups, so realized length can be < len
+  }
+  return db;
+}
+
+TransactionDb GenerateDatabase(const DatasetSpec& spec, Rng& rng) {
+  const ScoreVector scores = GenerateScores(spec, rng);
+  return GenerateTransactions(scores, spec.num_records, rng);
+}
+
+}  // namespace svt

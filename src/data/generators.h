@@ -1,0 +1,43 @@
+// Synthetic workload generators for the Table 1 datasets.
+//
+// GenerateScores produces the per-item support profile (what Figures 3–5
+// consume); GenerateTransactions materializes an actual transaction
+// database with approximately that profile (what the FP-growth example and
+// the end-to-end integration tests consume).
+
+#ifndef SPARSEVEC_DATA_GENERATORS_H_
+#define SPARSEVEC_DATA_GENERATORS_H_
+
+#include "common/rng.h"
+#include "data/dataset_spec.h"
+#include "data/score_vector.h"
+#include "data/transaction_db.h"
+
+namespace svt {
+
+/// Generates the item-score (support) vector for `spec`:
+///   score_i = A * (i+1)^-alpha * jitter_i,  A chosen so the scores sum to
+/// spec.total_occurrences(). Scores are returned in *rank order*
+/// (descending modulo jitter); experiments shuffle per run.
+///
+/// For ZipfSpec() with jitter 0 this is exactly the paper's construction:
+/// "the i'th query has a score proportional to 1/i".
+ScoreVector GenerateScores(const DatasetSpec& spec, Rng& rng);
+
+/// Materializes a transaction database whose expected item supports follow
+/// `scores` (scaled so that expected total occurrences match
+/// scores.Total()), with `num_records` transactions. Transaction lengths
+/// are drawn geometrically around scores.Total()/num_records; items within
+/// a transaction are drawn without replacement via an alias table over the
+/// score profile.
+TransactionDb GenerateTransactions(const ScoreVector& scores,
+                                   uint64_t num_records, Rng& rng);
+
+/// Convenience: GenerateTransactions(GenerateScores(spec), spec.num_records)
+/// — use only for small/scaled specs; the full AOL spec would materialize
+/// ~13M item occurrences.
+TransactionDb GenerateDatabase(const DatasetSpec& spec, Rng& rng);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_DATA_GENERATORS_H_

@@ -1,0 +1,45 @@
+#include "data/queries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace svt {
+
+ItemsetSupportQuery::ItemsetSupportQuery(std::vector<ItemId> itemset)
+    : itemset_(std::move(itemset)) {
+  SVT_CHECK(!itemset_.empty()) << "itemset must not be empty";
+  std::sort(itemset_.begin(), itemset_.end());
+  itemset_.erase(std::unique(itemset_.begin(), itemset_.end()),
+                 itemset_.end());
+}
+
+double ItemsetSupportQuery::Evaluate(const TransactionDb& db) const {
+  return static_cast<double>(db.ItemsetSupport(itemset_));
+}
+
+std::string ItemsetSupportQuery::name() const {
+  std::ostringstream os;
+  os << "support({";
+  for (size_t i = 0; i < itemset_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << itemset_[i];
+  }
+  os << "})";
+  return os.str();
+}
+
+std::vector<ItemSupportQuery> AllItemSupportQueries(uint32_t num_items) {
+  std::vector<ItemSupportQuery> queries;
+  queries.reserve(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) queries.emplace_back(i);
+  return queries;
+}
+
+std::vector<double> EvaluateAllItemSupports(const TransactionDb& db) {
+  const std::vector<uint64_t> supports = db.ItemSupports();
+  return std::vector<double>(supports.begin(), supports.end());
+}
+
+}  // namespace svt

@@ -1,0 +1,76 @@
+// Counting queries over a TransactionDb.
+//
+// These are the concrete query streams the paper's use cases feed to SVT:
+// item supports (frequent-item selection, [13]) and itemset supports
+// (frequent-itemset mining). Under add/remove-one-transaction neighbors
+// they have sensitivity 1 and are monotonic (§4.3).
+
+#ifndef SPARSEVEC_DATA_QUERIES_H_
+#define SPARSEVEC_DATA_QUERIES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/transaction_db.h"
+
+namespace svt {
+
+/// A counting query: evaluates to the number of transactions satisfying a
+/// predicate. Sensitivity 1, monotonic.
+class CountingQuery {
+ public:
+  virtual ~CountingQuery() = default;
+
+  /// True answer on `db`.
+  virtual double Evaluate(const TransactionDb& db) const = 0;
+
+  /// Global sensitivity under add/remove-one-transaction neighbors.
+  double sensitivity() const { return 1.0; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Support of a single item.
+class ItemSupportQuery final : public CountingQuery {
+ public:
+  explicit ItemSupportQuery(ItemId item) : item_(item) {}
+
+  double Evaluate(const TransactionDb& db) const override {
+    return static_cast<double>(db.ItemSupport(item_));
+  }
+  std::string name() const override {
+    return "support(item=" + std::to_string(item_) + ")";
+  }
+  ItemId item() const { return item_; }
+
+ private:
+  ItemId item_;
+};
+
+/// Support of an itemset (conjunction).
+class ItemsetSupportQuery final : public CountingQuery {
+ public:
+  /// `itemset` is copied and sorted.
+  explicit ItemsetSupportQuery(std::vector<ItemId> itemset);
+
+  double Evaluate(const TransactionDb& db) const override;
+  std::string name() const override;
+  const std::vector<ItemId>& itemset() const { return itemset_; }
+
+ private:
+  std::vector<ItemId> itemset_;
+};
+
+/// Builds the item-support query stream q_1, ..., q_{num_items}, in item-id
+/// order. (Experiments shuffle before running.)
+std::vector<ItemSupportQuery> AllItemSupportQueries(uint32_t num_items);
+
+/// Evaluates every item-support query in one pass over the database —
+/// equivalent to evaluating AllItemSupportQueries one by one, but O(total
+/// occurrences) instead of O(items × transactions).
+std::vector<double> EvaluateAllItemSupports(const TransactionDb& db);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_DATA_QUERIES_H_

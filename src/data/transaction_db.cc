@@ -1,0 +1,81 @@
+#include "data/transaction_db.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace svt {
+
+TransactionDb::TransactionDb(uint32_t num_items) : num_items_(num_items) {
+  SVT_CHECK(num_items >= 1);
+}
+
+void TransactionDb::Add(Transaction transaction) {
+  std::sort(transaction.begin(), transaction.end());
+  transaction.erase(std::unique(transaction.begin(), transaction.end()),
+                    transaction.end());
+  for (ItemId item : transaction) {
+    SVT_CHECK(item < num_items_)
+        << "item id " << item << " out of range (num_items=" << num_items_
+        << ")";
+  }
+  transactions_.push_back(std::move(transaction));
+}
+
+TransactionDb TransactionDb::WithoutTransaction(size_t index) const {
+  SVT_CHECK(index < transactions_.size());
+  TransactionDb out(num_items_);
+  out.transactions_.reserve(transactions_.size() - 1);
+  for (size_t i = 0; i < transactions_.size(); ++i) {
+    if (i != index) out.transactions_.push_back(transactions_[i]);
+  }
+  return out;
+}
+
+TransactionDb TransactionDb::WithTransaction(Transaction transaction) const {
+  TransactionDb out = *this;
+  out.Add(std::move(transaction));
+  return out;
+}
+
+const Transaction& TransactionDb::transaction(size_t i) const {
+  SVT_CHECK(i < transactions_.size());
+  return transactions_[i];
+}
+
+uint64_t TransactionDb::ItemSupport(ItemId item) const {
+  SVT_CHECK(item < num_items_);
+  uint64_t support = 0;
+  for (const Transaction& t : transactions_) {
+    support += std::binary_search(t.begin(), t.end(), item) ? 1 : 0;
+  }
+  return support;
+}
+
+std::vector<uint64_t> TransactionDb::ItemSupports() const {
+  std::vector<uint64_t> supports(num_items_, 0);
+  for (const Transaction& t : transactions_) {
+    for (ItemId item : t) ++supports[item];
+  }
+  return supports;
+}
+
+uint64_t TransactionDb::ItemsetSupport(std::span<const ItemId> itemset) const {
+  SVT_CHECK(std::is_sorted(itemset.begin(), itemset.end()));
+  uint64_t support = 0;
+  for (const Transaction& t : transactions_) {
+    support +=
+        std::includes(t.begin(), t.end(), itemset.begin(), itemset.end())
+            ? 1
+            : 0;
+  }
+  return support;
+}
+
+uint64_t TransactionDb::TotalOccurrences() const {
+  uint64_t total = 0;
+  for (const Transaction& t : transactions_) total += t.size();
+  return total;
+}
+
+}  // namespace svt

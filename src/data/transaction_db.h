@@ -1,0 +1,63 @@
+// An in-memory transaction database: the substrate behind the paper's
+// frequent-itemset use case (Lee & Clifton [13]) and the neighboring-dataset
+// constructions used by the privacy tests.
+//
+// A record ("transaction") is a sorted set of distinct item ids. Neighboring
+// databases differ by adding or removing one transaction — under this
+// notion, item-support queries are monotonic counting queries with
+// sensitivity 1 (§4.3 of the paper).
+
+#ifndef SPARSEVEC_DATA_TRANSACTION_DB_H_
+#define SPARSEVEC_DATA_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace svt {
+
+using ItemId = uint32_t;
+using Transaction = std::vector<ItemId>;
+
+class TransactionDb {
+ public:
+  /// Creates an empty database over items [0, num_items).
+  explicit TransactionDb(uint32_t num_items);
+
+  /// Adds a transaction; items are deduplicated and sorted. Item ids must
+  /// be < num_items (checked).
+  void Add(Transaction transaction);
+
+  /// Returns a neighbor with transaction `index` removed.
+  TransactionDb WithoutTransaction(size_t index) const;
+
+  /// Returns a neighbor with one extra transaction.
+  TransactionDb WithTransaction(Transaction transaction) const;
+
+  size_t num_transactions() const { return transactions_.size(); }
+  uint32_t num_items() const { return num_items_; }
+  const Transaction& transaction(size_t i) const;
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  /// Support (number of containing transactions) of a single item. O(n).
+  uint64_t ItemSupport(ItemId item) const;
+
+  /// Supports of all items in one pass. O(total occurrences).
+  std::vector<uint64_t> ItemSupports() const;
+
+  /// Support of an itemset (all items present). `itemset` must be sorted.
+  uint64_t ItemsetSupport(std::span<const ItemId> itemset) const;
+
+  /// Total number of item occurrences across all transactions.
+  uint64_t TotalOccurrences() const;
+
+ private:
+  uint32_t num_items_;
+  std::vector<Transaction> transactions_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_DATA_TRANSACTION_DB_H_

@@ -1,0 +1,95 @@
+// The §6 experiment runner: sweeps top-c selection methods over c values
+// with repeated randomized query orders, aggregating SER and FNR.
+//
+// Method lineup (Table 2 of the paper):
+//   interactive:      SVT-DPBook (Alg. 2), SVT-S (Alg. 7) with budget
+//                     allocations 1:1, 1:3, 1:c, 1:c^{2/3};
+//   non-interactive:  SVT-ReTr with threshold boosts 1D..5D, EM.
+//
+// All §6 experiments use monotonic counting queries (item supports), so the
+// SVT-S methods use the §4.3 monotone noise and EM the one-sided exponent.
+
+#ifndef SPARSEVEC_EVAL_EXPERIMENT_H_
+#define SPARSEVEC_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/budget.h"
+#include "data/score_vector.h"
+
+namespace svt {
+
+/// Which selection algorithm a method runs.
+enum class MethodKind {
+  kSvtDpBook,      ///< Alg. 2 over the score stream
+  kSvtStandard,    ///< Alg. 7 (indicator-only, monotone) — "SVT-S"
+  kSvtRetraversal, ///< SVT-ReTr with a kD threshold boost
+  kEm,             ///< Exponential Mechanism, c rounds (Gumbel top-c)
+};
+
+/// How SVT-S / SVT-ReTr split ε₁:ε₂ — mirrors §6's four allocations.
+enum class AllocationPolicy { kOneToOne, kOneToThree, kOneToC, kOptimal };
+
+/// One method (one curve in Figure 4/5).
+struct MethodConfig {
+  std::string label;
+  MethodKind kind = MethodKind::kSvtStandard;
+  AllocationPolicy allocation = AllocationPolicy::kOptimal;
+  /// SVT-ReTr only: threshold boost in noise standard deviations (the "kD").
+  double boost_devs = 0.0;
+
+  static MethodConfig SvtDpBook();
+  static MethodConfig SvtStandard(AllocationPolicy policy);
+  static MethodConfig SvtRetraversal(double boost_devs);
+  static MethodConfig Em();
+};
+
+/// The interactive lineup of Figure 4.
+std::vector<MethodConfig> Figure4Methods();
+/// The non-interactive lineup of Figure 5.
+std::vector<MethodConfig> Figure5Methods();
+
+/// Sweep parameters (§6 defaults: ε = 0.1, c ∈ {25, 50, ..., 300},
+/// 100 runs; the bench binaries default to fewer runs — see flags).
+struct SweepConfig {
+  std::vector<int> c_values = {25,  50,  75,  100, 125, 150,
+                               175, 200, 225, 250, 275, 300};
+  double epsilon = 0.1;
+  int runs = 30;
+  uint64_t seed = 42;
+  /// §6 uses monotonic counting queries throughout.
+  bool monotonic = true;
+};
+
+/// Aggregated metrics of one (method, c) cell.
+struct CellStats {
+  RunningStats ser;
+  RunningStats fnr;
+};
+
+/// One curve: per-c aggregates, aligned with SweepConfig::c_values.
+struct MethodSeries {
+  MethodConfig config;
+  std::vector<CellStats> cells;
+};
+
+/// Runs every method over every c with `runs` randomized query orders.
+/// Per run, all methods see the same permutation (paired comparison).
+Result<std::vector<MethodSeries>> RunSelectionSweep(
+    const ScoreVector& scores, const SweepConfig& sweep,
+    const std::vector<MethodConfig>& methods);
+
+/// Runs one method once on a pre-shuffled score array (exposed for tests).
+Result<std::vector<size_t>> RunMethodOnce(std::span<const double> scores,
+                                          double threshold, int c,
+                                          double epsilon, bool monotonic,
+                                          const MethodConfig& method,
+                                          Rng& rng);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_EVAL_EXPERIMENT_H_

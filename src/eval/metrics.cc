@@ -1,0 +1,75 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace svt {
+
+namespace {
+
+// c-th largest score and how many of the top-c slots carry exactly that
+// value.
+struct Boundary {
+  double value;
+  size_t slots_at_value;
+};
+
+Boundary TopCBoundary(std::span<const double> scores, size_t c) {
+  SVT_CHECK(c >= 1 && c <= scores.size());
+  std::vector<double> sorted(scores.begin(), scores.end());
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(c - 1),
+                   sorted.end(), std::greater<double>());
+  const double boundary = sorted[c - 1];
+  size_t at_value = 0;
+  for (size_t i = 0; i < c; ++i) {
+    if (sorted[i] == boundary) ++at_value;
+  }
+  return {boundary, at_value};
+}
+
+}  // namespace
+
+double FalseNegativeRate(std::span<const size_t> selected,
+                         std::span<const double> scores, size_t c) {
+  SVT_CHECK(c >= 1 && c <= scores.size());
+  const Boundary b = TopCBoundary(scores, c);
+
+  size_t hits_above = 0;
+  size_t hits_at_boundary = 0;
+  for (size_t idx : selected) {
+    SVT_CHECK(idx < scores.size());
+    if (scores[idx] > b.value) {
+      ++hits_above;
+    } else if (scores[idx] == b.value) {
+      ++hits_at_boundary;
+    }
+  }
+  const size_t hits =
+      hits_above + std::min(hits_at_boundary, b.slots_at_value);
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(c);
+}
+
+double ScoreErrorRate(std::span<const size_t> selected,
+                      std::span<const double> scores, size_t c) {
+  SVT_CHECK(c >= 1 && c <= scores.size());
+  std::vector<double> sorted(scores.begin(), scores.end());
+  std::partial_sort(sorted.begin(),
+                    sorted.begin() + static_cast<std::ptrdiff_t>(c),
+                    sorted.end(), std::greater<double>());
+  KahanAccumulator top_sum;
+  for (size_t i = 0; i < c; ++i) top_sum.Add(sorted[i]);
+  if (top_sum.sum() <= 0.0) return 0.0;  // degenerate: nothing to miss
+
+  KahanAccumulator sel_sum;
+  for (size_t idx : selected) {
+    SVT_CHECK(idx < scores.size());
+    sel_sum.Add(scores[idx]);
+  }
+  return 1.0 - sel_sum.sum() / top_sum.sum();
+}
+
+}  // namespace svt

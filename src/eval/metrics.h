@@ -1,0 +1,31 @@
+// Utility metrics of §6: False Negative Rate and Score Error Rate.
+
+#ifndef SPARSEVEC_EVAL_METRICS_H_
+#define SPARSEVEC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace svt {
+
+/// Fraction of the true top-c scores the selection missed.
+///
+/// Ties at the boundary are handled by value, not by index: an item whose
+/// score equals the c-th largest counts as a hit up to the number of
+/// boundary-valued slots inside the top c (real supports are integers and
+/// do tie). When the selection returns exactly c items this equals the
+/// paper's false positive rate as well.
+double FalseNegativeRate(std::span<const size_t> selected,
+                         std::span<const double> scores, size_t c);
+
+/// SER = 1 − score(S)/score(Top_c), §6. The paper leaves avgScore's
+/// denominator unspecified when |S| < c (SVT can under-select); we divide
+/// both sides by c, so missing selections count as missed score — matching
+/// the metric's stated intent ("the ratio of missed scores"). Selecting the
+/// full true top-c gives 0; selecting nothing gives 1.
+double ScoreErrorRate(std::span<const size_t> selected,
+                      std::span<const double> scores, size_t c);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_EVAL_METRICS_H_

@@ -1,0 +1,107 @@
+#include "eval/reporting.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace svt {
+
+std::string_view MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kSer:
+      return "SER";
+    case Metric::kFnr:
+      return "FNR";
+  }
+  return "?";
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+namespace {
+
+const RunningStats& MetricOf(const CellStats& cell, Metric metric) {
+  return metric == Metric::kSer ? cell.ser : cell.fnr;
+}
+
+}  // namespace
+
+void PrintSeriesTable(std::ostream& os, const std::string& title,
+                      const std::vector<int>& c_values,
+                      const std::vector<MethodSeries>& series, Metric metric,
+                      int precision) {
+  TablePrinter printer([&] {
+    std::vector<std::string> headers = {"c"};
+    for (const MethodSeries& s : series) headers.push_back(s.config.label);
+    return headers;
+  }());
+
+  for (size_t ci = 0; ci < c_values.size(); ++ci) {
+    std::vector<std::string> row = {std::to_string(c_values[ci])};
+    for (const MethodSeries& s : series) {
+      SVT_CHECK(s.cells.size() == c_values.size());
+      row.push_back(MetricOf(s.cells[ci], metric).ToString(precision));
+    }
+    printer.AddRow(std::move(row));
+  }
+
+  os << "== " << title << " ==\n";
+  printer.Print(os);
+}
+
+void WriteSeriesCsv(std::ostream& os, const std::string& dataset,
+                    const std::vector<int>& c_values,
+                    const std::vector<MethodSeries>& series, Metric metric,
+                    bool with_header) {
+  if (with_header) os << "dataset,metric,c,method,mean,std\n";
+  for (size_t ci = 0; ci < c_values.size(); ++ci) {
+    for (const MethodSeries& s : series) {
+      const RunningStats& stats = MetricOf(s.cells[ci], metric);
+      os << dataset << "," << MetricName(metric) << "," << c_values[ci]
+         << "," << s.config.label << "," << stats.mean() << ","
+         << stats.stddev() << "\n";
+    }
+  }
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SVT_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SVT_CHECK(cells.size() == headers_.size())
+      << "row width " << cells.size() << " != header width "
+      << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t w : widths) rule += std::string(w, '-') + "  ";
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace svt

@@ -1,0 +1,52 @@
+// Table and CSV reporters for the experiment sweeps — these print the rows
+// and series the paper's figures plot.
+
+#ifndef SPARSEVEC_EVAL_REPORTING_H_
+#define SPARSEVEC_EVAL_REPORTING_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace svt {
+
+/// Which metric of a CellStats to print.
+enum class Metric { kSer, kFnr };
+
+std::string_view MetricName(Metric metric);
+
+/// Fixed-width table: one row per c value, one column per method, cells are
+/// "mean±std". `title` is printed as a header line.
+void PrintSeriesTable(std::ostream& os, const std::string& title,
+                      const std::vector<int>& c_values,
+                      const std::vector<MethodSeries>& series, Metric metric,
+                      int precision = 3);
+
+/// CSV: columns dataset,metric,c,method,mean,std. Appends (no header) when
+/// `with_header` is false.
+void WriteSeriesCsv(std::ostream& os, const std::string& dataset,
+                    const std::vector<int>& c_values,
+                    const std::vector<MethodSeries>& series, Metric metric,
+                    bool with_header = true);
+
+/// Generic aligned table printing (used by the non-sweep benches).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_EVAL_REPORTING_H_

@@ -1,0 +1,56 @@
+#include "interactive/error_form.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace svt {
+
+ErrorThresholdChecker::ErrorThresholdChecker(const SvtOptions& options,
+                                             ErrorQueryForm form, Rng* rng)
+    : options_(options), form_(form), rng_(rng) {
+  SVT_CHECK_OK(options.Validate());
+  SVT_CHECK(rng != nullptr);
+  const BudgetSplit split = options.allocation.Split(options.epsilon);
+  rho_ = SampleLaplace(*rng_, options.sensitivity / split.epsilon1);
+  const double k = options.monotonic ? 1.0 : 2.0;
+  nu_scale_ =
+      k * options.cutoff * options.sensitivity / split.epsilon2;
+}
+
+Response ErrorThresholdChecker::Check(double estimate, double true_answer,
+                                      double threshold) {
+  SVT_CHECK(!exhausted_) << "Check called after cutoff abort";
+  const double nu = SampleLaplace(*rng_, nu_scale_);
+  bool positive = false;
+  switch (form_) {
+    case ErrorQueryForm::kCorrect:
+      positive = std::abs(estimate - true_answer) + nu >= threshold + rho_;
+      break;
+    case ErrorQueryForm::kBroken:
+      positive = std::abs(estimate - true_answer + nu) >= threshold + rho_;
+      break;
+  }
+  if (!positive) return Response::Below();
+
+  ++positives_;
+  if (positives_ >= options_.cutoff) exhausted_ = true;
+  if (form_ == ErrorQueryForm::kBroken) {
+    // LHS of the broken comparison is non-negative, so a positive outcome
+    // proves T + ρ ≤ LHS ⇒ ρ ≥ ... at minimum ρ ≥ −T. (An adversary
+    // choosing q̃ = q would even pin |ν| ≥ T + ρ.)
+    const double bound = -threshold;
+    certified_rho_lower_ = certified_rho_lower_.has_value()
+                               ? std::max(*certified_rho_lower_, bound)
+                               : bound;
+  }
+  return Response::Above();
+}
+
+std::optional<double> ErrorThresholdChecker::CertifiedRhoLowerBound() const {
+  return certified_rho_lower_;
+}
+
+}  // namespace svt

@@ -1,0 +1,74 @@
+// §3.4's error-query forms: correct vs. broken.
+//
+// The iterative constructions in [12, 16] test whether a derived answer q̃
+// is accurate with
+//
+//     broken:   |q̃ − q(D) + ν| ≥ T + ρ      (noise INSIDE the |·|)
+//
+// which is flawed: the left-hand side is always ≥ 0, so the moment any ⊤ is
+// output, the observer learns ρ ≥ −T — the threshold noise has leaked and
+// "the ability to answer each negative query for free disappears."
+// The fix is
+//
+//     correct:  |q̃ − q(D)| + ν ≥ T + ρ      (noise OUTSIDE the |·|),
+//
+// which is a standard SVT over the derived queries r_i = |q̃_i − q_i(D)|.
+//
+// This module implements both forms so the difference can be demonstrated
+// (tests, the §3.4 example) and audited: for the broken form, observing a
+// positive certifies a hard lower bound on ρ; for the correct form no such
+// certificate exists.
+
+#ifndef SPARSEVEC_INTERACTIVE_ERROR_FORM_H_
+#define SPARSEVEC_INTERACTIVE_ERROR_FORM_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "core/response.h"
+#include "core/svt.h"
+
+namespace svt {
+
+/// Which §3.4 comparison to use.
+enum class ErrorQueryForm {
+  kCorrect,  ///< |q̃ − q(D)| + ν ≥ T + ρ
+  kBroken,   ///< |q̃ − q(D) + ν| ≥ T + ρ  (leaks ρ; for demonstration only)
+};
+
+/// An SVT-style error checker over (estimate, true answer) pairs.
+class ErrorThresholdChecker {
+ public:
+  /// Draws ρ ~ Lap(Δ/ε₁); per-test ν ~ Lap(2cΔ/ε₂) per `options`.
+  ErrorThresholdChecker(const SvtOptions& options, ErrorQueryForm form,
+                        Rng* rng);
+
+  /// Tests whether the derived answer's error exceeds the (noisy)
+  /// threshold. Counts positives against the cutoff like standard SVT.
+  Response Check(double estimate, double true_answer, double threshold);
+
+  bool exhausted() const { return exhausted_; }
+  int positives_emitted() const { return positives_; }
+  ErrorQueryForm form() const { return form_; }
+
+  /// What an adversary can certify about ρ from the outputs so far.
+  /// For the broken form, after any positive with threshold T the LHS ≥ 0
+  /// forces ρ ≥ −T; the bound returned is the tightest such certificate.
+  /// For the correct form this always returns nullopt: any ρ remains
+  /// possible because ν is unbounded.
+  std::optional<double> CertifiedRhoLowerBound() const;
+
+ private:
+  SvtOptions options_;
+  ErrorQueryForm form_;
+  Rng* rng_;
+  double rho_;
+  double nu_scale_;
+  int positives_ = 0;
+  bool exhausted_ = false;
+  std::optional<double> certified_rho_lower_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_INTERACTIVE_ERROR_FORM_H_

@@ -1,0 +1,78 @@
+#include "interactive/histogram.h"
+
+#include "common/check.h"
+#include "common/distributions.h"
+#include "common/math_util.h"
+
+namespace svt {
+
+Histogram::Histogram(size_t domain_size) : counts_(domain_size, 0.0) {
+  SVT_CHECK(domain_size >= 1);
+}
+
+Histogram::Histogram(std::vector<double> counts)
+    : counts_(std::move(counts)) {
+  SVT_CHECK(!counts_.empty());
+  for (double c : counts_) SVT_CHECK(c >= 0.0);
+}
+
+double Histogram::count(size_t bin) const {
+  SVT_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+void Histogram::set_count(size_t bin, double value) {
+  SVT_CHECK(bin < counts_.size());
+  SVT_CHECK(value >= 0.0);
+  counts_[bin] = value;
+}
+
+void Histogram::increment(size_t bin, double by) {
+  SVT_CHECK(bin < counts_.size());
+  counts_[bin] += by;
+  SVT_CHECK(counts_[bin] >= 0.0);
+}
+
+double Histogram::total() const {
+  KahanAccumulator acc;
+  for (double c : counts_) acc.Add(c);
+  return acc.sum();
+}
+
+Histogram Histogram::NormalizedTo(double target_total) const {
+  SVT_CHECK(target_total > 0.0);
+  const double t = total();
+  SVT_CHECK(t > 0.0) << "cannot normalize an all-zero histogram";
+  std::vector<double> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i] / t * target_total;
+  }
+  return Histogram(std::move(out));
+}
+
+Histogram Histogram::UniformLike() const {
+  const double t = total();
+  std::vector<double> out(counts_.size(),
+                          t / static_cast<double>(counts_.size()));
+  return Histogram(std::move(out));
+}
+
+Histogram Histogram::Random(size_t domain_size, size_t num_records, Rng& rng,
+                            std::span<const double> weights) {
+  SVT_CHECK(domain_size >= 1);
+  Histogram h(domain_size);
+  if (weights.empty()) {
+    for (size_t r = 0; r < num_records; ++r) {
+      h.increment(static_cast<size_t>(rng.NextBounded(domain_size)));
+    }
+    return h;
+  }
+  SVT_CHECK(weights.size() == domain_size);
+  AliasSampler sampler(std::vector<double>(weights.begin(), weights.end()));
+  for (size_t r = 0; r < num_records; ++r) {
+    h.increment(sampler.Sample(rng));
+  }
+  return h;
+}
+
+}  // namespace svt

@@ -1,0 +1,49 @@
+// Histogram: counts over a discrete domain — the data representation used
+// by the interactive (iterative-construction) substrate.
+
+#ifndef SPARSEVEC_INTERACTIVE_HISTOGRAM_H_
+#define SPARSEVEC_INTERACTIVE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace svt {
+
+class Histogram {
+ public:
+  /// Zero histogram over `domain_size` bins.
+  explicit Histogram(size_t domain_size);
+  /// Takes ownership of counts (all must be >= 0).
+  explicit Histogram(std::vector<double> counts);
+
+  size_t domain_size() const { return counts_.size(); }
+  double count(size_t bin) const;
+  void set_count(size_t bin, double value);
+  void increment(size_t bin, double by = 1.0);
+  std::span<const double> counts() const { return counts_; }
+
+  /// Sum of all counts.
+  double total() const;
+
+  /// Returns a copy normalized to sum `target_total` (> 0). Total must be
+  /// positive.
+  Histogram NormalizedTo(double target_total) const;
+
+  /// Uniform histogram over the same domain with the same total.
+  Histogram UniformLike() const;
+
+  /// Random histogram: `num_records` unit records dropped into bins with
+  /// probability proportional to `weights` (or uniformly if empty).
+  static Histogram Random(size_t domain_size, size_t num_records, Rng& rng,
+                          std::span<const double> weights = {});
+
+ private:
+  std::vector<double> counts_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_INTERACTIVE_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#include "interactive/linear_query.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace svt {
+
+LinearQuery::LinearQuery(std::vector<double> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  SVT_CHECK(!coefficients_.empty());
+  for (double c : coefficients_) {
+    SVT_CHECK(c >= 0.0 && c <= 1.0)
+        << "linear query coefficients must be in [0,1], got " << c;
+  }
+}
+
+double LinearQuery::Evaluate(const Histogram& histogram) const {
+  SVT_CHECK(histogram.domain_size() == coefficients_.size())
+      << "domain mismatch: query " << coefficients_.size() << ", histogram "
+      << histogram.domain_size();
+  KahanAccumulator acc;
+  const std::span<const double> counts = histogram.counts();
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    acc.Add(coefficients_[i] * counts[i]);
+  }
+  return acc.sum();
+}
+
+LinearQuery LinearQuery::RandomSubset(size_t domain_size, Rng& rng) {
+  std::vector<double> coeffs(domain_size);
+  for (double& c : coeffs) c = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  return LinearQuery(std::move(coeffs));
+}
+
+LinearQuery LinearQuery::RandomFractional(size_t domain_size, Rng& rng) {
+  std::vector<double> coeffs(domain_size);
+  for (double& c : coeffs) c = rng.NextDouble();
+  return LinearQuery(std::move(coeffs));
+}
+
+LinearQuery LinearQuery::Interval(size_t domain_size, size_t lo, size_t hi) {
+  SVT_CHECK(lo <= hi && hi <= domain_size);
+  std::vector<double> coeffs(domain_size, 0.0);
+  for (size_t i = lo; i < hi; ++i) coeffs[i] = 1.0;
+  return LinearQuery(std::move(coeffs));
+}
+
+}  // namespace svt

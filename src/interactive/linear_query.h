@@ -1,0 +1,46 @@
+// Linear queries over a histogram: q(x) = Σ_j coeff_j · x_j with
+// coefficients in [0, 1], so the sensitivity under add/remove-one-record
+// neighbors is at most 1. This is the query class of the iterative
+// constructions ([11, 12, 16]) that motivate SVT's interactive use (§1).
+
+#ifndef SPARSEVEC_INTERACTIVE_LINEAR_QUERY_H_
+#define SPARSEVEC_INTERACTIVE_LINEAR_QUERY_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "interactive/histogram.h"
+
+namespace svt {
+
+class LinearQuery {
+ public:
+  /// Coefficients must lie in [0, 1] (checked); size fixes the domain.
+  explicit LinearQuery(std::vector<double> coefficients);
+
+  /// True answer on a histogram (domain sizes must match).
+  double Evaluate(const Histogram& histogram) const;
+
+  size_t domain_size() const { return coefficients_.size(); }
+  std::span<const double> coefficients() const { return coefficients_; }
+
+  /// Sensitivity bound: max |coefficient| <= 1.
+  double sensitivity() const { return 1.0; }
+
+  /// A random subset-counting query: each bin included with prob 1/2.
+  static LinearQuery RandomSubset(size_t domain_size, Rng& rng);
+
+  /// A random fractional query with i.i.d. U[0,1] coefficients.
+  static LinearQuery RandomFractional(size_t domain_size, Rng& rng);
+
+  /// An interval query counting bins [lo, hi).
+  static LinearQuery Interval(size_t domain_size, size_t lo, size_t hi);
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_INTERACTIVE_LINEAR_QUERY_H_

@@ -1,0 +1,138 @@
+#include "interactive/pmw.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace svt {
+
+Status PmwOptions::Validate() const {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(svt_fraction > 0.0) || !(svt_fraction < 1.0)) {
+    return Status::InvalidArgument("svt_fraction must be in (0,1)");
+  }
+  if (!(error_threshold > 0.0)) {
+    return Status::InvalidArgument("error_threshold must be positive");
+  }
+  if (max_updates < 1) {
+    return Status::InvalidArgument("max_updates must be >= 1");
+  }
+  if (!(learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PrivateMultiplicativeWeights>>
+PrivateMultiplicativeWeights::Create(const PmwOptions& options,
+                                     const Histogram& data, Rng* rng) {
+  SVT_RETURN_NOT_OK(options.Validate());
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (data.total() <= 0.0) {
+    return Status::InvalidArgument("data histogram must be non-empty");
+  }
+
+  SvtOptions svt_options;
+  svt_options.epsilon = options.epsilon * options.svt_fraction;
+  svt_options.sensitivity = 1.0;  // |q(D) − q(D')| ≤ 1; q(x̂) is constant
+  svt_options.cutoff = options.max_updates;
+  // Error queries contain an absolute value, so they are NOT monotonic;
+  // the general 2cΔ/ε₂ noise is required (§4.3 applies only to monotone
+  // streams).
+  svt_options.monotonic = false;
+  svt_options.allocation =
+      options.use_optimal_allocation
+          ? BudgetAllocation::Optimal(options.max_updates,
+                                      /*monotonic=*/false)
+          : BudgetAllocation::Halves();
+  SVT_ASSIGN_OR_RETURN(std::unique_ptr<SparseVector> svt,
+                       SparseVector::Create(svt_options, rng));
+
+  // Laplace budget funds at most max_updates numeric answers.
+  const double laplace_epsilon = options.epsilon * (1.0 - options.svt_fraction) /
+                                 static_cast<double>(options.max_updates);
+  LaplaceMechanism laplace(laplace_epsilon, /*sensitivity=*/1.0);
+
+  return std::unique_ptr<PrivateMultiplicativeWeights>(
+      new PrivateMultiplicativeWeights(options, data, std::move(svt),
+                                       laplace, rng));
+}
+
+PrivateMultiplicativeWeights::PrivateMultiplicativeWeights(
+    const PmwOptions& options, const Histogram& data,
+    std::unique_ptr<SparseVector> svt, LaplaceMechanism laplace, Rng* rng)
+    : options_(options),
+      data_(data),
+      synthetic_(data.UniformLike()),
+      svt_(std::move(svt)),
+      laplace_(laplace),
+      accountant_(options.epsilon),
+      rng_(rng) {
+  // Reserve the SVT share upfront: the indicator vector costs ε·svt_fraction
+  // regardless of how many queries end up free.
+  SVT_CHECK_OK(accountant_.Charge(options.epsilon * options.svt_fraction));
+}
+
+PmwAnswer PrivateMultiplicativeWeights::AnswerQuery(
+    const LinearQuery& query) {
+  ++queries_answered_;
+  const double estimate = query.Evaluate(synthetic_);
+
+  PmwAnswer answer;
+  answer.value = estimate;
+
+  if (svt_->exhausted()) {
+    // Update budget exhausted: synthetic answers forever, still free.
+    answer.answered_from_synthetic = true;
+    ++free_answers_;
+    return answer;
+  }
+
+  // §3.4's correct form: the error |q(D) − q(x̂)| is itself the query fed
+  // to SVT; the noise ν is added by SVT *outside* the absolute value.
+  const double true_answer = query.Evaluate(data_);
+  const double error = std::abs(true_answer - estimate);
+  const Response r = svt_->Process(error, options_.error_threshold);
+
+  if (!r.is_positive()) {
+    answer.answered_from_synthetic = true;
+    ++free_answers_;
+    return answer;
+  }
+
+  // Hard query: buy a fresh Laplace answer and fold it into the synthetic
+  // histogram.
+  SVT_CHECK_OK(accountant_.Charge(laplace_.epsilon()));
+  const double noisy_true = laplace_.Answer(true_answer, *rng_);
+  MultiplicativeWeightsUpdate(query, noisy_true, estimate);
+  ++updates_used_;
+
+  answer.value = noisy_true;
+  answer.answered_from_synthetic = false;
+  answer.triggered_update = true;
+  return answer;
+}
+
+void PrivateMultiplicativeWeights::MultiplicativeWeightsUpdate(
+    const LinearQuery& query, double noisy_true, double estimate) {
+  // Standard MW step on the normalized synthetic distribution:
+  //   x̂_j ∝ x̂_j · exp(η · sign · coeff_j),
+  // pushing mass toward (away from) the query's support when the synthetic
+  // under- (over-) estimates.
+  const double sign = noisy_true > estimate ? 1.0 : -1.0;
+  const double eta = options_.learning_rate;
+  const double total = synthetic_.total();
+
+  std::vector<double> updated(synthetic_.domain_size());
+  const std::span<const double> coeffs = query.coefficients();
+  for (size_t j = 0; j < updated.size(); ++j) {
+    updated[j] = synthetic_.count(j) * std::exp(eta * sign * coeffs[j]);
+  }
+  synthetic_ = Histogram(std::move(updated)).NormalizedTo(total);
+}
+
+}  // namespace svt

@@ -1,0 +1,73 @@
+// AboveThresholdSession: a budget-managed, long-lived SVT service.
+//
+// A single SparseVector instance answers at most c positives and then
+// aborts. Real interactive deployments (the paper's §1 setting) want a
+// session that keeps serving: when one SVT run exhausts, start another —
+// each run is ε_round-DP, and sequential composition bounds the total. The
+// session owns a PrivacyAccountant, charges ε_round at the start of every
+// run, and refuses queries once the remaining budget cannot fund another
+// round.
+
+#ifndef SPARSEVEC_INTERACTIVE_SESSION_H_
+#define SPARSEVEC_INTERACTIVE_SESSION_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/budget.h"
+#include "core/svt.h"
+
+namespace svt {
+
+/// Configuration of an AboveThresholdSession.
+struct SessionOptions {
+  /// Lifetime privacy budget of the session (> 0).
+  double total_epsilon = 1.0;
+  /// Per-SVT-run budget (> 0, <= total). Each run answers up to
+  /// `round.cutoff` positives.
+  double epsilon_per_round = 0.25;
+  /// Template for each round's SVT (its epsilon field is ignored and
+  /// replaced by epsilon_per_round).
+  SvtOptions round;
+
+  Status Validate() const;
+};
+
+class AboveThresholdSession {
+ public:
+  /// `rng` must outlive the session.
+  static Result<std::unique_ptr<AboveThresholdSession>> Create(
+      const SessionOptions& options, Rng* rng);
+
+  /// Tests one query. Starts a fresh SVT round (consuming
+  /// epsilon_per_round) transparently when the current one has aborted.
+  /// Fails with kExhausted once the lifetime budget cannot fund the round
+  /// a positive-capable query needs.
+  Result<Response> Process(double query_answer, double threshold);
+
+  /// True when no further queries can be answered.
+  bool exhausted() const;
+
+  int rounds_started() const { return rounds_started_; }
+  int64_t queries_processed() const { return queries_processed_; }
+  int64_t positives_emitted() const { return positives_emitted_; }
+  const PrivacyAccountant& accountant() const { return accountant_; }
+
+ private:
+  AboveThresholdSession(const SessionOptions& options, Rng* rng);
+
+  Status EnsureActiveRound();
+
+  SessionOptions options_;
+  Rng* rng_;
+  PrivacyAccountant accountant_;
+  std::unique_ptr<SparseVector> current_;
+  int rounds_started_ = 0;
+  int64_t queries_processed_ = 0;
+  int64_t positives_emitted_ = 0;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_INTERACTIVE_SESSION_H_

@@ -1,0 +1,140 @@
+#include "audit/integrator.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/distributions.h"
+
+namespace svt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IntegrateIntervalTest, Polynomial) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(IntegrateInterval(f, 0.0, 1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(IntegrateInterval(f, -2.0, 2.0), 16.0 / 3.0, 1e-12);
+}
+
+TEST(IntegrateIntervalTest, DegenerateInterval) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_EQ(IntegrateInterval(f, 1.0, 1.0), 0.0);
+  EXPECT_EQ(IntegrateInterval(f, 2.0, 1.0), 0.0);
+}
+
+TEST(IntegrateIntervalTest, SmoothExponential) {
+  const auto f = [](double x) { return std::exp(-x); };
+  EXPECT_NEAR(IntegrateInterval(f, 0.0, 10.0), 1.0 - std::exp(-10.0), 1e-10);
+}
+
+TEST(IntegrateIntervalTest, Oscillatory) {
+  const auto f = [](double x) { return std::sin(x); };
+  EXPECT_NEAR(IntegrateInterval(f, 0.0, M_PI), 2.0, 1e-10);
+}
+
+TEST(IntegratePiecewiseTest, AbsKinkWithKnot) {
+  const auto f = [](double x) { return std::abs(x); };
+  EXPECT_NEAR(IntegratePiecewise(f, -1.0, 1.0, {0.0}), 1.0, 1e-12);
+}
+
+TEST(IntegratePiecewiseTest, LaplacePdfTotalMass) {
+  const Laplace d(0.0, 1.5);
+  const auto f = [&d](double x) { return d.Pdf(x); };
+  EXPECT_NEAR(IntegratePiecewise(f, -80.0, 80.0, {0.0}), 1.0, 1e-10);
+}
+
+TEST(IntegratePiecewiseTest, StepFunctionSplitAtJump) {
+  // f = 1 on [0,1), 3 on [1,2]; knot at the jump keeps Simpson exact.
+  const auto f = [](double x) { return x < 1.0 ? 1.0 : 3.0; };
+  EXPECT_NEAR(IntegratePiecewise(f, 0.0, 2.0, {1.0}), 4.0, 1e-9);
+}
+
+TEST(IntegratePiecewiseTest, IgnoresOutOfRangeAndDuplicateKnots) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(
+      IntegratePiecewise(f, 0.0, 1.0, {-5.0, 0.5, 0.5, 0.5, 7.0}), 0.5,
+      1e-12);
+}
+
+TEST(IntegratePiecewiseTest, ManyKnots) {
+  const Laplace d(0.0, 1.0);
+  std::vector<double> knots;
+  for (int i = -20; i <= 20; ++i) knots.push_back(i * 0.5);
+  const auto f = [&d](double x) { return d.Pdf(x); };
+  EXPECT_NEAR(IntegratePiecewise(f, -60.0, 60.0, knots), 1.0, 1e-10);
+}
+
+TEST(LogIntegrateTest, MatchesLinearIntegrationWhenSafe) {
+  const Laplace d(0.0, 2.0);
+  const auto log_f = [&d](double x) { return d.LogPdf(x); };
+  const double log_mass = LogIntegratePiecewise(log_f, -100.0, 100.0, {0.0});
+  EXPECT_NEAR(log_mass, 0.0, 1e-9);  // log(1)
+}
+
+TEST(LogIntegrateTest, HandlesExtremeUnderflow) {
+  // f(x) = exp(-2000) * LaplacePdf(x): linear integration would be 0.
+  const Laplace d(0.0, 1.0);
+  const auto log_f = [&d](double x) { return -2000.0 + d.LogPdf(x); };
+  const double log_mass = LogIntegratePiecewise(log_f, -60.0, 60.0, {0.0});
+  EXPECT_NEAR(log_mass, -2000.0, 1e-8);
+}
+
+TEST(LogIntegrateTest, GaussianNormalization) {
+  const auto log_f = [](double x) { return -0.5 * x * x; };
+  const double expect = 0.5 * std::log(2.0 * M_PI);
+  EXPECT_NEAR(LogIntegratePiecewise(log_f, -40.0, 40.0, {}), expect, 1e-9);
+}
+
+TEST(LogIntegrateTest, ZeroIntegrandGivesNegInf) {
+  const auto log_f = [](double) { return -kInf; };
+  EXPECT_EQ(LogIntegratePiecewise(log_f, 0.0, 1.0, {}), -kInf);
+}
+
+TEST(LogIntegrateTest, EmptyIntervalGivesNegInf) {
+  const auto log_f = [](double) { return 0.0; };
+  EXPECT_EQ(LogIntegratePiecewise(log_f, 1.0, 1.0, {}), -kInf);
+  EXPECT_EQ(LogIntegratePiecewise(log_f, 2.0, 1.0, {}), -kInf);
+}
+
+TEST(LogIntegrateTest, PartiallyInfiniteIntegrand) {
+  // exp(log_f) = Laplace pdf restricted to x > 0: mass 1/2, with a hard
+  // -inf region the integrator must survive.
+  const Laplace d(0.0, 1.0);
+  const auto log_f = [&d](double x) {
+    return x > 0.0 ? d.LogPdf(x) : -kInf;
+  };
+  EXPECT_NEAR(LogIntegratePiecewise(log_f, -50.0, 50.0, {0.0}),
+              std::log(0.5), 1e-6);
+}
+
+TEST(LogIntegrateTest, ProductOfManyCdfsStaysAccurate) {
+  // ∫ p(z) F(z)^m dz for Laplace p, F: exact value computable by
+  // substitution u = F_rho(z)? Not closed form in general, but m = 0 gives
+  // exactly 1, and the value must decrease monotonically with m.
+  const Laplace rho(0.0, 2.0);
+  const Laplace nu(0.0, 4.0);
+  double prev = 1.0;
+  for (int m : {1, 2, 4, 8, 16, 32}) {
+    const auto log_f = [&](double z) {
+      return rho.LogPdf(z) + m * nu.LogCdf(z);
+    };
+    const double v =
+        std::exp(LogIntegratePiecewise(log_f, -400.0, 400.0, {0.0}));
+    EXPECT_LT(v, prev) << "m=" << m;
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST(IntegrationOptionsTest, LooserToleranceStillReasonable) {
+  IntegrationOptions loose;
+  loose.rel_tol = 1e-4;
+  const auto f = [](double x) { return std::exp(-x * x); };
+  EXPECT_NEAR(IntegrateInterval(f, -10.0, 10.0, loose), std::sqrt(M_PI),
+              1e-3);
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,204 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace svt {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 1234;
+  uint64_t s2 = 1234;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  }
+}
+
+TEST(SplitMix64Test, DistinctSeedsDiverge) {
+  uint64_t a = 0;
+  uint64_t b = 1;
+  EXPECT_NE(SplitMix64Next(a), SplitMix64Next(b));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, LowEntropySeedsStillDiverge) {
+  // SplitMix64 seeding should separate seeds 0,1,2 thoroughly.
+  Rng r0(0), r1(1), r2(2);
+  EXPECT_NE(r0.NextUint64(), r1.NextUint64());
+  EXPECT_NE(r1.NextUint64(), r2.NextUint64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDoublePositive();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  // stderr of the mean is ~1/sqrt(12n) ≈ 0.00065; 5 sigma.
+  EXPECT_NEAR(sum / n, 0.5, 0.0033);
+}
+
+TEST(RngTest, NextBoundedIsInRange) {
+  Rng rng(11);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(21);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], n / 10.0, 5.0 * std::sqrt(n * 0.1 * 0.9));
+  }
+}
+
+TEST(RngTest, NextUniformRespectsRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextUniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Streams should not be identical.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, RepeatedForksDiffer) {
+  Rng parent(37);
+  Rng c1 = parent.Fork();
+  Rng c2 = parent.Fork();
+  EXPECT_NE(c1.NextUint64(), c2.NextUint64());
+}
+
+TEST(RngTest, ForkIsDeterministicGivenSeed) {
+  Rng p1(41), p2(41);
+  Rng c1 = p1.Fork();
+  Rng c2 = p2.Fork();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(c1.NextUint64(), c2.NextUint64());
+}
+
+TEST(RngTest, ShuffleIndicesIsPermutation) {
+  Rng rng(43);
+  std::vector<uint32_t> idx;
+  rng.ShuffleIndices(100, &idx);
+  ASSERT_EQ(idx.size(), 100u);
+  std::set<uint32_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 2, 3, 3, 3, 4};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(53);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> before = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, before);  // probability 1/50! of spurious failure
+}
+
+TEST(RngTest, StateRoundTrip) {
+  Rng a(61);
+  a.NextUint64();
+  Rng b(a.state());
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+// Sanity: equidistribution of high/low bits (xoshiro256++ is known-good;
+// this guards against transcription errors in the rotation constants).
+TEST(RngTest, BitBalance) {
+  Rng rng(67);
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ones += __builtin_popcountll(rng.NextUint64());
+  }
+  const double mean_ones = ones / static_cast<double>(n);
+  EXPECT_NEAR(mean_ones, 32.0, 0.5);
+}
+
+}  // namespace
+}  // namespace svt

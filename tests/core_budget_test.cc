@@ -1,0 +1,303 @@
+#include "core/budget.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/response.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+namespace {
+
+TEST(BudgetAllocationTest, HalvesSplitsEvenly) {
+  const BudgetSplit s = BudgetAllocation::Halves().Split(1.0);
+  EXPECT_DOUBLE_EQ(s.epsilon1, 0.5);
+  EXPECT_DOUBLE_EQ(s.epsilon2, 0.5);
+  EXPECT_DOUBLE_EQ(s.epsilon3, 0.0);
+  EXPECT_DOUBLE_EQ(s.total(), 1.0);
+}
+
+TEST(BudgetAllocationTest, OneToThree) {
+  const BudgetSplit s = BudgetAllocation::OneToThree().Split(0.4);
+  EXPECT_DOUBLE_EQ(s.epsilon1, 0.1);
+  EXPECT_DOUBLE_EQ(s.epsilon2, 0.3);
+}
+
+TEST(BudgetAllocationTest, OneToC) {
+  const BudgetSplit s = BudgetAllocation::OneToC(9).Split(1.0);
+  EXPECT_DOUBLE_EQ(s.epsilon1, 0.1);
+  EXPECT_DOUBLE_EQ(s.epsilon2, 0.9);
+}
+
+TEST(BudgetAllocationTest, OptimalGeneralRatio) {
+  // Eq. (12): eps1 : eps2 = 1 : (2c)^{2/3}.
+  const BudgetAllocation a = BudgetAllocation::Optimal(4, false);
+  EXPECT_NEAR(a.ratio(), std::pow(8.0, 2.0 / 3.0), 1e-12);
+  EXPECT_EQ(a.name(), "1:(2c)^2/3");
+}
+
+TEST(BudgetAllocationTest, OptimalMonotonicRatio) {
+  const BudgetAllocation a = BudgetAllocation::Optimal(8, true);
+  EXPECT_NEAR(a.ratio(), 4.0, 1e-12);  // 8^{2/3} = 4
+  EXPECT_EQ(a.name(), "1:c^2/3");
+}
+
+TEST(BudgetAllocationTest, NumericFractionReservesEpsilon3) {
+  const BudgetSplit s = BudgetAllocation::Halves().Split(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(s.epsilon3, 0.5);
+  EXPECT_DOUBLE_EQ(s.epsilon1, 0.25);
+  EXPECT_DOUBLE_EQ(s.epsilon2, 0.25);
+}
+
+TEST(BudgetAllocationTest, SplitsSumToTotal) {
+  for (double eps : {0.01, 0.1, 1.0, 4.0}) {
+    for (double frac : {0.0, 0.2, 0.9}) {
+      const BudgetSplit s = BudgetAllocation::Optimal(50, true).Split(eps, frac);
+      EXPECT_NEAR(s.total(), eps, 1e-12);
+    }
+  }
+}
+
+// Property sweep: Eq. (12)'s ratio minimizes the comparison-noise variance
+// over a grid of alternative ratios, for both monotonic and general noise.
+class OptimalAllocationSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(OptimalAllocationSweep, MinimizesComparisonVariance) {
+  const int c = std::get<0>(GetParam());
+  const bool monotonic = std::get<1>(GetParam());
+  const double epsilon = 0.1;
+  const double optimal_var = ComparisonNoiseVariance(
+      BudgetAllocation::Optimal(c, monotonic).Split(epsilon), 1.0, c,
+      monotonic);
+  for (double ratio = 0.25; ratio <= 4096.0; ratio *= 2.0) {
+    const double var = ComparisonNoiseVariance(
+        BudgetAllocation::Ratio(1.0, ratio).Split(epsilon), 1.0, c,
+        monotonic);
+    EXPECT_GE(var, optimal_var * (1.0 - 1e-9))
+        << "c=" << c << " monotonic=" << monotonic << " ratio=1:" << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cutoffs, OptimalAllocationSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 25, 100, 300),
+                       ::testing::Bool()));
+
+TEST(ComparisonNoiseVarianceTest, ClosedForm) {
+  // eps1 = eps2 = 0.5, c = 1, general: var = 2*(1/.5)^2 + 2*(2/.5)^2 = 40.
+  const BudgetSplit s{0.5, 0.5, 0.0};
+  EXPECT_NEAR(ComparisonNoiseVariance(s, 1.0, 1, false), 40.0, 1e-12);
+  // Monotonic: 2*(2)^2 + 2*(2)^2 = 16.
+  EXPECT_NEAR(ComparisonNoiseVariance(s, 1.0, 1, true), 16.0, 1e-12);
+}
+
+TEST(PrivacyAccountantTest, ChargesUpToTotal) {
+  PrivacyAccountant acct(1.0);
+  EXPECT_TRUE(acct.Charge(0.4).ok());
+  EXPECT_TRUE(acct.Charge(0.6).ok());
+  EXPECT_NEAR(acct.spent(), 1.0, 1e-12);
+  EXPECT_NEAR(acct.remaining(), 0.0, 1e-12);
+}
+
+TEST(PrivacyAccountantTest, RejectsOverdraft) {
+  PrivacyAccountant acct(1.0);
+  EXPECT_TRUE(acct.Charge(0.9).ok());
+  const Status s = acct.Charge(0.2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kExhausted);
+  // Failed charge must not be recorded.
+  EXPECT_NEAR(acct.spent(), 0.9, 1e-12);
+}
+
+TEST(PrivacyAccountantTest, RejectsNegative) {
+  PrivacyAccountant acct(1.0);
+  EXPECT_FALSE(acct.Charge(-0.1).ok());
+}
+
+TEST(PrivacyAccountantTest, ToleratesRoundingAtBoundary) {
+  PrivacyAccountant acct(1.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(acct.Charge(0.1).ok()) << "charge " << i;
+  }
+}
+
+TEST(AdvancedCompositionTest, MatchesFormula) {
+  // eps' = sqrt(2k ln(1/d)) e + k e (e^e - 1).
+  const double eps = 0.1;
+  const double delta = 1e-6;
+  const int k = 50;
+  const double expect =
+      std::sqrt(2.0 * k * std::log(1.0 / delta)) * eps +
+      k * eps * (std::exp(eps) - 1.0);
+  EXPECT_NEAR(AdvancedCompositionEpsilon(k, eps, delta), expect, 1e-12);
+}
+
+TEST(AdvancedCompositionTest, SingleStepExceedsEpsilonSlightly) {
+  // Even k = 1 pays the sqrt term; composition is never free.
+  EXPECT_GT(AdvancedCompositionEpsilon(1, 0.1, 1e-6), 0.1);
+}
+
+TEST(AdvancedCompositionTest, BeatsBasicCompositionForSmallEpsilon) {
+  // For many steps of a small epsilon, advanced composition's eps' is far
+  // below the basic k*eps bound — the reason (eps, delta)-SVT variants
+  // exist (§3.4).
+  const int k = 10000;
+  const double eps = 0.001;
+  EXPECT_LT(AdvancedCompositionEpsilon(k, eps, 1e-9),
+            k * eps * 0.5);
+}
+
+TEST(AdvancedCompositionTest, MonotoneInAllArguments) {
+  EXPECT_LT(AdvancedCompositionEpsilon(10, 0.1, 1e-6),
+            AdvancedCompositionEpsilon(20, 0.1, 1e-6));
+  EXPECT_LT(AdvancedCompositionEpsilon(10, 0.1, 1e-6),
+            AdvancedCompositionEpsilon(10, 0.2, 1e-6));
+  EXPECT_LT(AdvancedCompositionEpsilon(10, 0.1, 1e-3),
+            AdvancedCompositionEpsilon(10, 0.1, 1e-9));
+}
+
+TEST(AdvancedCompositionTest, PerStepInverseRoundTrips) {
+  for (int k : {1, 10, 100, 1000}) {
+    const double per_step =
+        PerStepEpsilonForAdvancedComposition(k, 1.0, 1e-6);
+    ASSERT_GT(per_step, 0.0) << "k=" << k;
+    // Composing the per-step epsilon must land at (just below) the target.
+    EXPECT_LE(AdvancedCompositionEpsilon(k, per_step, 1e-6), 1.0 + 1e-9);
+    EXPECT_GT(AdvancedCompositionEpsilon(k, per_step * 1.01, 1e-6), 1.0);
+  }
+}
+
+TEST(ResponseTest, Factories) {
+  EXPECT_EQ(Response::Below().outcome, Outcome::kBelow);
+  EXPECT_EQ(Response::Above().outcome, Outcome::kAbove);
+  const Response v = Response::AboveValue(3.5);
+  EXPECT_EQ(v.outcome, Outcome::kAboveValue);
+  EXPECT_EQ(v.value, 3.5);
+}
+
+TEST(ResponseTest, Positivity) {
+  EXPECT_FALSE(Response::Below().is_positive());
+  EXPECT_TRUE(Response::Above().is_positive());
+  EXPECT_TRUE(Response::AboveValue(0.0).is_positive());
+}
+
+TEST(ResponseTest, Equality) {
+  EXPECT_EQ(Response::Above(), Response::Above());
+  EXPECT_EQ(Response::AboveValue(1.0), Response::AboveValue(1.0));
+  EXPECT_FALSE(Response::AboveValue(1.0) == Response::AboveValue(2.0));
+  EXPECT_FALSE(Response::Above() == Response::Below());
+}
+
+TEST(ResponseTest, PatternToString) {
+  std::vector<Response> rs = {Response::Below(), Response::Above(),
+                              Response::Below()};
+  EXPECT_EQ(ToString(rs), "_T_");
+}
+
+TEST(VariantSpecTest, Alg1Scales) {
+  const VariantSpec s = MakeAlg1Spec(1.0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(s.rho_scale, 2.0 / 0.5);          // Δ/ε1
+  EXPECT_DOUBLE_EQ(s.nu_scale, 2.0 * 5 * 2.0 / 0.5); // 2cΔ/ε2
+  ASSERT_TRUE(s.cutoff.has_value());
+  EXPECT_EQ(*s.cutoff, 5);
+  EXPECT_FALSE(s.resample_rho_after_positive);
+  EXPECT_FALSE(s.emits_numeric());
+  EXPECT_EQ(s.actual_privacy, PrivacyClass::kPureDp);
+}
+
+TEST(VariantSpecTest, Alg2ScalesCarryFactorOfC) {
+  const VariantSpec s = MakeAlg2Spec(1.0, 1.0, 10);
+  EXPECT_DOUBLE_EQ(s.rho_scale, 10.0 / 0.5);
+  EXPECT_DOUBLE_EQ(s.nu_scale, 20.0 / 0.5);
+  EXPECT_TRUE(s.resample_rho_after_positive);
+  EXPECT_DOUBLE_EQ(s.rho_resample_scale, 10.0 / 0.5);
+}
+
+TEST(VariantSpecTest, Alg3EmitsQueryValue) {
+  const VariantSpec s = MakeAlg3Spec(1.0, 1.0, 3);
+  EXPECT_TRUE(s.output_query_value_on_positive);
+  EXPECT_TRUE(s.emits_numeric());
+  EXPECT_DOUBLE_EQ(s.nu_scale, 3.0 / 0.5);  // cΔ/ε2
+  EXPECT_EQ(s.actual_privacy, PrivacyClass::kInfiniteDp);
+}
+
+TEST(VariantSpecTest, Alg4QuarterBudgetAndScaledPrivacy) {
+  const VariantSpec s = MakeAlg4Spec(1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(s.budget.epsilon1, 0.25);
+  EXPECT_DOUBLE_EQ(s.budget.epsilon2, 0.75);
+  EXPECT_DOUBLE_EQ(s.nu_scale, 1.0 / 0.75);  // Δ/ε2, no factor of c
+  EXPECT_EQ(s.actual_privacy, PrivacyClass::kScaledDp);
+  EXPECT_DOUBLE_EQ(s.privacy_scale_factor, (1.0 + 6.0 * 4) / 4.0);
+}
+
+TEST(VariantSpecTest, Alg4MonotonicFactor) {
+  const VariantSpec s = MakeAlg4Spec(1.0, 1.0, 4, /*monotonic=*/true);
+  EXPECT_DOUBLE_EQ(s.privacy_scale_factor, (1.0 + 3.0 * 4) / 4.0);
+}
+
+TEST(VariantSpecTest, Alg5NoNoiseNoCutoff) {
+  const VariantSpec s = MakeAlg5Spec(1.0, 1.0);
+  EXPECT_EQ(s.nu_scale, 0.0);
+  EXPECT_FALSE(s.cutoff.has_value());
+  EXPECT_EQ(s.actual_privacy, PrivacyClass::kInfiniteDp);
+}
+
+TEST(VariantSpecTest, Alg6NoCutoff) {
+  const VariantSpec s = MakeAlg6Spec(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.nu_scale, 2.0);  // Δ/(ε/2)
+  EXPECT_FALSE(s.cutoff.has_value());
+}
+
+TEST(VariantSpecTest, StandardMonotonicHalvesNoise) {
+  const BudgetSplit split{0.5, 0.5, 0.0};
+  const VariantSpec gen = MakeStandardSpec(split, 1.0, 10, false);
+  const VariantSpec mono = MakeStandardSpec(split, 1.0, 10, true);
+  EXPECT_DOUBLE_EQ(gen.nu_scale, 2.0 * mono.nu_scale);
+}
+
+TEST(VariantSpecTest, StandardWithNumericOutput) {
+  const BudgetSplit split{0.25, 0.25, 0.5};
+  const VariantSpec s = MakeStandardSpec(split, 1.0, 5, false);
+  EXPECT_DOUBLE_EQ(s.numeric_scale, 5.0 / 0.5);  // cΔ/ε3
+  EXPECT_TRUE(s.emits_numeric());
+  EXPECT_FALSE(s.output_query_value_on_positive);
+}
+
+TEST(VariantSpecTest, GpttEqualsAlg6AtHalfSplit) {
+  const VariantSpec gptt = MakeGpttSpec(0.5, 0.5, 1.0);
+  const VariantSpec alg6 = MakeAlg6Spec(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(gptt.rho_scale, alg6.rho_scale);
+  EXPECT_DOUBLE_EQ(gptt.nu_scale, alg6.nu_scale);
+  EXPECT_EQ(gptt.cutoff.has_value(), alg6.cutoff.has_value());
+}
+
+TEST(VariantSpecTest, MakeSpecDispatches) {
+  for (VariantId id : {VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
+                       VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
+                       VariantId::kStandard, VariantId::kGptt}) {
+    const VariantSpec s = MakeSpec(id, 1.0, 1.0, 3);
+    EXPECT_GT(s.rho_scale, 0.0) << VariantIdToString(id);
+    EXPECT_FALSE(s.name.empty());
+  }
+}
+
+TEST(VariantSpecTest, FigureTwoPrivacyRow) {
+  // The last row of Figure 2, as code.
+  EXPECT_EQ(MakeSpec(VariantId::kAlg1, 1, 1, 3).actual_privacy,
+            PrivacyClass::kPureDp);
+  EXPECT_EQ(MakeSpec(VariantId::kAlg2, 1, 1, 3).actual_privacy,
+            PrivacyClass::kPureDp);
+  EXPECT_EQ(MakeSpec(VariantId::kAlg3, 1, 1, 3).actual_privacy,
+            PrivacyClass::kInfiniteDp);
+  EXPECT_EQ(MakeSpec(VariantId::kAlg4, 1, 1, 3).actual_privacy,
+            PrivacyClass::kScaledDp);
+  EXPECT_EQ(MakeSpec(VariantId::kAlg5, 1, 1, 3).actual_privacy,
+            PrivacyClass::kInfiniteDp);
+  EXPECT_EQ(MakeSpec(VariantId::kAlg6, 1, 1, 3).actual_privacy,
+            PrivacyClass::kInfiniteDp);
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,257 @@
+#include "core/exponential_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+TEST(EmOptionsTest, Validation) {
+  EmOptions o;
+  o.num_selections = 3;
+  EXPECT_TRUE(o.Validate(10).ok());
+  EXPECT_FALSE(o.Validate(2).ok());  // c > candidates
+  o.epsilon = 0.0;
+  EXPECT_FALSE(o.Validate(10).ok());
+  o = EmOptions{};
+  o.sensitivity = -1.0;
+  EXPECT_FALSE(o.Validate(10).ok());
+  o = EmOptions{};
+  o.num_selections = 0;
+  EXPECT_FALSE(o.Validate(10).ok());
+}
+
+TEST(SelectOneTest, RejectsEmptyScores) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      ExponentialMechanism::SelectOne({}, 1.0, 1.0, false, rng).ok());
+}
+
+TEST(SelectOneTest, SingleCandidateAlwaysSelected) {
+  Rng rng(2);
+  const std::vector<double> scores = {3.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(
+        ExponentialMechanism::SelectOne(scores, 1.0, 1.0, false, rng).value(),
+        0u);
+  }
+}
+
+TEST(SelectOneTest, MatchesSoftmaxFrequencies) {
+  Rng rng(3);
+  const std::vector<double> scores = {0.0, 1.0, 2.0};
+  const double epsilon = 2.0;  // coef = 1 (general case)
+  // P(i) ∝ exp(eps*q_i/2) = exp(q_i).
+  std::vector<double> expect(3);
+  double z = 0.0;
+  for (int i = 0; i < 3; ++i) z += std::exp(scores[i]);
+  for (int i = 0; i < 3; ++i) expect[i] = std::exp(scores[i]) / z;
+
+  std::vector<int> counts(3, 0);
+  const int n = 150000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[ExponentialMechanism::SelectOne(scores, epsilon, 1.0, false, rng)
+                  .value()];
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), expect[i], 0.006)
+        << "i=" << i;
+  }
+}
+
+TEST(SelectOneTest, MonotonicDoublesExponent) {
+  Rng rng(4);
+  const std::vector<double> scores = {0.0, 1.0};
+  const double epsilon = 1.0;
+  // Monotonic: P(1)/P(0) = exp(1.0); general: exp(0.5).
+  int mono_hits = 0, gen_hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    mono_hits +=
+        ExponentialMechanism::SelectOne(scores, epsilon, 1.0, true, rng)
+                    .value() == 1
+            ? 1
+            : 0;
+    gen_hits +=
+        ExponentialMechanism::SelectOne(scores, epsilon, 1.0, false, rng)
+                    .value() == 1
+            ? 1
+            : 0;
+  }
+  const double p_mono = std::exp(1.0) / (1.0 + std::exp(1.0));
+  const double p_gen = std::exp(0.5) / (1.0 + std::exp(0.5));
+  EXPECT_NEAR(mono_hits / static_cast<double>(n), p_mono, 0.006);
+  EXPECT_NEAR(gen_hits / static_cast<double>(n), p_gen, 0.006);
+}
+
+TEST(SelectOneTest, InsensitiveToScoreShift) {
+  // EM probabilities depend on score differences only; huge absolute scores
+  // must not overflow (log-space implementation).
+  Rng rng(5);
+  const std::vector<double> scores = {1e7, 1e7 + 1.0};
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits += ExponentialMechanism::SelectOne(scores, 2.0, 1.0, false, rng)
+                    .value() == 1
+                ? 1
+                : 0;
+  }
+  const double expect = std::exp(1.0) / (1.0 + std::exp(1.0));
+  EXPECT_NEAR(hits / static_cast<double>(n), expect, 0.01);
+}
+
+TEST(TopCTest, ReturnsExactlyCDistinctIndices) {
+  Rng rng(6);
+  std::vector<double> scores(100);
+  for (int i = 0; i < 100; ++i) scores[i] = i;
+  EmOptions o;
+  o.epsilon = 1.0;
+  o.num_selections = 10;
+  const auto selected = ExponentialMechanism::SelectTopC(scores, o, rng).value();
+  EXPECT_EQ(selected.size(), 10u);
+  std::set<size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(TopCTest, SequentialReturnsExactlyCDistinctIndices) {
+  Rng rng(7);
+  std::vector<double> scores(50);
+  for (int i = 0; i < 50; ++i) scores[i] = i * 0.5;
+  EmOptions o;
+  o.epsilon = 1.0;
+  o.num_selections = 7;
+  const auto selected =
+      ExponentialMechanism::SelectTopCSequential(scores, o, rng).value();
+  EXPECT_EQ(selected.size(), 7u);
+  std::set<size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), 7u);
+}
+
+TEST(TopCTest, HighEpsilonFindsTrueTop) {
+  Rng rng(8);
+  std::vector<double> scores = {5.0, 100.0, 3.0, 99.0, 1.0};
+  EmOptions o;
+  o.epsilon = 1000.0;  // essentially non-private: should pick argmaxes
+  o.num_selections = 2;
+  for (int t = 0; t < 20; ++t) {
+    const auto sel = ExponentialMechanism::SelectTopC(scores, o, rng).value();
+    const std::set<size_t> s(sel.begin(), sel.end());
+    EXPECT_TRUE(s.count(1) == 1 && s.count(3) == 1);
+  }
+}
+
+TEST(TopCTest, SelectsAllWhenCEqualsN) {
+  Rng rng(9);
+  const std::vector<double> scores = {1.0, 2.0, 3.0};
+  EmOptions o;
+  o.num_selections = 3;
+  const auto sel = ExponentialMechanism::SelectTopC(scores, o, rng).value();
+  std::set<size_t> s(sel.begin(), sel.end());
+  EXPECT_EQ(s.size(), 3u);
+}
+
+// The central equivalence property: Gumbel-top-c and the literal
+// c-round sequential EM draw from the same distribution. Compare the
+// frequency of every possible selected *set* on a small instance.
+TEST(TopCTest, GumbelMatchesSequentialDistribution) {
+  const std::vector<double> scores = {0.0, 0.7, 1.5, 2.2};
+  EmOptions o;
+  o.epsilon = 2.0;
+  o.num_selections = 2;
+
+  const int n = 60000;
+  std::map<std::set<size_t>, int> gumbel_counts, seq_counts;
+  Rng rng_g(10), rng_s(11);
+  for (int i = 0; i < n; ++i) {
+    const auto g = ExponentialMechanism::SelectTopC(scores, o, rng_g).value();
+    const auto s =
+        ExponentialMechanism::SelectTopCSequential(scores, o, rng_s).value();
+    ++gumbel_counts[std::set<size_t>(g.begin(), g.end())];
+    ++seq_counts[std::set<size_t>(s.begin(), s.end())];
+  }
+  // All 6 pairs should occur; compare frequencies within 4 sigma.
+  for (const auto& [set, count] : seq_counts) {
+    const double p_seq = count / static_cast<double>(n);
+    const double p_gum = gumbel_counts[set] / static_cast<double>(n);
+    const double sigma = std::sqrt(p_seq * (1 - p_seq) / n) * 2.0;
+    EXPECT_NEAR(p_gum, p_seq, 4.0 * sigma + 0.004);
+  }
+}
+
+// Order statistics equivalence: the *first* selection of the sequential
+// method and the argmax of the Gumbel keys have identical distribution.
+TEST(TopCTest, FirstPickMatchesSelectOne) {
+  const std::vector<double> scores = {0.0, 1.0, 2.0};
+  EmOptions o;
+  o.epsilon = 3.0;
+  o.num_selections = 1;
+  Rng rng_a(12), rng_b(13);
+  std::vector<int> counts_a(3, 0), counts_b(3, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts_a[ExponentialMechanism::SelectTopC(scores, o, rng_a).value()[0]];
+    ++counts_b[ExponentialMechanism::SelectOne(scores, o.epsilon, 1.0, false,
+                                               rng_b)
+                   .value()];
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(counts_a[i] / static_cast<double>(n),
+                counts_b[i] / static_cast<double>(n), 0.01);
+  }
+}
+
+TEST(TopCTest, TiedScoresUniform) {
+  Rng rng(14);
+  const std::vector<double> scores = {5.0, 5.0, 5.0, 5.0};
+  EmOptions o;
+  o.num_selections = 1;
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[ExponentialMechanism::SelectTopC(scores, o, rng).value()[0]];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), 0.25, 0.01);
+  }
+}
+
+class EmScaleSweep : public ::testing::TestWithParam<int> {};
+
+// Property: selection quality improves with epsilon (SER-style check).
+TEST_P(EmScaleSweep, MoreBudgetNeverHurtsMuch) {
+  const int c = GetParam();
+  std::vector<double> scores(200);
+  for (int i = 0; i < 200; ++i) scores[i] = 200.0 - i;
+
+  const auto top_mass = [&](double epsilon, uint64_t seed) {
+    Rng rng(seed);
+    EmOptions o;
+    o.epsilon = epsilon;
+    o.num_selections = c;
+    double mass = 0.0;
+    const int reps = 300;
+    for (int r = 0; r < reps; ++r) {
+      const std::vector<size_t> picked =
+          ExponentialMechanism::SelectTopC(scores, o, rng).value();
+      for (size_t idx : picked) mass += scores[idx];
+    }
+    return mass / reps;
+  };
+
+  const double low = top_mass(0.01, 15);
+  const double high = top_mass(10.0, 16);
+  EXPECT_GT(high, low);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cs, EmScaleSweep, ::testing::Values(1, 5, 20));
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,259 @@
+#include "core/svt.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+SvtOptions BasicOptions(double epsilon = 1.0, int cutoff = 3) {
+  SvtOptions o;
+  o.epsilon = epsilon;
+  o.sensitivity = 1.0;
+  o.cutoff = cutoff;
+  return o;
+}
+
+TEST(SvtOptionsTest, ValidatesEpsilon) {
+  SvtOptions o = BasicOptions();
+  o.epsilon = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.epsilon = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.epsilon = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SvtOptionsTest, ValidatesSensitivityCutoffFraction) {
+  SvtOptions o = BasicOptions();
+  o.sensitivity = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = BasicOptions();
+  o.cutoff = 0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = BasicOptions();
+  o.numeric_output_fraction = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.numeric_output_fraction = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SparseVectorTest, CreateRejectsBadArgs) {
+  Rng rng(1);
+  SvtOptions bad = BasicOptions();
+  bad.epsilon = -1;
+  EXPECT_FALSE(SparseVector::Create(bad, &rng).ok());
+  EXPECT_FALSE(SparseVector::Create(BasicOptions(), nullptr).ok());
+}
+
+TEST(SparseVectorTest, EmitsAtMostCutoffPositives) {
+  Rng rng(2);
+  SvtOptions o = BasicOptions(/*epsilon=*/10.0, /*cutoff=*/5);
+  auto mech = SparseVector::Create(o, &rng).value();
+  int positives = 0;
+  // Huge answers: everything above threshold.
+  for (int i = 0; i < 1000 && !mech->exhausted(); ++i) {
+    if (mech->Process(1e6, 0.0).is_positive()) ++positives;
+  }
+  EXPECT_EQ(positives, 5);
+  EXPECT_TRUE(mech->exhausted());
+  EXPECT_EQ(mech->positives_emitted(), 5);
+}
+
+TEST(SparseVectorTest, NegativesAreFreeAndUnlimited) {
+  Rng rng(3);
+  auto mech = SparseVector::Create(BasicOptions(10.0, 1), &rng).value();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_FALSE(mech->exhausted());
+    const Response r = mech->Process(-1e6, 0.0);
+    ASSERT_FALSE(r.is_positive());
+  }
+  EXPECT_EQ(mech->queries_processed(), 10000);
+  EXPECT_EQ(mech->positives_emitted(), 0);
+}
+
+TEST(SparseVectorTest, ProcessAfterExhaustionDies) {
+  Rng rng(4);
+  auto mech = SparseVector::Create(BasicOptions(10.0, 1), &rng).value();
+  while (!mech->exhausted()) mech->Process(1e9, 0.0);
+  EXPECT_DEATH(mech->Process(0.0, 0.0), "exhausted");
+}
+
+TEST(SparseVectorTest, ResetRestoresFreshRun) {
+  Rng rng(5);
+  auto mech = SparseVector::Create(BasicOptions(10.0, 2), &rng).value();
+  while (!mech->exhausted()) mech->Process(1e9, 0.0);
+  mech->Reset();
+  EXPECT_FALSE(mech->exhausted());
+  EXPECT_EQ(mech->positives_emitted(), 0);
+  EXPECT_EQ(mech->queries_processed(), 0);
+  // Still usable.
+  mech->Process(0.0, 0.0);
+  EXPECT_EQ(mech->queries_processed(), 1);
+}
+
+TEST(SparseVectorTest, DeterministicGivenSeed) {
+  const std::vector<double> answers = {5.0, -3.0, 10.0, 0.0, 7.0, -1.0};
+  Rng rng1(42), rng2(42);
+  auto m1 = SparseVector::Create(BasicOptions(0.5, 3), &rng1).value();
+  auto m2 = SparseVector::Create(BasicOptions(0.5, 3), &rng2).value();
+  const std::vector<Response> r1 = m1->Run(answers, 2.0);
+  const std::vector<Response> r2 = m2->Run(answers, 2.0);
+  EXPECT_EQ(ToString(r1), ToString(r2));
+}
+
+TEST(SparseVectorTest, BatchRunStopsAtCutoff) {
+  Rng rng(6);
+  auto mech = SparseVector::Create(BasicOptions(100.0, 2), &rng).value();
+  const std::vector<double> answers(50, 1e9);
+  const std::vector<Response> rs = mech->Run(answers, 0.0);
+  // With overwhelming answers and tiny noise relative to 1e9 the first two
+  // queries are positive and the run aborts there.
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_TRUE(rs[0].is_positive());
+  EXPECT_TRUE(rs[1].is_positive());
+}
+
+TEST(SparseVectorTest, PerQueryThresholdsRespected) {
+  Rng rng(7);
+  // epsilon huge => noise negligible.
+  auto mech = SparseVector::Create(BasicOptions(1e6, 3), &rng).value();
+  const std::vector<double> answers = {10.0, 10.0, 10.0};
+  const std::vector<double> thresholds = {20.0, 5.0, 20.0};
+  const std::vector<Response> rs = mech->Run(answers, thresholds);
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_FALSE(rs[0].is_positive());
+  EXPECT_TRUE(rs[1].is_positive());
+  EXPECT_FALSE(rs[2].is_positive());
+}
+
+// The footnote under Figure 1: running SVT on (q_i, T_i) is the same as
+// running it on (q_i − T_i) against threshold 0. With a shared seed the
+// outputs must be identical realization by realization.
+TEST(SparseVectorTest, ThresholdSequenceFootnoteEquivalence) {
+  const std::vector<double> answers = {3.0, 8.0, -2.0, 5.5, 9.0, 1.0};
+  const std::vector<double> thresholds = {2.0, 9.0, -3.0, 5.0, 4.0, 2.0};
+  std::vector<double> shifted(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    shifted[i] = answers[i] - thresholds[i];
+  }
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng1(seed), rng2(seed);
+    auto m1 = SparseVector::Create(BasicOptions(0.8, 2), &rng1).value();
+    auto m2 = SparseVector::Create(BasicOptions(0.8, 2), &rng2).value();
+    const auto r1 = m1->Run(answers, thresholds);
+    const auto r2 = m2->Run(shifted, 0.0);
+    EXPECT_EQ(ToString(r1), ToString(r2)) << "seed=" << seed;
+  }
+}
+
+TEST(SparseVectorTest, BudgetSplitMatchesAllocation) {
+  Rng rng(8);
+  SvtOptions o = BasicOptions(1.0, 4);
+  o.allocation = BudgetAllocation::Optimal(4, /*monotonic=*/false);
+  auto mech = SparseVector::Create(o, &rng).value();
+  const BudgetSplit split = mech->budget();
+  EXPECT_NEAR(split.epsilon2 / split.epsilon1, std::pow(8.0, 2.0 / 3.0),
+              1e-12);
+  EXPECT_NEAR(split.total(), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, SpecMatchesAlg1Parameterization) {
+  Rng rng(9);
+  auto mech = SparseVector::Create(BasicOptions(1.0, 5), &rng).value();
+  const VariantSpec& spec = mech->spec();
+  EXPECT_DOUBLE_EQ(spec.rho_scale, 1.0 / 0.5);
+  EXPECT_DOUBLE_EQ(spec.nu_scale, 2.0 * 5 / 0.5);
+  EXPECT_EQ(spec.actual_privacy, PrivacyClass::kPureDp);
+}
+
+TEST(SparseVectorTest, MonotonicOptionHalvesQueryNoise) {
+  Rng rng(10);
+  SvtOptions gen = BasicOptions(1.0, 5);
+  SvtOptions mono = gen;
+  mono.monotonic = true;
+  auto m_gen = SparseVector::Create(gen, &rng).value();
+  auto m_mono = SparseVector::Create(mono, &rng).value();
+  EXPECT_DOUBLE_EQ(m_gen->query_noise_scale(),
+                   2.0 * m_mono->query_noise_scale());
+}
+
+TEST(SparseVectorTest, NumericOutputMode) {
+  Rng rng(11);
+  SvtOptions o = BasicOptions(10.0, 3);
+  o.numeric_output_fraction = 0.5;
+  auto mech = SparseVector::Create(o, &rng).value();
+  bool saw_numeric = false;
+  for (int i = 0; i < 100 && !mech->exhausted(); ++i) {
+    const Response r = mech->Process(1000.0, 0.0);
+    if (r.is_positive()) {
+      EXPECT_EQ(r.outcome, Outcome::kAboveValue);
+      // Fresh Laplace noise around the true value with scale cΔ/ε3 = 0.6;
+      // within ±40 scales with overwhelming probability.
+      EXPECT_NEAR(r.value, 1000.0, 40.0 * 0.6);
+      saw_numeric = true;
+    }
+  }
+  EXPECT_TRUE(saw_numeric);
+}
+
+// Statistical behavior: with a clearly-above answer the positive rate
+// approaches 1; with clearly-below it approaches 0.
+TEST(SparseVectorTest, SeparationStatistics) {
+  Rng rng(12);
+  int above_positives = 0;
+  int below_positives = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    auto mech = SparseVector::Create(BasicOptions(1.0, 1), &rng).value();
+    if (mech->Process(100.0, 0.0).is_positive()) ++above_positives;
+    mech->Reset();
+    if (mech->Process(-100.0, 0.0).is_positive()) ++below_positives;
+  }
+  EXPECT_GT(above_positives, trials * 0.99);
+  EXPECT_LT(below_positives, trials * 0.01);
+}
+
+// Borderline answers come out positive about half the time (symmetric
+// noise around threshold).
+TEST(SparseVectorTest, BorderlineIsFairCoin) {
+  Rng rng(13);
+  int positives = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    auto mech = SparseVector::Create(BasicOptions(1.0, 1), &rng).value();
+    if (mech->Process(0.0, 0.0).is_positive()) ++positives;
+  }
+  EXPECT_NEAR(positives / static_cast<double>(trials), 0.5, 0.02);
+}
+
+class CutoffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutoffSweep, NeverExceedsCutoff) {
+  const int c = GetParam();
+  Rng rng(100 + c);
+  SvtOptions o = BasicOptions(0.1, c);
+  auto mech = SparseVector::Create(o, &rng).value();
+  int positives = 0;
+  for (int i = 0; i < 5000 && !mech->exhausted(); ++i) {
+    // Noisy region around threshold: both outcomes occur.
+    if (mech->Process((i % 3 == 0) ? 5.0 : -5.0, 0.0).is_positive()) {
+      ++positives;
+    }
+  }
+  EXPECT_LE(positives, c);
+  EXPECT_EQ(positives, mech->positives_emitted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, CutoffSweep,
+                         ::testing::Values(1, 2, 3, 8, 25, 100));
+
+}  // namespace
+}  // namespace svt

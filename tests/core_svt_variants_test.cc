@@ -1,0 +1,228 @@
+#include "core/svt_variants.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+TEST(DworkRothSvtTest, RespectsCutoff) {
+  Rng rng(1);
+  auto mech = DworkRothSvt::Create(10.0, 1.0, 3, &rng).value();
+  int positives = 0;
+  for (int i = 0; i < 500 && !mech->exhausted(); ++i) {
+    if (mech->Process(1e9, 0.0).is_positive()) ++positives;
+  }
+  EXPECT_EQ(positives, 3);
+}
+
+TEST(DworkRothSvtTest, ResamplesThresholdAfterPositive) {
+  // Indirect but deterministic evidence of resampling: with a shared seed,
+  // a variant that resamples consumes more RNG draws after a positive than
+  // one that does not, so subsequent outputs diverge from a non-resampling
+  // spec with identical scales.
+  VariantSpec resample = MakeAlg2Spec(1.0, 1.0, 5);
+  VariantSpec no_resample = resample;
+  no_resample.resample_rho_after_positive = false;
+
+  int diverged = 0;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng_a(seed), rng_b(seed);
+    CustomSvt a(resample, &rng_a);
+    CustomSvt b(no_resample, &rng_b);
+    std::string pattern_a, pattern_b;
+    for (int i = 0; i < 40; ++i) {
+      if (a.exhausted() || b.exhausted()) break;
+      pattern_a += a.Process(i % 2 ? 50.0 : -50.0, 0.0).is_positive() ? 'T'
+                                                                      : '_';
+      pattern_b += b.Process(i % 2 ? 50.0 : -50.0, 0.0).is_positive() ? 'T'
+                                                                      : '_';
+    }
+    if (pattern_a != pattern_b) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(RothNotesSvtTest, PositivesCarryNoisyValue) {
+  Rng rng(2);
+  auto mech = RothNotesSvt::Create(10.0, 1.0, 5, &rng).value();
+  int numeric = 0;
+  for (int i = 0; i < 100 && !mech->exhausted(); ++i) {
+    const Response r = mech->Process(1000.0, 0.0);
+    if (r.is_positive()) {
+      ASSERT_EQ(r.outcome, Outcome::kAboveValue);
+      // Value is q + ν with ν ~ Lap(cΔ/ε2) = Lap(1); must be near q.
+      EXPECT_NEAR(r.value, 1000.0, 60.0);
+      ++numeric;
+    }
+  }
+  EXPECT_GT(numeric, 0);
+}
+
+TEST(RothNotesSvtTest, EmittedValueExceedsNoisyThresholdImplicitly) {
+  // The emitted value is the same noisy answer that won the comparison, so
+  // it can never be smaller than (T + rho) at emission time. We can't see
+  // rho directly, but emitted values must all exceed the threshold minus
+  // the maximum plausible |rho| — a smoke check that the comparison noise
+  // is reused rather than redrawn.
+  Rng rng(3);
+  VariantSpec spec = MakeAlg3Spec(1.0, 1.0, 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    CustomSvt mech(spec, &rng);
+    // Answer far above: positive on the first query almost surely.
+    const Response r = mech.Process(1000.0, 999.0);
+    if (r.is_positive()) {
+      // value = 1000 + nu; threshold 999 + rho. value >= 999 + rho always.
+      EXPECT_GT(r.value, 999.0 - 200.0);
+    }
+  }
+}
+
+TEST(LeeCliftonSvtTest, CutoffHolds) {
+  Rng rng(4);
+  auto mech = LeeCliftonSvt::Create(1.0, 1.0, 2, &rng).value();
+  int positives = 0;
+  for (int i = 0; i < 100 && !mech->exhausted(); ++i) {
+    if (mech->Process(1e9, 0.0).is_positive()) ++positives;
+  }
+  EXPECT_EQ(positives, 2);
+}
+
+TEST(LeeCliftonSvtTest, MonotonicFlagChangesClaimOnly) {
+  Rng rng(5);
+  auto gen = LeeCliftonSvt::Create(1.0, 1.0, 5, &rng, false).value();
+  auto mono = LeeCliftonSvt::Create(1.0, 1.0, 5, &rng, true).value();
+  EXPECT_DOUBLE_EQ(gen->spec().nu_scale, mono->spec().nu_scale);
+  EXPECT_NE(gen->spec().privacy_scale_factor,
+            mono->spec().privacy_scale_factor);
+}
+
+TEST(StoddardSvtTest, NeverExhaustsAndAddsNoQueryNoise) {
+  Rng rng(6);
+  auto mech = StoddardSvt::Create(1.0, 1.0, &rng).value();
+  // ν = 0: answers far from the (noisy) threshold behave deterministically
+  // given rho; with answer >> any plausible rho, every output is ⊤.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(mech->exhausted());
+    ASSERT_TRUE(mech->Process(1e9, 0.0).is_positive());
+  }
+  EXPECT_EQ(mech->positives_emitted(), 1000);
+}
+
+TEST(StoddardSvtTest, OutputIsDeterministicGivenThresholdNoise) {
+  // With ν = 0 the entire output vector is a deterministic function of rho:
+  // outputs for the same query can never flip within one run.
+  Rng rng(7);
+  auto mech = StoddardSvt::Create(1.0, 1.0, &rng).value();
+  const Response first = mech->Process(0.123, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(mech->Process(0.123, 0.0).is_positive(), first.is_positive());
+  }
+}
+
+TEST(ChenSvtTest, NoCutoffUnlimitedPositives) {
+  Rng rng(8);
+  auto mech = ChenSvt::Create(1.0, 1.0, &rng).value();
+  int positives = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_FALSE(mech->exhausted());
+    if (mech->Process(1e9, 0.0).is_positive()) ++positives;
+  }
+  EXPECT_EQ(positives, 2000);
+}
+
+TEST(GpttTest, GeneralizesAlg6) {
+  Rng rng(9);
+  auto gptt = Gptt::Create(0.5, 0.5, 1.0, &rng).value();
+  EXPECT_DOUBLE_EQ(gptt->spec().rho_scale, 2.0);
+  EXPECT_DOUBLE_EQ(gptt->spec().nu_scale, 2.0);
+  EXPECT_FALSE(gptt->spec().cutoff.has_value());
+
+  auto skewed = Gptt::Create(0.9, 0.1, 1.0, &rng).value();
+  EXPECT_NEAR(skewed->spec().rho_scale, 1.0 / 0.9, 1e-12);
+  EXPECT_NEAR(skewed->spec().nu_scale, 10.0, 1e-12);
+}
+
+TEST(VariantFactoryTest, AllIdsConstruct) {
+  Rng rng(10);
+  for (VariantId id : {VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
+                       VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
+                       VariantId::kStandard, VariantId::kGptt}) {
+    auto mech = MakeVariantMechanism(id, 1.0, 1.0, 3, &rng);
+    ASSERT_TRUE(mech.ok()) << VariantIdToString(id);
+    // Every mechanism can process a query.
+    (*mech)->Process(0.0, 0.0);
+    EXPECT_EQ((*mech)->queries_processed(), 1);
+  }
+}
+
+TEST(VariantFactoryTest, RejectsBadArgs) {
+  Rng rng(11);
+  EXPECT_FALSE(MakeVariantMechanism(VariantId::kAlg1, -1.0, 1.0, 3, &rng).ok());
+  EXPECT_FALSE(MakeVariantMechanism(VariantId::kAlg2, 1.0, 0.0, 3, &rng).ok());
+  EXPECT_FALSE(MakeVariantMechanism(VariantId::kAlg3, 1.0, 1.0, 0, &rng).ok());
+  EXPECT_FALSE(
+      MakeVariantMechanism(VariantId::kAlg1, 1.0, 1.0, 3, nullptr).ok());
+}
+
+TEST(CustomSvtTest, RunsArbitrarySpec) {
+  Rng rng(12);
+  VariantSpec spec = MakeAlg1Spec(2.0, 1.0, 2);
+  CustomSvt mech(spec, &rng);
+  const std::vector<double> answers = {100.0, -100.0, 100.0, 100.0};
+  const std::vector<Response> rs = mech.Run(answers, 0.0);
+  int positives = 0;
+  for (const Response& r : rs) positives += r.is_positive() ? 1 : 0;
+  EXPECT_LE(positives, 2);
+}
+
+TEST(CustomSvtTest, ResetRedrawsThreshold) {
+  Rng rng(13);
+  VariantSpec spec = MakeAlg5Spec(1.0, 1.0);  // ν = 0: output reveals rho side
+  CustomSvt mech(spec, &rng);
+  // For answer 0 and threshold 0, output is ⊤ iff 0 >= rho, i.e. rho <= 0:
+  // a fair coin across resets. Both outcomes must occur over many resets.
+  int positives = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    positives += mech.Process(0.0, 0.0).is_positive() ? 1 : 0;
+    mech.Reset();
+  }
+  EXPECT_GT(positives, trials / 3);
+  EXPECT_LT(positives, 2 * trials / 3);
+}
+
+class AllVariantsSweep : public ::testing::TestWithParam<VariantId> {};
+
+TEST_P(AllVariantsSweep, DeterministicGivenSeed) {
+  const VariantId id = GetParam();
+  const std::vector<double> answers = {3.0, -5.0, 11.0, 0.5, -2.0, 8.0};
+  Rng rng1(77), rng2(77);
+  auto m1 = MakeVariantMechanism(id, 0.7, 1.0, 2, &rng1).value();
+  auto m2 = MakeVariantMechanism(id, 0.7, 1.0, 2, &rng2).value();
+  EXPECT_EQ(ToString(m1->Run(answers, 1.0)), ToString(m2->Run(answers, 1.0)));
+}
+
+TEST_P(AllVariantsSweep, ResetZeroesCounters) {
+  const VariantId id = GetParam();
+  Rng rng(78);
+  auto mech = MakeVariantMechanism(id, 0.7, 1.0, 2, &rng).value();
+  mech->Process(10.0, 0.0);
+  mech->Reset();
+  EXPECT_EQ(mech->queries_processed(), 0);
+  EXPECT_EQ(mech->positives_emitted(), 0);
+  EXPECT_FALSE(mech->exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, AllVariantsSweep,
+    ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
+                      VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
+                      VariantId::kStandard, VariantId::kGptt));
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,112 @@
+#include "core/top_select.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/svt_variants.h"
+
+namespace svt {
+namespace {
+
+TEST(TrueTopCTest, FindsLargest) {
+  const std::vector<double> scores = {1.0, 9.0, 3.0, 7.0, 5.0};
+  const auto top2 = TrueTopC(scores, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 3u);
+}
+
+TEST(TrueTopCTest, TieBreaksByIndex) {
+  const std::vector<double> scores = {5.0, 5.0, 5.0};
+  const auto top2 = TrueTopC(scores, 2);
+  EXPECT_EQ(top2[0], 0u);
+  EXPECT_EQ(top2[1], 1u);
+}
+
+TEST(TrueTopCTest, ZeroAndFullC) {
+  const std::vector<double> scores = {2.0, 1.0};
+  EXPECT_TRUE(TrueTopC(scores, 0).empty());
+  EXPECT_EQ(TrueTopC(scores, 2).size(), 2u);
+}
+
+TEST(PaperThresholdTest, AveragesBoundaryScores) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0, 2.0};
+  // c = 2: avg of 2nd (8) and 3rd (6) largest = 7.
+  EXPECT_DOUBLE_EQ(PaperThreshold(scores, 2), 7.0);
+  // c = 1: avg of 10 and 8 = 9.
+  EXPECT_DOUBLE_EQ(PaperThreshold(scores, 1), 9.0);
+}
+
+TEST(PaperThresholdTest, UnsortedInput) {
+  const std::vector<double> scores = {4.0, 10.0, 2.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(PaperThreshold(scores, 2), 7.0);
+}
+
+TEST(PaperThresholdTest, WithTies) {
+  const std::vector<double> scores = {5.0, 5.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(PaperThreshold(scores, 2), 5.0);
+  EXPECT_DOUBLE_EQ(PaperThreshold(scores, 3), 3.0);
+}
+
+TEST(CollectPositivesTest, MapsPositiveIndices) {
+  Rng rng(1);
+  SvtOptions o;
+  o.epsilon = 1e6;  // negligible noise: deterministic comparisons
+  o.cutoff = 10;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const std::vector<double> scores = {10.0, -10.0, 10.0, -10.0, 10.0};
+  const auto selected = CollectPositives(*mech, scores, 0.0);
+  EXPECT_EQ(selected, (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(CollectPositivesTest, StopsAtCutoff) {
+  Rng rng(2);
+  SvtOptions o;
+  o.epsilon = 1e6;
+  o.cutoff = 2;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const std::vector<double> scores(10, 100.0);
+  const auto selected = CollectPositives(*mech, scores, 0.0);
+  EXPECT_EQ(selected, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SelectTopCWithSvtTest, EndToEnd) {
+  Rng rng(3);
+  SvtOptions o;
+  o.epsilon = 1e5;
+  o.cutoff = 3;
+  o.monotonic = true;
+  std::vector<double> scores(100);
+  for (int i = 0; i < 100; ++i) scores[i] = i;
+  const double threshold = PaperThreshold(scores, 3);  // between 97 and 96
+  const auto selected =
+      SelectTopCWithSvt(scores, threshold, o, rng).value();
+  // Near-zero noise: the three largest (97, 98, 99) are selected.
+  EXPECT_EQ(selected, (std::vector<size_t>{97, 98, 99}));
+}
+
+TEST(SelectTopCWithEmTest, EndToEnd) {
+  Rng rng(4);
+  EmOptions o;
+  o.epsilon = 1e5;
+  o.num_selections = 3;
+  std::vector<double> scores(50);
+  for (int i = 0; i < 50; ++i) scores[i] = i;
+  const auto selected = SelectTopCWithEm(scores, o, rng).value();
+  std::set<size_t> s(selected.begin(), selected.end());
+  EXPECT_TRUE(s.count(47) && s.count(48) && s.count(49));
+}
+
+TEST(SelectTopCWithSvtTest, PropagatesInvalidOptions) {
+  Rng rng(5);
+  SvtOptions o;
+  o.epsilon = -1.0;
+  const std::vector<double> scores = {1.0, 2.0};
+  EXPECT_FALSE(SelectTopCWithSvt(scores, 0.0, o, rng).ok());
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,138 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace svt {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("svt_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetIoTest, LoadsFimiFormat) {
+  WriteFile("basket.dat", "1 2 5\n0 2\n\n5\n");
+  const auto db = LoadFimiTransactions(Path("basket.dat"));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_transactions(), 3u);  // blank line skipped
+  EXPECT_EQ(db->num_items(), 6u);         // max id 5 => 6 items
+  EXPECT_EQ(db->ItemSupport(2), 2u);
+  EXPECT_EQ(db->ItemSupport(5), 2u);
+  EXPECT_EQ(db->ItemSupport(3), 0u);
+}
+
+TEST_F(DatasetIoTest, MinItemsExtendsDomain) {
+  WriteFile("small.dat", "0 1\n");
+  const auto db = LoadFimiTransactions(Path("small.dat"), /*min_items=*/10);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_items(), 10u);
+}
+
+TEST_F(DatasetIoTest, RejectsMissingFile) {
+  const auto db = LoadFimiTransactions(Path("nonexistent.dat"));
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, RejectsGarbageTokens) {
+  WriteFile("bad.dat", "1 2 three\n");
+  const auto db = LoadFimiTransactions(Path("bad.dat"));
+  EXPECT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("bad item id"), std::string::npos);
+}
+
+TEST_F(DatasetIoTest, RejectsEmptyFile) {
+  WriteFile("empty.dat", "\n\n");
+  const auto db = LoadFimiTransactions(Path("empty.dat"));
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DatasetIoTest, TransactionsRoundTrip) {
+  Rng rng(1);
+  std::vector<double> profile(20);
+  for (int i = 0; i < 20; ++i) profile[i] = 100.0 / (i + 1);
+  const TransactionDb original =
+      GenerateTransactions(ScoreVector(profile), 150, rng);
+
+  ASSERT_TRUE(SaveFimiTransactions(original, Path("round.dat")).ok());
+  const auto loaded =
+      LoadFimiTransactions(Path("round.dat"), original.num_items());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_transactions(), original.num_transactions());
+  EXPECT_EQ(loaded->ItemSupports(), original.ItemSupports());
+  for (size_t t = 0; t < original.num_transactions(); ++t) {
+    ASSERT_EQ(loaded->transaction(t), original.transaction(t)) << t;
+  }
+}
+
+TEST_F(DatasetIoTest, ScoresRoundTrip) {
+  Rng rng(2);
+  DatasetSpec spec = ZipfSpec();
+  spec.num_items = 500;
+  const ScoreVector original = GenerateScores(spec, rng);
+  ASSERT_TRUE(SaveScores(original, Path("scores.txt")).ok());
+  const auto loaded = LoadScores(Path("scores.txt"));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    ASSERT_DOUBLE_EQ((*loaded)[i], original[i]) << i;
+  }
+}
+
+TEST_F(DatasetIoTest, LoadScoresSkipsComments) {
+  WriteFile("scores.txt", "# header\n0 10.5\n2 3.25\n");
+  const auto scores = LoadScores(Path("scores.txt"));
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 3u);
+  EXPECT_DOUBLE_EQ((*scores)[0], 10.5);
+  EXPECT_DOUBLE_EQ((*scores)[1], 0.0);  // missing id defaults to 0
+  EXPECT_DOUBLE_EQ((*scores)[2], 3.25);
+}
+
+TEST_F(DatasetIoTest, LoadScoresRejectsNegative) {
+  WriteFile("neg.txt", "0 -5\n");
+  EXPECT_FALSE(LoadScores(Path("neg.txt")).ok());
+}
+
+TEST_F(DatasetIoTest, LoadScoresRejectsMalformedLine) {
+  WriteFile("malformed.txt", "0\n");
+  EXPECT_FALSE(LoadScores(Path("malformed.txt")).ok());
+}
+
+TEST_F(DatasetIoTest, SaveRejectsUnwritablePath) {
+  const TransactionDb db = [] {
+    TransactionDb d(2);
+    d.Add({0});
+    return d;
+  }();
+  EXPECT_FALSE(
+      SaveFimiTransactions(db, "/nonexistent_dir_xyz/file.dat").ok());
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,181 @@
+#include "data/fpgrowth.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace svt {
+namespace {
+
+TransactionDb ClassicDb() {
+  // The canonical FP-growth textbook example (Han et al.).
+  TransactionDb db(6);
+  db.Add({0, 1, 4});     // f, a, m (relabeled)
+  db.Add({0, 1, 2, 4});
+  db.Add({0, 5});
+  db.Add({1, 3});
+  db.Add({0, 1, 3, 4});
+  return db;
+}
+
+std::set<std::string> AsStrings(const std::vector<FrequentItemset>& sets) {
+  std::set<std::string> out;
+  for (const auto& s : sets) out.insert(ToString(s));
+  return out;
+}
+
+TEST(FpGrowthTest, MatchesBruteForceOnClassicExample) {
+  const TransactionDb db = ClassicDb();
+  for (uint64_t min_support : {1u, 2u, 3u, 4u, 5u}) {
+    FpGrowthOptions o;
+    o.min_support = min_support;
+    const auto fp = MineFrequentItemsets(db, o);
+    const auto bf = MineFrequentItemsetsBruteForce(db, o);
+    EXPECT_EQ(AsStrings(fp), AsStrings(bf)) << "min_support=" << min_support;
+  }
+}
+
+TEST(FpGrowthTest, SingletonSupports) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 3;
+  o.max_itemset_size = 1;
+  const auto sets = MineFrequentItemsets(db, o);
+  // Supports: item0=4, item1=4, item4=3; others below 3.
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].support, 4u);
+  EXPECT_EQ(sets[1].support, 4u);
+  EXPECT_EQ(sets[2].support, 3u);
+  EXPECT_EQ(sets[2].items, (std::vector<ItemId>{4}));
+}
+
+TEST(FpGrowthTest, FindsMultiItemSets) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 3;
+  const auto sets = MineFrequentItemsets(db, o);
+  const auto strings = AsStrings(sets);
+  // {0,1} appears in transactions 0,1,4 -> support 3; {0,1,4} likewise.
+  EXPECT_TRUE(strings.count("{0,1}:3")) << "got: " << *strings.begin();
+  EXPECT_TRUE(strings.count("{0,4}:3"));
+  EXPECT_TRUE(strings.count("{1,4}:3"));
+  EXPECT_TRUE(strings.count("{0,1,4}:3"));
+}
+
+TEST(FpGrowthTest, MinSupportFilters) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 5;
+  EXPECT_TRUE(MineFrequentItemsets(db, o).empty());
+}
+
+TEST(FpGrowthTest, MaxItemsetSizeCaps) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 2;
+  o.max_itemset_size = 2;
+  for (const auto& s : MineFrequentItemsets(db, o)) {
+    EXPECT_LE(s.items.size(), 2u);
+  }
+}
+
+TEST(FpGrowthTest, MaxResultsKeepsHighestSupport) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 1;
+  o.max_results = 3;
+  const auto sets = MineFrequentItemsets(db, o);
+  ASSERT_EQ(sets.size(), 3u);
+  // Sorted by support descending: first two are the support-4 singletons.
+  EXPECT_EQ(sets[0].support, 4u);
+  EXPECT_GE(sets[1].support, sets[2].support);
+}
+
+TEST(FpGrowthTest, EmptyDatabase) {
+  TransactionDb db(3);
+  FpGrowthOptions o;
+  o.min_support = 1;
+  EXPECT_TRUE(MineFrequentItemsets(db, o).empty());
+}
+
+TEST(FpGrowthTest, SingleTransaction) {
+  TransactionDb db(3);
+  db.Add({0, 1, 2});
+  FpGrowthOptions o;
+  o.min_support = 1;
+  const auto sets = MineFrequentItemsets(db, o);
+  // All 7 non-empty subsets.
+  EXPECT_EQ(sets.size(), 7u);
+  for (const auto& s : sets) EXPECT_EQ(s.support, 1u);
+}
+
+TEST(FpGrowthTest, SupportsAreCorrectAgainstDb) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 2;
+  for (const auto& s : MineFrequentItemsets(db, o)) {
+    EXPECT_EQ(s.support, db.ItemsetSupport(s.items)) << ToString(s);
+  }
+}
+
+TEST(FpGrowthTest, DeterministicOrdering) {
+  const TransactionDb db = ClassicDb();
+  FpGrowthOptions o;
+  o.min_support = 2;
+  const auto a = MineFrequentItemsets(db, o);
+  const auto b = MineFrequentItemsets(db, o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// Randomized differential test against brute force.
+class FpGrowthRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FpGrowthRandomSweep, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const uint32_t num_items = 8;
+  TransactionDb db(num_items);
+  const size_t n_txn = 30;
+  for (size_t t = 0; t < n_txn; ++t) {
+    Transaction txn;
+    for (ItemId i = 0; i < num_items; ++i) {
+      if (rng.NextBernoulli(0.35)) txn.push_back(i);
+    }
+    if (txn.empty()) txn.push_back(static_cast<ItemId>(
+        rng.NextBounded(num_items)));
+    db.Add(txn);
+  }
+  FpGrowthOptions o;
+  o.min_support = 3 + (GetParam() % 5);
+  EXPECT_EQ(AsStrings(MineFrequentItemsets(db, o)),
+            AsStrings(MineFrequentItemsetsBruteForce(db, o)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpGrowthRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FpGrowthTest, GeneratedDataIntegration) {
+  Rng rng(99);
+  std::vector<double> profile(30);
+  for (int i = 0; i < 30; ++i) profile[i] = 300.0 / (i + 1);
+  const TransactionDb db =
+      GenerateTransactions(ScoreVector(profile), 400, rng);
+  FpGrowthOptions o;
+  o.min_support = 40;
+  const auto sets = MineFrequentItemsets(db, o);
+  // The head items must be frequent singletons.
+  bool found_item0 = false;
+  for (const auto& s : sets) {
+    if (s.items == std::vector<ItemId>{0}) found_item0 = true;
+    EXPECT_EQ(s.support, db.ItemsetSupport(s.items));
+  }
+  EXPECT_TRUE(found_item0);
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,162 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset_spec.h"
+
+namespace svt {
+namespace {
+
+TEST(DatasetSpecTest, Table1Sizes) {
+  // The record/item counts of the paper's Table 1, exactly.
+  const DatasetSpec bms = BmsPosSpec();
+  EXPECT_EQ(bms.num_records, 515597u);
+  EXPECT_EQ(bms.num_items, 1657u);
+
+  const DatasetSpec kosarak = KosarakSpec();
+  EXPECT_EQ(kosarak.num_records, 990002u);
+  EXPECT_EQ(kosarak.num_items, 41270u);
+
+  const DatasetSpec aol = AolSpec();
+  EXPECT_EQ(aol.num_records, 647377u);
+  EXPECT_EQ(aol.num_items, 2290685u);
+
+  const DatasetSpec zipf = ZipfSpec();
+  EXPECT_EQ(zipf.num_records, 1000000u);
+  EXPECT_EQ(zipf.num_items, 10000u);
+  EXPECT_DOUBLE_EQ(zipf.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(zipf.jitter, 0.0);
+}
+
+TEST(DatasetSpecTest, AllSpecsHasFour) {
+  const auto specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "BMS-POS");
+  EXPECT_EQ(specs[3].name, "Zipf");
+}
+
+TEST(DatasetSpecTest, ScaledSpecShrinksProportionally) {
+  const DatasetSpec full = KosarakSpec();
+  const DatasetSpec half = ScaledSpec(full, 0.5);
+  EXPECT_NEAR(half.num_items, full.num_items * 0.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(half.num_records),
+              static_cast<double>(full.num_records) * 0.5, 1.0);
+  EXPECT_EQ(ScaledSpec(full, 1.0).num_items, full.num_items);
+}
+
+TEST(DatasetSpecTest, ScaledSpecFloorsAtTwoItems) {
+  const DatasetSpec tiny = ScaledSpec(BmsPosSpec(), 1e-9);
+  EXPECT_GE(tiny.num_items, 2u);
+}
+
+TEST(GenerateScoresTest, ZipfIsExactPaperConstruction) {
+  Rng rng(1);
+  const ScoreVector scores = GenerateScores(ZipfSpec(), rng);
+  ASSERT_EQ(scores.size(), 10000u);
+  // score_i ∝ 1/i: ratios between ranks must match (integer rounding
+  // aside) and rank order must be strictly decreasing in the head.
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[1], scores[2]);
+  EXPECT_NEAR(scores[0] / scores[1], 2.0, 0.01);
+  EXPECT_NEAR(scores[0] / scores[4], 5.0, 0.05);
+  // Total mass ≈ 1M (rounding to integers loses a little).
+  EXPECT_NEAR(scores.Total(), 1e6, 1e4);
+}
+
+TEST(GenerateScoresTest, DeterministicGivenSeed) {
+  Rng rng1(7), rng2(7);
+  const ScoreVector a = GenerateScores(BmsPosSpec(), rng1);
+  const ScoreVector b = GenerateScores(BmsPosSpec(), rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(GenerateScoresTest, RespectsItemCountAndMass) {
+  Rng rng(2);
+  for (const DatasetSpec& spec :
+       {BmsPosSpec(), KosarakSpec(), ZipfSpec()}) {
+    const ScoreVector scores = GenerateScores(spec, rng);
+    EXPECT_EQ(scores.size(), spec.num_items) << spec.name;
+    // Jitter and rounding move total mass by only a few percent.
+    EXPECT_NEAR(scores.Total() / spec.total_occurrences(), 1.0, 0.05)
+        << spec.name;
+  }
+}
+
+TEST(GenerateScoresTest, HeadIsHeavyTailIsLight) {
+  Rng rng(3);
+  const ScoreVector scores = GenerateScores(KosarakSpec(), rng);
+  const auto sorted = scores.SortedDescending();
+  // Power law: top item much larger than median, median larger than tail.
+  EXPECT_GT(sorted[0], 10.0 * sorted[sorted.size() / 2]);
+  EXPECT_GE(sorted[sorted.size() / 2], sorted[sorted.size() - 1]);
+}
+
+TEST(GenerateScoresTest, ScaledSpecKeepsShape) {
+  Rng rng(4);
+  const DatasetSpec spec = ScaledSpec(AolSpec(), 0.01);
+  const ScoreVector scores = GenerateScores(spec, rng);
+  EXPECT_EQ(scores.size(), spec.num_items);
+  const auto sorted = scores.SortedDescending();
+  EXPECT_GT(sorted[0], sorted[100]);
+}
+
+TEST(GenerateTransactionsTest, RecordCountMatches) {
+  Rng rng(5);
+  const ScoreVector scores({50.0, 30.0, 20.0, 10.0, 5.0});
+  const TransactionDb db = GenerateTransactions(scores, 200, rng);
+  EXPECT_EQ(db.num_transactions(), 200u);
+  EXPECT_EQ(db.num_items(), 5u);
+}
+
+TEST(GenerateTransactionsTest, SupportsTrackScoreProfile) {
+  Rng rng(6);
+  // Heavily skewed profile over 20 items.
+  std::vector<double> raw(20);
+  for (int i = 0; i < 20; ++i) raw[i] = 1000.0 / (i + 1);
+  const ScoreVector scores(raw);
+  const TransactionDb db = GenerateTransactions(scores, 5000, rng);
+  const auto supports = db.ItemSupports();
+  // Rank correlation: item 0 must dominate item 10, which dominates 19.
+  EXPECT_GT(supports[0], supports[10]);
+  EXPECT_GT(supports[10], supports[19]);
+}
+
+TEST(GenerateTransactionsTest, HandlesAllZeroScores) {
+  Rng rng(7);
+  const ScoreVector scores(std::vector<double>(5, 0.0));
+  const TransactionDb db = GenerateTransactions(scores, 50, rng);
+  EXPECT_EQ(db.num_transactions(), 50u);
+  EXPECT_GT(db.TotalOccurrences(), 0u);
+}
+
+TEST(GenerateDatabaseTest, SmallSpecEndToEnd) {
+  Rng rng(8);
+  DatasetSpec spec = ScaledSpec(BmsPosSpec(), 0.01);
+  spec.num_records = 500;  // keep the test fast
+  const TransactionDb db = GenerateDatabase(spec, rng);
+  EXPECT_EQ(db.num_transactions(), 500u);
+  EXPECT_EQ(db.num_items(), spec.num_items);
+}
+
+// Figure 3 reproduction property: the top-300 curves are monotone
+// decreasing and span roughly the paper's dynamic ranges.
+TEST(Figure3ShapeTest, TopScoresAreMonotoneAndHeavy) {
+  Rng rng(9);
+  for (const DatasetSpec& spec :
+       {BmsPosSpec(), KosarakSpec(), ZipfSpec()}) {
+    const ScoreVector scores = GenerateScores(spec, rng);
+    const auto top = scores.TopK(300);
+    for (size_t i = 1; i < top.size(); ++i) {
+      ASSERT_GE(top[i - 1], top[i]) << spec.name << " rank " << i;
+    }
+    EXPECT_GT(top[0], 1e4) << spec.name;   // head is large (Fig. 3 y-range)
+    EXPECT_GT(top[299], 1e2) << spec.name; // rank 300 still substantial
+  }
+}
+
+}  // namespace
+}  // namespace svt

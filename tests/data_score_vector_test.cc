@@ -1,0 +1,85 @@
+#include "data/score_vector.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+TEST(ScoreVectorTest, BasicAccessors) {
+  ScoreVector v({3.0, 1.0, 2.0});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.empty());
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v.Total(), 6.0);
+  EXPECT_DOUBLE_EQ(v.Max(), 3.0);
+}
+
+TEST(ScoreVectorTest, EmptyDefault) {
+  ScoreVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_DOUBLE_EQ(v.Total(), 0.0);
+}
+
+TEST(ScoreVectorTest, RejectsNegativeScores) {
+  EXPECT_DEATH(ScoreVector({1.0, -0.5}), "non-negative");
+}
+
+TEST(ScoreVectorTest, SortedDescending) {
+  ScoreVector v({3.0, 1.0, 2.0, 5.0});
+  EXPECT_EQ(v.SortedDescending(), (std::vector<double>{5.0, 3.0, 2.0, 1.0}));
+}
+
+TEST(ScoreVectorTest, TopK) {
+  ScoreVector v({3.0, 1.0, 2.0, 5.0});
+  EXPECT_EQ(v.TopK(2), (std::vector<double>{5.0, 3.0}));
+  EXPECT_EQ(v.TopK(0), std::vector<double>{});
+  EXPECT_EQ(v.TopK(4).size(), 4u);
+}
+
+TEST(ScoreVectorTest, ShuffledPreservesMultiset) {
+  Rng rng(1);
+  std::vector<double> base(100);
+  for (int i = 0; i < 100; ++i) base[i] = i;
+  ScoreVector v(base);
+  ScoreVector shuffled = v.Shuffled(rng);
+  ASSERT_EQ(shuffled.size(), v.size());
+  std::vector<double> sorted(shuffled.scores().begin(),
+                             shuffled.scores().end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, base);
+}
+
+TEST(ScoreVectorTest, ShuffledActuallyPermutes) {
+  Rng rng(2);
+  std::vector<double> base(64);
+  for (int i = 0; i < 64; ++i) base[i] = i;
+  ScoreVector v(base);
+  ScoreVector shuffled = v.Shuffled(rng);
+  const std::vector<double> after(shuffled.scores().begin(),
+                                  shuffled.scores().end());
+  EXPECT_NE(after, base);
+}
+
+TEST(ScoreVectorTest, PermutedAppliesMapping) {
+  ScoreVector v({10.0, 20.0, 30.0});
+  const std::vector<uint32_t> perm = {2, 0, 1};
+  ScoreVector p = v.Permuted(perm);
+  EXPECT_DOUBLE_EQ(p[0], 30.0);
+  EXPECT_DOUBLE_EQ(p[1], 10.0);
+  EXPECT_DOUBLE_EQ(p[2], 20.0);
+}
+
+TEST(ScoreVectorTest, PermutedChecksSize) {
+  ScoreVector v({1.0, 2.0});
+  const std::vector<uint32_t> bad = {0};
+  EXPECT_DEATH(v.Permuted(bad), "SVT_CHECK");
+}
+
+}  // namespace
+}  // namespace svt

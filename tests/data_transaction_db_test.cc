@@ -1,0 +1,135 @@
+#include "data/transaction_db.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/queries.h"
+
+namespace svt {
+namespace {
+
+TransactionDb SmallDb() {
+  // Items 0..4 over 5 transactions.
+  TransactionDb db(5);
+  db.Add({0, 1, 2});
+  db.Add({0, 1});
+  db.Add({0, 3});
+  db.Add({1, 2, 3});
+  db.Add({4});
+  return db;
+}
+
+TEST(TransactionDbTest, Counts) {
+  const TransactionDb db = SmallDb();
+  EXPECT_EQ(db.num_transactions(), 5u);
+  EXPECT_EQ(db.num_items(), 5u);
+  EXPECT_EQ(db.TotalOccurrences(), 11u);
+}
+
+TEST(TransactionDbTest, AddSortsAndDedups) {
+  TransactionDb db(10);
+  db.Add({5, 2, 5, 9, 2});
+  EXPECT_EQ(db.transaction(0), (Transaction{2, 5, 9}));
+}
+
+TEST(TransactionDbTest, AddRejectsOutOfRangeItem) {
+  TransactionDb db(3);
+  EXPECT_DEATH(db.Add({0, 3}), "out of range");
+}
+
+TEST(TransactionDbTest, ItemSupport) {
+  const TransactionDb db = SmallDb();
+  EXPECT_EQ(db.ItemSupport(0), 3u);
+  EXPECT_EQ(db.ItemSupport(1), 3u);
+  EXPECT_EQ(db.ItemSupport(2), 2u);
+  EXPECT_EQ(db.ItemSupport(3), 2u);
+  EXPECT_EQ(db.ItemSupport(4), 1u);
+}
+
+TEST(TransactionDbTest, ItemSupportsBatchMatchesSingles) {
+  const TransactionDb db = SmallDb();
+  const auto batch = db.ItemSupports();
+  ASSERT_EQ(batch.size(), 5u);
+  for (ItemId i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[i], db.ItemSupport(i)) << "item " << i;
+  }
+}
+
+TEST(TransactionDbTest, ItemsetSupport) {
+  const TransactionDb db = SmallDb();
+  const std::vector<ItemId> s01 = {0, 1};
+  const std::vector<ItemId> s123 = {1, 2, 3};
+  const std::vector<ItemId> s04 = {0, 4};
+  EXPECT_EQ(db.ItemsetSupport(s01), 2u);
+  EXPECT_EQ(db.ItemsetSupport(s123), 1u);
+  EXPECT_EQ(db.ItemsetSupport(s04), 0u);
+}
+
+TEST(TransactionDbTest, WithoutTransactionIsNeighbor) {
+  const TransactionDb db = SmallDb();
+  const TransactionDb neighbor = db.WithoutTransaction(0);  // removes {0,1,2}
+  EXPECT_EQ(neighbor.num_transactions(), 4u);
+  EXPECT_EQ(neighbor.ItemSupport(0), 2u);
+  EXPECT_EQ(neighbor.ItemSupport(2), 1u);
+  // Original untouched.
+  EXPECT_EQ(db.ItemSupport(0), 3u);
+}
+
+TEST(TransactionDbTest, WithTransactionIsNeighbor) {
+  const TransactionDb db = SmallDb();
+  const TransactionDb neighbor = db.WithTransaction({2, 4});
+  EXPECT_EQ(neighbor.num_transactions(), 6u);
+  EXPECT_EQ(neighbor.ItemSupport(2), 3u);
+  EXPECT_EQ(neighbor.ItemSupport(4), 2u);
+}
+
+// The §4.3 monotonicity property: removing a transaction moves every item
+// support in the same (non-increasing) direction by at most 1.
+TEST(TransactionDbTest, SupportsAreMonotoneSensitivityOne) {
+  const TransactionDb db = SmallDb();
+  for (size_t t = 0; t < db.num_transactions(); ++t) {
+    const TransactionDb neighbor = db.WithoutTransaction(t);
+    const auto before = db.ItemSupports();
+    const auto after = neighbor.ItemSupports();
+    for (ItemId i = 0; i < db.num_items(); ++i) {
+      EXPECT_LE(after[i], before[i]);
+      EXPECT_LE(before[i] - after[i], 1u);
+    }
+  }
+}
+
+TEST(ItemSupportQueryTest, EvaluatesSupport) {
+  const TransactionDb db = SmallDb();
+  ItemSupportQuery q(1);
+  EXPECT_DOUBLE_EQ(q.Evaluate(db), 3.0);
+  EXPECT_DOUBLE_EQ(q.sensitivity(), 1.0);
+  EXPECT_EQ(q.name(), "support(item=1)");
+}
+
+TEST(ItemsetSupportQueryTest, EvaluatesAndNormalizes) {
+  const TransactionDb db = SmallDb();
+  ItemsetSupportQuery q({1, 0, 1});  // dedup + sort -> {0,1}
+  EXPECT_DOUBLE_EQ(q.Evaluate(db), 2.0);
+  EXPECT_EQ(q.itemset(), (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(q.name(), "support({0,1})");
+}
+
+TEST(AllItemSupportQueriesTest, OnePerItem) {
+  const auto queries = AllItemSupportQueries(7);
+  ASSERT_EQ(queries.size(), 7u);
+  EXPECT_EQ(queries[3].item(), 3u);
+}
+
+TEST(EvaluateAllItemSupportsTest, MatchesPerQueryEvaluation) {
+  const TransactionDb db = SmallDb();
+  const auto batch = EvaluateAllItemSupports(db);
+  const auto queries = AllItemSupportQueries(db.num_items());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], queries[i].Evaluate(db));
+  }
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,175 @@
+#include "eval/experiment.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/reporting.h"
+
+namespace svt {
+namespace {
+
+ScoreVector LinearScores(size_t n) {
+  std::vector<double> s(n);
+  for (size_t i = 0; i < n; ++i) s[i] = static_cast<double>(n - i);
+  return ScoreVector(std::move(s));
+}
+
+SweepConfig SmallSweep() {
+  SweepConfig cfg;
+  cfg.c_values = {5, 10};
+  cfg.epsilon = 1.0;
+  cfg.runs = 5;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(MethodConfigTest, LabelsMatchPaper) {
+  EXPECT_EQ(MethodConfig::SvtDpBook().label, "SVT-DPBook");
+  EXPECT_EQ(MethodConfig::SvtStandard(AllocationPolicy::kOneToOne).label,
+            "SVT-S-1:1");
+  EXPECT_EQ(MethodConfig::SvtStandard(AllocationPolicy::kOneToThree).label,
+            "SVT-S-1:3");
+  EXPECT_EQ(MethodConfig::SvtStandard(AllocationPolicy::kOneToC).label,
+            "SVT-S-1:c");
+  EXPECT_EQ(MethodConfig::SvtStandard(AllocationPolicy::kOptimal).label,
+            "SVT-S-1:c^2/3");
+  EXPECT_EQ(MethodConfig::SvtRetraversal(3.0).label, "SVT-ReTr-1:c^2/3-3D");
+  EXPECT_EQ(MethodConfig::Em().label, "EM");
+}
+
+TEST(MethodLineupsTest, FigureRosters) {
+  EXPECT_EQ(Figure4Methods().size(), 5u);   // DPBook + 4 allocations
+  EXPECT_EQ(Figure5Methods().size(), 7u);   // SVT-S + 5 ReTr + EM
+}
+
+TEST(RunMethodOnceTest, EveryKindRuns) {
+  Rng rng(1);
+  const ScoreVector scores = LinearScores(100);
+  const double threshold = 90.0;
+  for (const MethodConfig& m :
+       {MethodConfig::SvtDpBook(),
+        MethodConfig::SvtStandard(AllocationPolicy::kOptimal),
+        MethodConfig::SvtRetraversal(2.0), MethodConfig::Em()}) {
+    const auto selected = RunMethodOnce(scores.scores(), threshold, 10, 1.0,
+                                        true, m, rng);
+    ASSERT_TRUE(selected.ok()) << m.label;
+    EXPECT_LE(selected.value().size(), 10u) << m.label;
+  }
+}
+
+TEST(RunMethodOnceTest, EmAlwaysReturnsExactlyC) {
+  Rng rng(2);
+  const ScoreVector scores = LinearScores(50);
+  const auto selected = RunMethodOnce(scores.scores(), 40.0, 12, 0.5, true,
+                                      MethodConfig::Em(), rng);
+  EXPECT_EQ(selected.value().size(), 12u);
+}
+
+TEST(RunSelectionSweepTest, ShapesAreConsistent) {
+  const ScoreVector scores = LinearScores(64);
+  const SweepConfig cfg = SmallSweep();
+  const auto methods = Figure4Methods();
+  const auto series = RunSelectionSweep(scores, cfg, methods).value();
+  ASSERT_EQ(series.size(), methods.size());
+  for (const MethodSeries& s : series) {
+    ASSERT_EQ(s.cells.size(), cfg.c_values.size());
+    for (const CellStats& cell : s.cells) {
+      EXPECT_EQ(cell.ser.count(), cfg.runs);
+      EXPECT_EQ(cell.fnr.count(), cfg.runs);
+      EXPECT_GE(cell.ser.min(), -1e-9);
+      EXPECT_LE(cell.ser.max(), 1.0 + 1e-9);
+      EXPECT_GE(cell.fnr.min(), -1e-9);
+      EXPECT_LE(cell.fnr.max(), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RunSelectionSweepTest, DeterministicGivenSeed) {
+  const ScoreVector scores = LinearScores(64);
+  const SweepConfig cfg = SmallSweep();
+  const auto methods = std::vector<MethodConfig>{MethodConfig::Em()};
+  const auto a = RunSelectionSweep(scores, cfg, methods).value();
+  const auto b = RunSelectionSweep(scores, cfg, methods).value();
+  for (size_t ci = 0; ci < cfg.c_values.size(); ++ci) {
+    EXPECT_DOUBLE_EQ(a[0].cells[ci].ser.mean(), b[0].cells[ci].ser.mean());
+    EXPECT_DOUBLE_EQ(a[0].cells[ci].fnr.mean(), b[0].cells[ci].fnr.mean());
+  }
+}
+
+TEST(RunSelectionSweepTest, ValidatesInputs) {
+  const ScoreVector scores = LinearScores(10);
+  SweepConfig cfg = SmallSweep();
+  cfg.c_values = {10};  // c == size: invalid (need c < size)
+  EXPECT_FALSE(
+      RunSelectionSweep(scores, cfg, {MethodConfig::Em()}).ok());
+  cfg = SmallSweep();
+  cfg.runs = 0;
+  EXPECT_FALSE(
+      RunSelectionSweep(scores, cfg, {MethodConfig::Em()}).ok());
+}
+
+// With a generous budget every method should be near-perfect; with a
+// minuscule one, errors grow. (The qualitative ε-sensitivity of Fig. 4.)
+TEST(RunSelectionSweepTest, BudgetMonotonicity) {
+  const ScoreVector scores = LinearScores(128);
+  SweepConfig generous = SmallSweep();
+  generous.epsilon = 50.0;
+  SweepConfig tiny = SmallSweep();
+  tiny.epsilon = 0.001;
+  const std::vector<MethodConfig> methods = {
+      MethodConfig::SvtStandard(AllocationPolicy::kOptimal)};
+  const auto good = RunSelectionSweep(scores, generous, methods).value();
+  const auto bad = RunSelectionSweep(scores, tiny, methods).value();
+  EXPECT_LT(good[0].cells[0].ser.mean(), bad[0].cells[0].ser.mean());
+}
+
+TEST(ReportingTest, TablePrinterAlignsColumns) {
+  TablePrinter printer({"c", "EM"});
+  printer.AddRow({"25", "0.1"});
+  printer.AddRow({"300", "0.95"});
+  std::ostringstream os;
+  printer.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("c"), std::string::npos);
+  EXPECT_NE(out.find("300"), std::string::npos);
+  EXPECT_NE(out.find("0.95"), std::string::npos);
+}
+
+TEST(ReportingTest, TablePrinterRejectsRaggedRows) {
+  TablePrinter printer({"a", "b"});
+  EXPECT_DEATH(printer.AddRow({"only-one"}), "row width");
+}
+
+TEST(ReportingTest, SeriesTableAndCsv) {
+  const ScoreVector scores = LinearScores(64);
+  const SweepConfig cfg = SmallSweep();
+  const std::vector<MethodConfig> methods = {MethodConfig::Em()};
+  const auto series = RunSelectionSweep(scores, cfg, methods).value();
+
+  std::ostringstream table;
+  PrintSeriesTable(table, "test", cfg.c_values, series, Metric::kSer);
+  EXPECT_NE(table.str().find("EM"), std::string::npos);
+  EXPECT_NE(table.str().find("== test =="), std::string::npos);
+
+  std::ostringstream csv;
+  WriteSeriesCsv(csv, "linear", cfg.c_values, series, Metric::kFnr);
+  EXPECT_NE(csv.str().find("dataset,metric,c,method,mean,std"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("linear,FNR,5,EM,"), std::string::npos);
+}
+
+TEST(ReportingTest, MetricNames) {
+  EXPECT_EQ(MetricName(Metric::kSer), "SER");
+  EXPECT_EQ(MetricName(Metric::kFnr), "FNR");
+}
+
+TEST(ReportingTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace svt

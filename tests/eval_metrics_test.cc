@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace svt {
+namespace {
+
+TEST(FnrTest, PerfectSelectionIsZero) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0, 2.0};
+  const std::vector<size_t> selected = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(FalseNegativeRate(selected, scores, 3), 0.0);
+}
+
+TEST(FnrTest, EmptySelectionIsOne) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(FalseNegativeRate({}, scores, 2), 1.0);
+}
+
+TEST(FnrTest, HalfMissed) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0};
+  const std::vector<size_t> selected = {0, 3};  // hit 10, miss 8
+  EXPECT_DOUBLE_EQ(FalseNegativeRate(selected, scores, 2), 0.5);
+}
+
+TEST(FnrTest, OrderOfSelectionIrrelevant) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0};
+  EXPECT_DOUBLE_EQ(
+      FalseNegativeRate(std::vector<size_t>{1, 0}, scores, 2),
+      FalseNegativeRate(std::vector<size_t>{0, 1}, scores, 2));
+}
+
+TEST(FnrTest, BoundaryTiesCountUpToSlots) {
+  // Scores: 10, 5, 5, 5, 1 with c = 2: boundary value 5 occupies 1 slot.
+  const std::vector<double> scores = {10.0, 5.0, 5.0, 5.0, 1.0};
+  // Selecting any one of the 5s plus the 10 is a perfect selection.
+  EXPECT_DOUBLE_EQ(
+      FalseNegativeRate(std::vector<size_t>{0, 3}, scores, 2), 0.0);
+  // Selecting two 5s (missing the 10): only one counts toward top-2.
+  EXPECT_DOUBLE_EQ(
+      FalseNegativeRate(std::vector<size_t>{2, 3}, scores, 2), 0.5);
+}
+
+TEST(FnrTest, ExtraSelectionsBeyondTopCDoNotGoNegative) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0};
+  const std::vector<size_t> selected = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(FalseNegativeRate(selected, scores, 2), 0.0);
+}
+
+TEST(SerTest, PerfectSelectionIsZero) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0};
+  EXPECT_DOUBLE_EQ(ScoreErrorRate(std::vector<size_t>{0, 1}, scores, 2),
+                   0.0);
+}
+
+TEST(SerTest, EmptySelectionIsOne) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(ScoreErrorRate({}, scores, 2), 1.0);
+}
+
+TEST(SerTest, PartialCredit) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0, 4.0};
+  // Select {10, 6} when top-2 = {10, 8}: SER = 1 − 16/18.
+  EXPECT_NEAR(ScoreErrorRate(std::vector<size_t>{0, 2}, scores, 2),
+              1.0 - 16.0 / 18.0, 1e-12);
+}
+
+TEST(SerTest, UnderSelectionPenalized) {
+  const std::vector<double> scores = {10.0, 8.0, 6.0};
+  // Selecting only the top item out of c = 2: SER = 1 − 10/18 ≈ 0.444,
+  // NOT 0 (the sum convention divides by c on both sides).
+  EXPECT_NEAR(ScoreErrorRate(std::vector<size_t>{0}, scores, 2),
+              1.0 - 10.0 / 18.0, 1e-12);
+}
+
+TEST(SerTest, SelectingLowestGivesHighSer) {
+  const std::vector<double> scores = {100.0, 99.0, 1.0, 2.0};
+  EXPECT_GT(ScoreErrorRate(std::vector<size_t>{2, 3}, scores, 2), 0.9);
+}
+
+TEST(SerTest, SwapWithinTiesIsFree) {
+  const std::vector<double> scores = {10.0, 5.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(ScoreErrorRate(std::vector<size_t>{0, 2}, scores, 2),
+                   ScoreErrorRate(std::vector<size_t>{0, 1}, scores, 2));
+}
+
+TEST(SerTest, AllZeroScoresDegenerate) {
+  const std::vector<double> scores = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ScoreErrorRate({}, scores, 2), 0.0);
+}
+
+// SER and FNR correlate: a selection that is strictly worse in membership
+// cannot have lower SER when score gaps are uniform.
+TEST(MetricsTest, SerDominatedByFnrUnderUniformGaps) {
+  std::vector<double> scores(20);
+  for (int i = 0; i < 20; ++i) scores[i] = 20.0 - i;
+  const std::vector<size_t> good = {0, 1, 2, 3};
+  const std::vector<size_t> bad = {0, 1, 18, 19};
+  EXPECT_LT(FalseNegativeRate(good, scores, 4),
+            FalseNegativeRate(bad, scores, 4));
+  EXPECT_LT(ScoreErrorRate(good, scores, 4), ScoreErrorRate(bad, scores, 4));
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,158 @@
+// End-to-end integration tests across modules: generated data → private
+// top-c selection → metrics; frequent-itemset pipeline; the §6 qualitative
+// orderings on a reduced scale.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exponential_mechanism.h"
+#include "core/svt.h"
+#include "core/top_select.h"
+#include "data/fpgrowth.h"
+#include "data/generators.h"
+#include "data/queries.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace svt {
+namespace {
+
+TEST(IntegrationTest, PrivateTopItemsOnGeneratedZipf) {
+  Rng rng(1);
+  DatasetSpec spec = ZipfSpec();
+  spec.num_items = 2000;  // reduced scale, same construction
+  const ScoreVector scores = GenerateScores(spec, rng);
+
+  const int c = 20;
+  const double threshold = PaperThreshold(scores.scores(), c);
+
+  // EM with a healthy budget should achieve low SER on a Zipf head.
+  EmOptions em;
+  em.epsilon = 1.0;
+  em.num_selections = c;
+  em.monotonic = true;
+  const auto em_sel =
+      ExponentialMechanism::SelectTopC(scores.scores(), em, rng).value();
+  EXPECT_LT(ScoreErrorRate(em_sel, scores.scores(), c), 0.2);
+
+  // SVT-S with the optimal allocation should be competitive.
+  SvtOptions svt;
+  svt.epsilon = 1.0;
+  svt.cutoff = c;
+  svt.monotonic = true;
+  svt.allocation = BudgetAllocation::Optimal(c, true);
+  const ScoreVector shuffled = scores.Shuffled(rng);
+  const auto svt_sel =
+      SelectTopCWithSvt(shuffled.scores(), threshold, svt, rng).value();
+  EXPECT_LT(ScoreErrorRate(svt_sel, shuffled.scores(), c), 0.5);
+}
+
+TEST(IntegrationTest, PrivateFrequentItemsetPipeline) {
+  // The Lee–Clifton use case end to end: mine itemset candidates with
+  // FP-growth, select the top-c privately, compare to the true top-c.
+  Rng rng(2);
+  std::vector<double> profile(40);
+  for (int i = 0; i < 40; ++i) profile[i] = 2000.0 / (i + 1);
+  const TransactionDb db =
+      GenerateTransactions(ScoreVector(profile), 3000, rng);
+
+  FpGrowthOptions mine;
+  mine.min_support = 50;
+  mine.max_itemset_size = 2;
+  const auto candidates = MineFrequentItemsets(db, mine);
+  ASSERT_GT(candidates.size(), 20u);
+
+  std::vector<double> supports;
+  supports.reserve(candidates.size());
+  for (const auto& s : candidates) {
+    supports.push_back(static_cast<double>(s.support));
+  }
+
+  const int c = 10;
+  EmOptions em;
+  em.epsilon = 2.0;
+  em.num_selections = c;
+  em.monotonic = true;
+  const auto selected =
+      ExponentialMechanism::SelectTopC(supports, em, rng).value();
+  EXPECT_EQ(selected.size(), static_cast<size_t>(c));
+  // Private selection should capture most of the top support mass.
+  EXPECT_LT(ScoreErrorRate(selected, supports, c), 0.35);
+}
+
+TEST(IntegrationTest, SupportsFromTransactionsMatchQueryLayer) {
+  Rng rng(3);
+  std::vector<double> profile(25);
+  for (int i = 0; i < 25; ++i) profile[i] = 500.0 / (i + 1);
+  const TransactionDb db =
+      GenerateTransactions(ScoreVector(profile), 800, rng);
+  const auto batch = EvaluateAllItemSupports(db);
+  for (ItemId i = 0; i < db.num_items(); i += 5) {
+    EXPECT_DOUBLE_EQ(batch[i], ItemSupportQuery(i).Evaluate(db));
+  }
+}
+
+// The headline qualitative results of §6 at reduced scale:
+//  (1) SVT-S (any allocation) beats SVT-DPBook;
+//  (2) the 1:c^{2/3} allocation beats 1:1;
+//  (3) EM beats SVT-S.
+TEST(IntegrationTest, PaperQualitativeOrderings) {
+  Rng rng(4);
+  DatasetSpec spec = ZipfSpec();
+  spec.num_items = 3000;
+  const ScoreVector scores = GenerateScores(spec, rng);
+
+  SweepConfig cfg;
+  cfg.c_values = {50};
+  cfg.epsilon = 0.1;
+  cfg.runs = 12;
+  cfg.seed = 99;
+  const std::vector<MethodConfig> methods = {
+      MethodConfig::SvtDpBook(),
+      MethodConfig::SvtStandard(AllocationPolicy::kOneToOne),
+      MethodConfig::SvtStandard(AllocationPolicy::kOptimal),
+      MethodConfig::Em()};
+  const auto series = RunSelectionSweep(scores, cfg, methods).value();
+
+  const double dpbook = series[0].cells[0].ser.mean();
+  const double one_to_one = series[1].cells[0].ser.mean();
+  const double optimal = series[2].cells[0].ser.mean();
+  const double em = series[3].cells[0].ser.mean();
+
+  EXPECT_LT(optimal, dpbook);   // (1) improved SVT beats the book version
+  EXPECT_LE(optimal, one_to_one + 0.05);  // (2) optimal allocation helps
+  EXPECT_LE(em, optimal + 0.05);          // (3) EM at least as good
+}
+
+TEST(IntegrationTest, InteractiveStreamingUseCase) {
+  // SVT's interactive calling pattern: queries arrive one at a time and
+  // the mechanism answers online, spending budget only on positives.
+  Rng rng(5);
+  SvtOptions o;
+  o.epsilon = 0.5;
+  o.cutoff = 3;
+  o.monotonic = true;
+  o.allocation = BudgetAllocation::Optimal(3, true);
+  auto mech = SparseVector::Create(o, &rng).value();
+
+  int positives = 0;
+  int64_t processed = 0;
+  Rng query_rng(6);
+  while (!mech->exhausted() && processed < 10000) {
+    // A stream where ~1 in 50 queries is far above threshold.
+    const bool hot = query_rng.NextBernoulli(0.02);
+    const double answer = hot ? 500.0 : query_rng.NextUniform(0.0, 50.0);
+    const Response r = mech->Process(answer, 400.0);
+    ++processed;
+    positives += r.is_positive() ? 1 : 0;
+  }
+  EXPECT_EQ(positives, 3);
+  EXPECT_GT(processed, 10);  // many free negatives before exhaustion
+}
+
+}  // namespace
+}  // namespace svt

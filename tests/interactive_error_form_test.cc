@@ -1,0 +1,140 @@
+#include "interactive/error_form.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+SvtOptions CheckerOptions(double epsilon = 1.0, int cutoff = 5) {
+  SvtOptions o;
+  o.epsilon = epsilon;
+  o.sensitivity = 1.0;
+  o.cutoff = cutoff;
+  return o;
+}
+
+TEST(ErrorFormTest, CorrectFormNeverCertifiesRho) {
+  Rng rng(1);
+  ErrorThresholdChecker checker(CheckerOptions(), ErrorQueryForm::kCorrect,
+                                &rng);
+  for (int i = 0; i < 100 && !checker.exhausted(); ++i) {
+    checker.Check(/*estimate=*/100.0, /*true_answer=*/0.0,
+                  /*threshold=*/10.0);
+  }
+  EXPECT_GT(checker.positives_emitted(), 0);
+  // ν is unbounded, so no output certifies anything about ρ.
+  EXPECT_FALSE(checker.CertifiedRhoLowerBound().has_value());
+}
+
+TEST(ErrorFormTest, BrokenFormLeaksRhoOnFirstPositive) {
+  Rng rng(2);
+  ErrorThresholdChecker checker(CheckerOptions(), ErrorQueryForm::kBroken,
+                                &rng);
+  while (!checker.exhausted() && checker.positives_emitted() == 0) {
+    checker.Check(100.0, 0.0, 10.0);
+  }
+  ASSERT_GT(checker.positives_emitted(), 0);
+  const auto bound = checker.CertifiedRhoLowerBound();
+  ASSERT_TRUE(bound.has_value());
+  // §3.4: a positive forces ρ ≥ −T.
+  EXPECT_DOUBLE_EQ(*bound, -10.0);
+}
+
+TEST(ErrorFormTest, BrokenFormBoundTightensWithHigherThresholds) {
+  Rng rng(3);
+  ErrorThresholdChecker checker(CheckerOptions(1.0, 10),
+                                ErrorQueryForm::kBroken, &rng);
+  // Positives at increasing thresholds — the certified bound is the max of
+  // the −T values seen on positives... i.e. tightest from the *lowest* T?
+  // No: bound per positive is −T, so higher T ⇒ looser; the certificate
+  // keeps the max.
+  int got = 0;
+  for (double t : {50.0, 5.0, 20.0}) {
+    // Huge error: essentially always positive.
+    if (checker.exhausted()) break;
+    const Response r = checker.Check(1e6, 0.0, t);
+    if (r.is_positive()) ++got;
+  }
+  ASSERT_GT(got, 0);
+  const auto bound = checker.CertifiedRhoLowerBound();
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_DOUBLE_EQ(*bound, -5.0);  // the tightest certificate
+}
+
+TEST(ErrorFormTest, BothFormsAgreeOnObviousCases) {
+  // With error far above threshold both forms say ⊤ almost surely; with
+  // error 0 and a high threshold both say ⊥ almost surely.
+  Rng rng(4);
+  int agree_top = 0, agree_bottom = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    ErrorThresholdChecker correct(CheckerOptions(5.0, 1),
+                                  ErrorQueryForm::kCorrect, &rng);
+    ErrorThresholdChecker broken(CheckerOptions(5.0, 1),
+                                 ErrorQueryForm::kBroken, &rng);
+    agree_top += (correct.Check(1000.0, 0.0, 10.0).is_positive() &&
+                  broken.Check(1000.0, 0.0, 10.0).is_positive())
+                     ? 1
+                     : 0;
+  }
+  for (int t = 0; t < trials; ++t) {
+    ErrorThresholdChecker correct(CheckerOptions(5.0, 1),
+                                  ErrorQueryForm::kCorrect, &rng);
+    ErrorThresholdChecker broken(CheckerOptions(5.0, 1),
+                                 ErrorQueryForm::kBroken, &rng);
+    agree_bottom += (!correct.Check(50.0, 50.0, 1000.0).is_positive() &&
+                     !broken.Check(50.0, 50.0, 1000.0).is_positive())
+                        ? 1
+                        : 0;
+  }
+  EXPECT_GT(agree_top, trials * 0.95);
+  EXPECT_GT(agree_bottom, trials * 0.95);
+}
+
+TEST(ErrorFormTest, FormsDifferNearThreshold) {
+  // |e + ν| vs |e| + ν differ materially when the true error is small:
+  // the broken form can fire on |ν| alone in both tails, the correct form
+  // only on the upper tail of ν.
+  Rng rng(5);
+  int broken_fires = 0, correct_fires = 0;
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    ErrorThresholdChecker correct(CheckerOptions(0.5, 1),
+                                  ErrorQueryForm::kCorrect, &rng);
+    ErrorThresholdChecker broken(CheckerOptions(0.5, 1),
+                                 ErrorQueryForm::kBroken, &rng);
+    correct_fires +=
+        correct.Check(0.0, 0.0, 10.0).is_positive() ? 1 : 0;
+    broken_fires += broken.Check(0.0, 0.0, 10.0).is_positive() ? 1 : 0;
+  }
+  // Broken fires roughly twice as often (both noise tails).
+  EXPECT_GT(broken_fires, correct_fires * 3 / 2);
+}
+
+TEST(ErrorFormTest, RespectsCutoff) {
+  Rng rng(6);
+  ErrorThresholdChecker checker(CheckerOptions(5.0, 3),
+                                ErrorQueryForm::kCorrect, &rng);
+  int positives = 0;
+  for (int i = 0; i < 100 && !checker.exhausted(); ++i) {
+    positives += checker.Check(1e6, 0.0, 1.0).is_positive() ? 1 : 0;
+  }
+  EXPECT_EQ(positives, 3);
+  EXPECT_TRUE(checker.exhausted());
+  EXPECT_DEATH(checker.Check(0.0, 0.0, 1.0), "cutoff");
+}
+
+TEST(ErrorFormTest, FormAccessor) {
+  Rng rng(7);
+  ErrorThresholdChecker c(CheckerOptions(), ErrorQueryForm::kCorrect, &rng);
+  ErrorThresholdChecker b(CheckerOptions(), ErrorQueryForm::kBroken, &rng);
+  EXPECT_EQ(c.form(), ErrorQueryForm::kCorrect);
+  EXPECT_EQ(b.form(), ErrorQueryForm::kBroken);
+}
+
+}  // namespace
+}  // namespace svt

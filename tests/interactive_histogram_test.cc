@@ -1,0 +1,136 @@
+#include "interactive/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "interactive/linear_query.h"
+
+namespace svt {
+namespace {
+
+TEST(HistogramTest, ZeroConstruction) {
+  Histogram h(5);
+  EXPECT_EQ(h.domain_size(), 5u);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 0.0);
+}
+
+TEST(HistogramTest, FromCounts) {
+  Histogram h({1.0, 2.0, 3.0});
+  EXPECT_EQ(h.domain_size(), 3u);
+  EXPECT_DOUBLE_EQ(h.total(), 6.0);
+}
+
+TEST(HistogramTest, RejectsNegativeCounts) {
+  EXPECT_DEATH(Histogram({1.0, -1.0}), "SVT_CHECK");
+}
+
+TEST(HistogramTest, SetAndIncrement) {
+  Histogram h(3);
+  h.set_count(0, 5.0);
+  h.increment(1);
+  h.increment(1, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 3.5);
+  EXPECT_DOUBLE_EQ(h.total(), 8.5);
+}
+
+TEST(HistogramTest, NormalizedToPreservesShape) {
+  Histogram h({1.0, 3.0});
+  Histogram n = h.NormalizedTo(100.0);
+  EXPECT_DOUBLE_EQ(n.count(0), 25.0);
+  EXPECT_DOUBLE_EQ(n.count(1), 75.0);
+  EXPECT_DOUBLE_EQ(n.total(), 100.0);
+}
+
+TEST(HistogramTest, UniformLikeSpreadsTotal) {
+  Histogram h({2.0, 0.0, 6.0, 0.0});
+  Histogram u = h.UniformLike();
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(u.count(i), 2.0);
+}
+
+TEST(HistogramTest, RandomUniformCounts) {
+  Rng rng(1);
+  Histogram h = Histogram::Random(10, 10000, rng);
+  EXPECT_DOUBLE_EQ(h.total(), 10000.0);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(h.count(i), 1000.0, 150.0);
+  }
+}
+
+TEST(HistogramTest, RandomWeightedCounts) {
+  Rng rng(2);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  Histogram h = Histogram::Random(3, 40000, rng, weights);
+  EXPECT_NEAR(h.count(0), 10000.0, 500.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.0);
+  EXPECT_NEAR(h.count(2), 30000.0, 500.0);
+}
+
+TEST(LinearQueryTest, EvaluatesDotProduct) {
+  Histogram h({10.0, 20.0, 30.0});
+  LinearQuery q({1.0, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(q.Evaluate(h), 25.0);
+}
+
+TEST(LinearQueryTest, RejectsOutOfRangeCoefficients) {
+  EXPECT_DEATH(LinearQuery({0.5, 1.5}), "coefficients");
+  EXPECT_DEATH(LinearQuery({-0.1}), "coefficients");
+}
+
+TEST(LinearQueryTest, DomainMismatchDies) {
+  Histogram h(2);
+  LinearQuery q({1.0, 1.0, 1.0});
+  EXPECT_DEATH(q.Evaluate(h), "domain mismatch");
+}
+
+TEST(LinearQueryTest, IntervalQuery) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  LinearQuery q = LinearQuery::Interval(4, 1, 3);
+  EXPECT_DOUBLE_EQ(q.Evaluate(h), 6.0);
+}
+
+TEST(LinearQueryTest, RandomSubsetIsBinary) {
+  Rng rng(3);
+  LinearQuery q = LinearQuery::RandomSubset(64, rng);
+  int ones = 0;
+  for (double c : q.coefficients()) {
+    EXPECT_TRUE(c == 0.0 || c == 1.0);
+    ones += c == 1.0 ? 1 : 0;
+  }
+  EXPECT_GT(ones, 10);
+  EXPECT_LT(ones, 54);
+}
+
+TEST(LinearQueryTest, RandomFractionalInRange) {
+  Rng rng(4);
+  LinearQuery q = LinearQuery::RandomFractional(32, rng);
+  for (double c : q.coefficients()) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LT(c, 1.0);
+  }
+}
+
+TEST(LinearQueryTest, SensitivityIsOne) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(LinearQuery::RandomSubset(8, rng).sensitivity(), 1.0);
+}
+
+// Sensitivity property: adding one record to any bin changes any linear
+// query by at most its coefficient ≤ 1.
+TEST(LinearQueryTest, AddOneRecordChangesAnswerByAtMostOne) {
+  Rng rng(6);
+  Histogram h = Histogram::Random(16, 500, rng);
+  LinearQuery q = LinearQuery::RandomFractional(16, rng);
+  const double before = q.Evaluate(h);
+  for (size_t bin = 0; bin < 16; ++bin) {
+    Histogram neighbor = h;
+    neighbor.increment(bin);
+    EXPECT_LE(std::abs(q.Evaluate(neighbor) - before), 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace svt

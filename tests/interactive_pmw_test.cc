@@ -1,0 +1,208 @@
+#include "interactive/pmw.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+PmwOptions BasicOptions() {
+  PmwOptions o;
+  o.epsilon = 2.0;
+  o.svt_fraction = 0.5;
+  o.error_threshold = 50.0;
+  o.max_updates = 8;
+  o.learning_rate = 0.1;
+  return o;
+}
+
+Histogram SkewedData(Rng& rng, size_t domain = 32, size_t records = 2000) {
+  std::vector<double> weights(domain);
+  for (size_t i = 0; i < domain; ++i) weights[i] = 1.0 / (1.0 + i);
+  return Histogram::Random(domain, records, rng, weights);
+}
+
+TEST(PmwOptionsTest, Validation) {
+  PmwOptions o = BasicOptions();
+  EXPECT_TRUE(o.Validate().ok());
+  o.epsilon = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.svt_fraction = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.error_threshold = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.max_updates = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.learning_rate = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(PmwTest, CreateRejectsNullRngAndEmptyData) {
+  Rng rng(1);
+  Histogram data({1.0, 2.0});
+  EXPECT_FALSE(
+      PrivateMultiplicativeWeights::Create(BasicOptions(), data, nullptr)
+          .ok());
+  Histogram zero(4);
+  EXPECT_FALSE(
+      PrivateMultiplicativeWeights::Create(BasicOptions(), zero, &rng).ok());
+}
+
+TEST(PmwTest, SyntheticStartsUniformWithDataTotal) {
+  Rng rng(2);
+  Histogram data = SkewedData(rng);
+  auto pmw =
+      PrivateMultiplicativeWeights::Create(BasicOptions(), data, &rng)
+          .value();
+  const Histogram& synth = pmw->synthetic();
+  EXPECT_NEAR(synth.total(), data.total(), 1e-9);
+  for (size_t i = 1; i < synth.domain_size(); ++i) {
+    EXPECT_DOUBLE_EQ(synth.count(i), synth.count(0));
+  }
+}
+
+TEST(PmwTest, AccurateEstimatesAreFree) {
+  Rng rng(3);
+  Histogram data = SkewedData(rng);
+  PmwOptions o = BasicOptions();
+  o.error_threshold = 1e7;  // nothing ever exceeds this
+  auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+  for (int i = 0; i < 50; ++i) {
+    const PmwAnswer a = pmw->AnswerQuery(LinearQuery::RandomSubset(32, rng));
+    EXPECT_TRUE(a.answered_from_synthetic);
+    EXPECT_FALSE(a.triggered_update);
+  }
+  EXPECT_EQ(pmw->updates_used(), 0);
+  EXPECT_EQ(pmw->free_answers(), 50);
+}
+
+TEST(PmwTest, LargeErrorsTriggerUpdatesUpToCutoff) {
+  Rng rng(4);
+  Histogram data = SkewedData(rng, 32, 20000);  // strongly skewed
+  PmwOptions o = BasicOptions();
+  o.error_threshold = 5.0;  // uniform synthetic is far off: updates fire
+  o.max_updates = 4;
+  auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+  for (int i = 0; i < 200; ++i) {
+    pmw->AnswerQuery(LinearQuery::RandomSubset(32, rng));
+  }
+  EXPECT_EQ(pmw->updates_used(), 4);
+  EXPECT_TRUE(pmw->exhausted());
+  EXPECT_EQ(pmw->queries_answered(), 200);
+}
+
+TEST(PmwTest, AfterExhaustionAnswersAreFree) {
+  Rng rng(5);
+  Histogram data = SkewedData(rng, 16, 10000);
+  PmwOptions o = BasicOptions();
+  o.error_threshold = 1.0;
+  o.max_updates = 2;
+  auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+  while (!pmw->exhausted()) {
+    pmw->AnswerQuery(LinearQuery::RandomSubset(16, rng));
+  }
+  const int64_t free_before = pmw->free_answers();
+  for (int i = 0; i < 25; ++i) {
+    const PmwAnswer a = pmw->AnswerQuery(LinearQuery::RandomSubset(16, rng));
+    EXPECT_TRUE(a.answered_from_synthetic);
+  }
+  EXPECT_EQ(pmw->free_answers(), free_before + 25);
+}
+
+TEST(PmwTest, BudgetNeverExceedsTotal) {
+  Rng rng(6);
+  Histogram data = SkewedData(rng, 16, 10000);
+  PmwOptions o = BasicOptions();
+  o.error_threshold = 1.0;  // maximal update pressure
+  auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+  for (int i = 0; i < 500; ++i) {
+    pmw->AnswerQuery(LinearQuery::RandomSubset(16, rng));
+  }
+  EXPECT_LE(pmw->accountant().spent(), o.epsilon * (1.0 + 1e-9));
+}
+
+TEST(PmwTest, UpdatesImproveSyntheticAccuracy) {
+  Rng rng(7);
+  const size_t domain = 32;
+  Histogram data = SkewedData(rng, domain, 50000);
+  PmwOptions o = BasicOptions();
+  o.epsilon = 20.0;  // generous budget so noise doesn't mask learning
+  o.error_threshold = 200.0;
+  o.max_updates = 30;
+  o.learning_rate = 0.3;
+  auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+
+  // Average |error| of the uniform synthetic on held-out queries.
+  std::vector<LinearQuery> heldout;
+  for (int i = 0; i < 40; ++i) {
+    heldout.push_back(LinearQuery::RandomSubset(domain, rng));
+  }
+  const auto avg_error = [&](const Histogram& synth) {
+    double total = 0.0;
+    for (const auto& q : heldout) {
+      total += std::abs(q.Evaluate(data) - q.Evaluate(synth));
+    }
+    return total / heldout.size();
+  };
+  const double before = avg_error(pmw->synthetic());
+
+  for (int i = 0; i < 400 && !pmw->exhausted(); ++i) {
+    pmw->AnswerQuery(LinearQuery::RandomSubset(domain, rng));
+  }
+  const double after = avg_error(pmw->synthetic());
+  EXPECT_GT(pmw->updates_used(), 0);
+  EXPECT_LT(after, before);
+}
+
+TEST(PmwTest, HardAnswersComeFromLaplaceNotSynthetic) {
+  Rng rng(8);
+  Histogram data = SkewedData(rng, 16, 30000);
+  PmwOptions o = BasicOptions();
+  o.epsilon = 50.0;  // tiny noise: hard answers land near the truth
+  o.error_threshold = 10.0;
+  o.max_updates = 3;
+  auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+  bool saw_update = false;
+  for (int i = 0; i < 100 && !pmw->exhausted(); ++i) {
+    LinearQuery q = LinearQuery::RandomSubset(16, rng);
+    const double truth = q.Evaluate(data);
+    const PmwAnswer a = pmw->AnswerQuery(q);
+    if (a.triggered_update) {
+      saw_update = true;
+      EXPECT_NEAR(a.value, truth, 50.0);  // Laplace(1/ε_lap) scale ≈ 0.12
+    }
+  }
+  EXPECT_TRUE(saw_update);
+}
+
+TEST(PmwTest, DeterministicGivenSeed) {
+  PmwOptions o = BasicOptions();
+  o.error_threshold = 30.0;
+  Rng data_rng(9);
+  Histogram data = SkewedData(data_rng, 16, 5000);
+
+  const auto run = [&](uint64_t seed) {
+    Rng rng(seed);
+    auto pmw = PrivateMultiplicativeWeights::Create(o, data, &rng).value();
+    Rng query_rng(123);
+    std::vector<double> answers;
+    for (int i = 0; i < 60; ++i) {
+      answers.push_back(
+          pmw->AnswerQuery(LinearQuery::RandomSubset(16, query_rng)).value);
+    }
+    return answers;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace svt

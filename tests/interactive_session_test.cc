@@ -1,0 +1,140 @@
+#include "interactive/session.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+SessionOptions BasicOptions() {
+  SessionOptions o;
+  o.total_epsilon = 1.0;
+  o.epsilon_per_round = 0.25;
+  o.round.sensitivity = 1.0;
+  o.round.cutoff = 2;
+  o.round.monotonic = true;
+  return o;
+}
+
+TEST(SessionOptionsTest, Validation) {
+  SessionOptions o = BasicOptions();
+  EXPECT_TRUE(o.Validate().ok());
+  o.total_epsilon = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.epsilon_per_round = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.epsilon_per_round = 2.0;  // exceeds total
+  EXPECT_FALSE(o.Validate().ok());
+  o = BasicOptions();
+  o.round.cutoff = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SessionTest, CreateRejectsNullRng) {
+  EXPECT_FALSE(AboveThresholdSession::Create(BasicOptions(), nullptr).ok());
+}
+
+TEST(SessionTest, FirstRoundChargedLazily) {
+  Rng rng(1);
+  auto session = AboveThresholdSession::Create(BasicOptions(), &rng).value();
+  EXPECT_EQ(session->rounds_started(), 0);
+  EXPECT_DOUBLE_EQ(session->accountant().spent(), 0.0);
+  ASSERT_TRUE(session->Process(0.0, 0.0).ok());
+  EXPECT_EQ(session->rounds_started(), 1);
+  EXPECT_DOUBLE_EQ(session->accountant().spent(), 0.25);
+}
+
+TEST(SessionTest, NegativesNeverStartNewRounds) {
+  Rng rng(2);
+  auto session = AboveThresholdSession::Create(BasicOptions(), &rng).value();
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = session->Process(-1e9, 0.0);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->is_positive());
+  }
+  EXPECT_EQ(session->rounds_started(), 1);
+  EXPECT_DOUBLE_EQ(session->accountant().spent(), 0.25);
+  EXPECT_FALSE(session->exhausted());
+}
+
+TEST(SessionTest, RollsOverAfterRoundExhaustion) {
+  Rng rng(3);
+  auto session = AboveThresholdSession::Create(BasicOptions(), &rng).value();
+  // Positives exhaust each round after cutoff=2; 4 rounds fit in the total
+  // budget (4 * 0.25 = 1.0).
+  int positives = 0;
+  while (!session->exhausted()) {
+    const auto r = session->Process(1e9, 0.0);
+    ASSERT_TRUE(r.ok());
+    positives += r->is_positive() ? 1 : 0;
+  }
+  EXPECT_EQ(positives, 8);  // 4 rounds x cutoff 2
+  EXPECT_EQ(session->rounds_started(), 4);
+  EXPECT_NEAR(session->accountant().spent(), 1.0, 1e-9);
+  EXPECT_EQ(session->positives_emitted(), 8);
+}
+
+TEST(SessionTest, ProcessAfterExhaustionFails) {
+  Rng rng(4);
+  SessionOptions o = BasicOptions();
+  o.total_epsilon = 0.25;  // exactly one round
+  auto session = AboveThresholdSession::Create(o, &rng).value();
+  while (!session->exhausted()) {
+    ASSERT_TRUE(session->Process(1e9, 0.0).ok());
+  }
+  const auto r = session->Process(1e9, 0.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExhausted);
+}
+
+TEST(SessionTest, CountsQueries) {
+  Rng rng(5);
+  auto session = AboveThresholdSession::Create(BasicOptions(), &rng).value();
+  for (int i = 0; i < 37; ++i) {
+    ASSERT_TRUE(session->Process(-1e9, 0.0).ok());
+  }
+  EXPECT_EQ(session->queries_processed(), 37);
+}
+
+TEST(SessionTest, MixedStreamStaysWithinBudget) {
+  Rng rng(6);
+  SessionOptions o = BasicOptions();
+  o.total_epsilon = 0.8;
+  o.epsilon_per_round = 0.2;
+  auto session = AboveThresholdSession::Create(o, &rng).value();
+  Rng stream(7);
+  int64_t answered = 0;
+  while (!session->exhausted() && answered < 100000) {
+    const double q = stream.NextBernoulli(0.01) ? 1e9 : -1e9;
+    const auto r = session->Process(q, 0.0);
+    if (!r.ok()) break;
+    ++answered;
+  }
+  EXPECT_LE(session->accountant().spent(), 0.8 + 1e-9);
+  EXPECT_LE(session->rounds_started(), 4);
+}
+
+TEST(SessionTest, DeterministicGivenSeed) {
+  const auto run = [](uint64_t seed) {
+    Rng rng(seed);
+    auto session =
+        AboveThresholdSession::Create(BasicOptions(), &rng).value();
+    std::string transcript;
+    Rng stream(99);
+    for (int i = 0; i < 200 && !session->exhausted(); ++i) {
+      const double q = stream.NextUniform(-30.0, 30.0);
+      const auto r = session->Process(q, 0.0);
+      if (!r.ok()) break;
+      transcript += r->is_positive() ? 'T' : '_';
+    }
+    return transcript;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,279 @@
+// Cross-cutting property sweeps (TEST_P): the invariants that must hold
+// for every variant / budget / instance combination, not just the specific
+// examples of the per-module tests.
+//
+//  * probability closure: Σ_patterns Pr[pattern] = 1 for every variant;
+//  * ε-DP bounds across an (ε, cutoff, instance-profile) grid;
+//  * MC-vs-closed-form agreement for every variant;
+//  * metric algebra (bounds, monotonicity under improvement);
+//  * selection invariants for every method in the §6 lineup.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/monte_carlo.h"
+#include "audit/privacy_auditor.h"
+#include "common/rng.h"
+#include "core/svt_variants.h"
+#include "core/top_select.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+
+namespace svt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Probability closure for every variant over several answer profiles.
+// ---------------------------------------------------------------------------
+
+struct ClosureCase {
+  VariantId id;
+  std::vector<double> answers;
+  double threshold;
+};
+
+class ProbabilityClosureSweep
+    : public ::testing::TestWithParam<std::tuple<VariantId, int>> {};
+
+TEST_P(ProbabilityClosureSweep, PatternsSumToOne) {
+  const VariantId id = std::get<0>(GetParam());
+  const int profile = std::get<1>(GetParam());
+  static const std::vector<std::vector<double>> kProfiles = {
+      {0.0, 0.0, 0.0},              // all at threshold
+      {1.5, -2.0, 0.3, 0.9},        // mixed
+      {-5.0, -5.0, -5.0, -5.0},     // all far below
+      {4.0, 4.0, 4.0},              // all far above
+  };
+  const std::vector<double>& answers = kProfiles[profile];
+  const VariantSpec spec = MakeSpec(id, /*epsilon=*/1.2, /*sensitivity=*/1.0,
+                                    /*cutoff=*/2);
+  EXPECT_NEAR(TotalProbabilityOverPatterns(spec, answers, 0.25), 1.0, 1e-7)
+      << VariantIdToString(id) << " profile " << profile;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProbabilityClosureSweep,
+    ::testing::Combine(::testing::Values(VariantId::kAlg1, VariantId::kAlg2,
+                                         VariantId::kAlg4, VariantId::kAlg5,
+                                         VariantId::kAlg6, VariantId::kGptt),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// ε-DP bound grid for the private variants.
+// ---------------------------------------------------------------------------
+
+class DpBoundSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(DpBoundSweep, Alg1WithinEpsilonEverywhere) {
+  const double epsilon = std::get<0>(GetParam());
+  const int cutoff = std::get<1>(GetParam());
+  const int profile = std::get<2>(GetParam());
+
+  // Neighbor profiles: (qd, qdp) with |qd_i − qdp_i| ≤ Δ = 1.
+  static const std::vector<
+      std::pair<std::vector<double>, std::vector<double>>>
+      kNeighbors = {
+          {{0.0, 0.0, 0.0, 0.0}, {1.0, 1.0, 1.0, 1.0}},     // uniform up
+          {{0.5, -0.5, 1.5, 0.0}, {-0.5, 0.5, 0.5, -1.0}},  // mixed
+          {{2.0, -3.0, 0.0, 1.0}, {1.6, -2.2, 0.9, 0.4}},   // partial shifts
+      };
+  const auto& [qd, qdp] = kNeighbors[profile];
+  const VariantSpec spec = MakeAlg1Spec(epsilon, 1.0, cutoff);
+  const auto result = MaxAbsLogRatioOverPatterns(spec, qd, qdp, 0.2);
+  EXPECT_LE(result.max_abs_log_ratio, epsilon + 1e-6)
+      << "eps=" << epsilon << " c=" << cutoff << " profile=" << profile
+      << " worst=" << result.argmax_pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DpBoundSweep,
+    ::testing::Combine(::testing::Values(0.3, 1.0, 3.0),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0, 1, 2)));
+
+// ---------------------------------------------------------------------------
+// Closed-form vs Monte-Carlo for every variant on a shared instance.
+// ---------------------------------------------------------------------------
+
+class McAgreementSweep : public ::testing::TestWithParam<VariantId> {};
+
+TEST_P(McAgreementSweep, ClosedFormInsideConfidenceInterval) {
+  const VariantId id = GetParam();
+  const VariantSpec spec = MakeSpec(id, 1.0, 1.0, 2);
+  if (spec.emits_numeric()) GTEST_SKIP() << "numeric-output variant";
+
+  const std::vector<double> answers = {0.6, -0.4, 0.1};
+  Rng rng(1000 + static_cast<uint64_t>(id));
+  McOptions mc;
+  mc.trials = 50000;
+  mc.confidence = 0.9999;
+  for (const char* pattern : {"___", "T__", "_T_", "TT"}) {
+    const std::vector<double> prefix(
+        answers.begin(), answers.begin() + std::string(pattern).size());
+    const McEstimate est = EstimateOutputProbability(spec, prefix, 0.1,
+                                                     pattern, rng, mc);
+    const double closed =
+        OutputProbability(spec, prefix, 0.1, PatternFromString(pattern));
+    EXPECT_GE(closed, est.lower - 0.004)
+        << VariantIdToString(id) << " " << pattern;
+    EXPECT_LE(closed, est.upper + 0.004)
+        << VariantIdToString(id) << " " << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, McAgreementSweep,
+    ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg4,
+                      VariantId::kAlg5, VariantId::kAlg6, VariantId::kGptt,
+                      VariantId::kStandard));
+
+// ---------------------------------------------------------------------------
+// Metric algebra on randomized selections.
+// ---------------------------------------------------------------------------
+
+class MetricAlgebraSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricAlgebraSweep, BoundsAndImprovementMonotonicity) {
+  Rng rng(GetParam());
+  const size_t n = 60;
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = std::round(rng.NextUniform(0.0, 500.0));
+  }
+  const size_t c = 1 + rng.NextBounded(20);
+
+  // A random selection of size <= c.
+  std::vector<uint32_t> perm;
+  rng.ShuffleIndices(n, &perm);
+  const size_t take = rng.NextBounded(c + 1);
+  std::vector<size_t> selection(perm.begin(), perm.begin() + take);
+
+  const double fnr = FalseNegativeRate(selection, scores, c);
+  const double ser = ScoreErrorRate(selection, scores, c);
+  EXPECT_GE(fnr, 0.0);
+  EXPECT_LE(fnr, 1.0);
+  EXPECT_LE(ser, 1.0);
+  EXPECT_GE(ser, -1e-12);  // |selection| <= c, so SER cannot go negative
+
+  // Improving the selection by adding a missing true-top item never makes
+  // either metric worse.
+  const auto top = TrueTopC(scores, c);
+  for (size_t candidate : top) {
+    if (std::find(selection.begin(), selection.end(), candidate) ==
+        selection.end()) {
+      std::vector<size_t> improved = selection;
+      if (improved.size() < c) {
+        improved.push_back(candidate);
+        EXPECT_LE(FalseNegativeRate(improved, scores, c), fnr + 1e-12);
+        EXPECT_LE(ScoreErrorRate(improved, scores, c), ser + 1e-12);
+      }
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAlgebraSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Selection invariants for every §6 method.
+// ---------------------------------------------------------------------------
+
+class MethodInvariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MethodInvariantSweep, DistinctIndicesWithinRangeAndCutoff) {
+  const auto methods = [] {
+    std::vector<MethodConfig> all = Figure4Methods();
+    const auto fig5 = Figure5Methods();
+    all.insert(all.end(), fig5.begin(), fig5.end());
+    return all;
+  }();
+  const MethodConfig& method = methods[GetParam()];
+
+  Rng rng(500 + GetParam());
+  std::vector<double> scores(300);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = 300.0 - static_cast<double>(i);
+  }
+  const int c = 20;
+  const double threshold = PaperThreshold(scores, c);
+  const auto selected =
+      RunMethodOnce(scores, threshold, c, 0.5, true, method, rng).value();
+
+  EXPECT_LE(selected.size(), static_cast<size_t>(c)) << method.label;
+  std::set<size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), selected.size()) << method.label;
+  for (size_t idx : selected) {
+    EXPECT_LT(idx, scores.size()) << method.label;
+  }
+  if (method.kind == MethodKind::kEm) {
+    EXPECT_EQ(selected.size(), static_cast<size_t>(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodInvariantSweep,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Lemma 1's ε₁ bound across epsilon and length (all-negative patterns).
+// ---------------------------------------------------------------------------
+
+class Lemma1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(Lemma1Sweep, AllBottomWithinEpsilonOne) {
+  const double epsilon = std::get<0>(GetParam());
+  const int length = std::get<1>(GetParam());
+  const VariantSpec spec = MakeAlg1Spec(epsilon, 1.0, 1);
+  const std::vector<double> qd(length, 0.3);
+  const std::vector<double> qdp(length, 1.3);
+  const auto pattern = PatternFromString(std::string(length, '_'));
+  const double log_d = LogOutputProbability(spec, qd, 0.0, pattern);
+  const double log_dp = LogOutputProbability(spec, qdp, 0.0, pattern);
+  EXPECT_LE(std::abs(log_d - log_dp), spec.budget.epsilon1 + 1e-6)
+      << "eps=" << epsilon << " len=" << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Lemma1Sweep,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(1, 4, 10, 25)));
+
+// ---------------------------------------------------------------------------
+// Streaming/batch equivalence for every variant under a coupled seed.
+// ---------------------------------------------------------------------------
+
+class StreamBatchSweep : public ::testing::TestWithParam<VariantId> {};
+
+TEST_P(StreamBatchSweep, RunMatchesManualLoop) {
+  const VariantId id = GetParam();
+  const std::vector<double> answers = {2.0, -1.0, 0.5, 3.0, -2.0, 1.0};
+  Rng rng_a(77), rng_b(77);
+  auto batch = MakeVariantMechanism(id, 0.8, 1.0, 2, &rng_a).value();
+  auto stream = MakeVariantMechanism(id, 0.8, 1.0, 2, &rng_b).value();
+
+  const std::vector<Response> from_batch = batch->Run(answers, 0.4);
+  std::vector<Response> from_stream;
+  for (double a : answers) {
+    if (stream->exhausted()) break;
+    from_stream.push_back(stream->Process(a, 0.4));
+  }
+  EXPECT_EQ(ToString(from_batch), ToString(from_stream))
+      << VariantIdToString(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, StreamBatchSweep,
+    ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
+                      VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
+                      VariantId::kGptt));
+
+}  // namespace
+}  // namespace svt
