@@ -4,11 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "audit/closed_form.h"
+#include "audit/monte_carlo.h"
 #include "common/distributions.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/exponential_mechanism.h"
 #include "core/svt.h"
 #include "core/svt_retraversal.h"
@@ -34,6 +37,42 @@ void BM_LaplaceSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LaplaceSample);
+
+void BM_RngFillUint64(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> buf(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rng.FillUint64(buf);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RngFillUint64)->Arg(4096);
+
+void BM_LaplaceSampleBlock(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> buf(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    SampleLaplaceBlock(rng, 2.0, buf);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LaplaceSampleBlock)->Arg(4096);
+
+void BM_GumbelSampleBlock(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> buf(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    SampleGumbelBlock(rng, buf);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GumbelSampleBlock)->Arg(4096);
 
 void BM_GumbelSample(benchmark::State& state) {
   Rng rng(3);
@@ -71,6 +110,60 @@ void BM_SvtProcess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SvtProcess);
+
+void BM_SvtRunBatch(benchmark::State& state) {
+  // Same mechanism parameterization and ⊥-dominated workload as
+  // BM_SvtProcess, but through the chunked batch engine: the acceptance
+  // target is ≥ 3× the scalar items/sec at 10⁶ queries.
+  Rng rng(5);
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 1 << 20;
+  o.monotonic = true;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const std::vector<double> answers(static_cast<size_t>(state.range(0)),
+                                    -1e12);
+  std::vector<Response> out;
+  for (auto _ : state) {
+    out.clear();  // keeps capacity: a batch server reuses its buffers
+    mech->RunAppend(answers, 0.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SvtRunBatch)->Arg(1 << 20);
+
+void BM_McSerial(benchmark::State& state) {
+  // Legacy serial Monte-Carlo loop (num_workers = 1): the baseline for
+  // BM_McParallel.
+  Rng rng(14);
+  const VariantSpec spec = MakeAlg1Spec(1.0, 1.0, 2);
+  const std::vector<double> answers = {0.5, -0.5, 0.2, 0.9};
+  McOptions o;
+  o.trials = 1 << 15;
+  o.num_workers = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateOutputProbability(spec, answers, 0.0, "_T_T", rng, o));
+  }
+  state.SetItemsProcessed(state.iterations() * o.trials);
+}
+BENCHMARK(BM_McSerial);
+
+void BM_McParallel(benchmark::State& state) {
+  Rng rng(14);
+  const VariantSpec spec = MakeAlg1Spec(1.0, 1.0, 2);
+  const std::vector<double> answers = {0.5, -0.5, 0.2, 0.9};
+  McOptions o;
+  o.trials = 1 << 15;
+  o.num_workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimateOutputProbability(spec, answers, 0.0, "_T_T", rng, o));
+  }
+  state.SetItemsProcessed(state.iterations() * o.trials);
+}
+BENCHMARK(BM_McParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_EmTopC(benchmark::State& state) {
   Rng rng(6);

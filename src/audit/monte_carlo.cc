@@ -1,26 +1,28 @@
 #include "audit/monte_carlo.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/svt_variants.h"
 
 namespace svt {
 
-McEstimate EstimateOutputProbability(const VariantSpec& spec,
-                                     std::span<const double> query_answers,
-                                     double threshold,
-                                     const std::string& pattern, Rng& rng,
-                                     const McOptions& options) {
-  SVT_CHECK(pattern.size() <= query_answers.size())
-      << "pattern longer than the answer stream";
-  SVT_CHECK(options.trials > 0);
-  for (char c : pattern) {
-    SVT_CHECK(c == '_' || c == 'T') << "invalid pattern char '" << c << "'";
-  }
+namespace {
 
-  CustomSvt mech(spec, &rng);
+/// Runs `trials` simulations of `spec` against `pattern` drawing all
+/// randomness from `rng`; returns the number of exact pattern matches.
+/// This is the legacy serial loop — the parallel path runs it once per
+/// worker stream.
+int64_t CountPatternHits(const VariantSpec& spec,
+                         std::span<const double> query_answers,
+                         double threshold, std::string_view pattern,
+                         int64_t trials, Rng* rng) {
+  CustomSvt mech(spec, rng);
   int64_t hits = 0;
-  for (int64_t trial = 0; trial < options.trials; ++trial) {
+  for (int64_t trial = 0; trial < trials; ++trial) {
     mech.Reset();
     bool match = true;
     for (size_t i = 0; i < pattern.size(); ++i) {
@@ -37,6 +39,48 @@ McEstimate EstimateOutputProbability(const VariantSpec& spec,
       }
     }
     if (match) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace
+
+McEstimate EstimateOutputProbability(const VariantSpec& spec,
+                                     std::span<const double> query_answers,
+                                     double threshold,
+                                     std::string_view pattern, Rng& rng,
+                                     const McOptions& options) {
+  SVT_CHECK(pattern.size() <= query_answers.size())
+      << "pattern longer than the answer stream";
+  SVT_CHECK(options.trials > 0);
+  for (char c : pattern) {
+    SVT_CHECK(c == '_' || c == 'T') << "invalid pattern char '" << c << "'";
+  }
+
+  int workers = options.num_workers <= 0 ? ThreadPool::HardwareThreads()
+                                         : options.num_workers;
+  workers = static_cast<int>(
+      std::min<int64_t>(workers, options.trials));
+
+  int64_t hits = 0;
+  if (workers == 1) {
+    hits = CountPatternHits(spec, query_answers, threshold, pattern,
+                            options.trials, &rng);
+  } else {
+    // Fork every worker stream up front on the calling thread: the streams
+    // (and the trial slices, fixed by ParallelFor's static split) then
+    // depend only on (rng state, workers), never on scheduling.
+    std::vector<Rng> streams;
+    streams.reserve(workers);
+    for (int w = 0; w < workers; ++w) streams.push_back(rng.Fork());
+    std::vector<int64_t> worker_hits(workers, 0);
+    ParallelFor(options.trials, workers,
+                [&](int64_t begin, int64_t end, int slice) {
+                  worker_hits[slice] =
+                      CountPatternHits(spec, query_answers, threshold,
+                                       pattern, end - begin, &streams[slice]);
+                });
+    for (int64_t h : worker_hits) hits += h;
   }
 
   McEstimate est;

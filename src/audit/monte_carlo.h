@@ -5,13 +5,19 @@
 // indicator pattern. Used to cross-validate the closed-form engine — the
 // two paths share no code beyond the Laplace sampler, so agreement is
 // strong evidence both are right.
+//
+// Trials can run in parallel (McOptions::num_workers) on deterministic
+// worker streams: the calling thread forks one Rng per worker up front and
+// assigns each worker a fixed contiguous trial slice, so for a fixed
+// (rng state, num_workers) the hit counts are bitwise-reproducible no
+// matter how the OS schedules the threads.
 
 #ifndef SPARSEVEC_AUDIT_MONTE_CARLO_H_
 #define SPARSEVEC_AUDIT_MONTE_CARLO_H_
 
 #include <cstdint>
 #include <span>
-#include <string>
+#include <string_view>
 
 #include "common/rng.h"
 #include "core/variant_spec.h"
@@ -22,6 +28,11 @@ struct McOptions {
   int64_t trials = 100000;
   /// Confidence level of the reported interval (Wilson bounds).
   double confidence = 0.999;
+  /// Number of deterministic worker streams. 1 (the default) runs the
+  /// legacy serial path — every trial draws from the caller's `rng`
+  /// directly, draw for draw. 0 means one worker per hardware thread.
+  /// Workers beyond `trials` are dropped.
+  int num_workers = 1;
 };
 
 struct McEstimate {
@@ -40,7 +51,7 @@ struct McEstimate {
 McEstimate EstimateOutputProbability(const VariantSpec& spec,
                                      std::span<const double> query_answers,
                                      double threshold,
-                                     const std::string& pattern, Rng& rng,
+                                     std::string_view pattern, Rng& rng,
                                      const McOptions& options = {});
 
 }  // namespace svt

@@ -60,8 +60,52 @@ double Laplace::Sample(Rng& rng) const {
   return negative ? mu_ - b_ * e : mu_ + b_ * e;
 }
 
+void Laplace::TransformBlock(std::span<const uint64_t> words,
+                             std::span<double> out) const {
+  SVT_CHECK(words.size() == 2 * out.size());
+  // Two passes. Pass 1 computes the exponential magnitudes — a tight loop
+  // of independent log() calls that the CPU can overlap, unlike one log()
+  // buried in each mechanism step. Pass 2 applies sign and scale with a
+  // branch-free select. Both passes use the exact expressions of Sample()
+  // so the outputs are bitwise identical to a scalar loop.
+  constexpr size_t kBlock = 256;
+  double magnitudes[kBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kBlock, out.size() - done);
+    for (size_t i = 0; i < n; ++i) {
+      // words[2i] -> NextDoublePositive(), as in Sample().
+      const double u = Rng::ToUnitDoublePositive(words[2 * (done + i)]);
+      magnitudes[i] = -std::log(u);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      // words[2i+1] -> NextBernoulli(0.5), i.e. NextDouble() < 0.5.
+      const double u = Rng::ToUnitDouble(words[2 * (done + i) + 1]);
+      const double be = b_ * magnitudes[i];
+      out[done + i] = u < 0.5 ? mu_ - be : mu_ + be;
+    }
+    done += n;
+  }
+}
+
+void Laplace::SampleBlock(Rng& rng, std::span<double> out) const {
+  constexpr size_t kBlock = 256;
+  uint64_t words[2 * kBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kBlock, out.size() - done);
+    rng.FillUint64({words, 2 * n});
+    TransformBlock({words, 2 * n}, out.subspan(done, n));
+    done += n;
+  }
+}
+
 double SampleLaplace(Rng& rng, double scale) {
   return Laplace::Centered(scale).Sample(rng);
+}
+
+void SampleLaplaceBlock(Rng& rng, double scale, std::span<double> out) {
+  Laplace::Centered(scale).SampleBlock(rng, out);
 }
 
 Exponential::Exponential(double rate) : rate_(rate) {
@@ -100,6 +144,21 @@ double Gumbel::Sample(Rng& rng) const { return SampleGumbel(rng); }
 
 double SampleGumbel(Rng& rng) {
   return -std::log(-std::log(rng.NextDoublePositive()));
+}
+
+void SampleGumbelBlock(Rng& rng, std::span<double> out) {
+  constexpr size_t kBlock = 512;
+  uint64_t words[kBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kBlock, out.size() - done);
+    rng.FillUint64({words, n});
+    for (size_t i = 0; i < n; ++i) {
+      const double u = Rng::ToUnitDoublePositive(words[i]);
+      out[done + i] = -std::log(-std::log(u));
+    }
+    done += n;
+  }
 }
 
 AliasSampler::AliasSampler(std::vector<double> weights) {

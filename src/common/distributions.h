@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -61,6 +62,23 @@ class Laplace {
   /// Draws a sample by inverse-CDF.
   double Sample(Rng& rng) const;
 
+  /// Fills `out` with out.size() i.i.d. draws. Consumes uniforms from `rng`
+  /// in exactly the order Sample() would (two 64-bit draws per variate), so
+  /// for a given rng state the k-th element is bit-for-bit the k-th scalar
+  /// Sample() result — the batch execution engine relies on this. The win
+  /// over a Sample() loop is block RNG generation plus a tight transform
+  /// whose independent log() calls overlap in the pipeline.
+  void SampleBlock(Rng& rng, std::span<double> out) const;
+
+  /// The pure transform behind SampleBlock: out[i] is computed from
+  /// words[2i] (magnitude uniform) and words[2i+1] (sign uniform) with the
+  /// exact expressions of Sample(). words.size() must be 2 * out.size().
+  /// Exposed so the batch engine can pre-fetch raw words, decide per chunk
+  /// whether the transform is needed at all, and stay draw-for-draw aligned
+  /// with the streaming path either way.
+  void TransformBlock(std::span<const uint64_t> words,
+                      std::span<double> out) const;
+
  private:
   double mu_;
   double b_;
@@ -68,6 +86,10 @@ class Laplace {
 
 /// Samples Lap(scale) centered at zero — the paper's `Lap(scale)` notation.
 double SampleLaplace(Rng& rng, double scale);
+
+/// Bulk version of SampleLaplace; same draw-for-draw equivalence guarantee
+/// as Laplace::SampleBlock.
+void SampleLaplaceBlock(Rng& rng, double scale, std::span<double> out);
 
 /// Exponential(rate): density rate * exp(-rate x) on x >= 0.
 class Exponential {
@@ -100,6 +122,11 @@ class Gumbel {
 
 /// Draws one standard Gumbel variate: -log(-log(U)).
 double SampleGumbel(Rng& rng);
+
+/// Fills `out` with standard Gumbel variates, one 64-bit draw each,
+/// bit-for-bit matching a SampleGumbel() loop (used by the bulk
+/// Gumbel-top-k path of the Exponential Mechanism).
+void SampleGumbelBlock(Rng& rng, std::span<double> out);
 
 /// O(1) sampling from an arbitrary discrete distribution (Walker/Vose alias
 /// method). Used by the synthetic transaction generator, where item draws

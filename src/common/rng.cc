@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace svt {
@@ -57,14 +59,77 @@ uint64_t Rng::NextBounded(uint64_t bound) {
   }
 }
 
-double Rng::NextDouble() {
-  // Top 53 bits scaled into [0, 1).
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+void Rng::FillUint64(std::span<uint64_t> out) {
+  // An empty span may carry a null data(); bail before the pointer
+  // arithmetic below (p + 4 on nullptr is UB).
+  if (out.empty()) return;
+  // The xoshiro recurrence is inherently serial, so the block win comes
+  // from keeping the state in registers across the whole span (NextUint64
+  // reloads and spills the four state words on every call) and from
+  // unrolling away the loop overhead.
+  uint64_t s0 = state_[0];
+  uint64_t s1 = state_[1];
+  uint64_t s2 = state_[2];
+  uint64_t s3 = state_[3];
+  const auto step = [&]() {
+    const uint64_t result = Rotl(s0 + s3, 23) + s0;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    return result;
+  };
+  uint64_t* p = out.data();
+  uint64_t* const end = p + out.size();
+  for (; p + 4 <= end; p += 4) {
+    p[0] = step();
+    p[1] = step();
+    p[2] = step();
+    p[3] = step();
+  }
+  for (; p < end; ++p) *p = step();
+  state_ = {s0, s1, s2, s3};
 }
 
+namespace {
+
+// Stack block size for the uint64 -> double transforms: 4 KiB, well inside
+// L1 alongside the caller's output buffer.
+constexpr size_t kFillBlock = 512;
+
+}  // namespace
+
+void Rng::FillDouble(std::span<double> out) {
+  uint64_t words[kFillBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kFillBlock, out.size() - done);
+    FillUint64({words, n});
+    for (size_t i = 0; i < n; ++i) out[done + i] = ToUnitDouble(words[i]);
+    done += n;
+  }
+}
+
+void Rng::FillDoublePositive(std::span<double> out) {
+  uint64_t words[kFillBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kFillBlock, out.size() - done);
+    FillUint64({words, n});
+    for (size_t i = 0; i < n; ++i) {
+      out[done + i] = ToUnitDoublePositive(words[i]);
+    }
+    done += n;
+  }
+}
+
+double Rng::NextDouble() { return ToUnitDouble(NextUint64()); }
+
 double Rng::NextDoublePositive() {
-  // (0, 1]: shift the [0,1) lattice up by one ulp of the 53-bit grid.
-  return (static_cast<double>(NextUint64() >> 11) + 1.0) * 0x1.0p-53;
+  return ToUnitDoublePositive(NextUint64());
 }
 
 double Rng::NextUniform(double lo, double hi) {
@@ -76,32 +141,24 @@ bool Rng::NextBernoulli(double p) {
   return NextDouble() < p;
 }
 
-void Rng::LongJump() {
-  static constexpr uint64_t kLongJump[] = {
-      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
-      0x39109bb02acbe635ULL};
-  std::array<uint64_t, 4> acc = {0, 0, 0, 0};
-  for (uint64_t jump : kLongJump) {
-    for (int b = 0; b < 64; ++b) {
-      if (jump & (1ULL << b)) {
-        acc[0] ^= state_[0];
-        acc[1] ^= state_[1];
-        acc[2] ^= state_[2];
-        acc[3] ^= state_[3];
-      }
-      NextUint64();
-    }
-  }
-  state_ = acc;
-}
-
 Rng Rng::Fork() {
-  Rng child(state_);
-  child.LongJump();
-  // Also advance this stream so repeated Fork() calls yield distinct
-  // children.
-  NextUint64();
-  return child;
+  // Key-splitting: the child is a fresh generator seeded (via the
+  // SplitMix64 expansion in the constructor) from one parent draw. Unlike
+  // jump-based schemes this is safe for *nested* forks — a tree of forks
+  // (eval/experiment.cc forks per run, then per method) lands every leaf
+  // at an unrelated state instead of re-entering blocks handed out
+  // elsewhere in the tree. Two caveats, both negligible here: separation
+  // is probabilistic (xoshiro256++ is a single cycle; SplitMix64 seeding
+  // places children ~2^255 draws apart in expectation), and distinct
+  // parents that happen to emit the same 64-bit value (p ≈ 2^-64 per
+  // pair) would spawn identical children.
+  //
+  // Long-jumping the *child* is outright wrong (the jump is GF(2)-linear
+  // and commutes with the transition, so consecutive children would be
+  // one-step-shifted copies of one stream), and long-jumping the *parent*
+  // is only flat-safe: a child's own Fork() would jump it straight into
+  // the parent's next handout block.
+  return Rng(NextUint64());
 }
 
 }  // namespace svt

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 
 namespace svt {
@@ -43,11 +44,39 @@ class Rng {
   /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
   uint64_t NextBounded(uint64_t bound);
 
+  /// The uint64 -> double mappings behind NextDouble/NextDoublePositive,
+  /// exposed so every bulk transform (Fill*, the samplers' *Block paths,
+  /// the batch engine's bound computation) shares the one definition — the
+  /// bitwise batch/streaming equivalence contract depends on these never
+  /// diverging between call sites.
+  ///
+  /// [0, 1): top 53 bits scaled onto the 53-bit lattice.
+  static double ToUnitDouble(uint64_t word) {
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+  }
+  /// (0, 1]: the [0,1) lattice shifted up by one ulp of the 53-bit grid
+  /// (never 0, safe for log()).
+  static double ToUnitDoublePositive(uint64_t word) {
+    return (static_cast<double>(word >> 11) + 1.0) * 0x1.0p-53;
+  }
+
   /// Uniform double in [0, 1) with 53 bits of precision.
   double NextDouble();
 
   /// Uniform double in (0, 1]; never returns 0 (safe for log()).
   double NextDoublePositive();
+
+  /// Fills `out` with the next out.size() NextUint64() outputs. Block
+  /// kernel: the state lives in registers for the whole span instead of
+  /// being loaded/stored around every draw, and the loop is unrolled. The
+  /// sequence is identical to calling NextUint64() out.size() times.
+  void FillUint64(std::span<uint64_t> out);
+
+  /// Fills `out` with the next out.size() NextDouble() outputs.
+  void FillDouble(std::span<double> out);
+
+  /// Fills `out` with the next out.size() NextDoublePositive() outputs.
+  void FillDoublePositive(std::span<double> out);
 
   /// Uniform double in [lo, hi).
   double NextUniform(double lo, double hi);
@@ -55,9 +84,12 @@ class Rng {
   /// Bernoulli draw with success probability p in [0, 1].
   bool NextBernoulli(double p);
 
-  /// Returns a new Rng whose stream is independent of (and does not
-  /// advance) subsequent draws from this one in any correlated way.
-  /// Implemented as the xoshiro long-jump applied to a copy.
+  /// Returns a new Rng seeded (via SplitMix64) from one draw of this
+  /// stream — JAX-style key splitting. Safe for arbitrarily *nested*
+  /// forking (per-run, then per-method, then per-worker): every stream in
+  /// the fork tree is well separated with overwhelming probability.
+  /// Deterministic: same parent state, same children. Advances this
+  /// generator by exactly one draw.
   Rng Fork();
 
   /// Fisher-Yates shuffles indices [0, n) into `out` (resized to n).
@@ -85,8 +117,6 @@ class Rng {
   const std::array<uint64_t, 4>& state() const { return state_; }
 
  private:
-  void LongJump();
-
   std::array<uint64_t, 4> state_;
 };
 

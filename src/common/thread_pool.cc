@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace svt {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SVT_CHECK(!stop_) << "Submit() on a stopped ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+void ParallelFor(int64_t n, int num_slices,
+                 const std::function<void(int64_t begin, int64_t end,
+                                          int slice)>& body) {
+  SVT_CHECK(n >= 0);
+  const int slices =
+      num_slices <= 0 ? ThreadPool::HardwareThreads() : num_slices;
+  if (slices == 1 || n == 0) {
+    // Degenerate cases stay on the calling thread; slice indices are still
+    // honored so per-slice RNG streams line up.
+    for (int s = 0; s < slices; ++s) {
+      body(s * n / slices, (s + 1) * n / slices, s);
+    }
+    return;
+  }
+
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+  } barrier;
+  barrier.remaining = slices - 1;
+
+  ThreadPool& pool = ThreadPool::Global();
+  for (int s = 1; s < slices; ++s) {
+    pool.Submit([&body, &barrier, n, slices, s] {
+      body(s * n / slices, (s + 1) * n / slices, s);
+      // Notify while still holding the mutex: the waiter cannot pass its
+      // predicate re-check (and destroy the stack Barrier) until this
+      // worker has released the lock, so the condition_variable is
+      // guaranteed alive for the notify.
+      std::lock_guard<std::mutex> lock(barrier.mu);
+      --barrier.remaining;
+      barrier.cv.notify_one();
+    });
+  }
+  body(0, n / slices, 0);
+  std::unique_lock<std::mutex> lock(barrier.mu);
+  barrier.cv.wait(lock, [&barrier] { return barrier.remaining == 0; });
+}
+
+}  // namespace svt

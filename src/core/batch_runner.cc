@@ -1,0 +1,205 @@
+#include "core/batch_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace svt {
+
+namespace {
+
+// Inflation applied to the chunk's ν magnitude bound before the all-below
+// test. IEEE rounding of the bound chain (log, multiply, add) is monotone,
+// but libm's log() is only *nearly* correctly rounded, so pad the bound by
+// ~1e-12 relative — four orders of magnitude above any few-ulp libm error —
+// to make the shortcut strictly conservative.
+constexpr double kBoundSlack = 1.0 + 1e-12;
+
+static_assert(Response{}.outcome == Outcome::kBelow,
+              "value-initialized Response must be ⊥: the batch engine emits "
+              "⊥ runs via zero-initializing resize");
+
+}  // namespace
+
+BatchRunner::BatchRunner(const VariantSpec& spec, Rng* base_rng,
+                         SvtRunState* state)
+    : spec_(spec), base_rng_(base_rng), state_(state) {
+  SVT_CHECK(base_rng_ != nullptr);
+  SVT_CHECK(state_ != nullptr);
+}
+
+// Builds the positive Response for `answer` whose comparison noise was
+// `nu_j`, updating counters, cutoff, and (for Alg. 2) ρ — in the exact
+// order of the streaming Process() slow path.
+Response BatchRunner::MakePositiveResponse(double answer, double nu_j) {
+  ++state_->processed;
+  ++state_->positives;
+  if (spec_.cutoff.has_value() && state_->positives >= *spec_.cutoff) {
+    state_->exhausted = true;
+  }
+  if (spec_.resample_rho_after_positive) {
+    state_->rho = SampleLaplace(*base_rng_, spec_.rho_resample_scale);
+  }
+  if (spec_.output_query_value_on_positive) {
+    return Response::AboveValue(answer + nu_j);
+  }
+  if (spec_.numeric_scale > 0.0) {
+    return Response::AboveValue(answer +
+                                SampleLaplace(*base_rng_, spec_.numeric_scale));
+  }
+  return Response::Above();
+}
+
+// Scans one chunk (all pointers chunk-local, res pre-zeroed to ⊥) and
+// writes positive responses in place. Returns the number of chunk elements
+// processed: n unless the cutoff exhausted the run inside the chunk.
+// `nu` may be null (specs without query noise).
+template <typename BarAt>
+size_t BatchRunner::ScanChunk(const double* answers, size_t n,
+                              const double* nu, BarAt bar_at, Response* res) {
+  size_t i = 0;
+  while (i < n) {
+    const double rho = state_->rho;
+    size_t j = i;
+    // Tight scan for the next positive. The negated comparison keeps the
+    // streaming path's exact semantics (`answer + ν >= threshold + ρ` is
+    // the positive test) including for non-finite answers.
+    if (nu != nullptr) {
+      while (j < n && !(answers[j] + nu[j] >= bar_at(j, rho))) ++j;
+    } else {
+      while (j < n && !(answers[j] >= bar_at(j, rho))) ++j;
+    }
+    state_->processed += static_cast<int64_t>(j - i);
+    if (j == n) return n;
+
+    res[j] = MakePositiveResponse(answers[j], nu != nullptr ? nu[j] : 0.0);
+    i = j + 1;
+    if (state_->exhausted) return i;
+  }
+  return n;
+}
+
+size_t BatchRunner::Run(std::span<const double> answers, double threshold,
+                        std::vector<Response>* out) {
+  const size_t start = out->size();
+  if (state_->exhausted || answers.empty()) return 0;
+  const size_t total = answers.size();
+  // Zero-initializing resize writes the whole output as ⊥ in one memset;
+  // only positives are assigned afterwards. Shrunk again on early abort.
+  out->resize(start + total);
+  Response* const res = out->data() + start;
+
+  const bool has_nu = spec_.nu_scale > 0.0;
+  uint64_t words[2 * kChunkSize];
+  double nu_block[kChunkSize];
+  const Laplace nu_dist =
+      has_nu ? Laplace::Centered(spec_.nu_scale) : Laplace::Centered(1.0);
+  const auto bar_at = [threshold](size_t, double rho) {
+    return threshold + rho;
+  };
+
+  size_t done = 0;
+  while (done < total) {
+    const size_t n = std::min(kChunkSize, total - done);
+    const double* const a = answers.data() + done;
+    size_t chunk_processed = n;
+    if (!has_nu) {
+      chunk_processed = ScanChunk(a, n, nullptr, bar_at, res + done);
+    } else {
+      // Pre-fetch the chunk's raw ν words — the substream advances exactly
+      // as if each ν_i had been drawn scalar-style.
+      state_->nu_rng.FillUint64({words, 2 * n});
+
+      // Tier-1 shortcut: bound every |ν_i| in the chunk by b·(-log(u_min)),
+      // where u_min is the smallest magnitude uniform — an integer min over
+      // the even words, no log per element. If even the largest answer
+      // cannot cross the noisy threshold under that bound, the whole chunk
+      // is provably ⊥ and the transform is skipped entirely. Every step of
+      // the bound chain is a monotone rounded operation, so the shortcut
+      // emits exactly what the exact comparison would.
+      // Multi-accumulator reductions break the min/max dependency chains.
+      uint64_t m0 = words[0], m1 = words[0];
+      {
+        size_t i = 1;
+        for (; i + 1 < n; i += 2) {
+          m0 = std::min(m0, words[2 * i]);
+          m1 = std::min(m1, words[2 * i + 2]);
+        }
+        if (i < n) m0 = std::min(m0, words[2 * i]);
+      }
+      const uint64_t w_min = std::min(m0, m1);
+      double a0 = a[0], a1 = a[0], a2 = a[0], a3 = a[0];
+      size_t i = 1;
+      for (; i + 3 < n; i += 4) {
+        a0 = std::max(a0, a[i]);
+        a1 = std::max(a1, a[i + 1]);
+        a2 = std::max(a2, a[i + 2]);
+        a3 = std::max(a3, a[i + 3]);
+      }
+      for (; i < n; ++i) a0 = std::max(a0, a[i]);
+      const double a_max = std::max(std::max(a0, a1), std::max(a2, a3));
+
+      const double u_min = Rng::ToUnitDoublePositive(w_min);
+      const double nu_bound =
+          spec_.nu_scale * (-std::log(u_min)) * kBoundSlack;
+      if (a_max + nu_bound < threshold + state_->rho) {
+        state_->processed += static_cast<int64_t>(n);  // res already ⊥
+      } else {
+        // Tier-2: materialize the ν block and compare-scan it.
+        nu_dist.TransformBlock({words, 2 * n}, {nu_block, n});
+        chunk_processed = ScanChunk(a, n, nu_block, bar_at, res + done);
+      }
+    }
+    if (state_->exhausted) {
+      const size_t emitted = done + chunk_processed;
+      out->resize(start + emitted);
+      return emitted;
+    }
+    done += n;
+  }
+  return total;
+}
+
+size_t BatchRunner::Run(std::span<const double> answers,
+                        std::span<const double> thresholds,
+                        std::vector<Response>* out) {
+  SVT_CHECK(answers.size() == thresholds.size())
+      << "answers/thresholds size mismatch: " << answers.size() << " vs "
+      << thresholds.size();
+  const size_t start = out->size();
+  if (state_->exhausted || answers.empty()) return 0;
+  const size_t total = answers.size();
+  out->resize(start + total);
+  Response* const res = out->data() + start;
+
+  const bool has_nu = spec_.nu_scale > 0.0;
+  double nu_block[kChunkSize];
+
+  size_t done = 0;
+  while (done < total) {
+    const size_t n = std::min(kChunkSize, total - done);
+    const double* nu = nullptr;
+    if (has_nu) {
+      // Per-query thresholds forgo the tier-1 bound (the rounding of
+      // answer − threshold would make it unsound); the block transform
+      // still amortizes the RNG and pipelines the log() calls.
+      SampleLaplaceBlock(state_->nu_rng, spec_.nu_scale, {nu_block, n});
+      nu = nu_block;
+    }
+    const double* const t = thresholds.data() + done;
+    const auto bar_at = [t](size_t k, double rho) { return t[k] + rho; };
+    const size_t chunk_processed =
+        ScanChunk(answers.data() + done, n, nu, bar_at, res + done);
+    if (state_->exhausted) {
+      const size_t emitted = done + chunk_processed;
+      out->resize(start + emitted);
+      return emitted;
+    }
+    done += n;
+  }
+  return total;
+}
+
+}  // namespace svt

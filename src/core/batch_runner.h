@@ -1,0 +1,74 @@
+// Chunked batch execution engine for spec-driven SVT mechanisms.
+//
+// SvtMechanism::Run's reference implementation pays, per query, a virtual
+// dispatch, a Laplace distribution construction, two scalar RNG calls and a
+// log() stuck behind them. The experiments (Figs. 2–5) and the audit layer
+// push millions of queries through that loop. BatchRunner replaces it with:
+//
+//   * per chunk, one bulk fill of the raw ν words from the mechanism's
+//     dedicated ν substream;
+//   * a tier-1 chunk bound (common threshold only): an integer min over the
+//     magnitude uniforms bounds every |ν| in the chunk, and when even the
+//     largest answer provably cannot cross the noisy threshold the whole
+//     chunk is emitted as ⊥ without a single log() — the dominant case in
+//     ⊥-heavy SVT workloads, where negatives are free;
+//   * otherwise a bulk inverse-CDF transform (Laplace::TransformBlock) and
+//     a tight, branch-predictable compare-scan that finds the next positive
+//     and emits the ⊥ run before it in one fill;
+//   * a slow path only at positives, handling the cutoff, Alg. 2's ρ
+//     resampling, Alg. 3's q+ν output and ε₃ numeric answers.
+//
+// Under the draw-order contract documented on SpecDrivenSvt (core/svt.h)
+// the emitted Response sequence is bit-for-bit the one the streaming
+// Process() loop would produce for the same seed.
+
+#ifndef SPARSEVEC_CORE_BATCH_RUNNER_H_
+#define SPARSEVEC_CORE_BATCH_RUNNER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/response.h"
+#include "core/svt.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+
+class BatchRunner {
+ public:
+  /// Queries per ν block: 16 KiB of noise, L1-resident alongside the
+  /// answers being scanned.
+  static constexpr size_t kChunkSize = 2048;
+
+  /// Runs over the state of a live mechanism; all three must outlive the
+  /// runner. `state` is mutated exactly as the streaming path would.
+  BatchRunner(const VariantSpec& spec, Rng* base_rng, SvtRunState* state);
+
+  /// Appends one Response per processed query to *out, stopping after the
+  /// positive that exhausts the cutoff; returns the number appended.
+  /// Appends nothing when the mechanism is already exhausted.
+  size_t Run(std::span<const double> answers,
+             std::span<const double> thresholds, std::vector<Response>* out);
+
+  /// Common-threshold overload (the hot path of the experiments), with the
+  /// tier-1 chunk bound enabled.
+  size_t Run(std::span<const double> answers, double threshold,
+             std::vector<Response>* out);
+
+ private:
+  Response MakePositiveResponse(double answer, double nu_j);
+
+  template <typename BarAt>
+  size_t ScanChunk(const double* answers, size_t n, const double* nu,
+                   BarAt bar_at, Response* res);
+
+  const VariantSpec& spec_;
+  Rng* base_rng_;
+  SvtRunState* state_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_CORE_BATCH_RUNNER_H_

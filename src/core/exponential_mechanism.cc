@@ -95,10 +95,13 @@ Result<std::vector<size_t>> ExponentialMechanism::SelectTopC(
 
   // Gumbel-top-k: keys_i = coef*score_i + Gumbel_i; the indices of the c
   // largest keys are distributed exactly as c rounds of EM without
-  // replacement over these scores.
+  // replacement over these scores. The noise is bulk-sampled; the block
+  // is draw-for-draw identical to a scalar SampleGumbel loop.
+  std::vector<double> gumbels(scores.size());
+  SampleGumbelBlock(rng, gumbels);
   std::vector<std::pair<double, size_t>> keys(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) {
-    keys[i] = {coef * scores[i] + SampleGumbel(rng), i};
+    keys[i] = {coef * scores[i] + gumbels[i], i};
   }
   const size_t c = static_cast<size_t>(options.num_selections);
   std::partial_sort(

@@ -1,35 +1,118 @@
 #include "core/svt.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/distributions.h"
+#include "core/batch_runner.h"
 
 namespace svt {
 
 std::vector<Response> SvtMechanism::Run(std::span<const double> answers,
                                         std::span<const double> thresholds) {
-  SVT_CHECK(answers.size() == thresholds.size())
-      << "answers/thresholds size mismatch: " << answers.size() << " vs "
-      << thresholds.size();
   std::vector<Response> out;
-  out.reserve(answers.size());
-  for (size_t i = 0; i < answers.size(); ++i) {
-    if (exhausted()) break;
-    out.push_back(Process(answers[i], thresholds[i]));
-  }
+  RunAppend(answers, thresholds, &out);
   return out;
 }
 
 std::vector<Response> SvtMechanism::Run(std::span<const double> answers,
                                         double threshold) {
   std::vector<Response> out;
-  out.reserve(answers.size());
+  RunAppend(answers, threshold, &out);
+  return out;
+}
+
+size_t SvtMechanism::RunAppend(std::span<const double> answers,
+                               std::span<const double> thresholds,
+                               std::vector<Response>* out) {
+  SVT_CHECK(answers.size() == thresholds.size())
+      << "answers/thresholds size mismatch: " << answers.size() << " vs "
+      << thresholds.size();
+  const size_t start = out->size();
+  out->reserve(start + answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (exhausted()) break;
+    out->push_back(Process(answers[i], thresholds[i]));
+  }
+  return out->size() - start;
+}
+
+size_t SvtMechanism::RunAppend(std::span<const double> answers,
+                               double threshold, std::vector<Response>* out) {
+  const size_t start = out->size();
+  out->reserve(start + answers.size());
   for (double a : answers) {
     if (exhausted()) break;
-    out.push_back(Process(a, threshold));
+    out->push_back(Process(a, threshold));
   }
-  return out;
+  return out->size() - start;
+}
+
+SpecDrivenSvt::SpecDrivenSvt(VariantSpec spec, Rng* rng)
+    : spec_(std::move(spec)), rng_(rng) {
+  SVT_CHECK(rng_ != nullptr);
+  InitRun();
+}
+
+void SpecDrivenSvt::InitRun() {
+  // Draw-order contract steps 1: ρ from the base stream, then one base
+  // draw seeds the ν substream. The seeding always happens — even for
+  // specs without query noise — so the base stream position is a function
+  // of Reset() count alone.
+  state_.rho = SampleLaplace(*rng_, spec_.rho_scale);
+  state_.nu_rng = Rng(rng_->NextUint64());
+}
+
+Response SpecDrivenSvt::Process(double query_answer, double threshold) {
+  SVT_CHECK(!state_.exhausted)
+      << spec_.name
+      << "::Process called after the cutoff exhausted the run; check "
+         "exhausted() or call Reset()";
+  ++state_.processed;
+  const double nu = spec_.nu_scale > 0.0
+                        ? SampleLaplace(state_.nu_rng, spec_.nu_scale)
+                        : 0.0;
+  if (query_answer + nu >= threshold + state_.rho) {
+    ++state_.positives;
+    if (spec_.cutoff.has_value() && state_.positives >= *spec_.cutoff) {
+      state_.exhausted = true;
+    }
+    if (spec_.resample_rho_after_positive) {
+      state_.rho = SampleLaplace(*rng_, spec_.rho_resample_scale);
+    }
+    if (spec_.output_query_value_on_positive) {
+      // Alg. 3: emits the very noise used in the comparison — this is the
+      // leak that makes it non-private.
+      return Response::AboveValue(query_answer + nu);
+    }
+    if (spec_.numeric_scale > 0.0) {
+      // Alg. 7 line 6: answer the positive with a fresh Laplace draw funded
+      // by ε₃ (never the comparison noise ν — that is Alg. 3's mistake).
+      return Response::AboveValue(query_answer +
+                                  SampleLaplace(*rng_, spec_.numeric_scale));
+    }
+    return Response::Above();
+  }
+  return Response::Below();
+}
+
+void SpecDrivenSvt::Reset() {
+  InitRun();
+  state_.positives = 0;
+  state_.processed = 0;
+  state_.exhausted = false;
+}
+
+size_t SpecDrivenSvt::RunAppend(std::span<const double> answers,
+                                std::span<const double> thresholds,
+                                std::vector<Response>* out) {
+  return BatchRunner(spec_, rng_, &state_).Run(answers, thresholds, out);
+}
+
+size_t SpecDrivenSvt::RunAppend(std::span<const double> answers,
+                                double threshold, std::vector<Response>* out) {
+  return BatchRunner(spec_, rng_, &state_).Run(answers, threshold, out);
 }
 
 Status SvtOptions::Validate() const {
@@ -61,40 +144,7 @@ Result<std::unique_ptr<SparseVector>> SparseVector::Create(
   VariantSpec spec = MakeStandardSpec(split, options.sensitivity,
                                       options.cutoff, options.monotonic);
   return std::unique_ptr<SparseVector>(
-      new SparseVector(options, std::move(spec), rng));
-}
-
-SparseVector::SparseVector(const SvtOptions& options, VariantSpec spec,
-                           Rng* rng)
-    : options_(options), spec_(std::move(spec)), rng_(rng) {
-  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
-}
-
-Response SparseVector::Process(double query_answer, double threshold) {
-  SVT_CHECK(!exhausted_)
-      << "SparseVector::Process called after the cutoff aborted the run; "
-         "check exhausted() or call Reset()";
-  ++processed_;
-  const double nu = SampleLaplace(*rng_, spec_.nu_scale);
-  if (query_answer + nu >= threshold + rho_) {
-    ++positives_;
-    if (positives_ >= options_.cutoff) exhausted_ = true;
-    if (spec_.numeric_scale > 0.0) {
-      // Alg. 7 line 6: answer the positive with a fresh Laplace draw funded
-      // by ε₃ (never the comparison noise ν — that is Alg. 3's mistake).
-      return Response::AboveValue(query_answer +
-                                  SampleLaplace(*rng_, spec_.numeric_scale));
-    }
-    return Response::Above();
-  }
-  return Response::Below();
-}
-
-void SparseVector::Reset() {
-  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
-  positives_ = 0;
-  processed_ = 0;
-  exhausted_ = false;
+      new SparseVector(std::move(spec), rng));
 }
 
 }  // namespace svt

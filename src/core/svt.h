@@ -4,8 +4,10 @@
 // The primary interface is *streaming*: Process(answer, threshold) returns
 // one Response. This is what makes SVT valuable in the interactive setting —
 // queries need not be known in advance, and negative outcomes consume no
-// privacy budget. Batch helpers are provided for the non-interactive
-// experiments.
+// privacy budget. Batch workloads go through Run(), which spec-driven
+// mechanisms execute with the vectorized engine in core/batch_runner.h; the
+// draw-order contract below guarantees both paths emit the identical
+// Response sequence for the same seed.
 //
 // Privacy (Theorems 2, 4, 5 of the paper): with ρ ~ Lap(Δ/ε₁),
 // ν_i ~ Lap(2cΔ/ε₂) (Lap(cΔ/ε₂) for monotonic queries), at most c positive
@@ -58,13 +60,86 @@ class SvtMechanism {
 
   /// Runs the mechanism over a batch with per-query thresholds, stopping at
   /// the cutoff. Returns one Response per processed query (the result may be
-  /// shorter than `answers` if the cutoff hit early).
+  /// shorter than `answers` if the cutoff hit early). Delegates to
+  /// RunAppend().
   std::vector<Response> Run(std::span<const double> answers,
                             std::span<const double> thresholds);
 
   /// Single-threshold convenience overload.
   std::vector<Response> Run(std::span<const double> answers,
                             double threshold);
+
+  /// Like Run(), but appends to *out instead of returning a fresh vector,
+  /// so batch servers can reuse one response buffer across calls instead of
+  /// re-allocating (and re-faulting) megabytes per request. Returns the
+  /// number of responses appended. The base implementation is the
+  /// reference streaming loop; SpecDrivenSvt overrides it with the chunked
+  /// batch engine, emitting the identical sequence.
+  virtual size_t RunAppend(std::span<const double> answers,
+                           std::span<const double> thresholds,
+                           std::vector<Response>* out);
+  virtual size_t RunAppend(std::span<const double> answers, double threshold,
+                           std::vector<Response>* out);
+};
+
+/// Mutable per-run state shared by the streaming Process() path and the
+/// batch engine (core/batch_runner.h).
+struct SvtRunState {
+  double rho = 0.0;   ///< current noisy-threshold offset
+  Rng nu_rng{0};      ///< dedicated ν substream (see contract below)
+  int positives = 0;
+  int64_t processed = 0;
+  bool exhausted = false;
+};
+
+/// Shared engine for every spec-driven SVT mechanism: a noisy threshold,
+/// optional query noise, optional cutoff, optional ρ resampling, optional
+/// numeric output. Concrete classes differ only in their VariantSpec.
+///
+/// Noise draw-order contract (pinned — batch/streaming equivalence and the
+/// equivalence tests depend on it):
+///   1. Construction and Reset() consume, from the base stream in order:
+///      the threshold noise ρ (one Laplace variate = two 64-bit draws),
+///      then ONE 64-bit draw that seeds — via SplitMix64 — the dedicated
+///      ν substream.
+///   2. ν_i is the i-th Laplace variate of the ν substream (two 64-bit
+///      substream draws each). Nothing else consumes the substream, and
+///      specs with nu_scale == 0 never touch it.
+///   3. Numeric answers to positives (ε₃, Alg. 7) and Alg. 2's ρ
+///      resampling draw from the base stream at the positive, in emission
+///      order.
+/// Hence the k-th emitted Response is the same whether queries arrive one
+/// at a time through Process() or in bulk through Run(): the batch engine
+/// pre-fills whole blocks of the ν substream without disturbing the base
+/// stream. After a cutoff abort the ν substream position is unspecified
+/// until the next Reset() re-derives it (no further draws can be requested
+/// from an exhausted run).
+class SpecDrivenSvt : public SvtMechanism {
+ public:
+  Response Process(double query_answer, double threshold) override;
+  bool exhausted() const override { return state_.exhausted; }
+  void Reset() override;
+  const VariantSpec& spec() const override { return spec_; }
+  int positives_emitted() const override { return state_.positives; }
+  int64_t queries_processed() const override { return state_.processed; }
+
+  /// Batch execution via core/batch_runner.h (see class comment there).
+  size_t RunAppend(std::span<const double> answers,
+                   std::span<const double> thresholds,
+                   std::vector<Response>* out) override;
+  size_t RunAppend(std::span<const double> answers, double threshold,
+                   std::vector<Response>* out) override;
+
+ protected:
+  SpecDrivenSvt(VariantSpec spec, Rng* rng);
+
+ private:
+  /// Draws ρ and derives the ν substream per the contract above.
+  void InitRun();
+
+  VariantSpec spec_;
+  Rng* rng_;  // base stream
+  SvtRunState state_;
 };
 
 /// Configuration for SparseVector. Defaults give Alg. 1 at ε = 1.
@@ -90,7 +165,8 @@ struct SvtOptions {
   Status Validate() const;
 };
 
-/// The paper's standard SVT (Alg. 7; Alg. 1 by default parameterization).
+/// The paper's standard SVT (Alg. 7; Alg. 1 by default parameterization),
+/// realized on the shared spec-driven engine.
 ///
 /// Typical streaming use:
 ///
@@ -100,37 +176,22 @@ struct SvtOptions {
 ///     if (svt->exhausted()) break;
 ///     Response r = svt->Process(query.Evaluate(db), threshold);
 ///   }
-class SparseVector final : public SvtMechanism {
+class SparseVector final : public SpecDrivenSvt {
  public:
   /// Validates `options` and draws the threshold noise from `rng`.
   /// `rng` must outlive the mechanism.
   static Result<std::unique_ptr<SparseVector>> Create(
       const SvtOptions& options, Rng* rng);
 
-  Response Process(double query_answer, double threshold) override;
-  bool exhausted() const override { return exhausted_; }
-  void Reset() override;
-  const VariantSpec& spec() const override { return spec_; }
-  int positives_emitted() const override { return positives_; }
-  int64_t queries_processed() const override { return processed_; }
-
   /// The realized (ε₁, ε₂, ε₃) split.
-  const BudgetSplit& budget() const { return spec_.budget; }
+  const BudgetSplit& budget() const { return spec().budget; }
 
   /// Scale of the per-query noise ν_i (used by SVT-ReTr's "kD" boosts).
-  double query_noise_scale() const { return spec_.nu_scale; }
+  double query_noise_scale() const { return spec().nu_scale; }
 
  private:
-  SparseVector(const SvtOptions& options, VariantSpec spec, Rng* rng);
-
-  SvtOptions options_;
-  VariantSpec spec_;
-  Rng* rng_;
-
-  double rho_ = 0.0;  // current noisy-threshold offset
-  int positives_ = 0;
-  int64_t processed_ = 0;
-  bool exhausted_ = false;
+  SparseVector(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
 };
 
 }  // namespace svt

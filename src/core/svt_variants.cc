@@ -2,51 +2,7 @@
 
 #include <utility>
 
-#include "common/check.h"
-#include "common/distributions.h"
-
 namespace svt {
-
-SpecDrivenSvt::SpecDrivenSvt(VariantSpec spec, Rng* rng)
-    : spec_(std::move(spec)), rng_(rng) {
-  SVT_CHECK(rng_ != nullptr);
-  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
-}
-
-Response SpecDrivenSvt::Process(double query_answer, double threshold) {
-  SVT_CHECK(!exhausted_) << spec_.name
-                         << "::Process called after cutoff abort";
-  ++processed_;
-  const double nu =
-      spec_.nu_scale > 0.0 ? SampleLaplace(*rng_, spec_.nu_scale) : 0.0;
-  if (query_answer + nu >= threshold + rho_) {
-    ++positives_;
-    if (spec_.cutoff.has_value() && positives_ >= *spec_.cutoff) {
-      exhausted_ = true;
-    }
-    if (spec_.resample_rho_after_positive) {
-      rho_ = SampleLaplace(*rng_, spec_.rho_resample_scale);
-    }
-    if (spec_.output_query_value_on_positive) {
-      // Alg. 3: emits the very noise used in the comparison — this is the
-      // leak that makes it non-private.
-      return Response::AboveValue(query_answer + nu);
-    }
-    if (spec_.numeric_scale > 0.0) {
-      return Response::AboveValue(query_answer +
-                                  SampleLaplace(*rng_, spec_.numeric_scale));
-    }
-    return Response::Above();
-  }
-  return Response::Below();
-}
-
-void SpecDrivenSvt::Reset() {
-  rho_ = SampleLaplace(*rng_, spec_.rho_scale);
-  positives_ = 0;
-  processed_ = 0;
-  exhausted_ = false;
-}
 
 namespace {
 

@@ -29,29 +29,10 @@
 
 namespace svt {
 
-/// Shared machinery for the published variants: a noisy threshold, optional
-/// query noise, optional cutoff, optional ρ resampling, optional numeric
-/// output. Concrete classes differ only in their VariantSpec.
-class SpecDrivenSvt : public SvtMechanism {
- public:
-  Response Process(double query_answer, double threshold) override;
-  bool exhausted() const override { return exhausted_; }
-  void Reset() override;
-  const VariantSpec& spec() const override { return spec_; }
-  int positives_emitted() const override { return positives_; }
-  int64_t queries_processed() const override { return processed_; }
-
- protected:
-  SpecDrivenSvt(VariantSpec spec, Rng* rng);
-
- private:
-  VariantSpec spec_;
-  Rng* rng_;
-  double rho_ = 0.0;
-  int positives_ = 0;
-  int64_t processed_ = 0;
-  bool exhausted_ = false;
-};
+// The shared SpecDrivenSvt engine (noisy threshold, optional query noise,
+// cutoff, ρ resampling, numeric output) lives in core/svt.h so that the
+// batch execution engine and SparseVector can build on it too; the classes
+// below differ only in their VariantSpec.
 
 /// Alg. 2 — SVT as given in Dwork & Roth's 2014 book. ε-DP, but both noise
 /// scales carry an extra factor of c relative to Alg. 1, making it the

@@ -144,6 +144,47 @@ TEST(RngTest, RepeatedForksDiffer) {
   EXPECT_NE(c1.NextUint64(), c2.NextUint64());
 }
 
+TEST(RngTest, NestedForksAreWellSeparated) {
+  // Regression for the fork-tree pattern of eval/experiment.cc (fork per
+  // run, draws, then fork per method): with jump-based forking, run r's
+  // method m and run r+1's method m-1 land on the same stream region when
+  // runs consume equal draw counts before forking. Key-splitting must
+  // give every (run, method) leaf its own stream.
+  Rng master(83);
+  std::vector<std::vector<uint64_t>> streams;
+  for (int run = 0; run < 3; ++run) {
+    Rng run_rng = master.Fork();
+    run_rng.NextUint64();  // equal pre-fork consumption in every run
+    for (int method = 0; method < 3; ++method) {
+      Rng method_rng = run_rng.Fork();
+      std::vector<uint64_t> s(32);
+      method_rng.FillUint64(s);
+      streams.push_back(std::move(s));
+    }
+  }
+  for (size_t i = 0; i < streams.size(); ++i) {
+    for (size_t j = i + 1; j < streams.size(); ++j) {
+      EXPECT_NE(streams[i], streams[j]) << "streams " << i << " and " << j;
+    }
+  }
+}
+
+TEST(RngTest, ConsecutiveForksAreNotShiftedCopies) {
+  // Regression: long-jumping the child instead of the parent makes the
+  // children of consecutive forks one-step-shifted copies of one stream
+  // (LongJump commutes with the state transition), which silently
+  // duplicates trials across parallel Monte-Carlo workers.
+  Rng parent(71);
+  Rng c1 = parent.Fork();
+  Rng c2 = parent.Fork();
+  c1.NextUint64();  // align c1 one step ahead
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.NextUint64() == c2.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
 TEST(RngTest, ForkIsDeterministicGivenSeed) {
   Rng p1(41), p2(41);
   Rng c1 = p1.Fork();

@@ -1,0 +1,243 @@
+// Batch/streaming equivalence: under the draw-order contract pinned on
+// SpecDrivenSvt (core/svt.h), Run()/RunAppend() must emit bit-for-bit the
+// Response sequence of a scalar Process() loop with the same seed — for
+// every variant's noise structure, at sizes that straddle the engine's
+// chunking, through positives, cutoff aborts, numeric outputs and Reset
+// cycles. This is the test that licenses every batch-path optimization.
+
+#include "core/batch_runner.h"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/budget.h"
+#include "core/response.h"
+#include "core/svt.h"
+#include "core/svt_variants.h"
+#include "core/variant_spec.h"
+
+namespace svt {
+namespace {
+
+// Builds an answer stream whose positives are sprinkled at irregular
+// positions (including exactly at chunk boundaries) on a far-below
+// baseline, so both the tier-1 all-below shortcut and the slow path get
+// exercised within one run.
+std::vector<double> MixedAnswers(size_t n) {
+  std::vector<double> answers(n, -50.0);
+  for (size_t i = 0; i < n; i += 97) answers[i] = 10.0;   // clear positives
+  for (size_t i = 31; i < n; i += 211) answers[i] = 0.1;  // borderline
+  if (n > BatchRunner::kChunkSize) {
+    answers[BatchRunner::kChunkSize - 1] = 10.0;
+    answers[BatchRunner::kChunkSize] = 10.0;
+  }
+  return answers;
+}
+
+// Responses must agree exactly, including numeric payloads bit for bit.
+void ExpectSameResponses(const std::vector<Response>& batch,
+                         const std::vector<Response>& stream,
+                         const std::string& context) {
+  ASSERT_EQ(batch.size(), stream.size()) << context;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(batch[i].outcome, stream[i].outcome) << context << " i=" << i;
+    if (batch[i].outcome == Outcome::kAboveValue) {
+      ASSERT_EQ(batch[i].value, stream[i].value) << context << " i=" << i;
+    }
+  }
+}
+
+// Runs mechanism `a` through the batch path and `b` (same seed) through a
+// manual streaming loop, over several Reset cycles, and demands identical
+// output plus identical counters.
+void CheckEquivalence(SvtMechanism* batch_mech, SvtMechanism* stream_mech,
+                      const std::vector<double>& answers, double threshold,
+                      const std::string& context) {
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const std::vector<Response> batch = batch_mech->Run(answers, threshold);
+    std::vector<Response> stream;
+    for (double a : answers) {
+      if (stream_mech->exhausted()) break;
+      stream.push_back(stream_mech->Process(a, threshold));
+    }
+    ExpectSameResponses(batch, stream,
+                        context + " cycle=" + std::to_string(cycle));
+    EXPECT_EQ(batch_mech->positives_emitted(),
+              stream_mech->positives_emitted())
+        << context;
+    EXPECT_EQ(batch_mech->queries_processed(),
+              stream_mech->queries_processed())
+        << context;
+    EXPECT_EQ(batch_mech->exhausted(), stream_mech->exhausted()) << context;
+    batch_mech->Reset();
+    stream_mech->Reset();
+  }
+}
+
+class VariantEquivalence : public ::testing::TestWithParam<VariantId> {};
+
+TEST_P(VariantEquivalence, BatchMatchesStreamingAcrossChunks) {
+  const VariantId id = GetParam();
+  // 3 full chunks plus an odd tail; cutoff high enough to survive most of
+  // the stream but low enough to abort some cycles mid-run.
+  const std::vector<double> answers =
+      MixedAnswers(3 * BatchRunner::kChunkSize + 123);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng_batch(seed), rng_stream(seed);
+    auto batch = MakeVariantMechanism(id, 1.0, 1.0, 40, &rng_batch).value();
+    auto stream = MakeVariantMechanism(id, 1.0, 1.0, 40, &rng_stream).value();
+    CheckEquivalence(batch.get(), stream.get(), answers, 0.0,
+                     std::string(VariantIdToString(id)) + " seed=" +
+                         std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantEquivalence,
+    ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
+                      VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
+                      VariantId::kGptt, VariantId::kStandard));
+
+TEST(BatchRunnerTest, NumericOutputEpsilon3Equivalence) {
+  // Alg. 7 with ε₃ > 0: numeric answers draw from the base stream at each
+  // positive — the interleaving the substream contract exists to protect.
+  SvtOptions o;
+  o.epsilon = 2.0;
+  o.cutoff = 25;
+  o.numeric_output_fraction = 0.3;
+  const std::vector<double> answers = MixedAnswers(5000);
+  Rng rng_batch(11), rng_stream(11);
+  auto batch = SparseVector::Create(o, &rng_batch).value();
+  auto stream = SparseVector::Create(o, &rng_stream).value();
+  CheckEquivalence(batch.get(), stream.get(), answers, 0.0, "eps3");
+}
+
+TEST(BatchRunnerTest, PerQueryThresholdEquivalence) {
+  const size_t n = 2 * BatchRunner::kChunkSize + 57;
+  const std::vector<double> answers = MixedAnswers(n);
+  std::vector<double> thresholds(n);
+  for (size_t i = 0; i < n; ++i) {
+    thresholds[i] = (i % 5 == 0) ? -1.0 : 0.5;
+  }
+  for (uint64_t seed : {4u, 5u}) {
+    Rng rng_batch(seed), rng_stream(seed);
+    SvtOptions o;
+    o.epsilon = 1.0;
+    o.cutoff = 60;
+    auto batch = SparseVector::Create(o, &rng_batch).value();
+    auto stream = SparseVector::Create(o, &rng_stream).value();
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      const std::vector<Response> b = batch->Run(answers, thresholds);
+      std::vector<Response> s;
+      for (size_t i = 0; i < n; ++i) {
+        if (stream->exhausted()) break;
+        s.push_back(stream->Process(answers[i], thresholds[i]));
+      }
+      ExpectSameResponses(b, s, "per-query seed=" + std::to_string(seed));
+      batch->Reset();
+      stream->Reset();
+    }
+  }
+}
+
+TEST(BatchRunnerTest, CutoffTruncatesExactly) {
+  Rng rng(6);
+  SvtOptions o;
+  o.epsilon = 100.0;  // tiny noise: the first `cutoff` answers all fire
+  o.cutoff = 2;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const std::vector<double> answers(50, 1e9);
+  const std::vector<Response> rs = mech->Run(answers, 0.0);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_TRUE(rs[0].is_positive());
+  EXPECT_TRUE(rs[1].is_positive());
+  EXPECT_TRUE(mech->exhausted());
+  // An exhausted mechanism appends nothing.
+  EXPECT_TRUE(mech->Run(answers, 0.0).empty());
+}
+
+TEST(BatchRunnerTest, RunAppendReusesBuffer) {
+  Rng rng(7);
+  SvtOptions o;
+  o.epsilon = 1.0;
+  o.cutoff = 1000;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const std::vector<double> answers(100, -50.0);
+  std::vector<Response> buffer;
+  EXPECT_EQ(mech->RunAppend(answers, 0.0, &buffer), 100u);
+  EXPECT_EQ(buffer.size(), 100u);
+  // Appending keeps prior content in place.
+  EXPECT_EQ(mech->RunAppend(answers, 0.0, &buffer), 100u);
+  EXPECT_EQ(buffer.size(), 200u);
+  buffer.clear();
+  EXPECT_EQ(mech->RunAppend(answers, 0.0, &buffer), 100u);
+  EXPECT_EQ(buffer.size(), 100u);
+}
+
+TEST(BatchRunnerTest, EmptyBatchIsANoOp) {
+  Rng rng(8);
+  SvtOptions o;
+  auto mech = SparseVector::Create(o, &rng).value();
+  EXPECT_TRUE(mech->Run(std::vector<double>{}, 0.0).empty());
+  EXPECT_EQ(mech->queries_processed(), 0);
+  // The RNG position is untouched: a subsequent run matches a fresh
+  // same-seed mechanism that never saw the empty batch.
+  Rng rng2(8);
+  auto mech2 = SparseVector::Create(o, &rng2).value();
+  const std::vector<double> answers = MixedAnswers(100);
+  ExpectSameResponses(mech->Run(answers, 0.0), mech2->Run(answers, 0.0),
+                      "empty-batch");
+}
+
+TEST(BatchRunnerTest, MixedStreamingAndBatchStaysAligned) {
+  // Feeding the first k queries through Process() and the rest through
+  // Run() must equal the all-streaming sequence: the batch engine picks up
+  // the ν substream exactly where streaming left it.
+  const std::vector<double> answers = MixedAnswers(3000);
+  Rng rng_mixed(9), rng_stream(9);
+  SvtOptions o;
+  o.epsilon = 1.0;
+  o.cutoff = 100;
+  auto mixed = SparseVector::Create(o, &rng_mixed).value();
+  auto stream = SparseVector::Create(o, &rng_stream).value();
+
+  const size_t split = 123;
+  std::vector<Response> mixed_out;
+  for (size_t i = 0; i < split && !mixed->exhausted(); ++i) {
+    mixed_out.push_back(mixed->Process(answers[i], 0.0));
+  }
+  if (!mixed->exhausted()) {
+    mixed->RunAppend(
+        std::span<const double>(answers).subspan(split), 0.0, &mixed_out);
+  }
+
+  std::vector<Response> stream_out;
+  for (double a : answers) {
+    if (stream->exhausted()) break;
+    stream_out.push_back(stream->Process(a, 0.0));
+  }
+  ExpectSameResponses(mixed_out, stream_out, "mixed");
+}
+
+TEST(BatchRunnerTest, AllBelowFastPathCountsProcessed) {
+  Rng rng(10);
+  SvtOptions o;
+  o.epsilon = 0.5;
+  o.cutoff = 3;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const std::vector<double> answers(4096, -1e9);
+  const std::vector<Response> rs = mech->Run(answers, 0.0);
+  EXPECT_EQ(rs.size(), 4096u);
+  EXPECT_EQ(mech->queries_processed(), 4096);
+  EXPECT_EQ(mech->positives_emitted(), 0);
+  for (const Response& r : rs) ASSERT_FALSE(r.is_positive());
+}
+
+}  // namespace
+}  // namespace svt
