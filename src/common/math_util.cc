@@ -1,10 +1,19 @@
 #include "common/math_util.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 
 namespace svt {
+
+std::string FormatDouble(double x) {
+  // 32 chars comfortably fits the longest shortest-round-trip double
+  // (sign + 17 significand digits + decimal point + "e-308").
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), x);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("?");
+}
 
 double LogAddExp(double a, double b) {
   if (std::isinf(a) && a < 0.0) return b;

@@ -5,9 +5,16 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace svt {
+
+/// Shortest decimal string that parses back to exactly `x` (std::to_chars
+/// round-trip form). Error messages about budget boundaries use this:
+/// std::to_string's fixed 6 digits can print a genuinely over-budget charge
+/// as "1.000000 + 0.100000 > total 1.000000".
+std::string FormatDouble(double x);
 
 /// log(exp(a) + exp(b)) without overflow.
 double LogAddExp(double a, double b);

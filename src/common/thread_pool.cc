@@ -7,6 +7,13 @@
 
 namespace svt {
 
+namespace {
+// Set for the lifetime of every pool worker thread. ParallelFor and
+// WaitIdle consult it: blocking on pool progress from a pool worker can
+// deadlock once the pool is saturated with blocked tasks.
+thread_local bool tls_on_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(n);
@@ -33,7 +40,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::WaitIdle() {
+  SVT_CHECK(!OnWorkerThread())
+      << "WaitIdle() from a pool worker would wait for itself";
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  tls_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,8 +59,14 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
   }
 }
 
@@ -62,9 +85,11 @@ void ParallelFor(int64_t n, int num_slices,
   SVT_CHECK(n >= 0);
   const int slices =
       num_slices <= 0 ? ThreadPool::HardwareThreads() : num_slices;
-  if (slices == 1 || n == 0) {
-    // Degenerate cases stay on the calling thread; slice indices are still
-    // honored so per-slice RNG streams line up.
+  if (slices == 1 || n == 0 || ThreadPool::OnWorkerThread()) {
+    // Degenerate cases — and nested calls from a pool task, where waiting
+    // on pool-scheduled slices could deadlock a saturated pool — run every
+    // slice inline. Slice boundaries and indices are identical to the
+    // scheduled path, so per-slice RNG streams line up bitwise.
     for (int s = 0; s < slices; ++s) {
       body(s * n / slices, (s + 1) * n / slices, s);
     }

@@ -1,6 +1,6 @@
 // Minimal worker pool and a deterministic ParallelFor.
 //
-// The audit layer's Monte-Carlo estimator and future sharded-serving work
+// The audit layer's Monte-Carlo estimator and the sharded serving layer
 // need data parallelism without pulling in a dependency. The design goal is
 // *schedule-independent determinism*: ParallelFor splits an index range into
 // contiguous slices whose boundaries depend only on (n, num_slices), so any
@@ -39,6 +39,17 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Blocks until the queue is empty and no task is executing. Must not be
+  /// called from a pool worker (checked) — a worker waiting for itself to
+  /// go idle would never return. New Submits racing with WaitIdle may or
+  /// may not be waited for; quiesce submitters first for a strict drain.
+  void WaitIdle();
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Blocking
+  /// operations that need pool progress (ParallelFor's barrier, WaitIdle)
+  /// use this to avoid deadlocking on a saturated pool.
+  static bool OnWorkerThread();
+
   /// Process-wide pool sized to the hardware concurrency, created on first
   /// use. ParallelFor schedules on this pool.
   static ThreadPool& Global();
@@ -51,7 +62,9 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
+  int active_ = 0;  ///< tasks currently executing
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
@@ -64,7 +77,11 @@ class ThreadPool {
 /// so per-slice state stays aligned with the slice index.
 ///
 /// Correct (and deterministic) even when the pool has fewer threads than
-/// slices — excess slices just queue. Do not call from inside a pool task.
+/// slices — excess slices just queue. Safe to call from inside a pool task:
+/// nested calls detect the worker thread and run every slice inline on the
+/// caller, with identical slice boundaries and indices, so per-slice RNG
+/// streams and results are bitwise-unchanged (only the parallelism is
+/// given up; scheduling nested slices to a saturated pool would deadlock).
 void ParallelFor(int64_t n, int num_slices,
                  const std::function<void(int64_t begin, int64_t end,
                                           int slice)>& body);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/math_util.h"
 
 namespace svt {
 
@@ -101,18 +102,25 @@ PrivacyAccountant::PrivacyAccountant(double total_epsilon)
   SVT_CHECK(total_epsilon > 0.0);
 }
 
+bool PrivacyAccountant::CanCharge(double epsilon) const {
+  if (epsilon < 0.0) return false;
+  // Tolerate rounding at the boundary: many small charges that sum to the
+  // total should not spuriously fail.
+  constexpr double kSlack = 1e-9;
+  return spent_ + epsilon <= total_ * (1.0 + kSlack);
+}
+
 Status PrivacyAccountant::Charge(double epsilon) {
   if (epsilon < 0.0) {
     return Status::InvalidArgument("cannot charge negative epsilon");
   }
-  // Tolerate rounding at the boundary: many small charges that sum to the
-  // total should not spuriously fail.
-  constexpr double kSlack = 1e-9;
-  if (spent_ + epsilon > total_ * (1.0 + kSlack)) {
+  if (!CanCharge(epsilon)) {
+    // Round-trip formatting: boundary failures differ from the total in the
+    // last few ulps, which std::to_string's fixed 6 digits would hide.
     return Status::Exhausted("privacy budget exhausted: spent " +
-                             std::to_string(spent_) + " + " +
-                             std::to_string(epsilon) + " > total " +
-                             std::to_string(total_));
+                             FormatDouble(spent_) + " + " +
+                             FormatDouble(epsilon) + " > total " +
+                             FormatDouble(total_));
   }
   spent_ += epsilon;
   return Status::OK();

@@ -87,12 +87,24 @@ double PerStepEpsilonForAdvancedComposition(int k, double target_epsilon,
 /// Mechanisms do not charge it implicitly; the interactive layer
 /// (src/interactive) charges it as budget is consumed so callers can enforce
 /// a global budget across many SVT/Laplace invocations.
+///
+/// Boundary tolerance: charges that land exactly on the total after floating
+/// point rounding (e.g. 10 × 0.1 against a 1.0 budget) are accepted — the
+/// check allows a relative slack of 1e-9 on the total. CanCharge() is the
+/// single source of truth for that rule; every "would the next charge fit?"
+/// probe (AboveThresholdSession::exhausted(), serving admission) must use it
+/// rather than re-deriving its own tolerance, so probe and Charge can never
+/// disagree at the boundary.
 class PrivacyAccountant {
  public:
   /// Creates an accountant with the given total budget (> 0).
   explicit PrivacyAccountant(double total_epsilon);
 
-  /// Consumes `epsilon`; fails with kExhausted if it would exceed the total.
+  /// True iff Charge(epsilon) would succeed right now. epsilon < 0 is false.
+  bool CanCharge(double epsilon) const;
+
+  /// Consumes `epsilon`; fails with kExhausted if it would exceed the total
+  /// (as decided by CanCharge).
   Status Charge(double epsilon);
 
   double total() const { return total_; }

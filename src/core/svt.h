@@ -75,6 +75,15 @@ class SvtMechanism {
   /// number of responses appended. The base implementation is the
   /// reference streaming loop; SpecDrivenSvt overrides it with the chunked
   /// batch engine, emitting the identical sequence.
+  ///
+  /// Buffer-reuse contract (the serving layer depends on it): RunAppend
+  /// only appends — it never clears, shrinks, or reorders the elements
+  /// already in *out, and between calls the vector is an ordinary
+  /// std::vector the caller owns. clear() + RunAppend in a loop therefore
+  /// reuses one allocation for every batch once the capacity has grown to
+  /// the high-water mark. Appended elements may be invalidated by
+  /// reallocation on a later append, so take spans into *out only after the
+  /// last RunAppend of a cycle.
   virtual size_t RunAppend(std::span<const double> answers,
                            std::span<const double> thresholds,
                            std::vector<Response>* out);

@@ -57,11 +57,56 @@ Result<Response> AboveThresholdSession::Process(double query_answer,
   return r;
 }
 
+size_t AboveThresholdSession::RunRounds(
+    size_t num_queries,
+    const std::function<size_t(size_t consumed, std::vector<Response>* out)>&
+        run_round,
+    std::vector<Response>* out) {
+  const size_t start = out->size();
+  size_t consumed = 0;
+  while (consumed < num_queries) {
+    if (!EnsureActiveRound().ok()) break;  // budget cannot fund the round
+    consumed += run_round(consumed, out);
+  }
+  for (size_t i = start; i < out->size(); ++i) {
+    if ((*out)[i].is_positive()) ++positives_emitted_;
+  }
+  queries_processed_ += static_cast<int64_t>(out->size() - start);
+  return out->size() - start;
+}
+
+size_t AboveThresholdSession::RunAppend(std::span<const double> answers,
+                                        double threshold,
+                                        std::vector<Response>* out) {
+  return RunRounds(
+      answers.size(),
+      [&](size_t consumed, std::vector<Response>* o) {
+        return current_->RunAppend(answers.subspan(consumed), threshold, o);
+      },
+      out);
+}
+
+size_t AboveThresholdSession::RunAppend(std::span<const double> answers,
+                                        std::span<const double> thresholds,
+                                        std::vector<Response>* out) {
+  SVT_CHECK(answers.size() == thresholds.size())
+      << "answers/thresholds size mismatch: " << answers.size() << " vs "
+      << thresholds.size();
+  return RunRounds(
+      answers.size(),
+      [&](size_t consumed, std::vector<Response>* o) {
+        return current_->RunAppend(answers.subspan(consumed),
+                                   thresholds.subspan(consumed), o);
+      },
+      out);
+}
+
 bool AboveThresholdSession::exhausted() const {
   if (current_ != nullptr && !current_->exhausted()) return false;
-  // Next query would need a new round.
-  return accountant_.remaining() <
-         options_.epsilon_per_round * (1.0 - 1e-12);
+  // Next query would need a new round; ask the accountant itself (the old
+  // re-derived 1e-12 tolerance could disagree with Charge's 1e-9 slack at
+  // the boundary, refusing fundable rounds or promising unfundable ones).
+  return !accountant_.CanCharge(options_.epsilon_per_round);
 }
 
 }  // namespace svt

@@ -11,7 +11,10 @@
 #ifndef SPARSEVEC_INTERACTIVE_SESSION_H_
 #define SPARSEVEC_INTERACTIVE_SESSION_H_
 
+#include <functional>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
@@ -25,7 +28,11 @@ struct SessionOptions {
   /// Lifetime privacy budget of the session (> 0).
   double total_epsilon = 1.0;
   /// Per-SVT-run budget (> 0, <= total). Each run answers up to
-  /// `round.cutoff` positives.
+  /// `round.cutoff` positives. Boundary rounding follows
+  /// PrivacyAccountant::CanCharge's 1e-9 relative slack on the total, so a
+  /// schedule whose rounds sum exactly to total_epsilon (10 × 0.1 in a 1.0
+  /// budget, say) funds every round, and exhausted() agrees with what
+  /// Process()/RunAppend() will actually do.
   double epsilon_per_round = 0.25;
   /// Template for each round's SVT (its epsilon field is ignored and
   /// replaced by epsilon_per_round).
@@ -46,7 +53,26 @@ class AboveThresholdSession {
   /// a positive-capable query needs.
   Result<Response> Process(double query_answer, double threshold);
 
-  /// True when no further queries can be answered.
+  /// Batch path: appends one Response per processed query to *out, rolling
+  /// over rounds (each charged epsilon_per_round) exactly as a Process()
+  /// loop would, but executing each round through the vectorized batch
+  /// engine. Stops early — possibly before the first query — once the
+  /// budget cannot fund the next round; returns the number appended (check
+  /// exhausted() to distinguish). The Response sequence is bitwise equal to
+  /// the streaming loop for the same seed. Appends only; callers may
+  /// clear() and reuse one buffer across calls to keep its capacity.
+  size_t RunAppend(std::span<const double> answers, double threshold,
+                   std::vector<Response>* out);
+
+  /// Per-query-threshold overload.
+  size_t RunAppend(std::span<const double> answers,
+                   std::span<const double> thresholds,
+                   std::vector<Response>* out);
+
+  /// True when no further queries can be answered: the current round has
+  /// aborted and the accountant cannot fund another (shares
+  /// PrivacyAccountant::CanCharge with Charge, so this never disagrees
+  /// with the next Process()).
   bool exhausted() const;
 
   int rounds_started() const { return rounds_started_; }
@@ -58,6 +84,16 @@ class AboveThresholdSession {
   AboveThresholdSession(const SessionOptions& options, Rng* rng);
 
   Status EnsureActiveRound();
+
+  /// Shared round-rollover loop behind both RunAppend overloads:
+  /// `run_round` feeds `consumed`-offset queries of the current round into
+  /// *out and returns how many it processed. Updates the session counters
+  /// from the appended range and returns the total appended.
+  size_t RunRounds(
+      size_t num_queries,
+      const std::function<size_t(size_t consumed, std::vector<Response>* out)>&
+          run_round,
+      std::vector<Response>* out);
 
   SessionOptions options_;
   Rng* rng_;

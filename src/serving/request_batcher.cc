@@ -1,0 +1,102 @@
+#include "serving/request_batcher.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace svt {
+
+RequestBatcher::RequestBatcher(ShardedSvtServer* server)
+    : RequestBatcher(server, Options()) {}
+
+RequestBatcher::RequestBatcher(ShardedSvtServer* server, Options options)
+    : server_(server), options_(options) {
+  SVT_CHECK(server_ != nullptr);
+}
+
+RequestBatcher::~RequestBatcher() {
+  // A request whose drain never ran would leave its *out stale; flush.
+  // Submit() racing destruction is a use-after-free regardless, so a
+  // plain final drain is enough.
+  while (Drain() > 0 || pending() > 0) {
+  }
+}
+
+uint64_t RequestBatcher::Submit(uint64_t key, std::span<const double> answers,
+                                double threshold,
+                                std::vector<Response>* out) {
+  SVT_CHECK(out != nullptr);
+  uint64_t sequence;
+  size_t now_pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequence = next_sequence_++;
+    pending_.push_back(
+        Request{server_->ShardOf(key), {answers, threshold, out}});
+    now_pending = pending_.size();
+  }
+  if (options_.auto_drain_pending > 0 &&
+      now_pending >= options_.auto_drain_pending) {
+    Drain();
+  }
+  return sequence;
+}
+
+size_t RequestBatcher::Drain() {
+  size_t executed = 0;
+  // Loop: requests submitted while we were executing are drained too, so a
+  // single uncontended Drain() leaves nothing behind.
+  for (;;) {
+    if (!drain_mu_.try_lock()) return executed;
+    std::vector<Request> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch.swap(pending_);
+    }
+    if (batch.empty()) {
+      drain_mu_.unlock();
+      // A Submit can land between the swap above and the unlock, with its
+      // own Drain() bouncing off our still-held lock — without this
+      // re-check that request would be stranded with no drain in flight.
+      // Any Submit after the unlock can acquire the lock itself.
+      if (pending() == 0) return executed;
+      continue;
+    }
+    ExecuteBatch(&batch);
+    executed += batch.size();
+    drain_mu_.unlock();
+  }
+}
+
+void RequestBatcher::ExecuteBatch(std::vector<Request>* batch) {
+  // Group per shard; within a shard the order is the submission order
+  // (pending_ preserves it), which is what makes responses reproducible.
+  std::vector<std::vector<ShardedSvtServer::BatchItem*>> per_shard(
+      static_cast<size_t>(server_->num_shards()));
+  for (Request& r : *batch) {
+    per_shard[static_cast<size_t>(r.shard)].push_back(&r.item);
+  }
+  std::vector<int> active;
+  for (int s = 0; s < server_->num_shards(); ++s) {
+    if (!per_shard[static_cast<size_t>(s)].empty()) active.push_back(s);
+  }
+  // One slice per shard with work. Nested-safe: when this drain itself
+  // runs on a pool worker, ParallelFor executes the slices inline.
+  ParallelFor(static_cast<int64_t>(active.size()),
+              static_cast<int>(active.size()),
+              [&](int64_t begin, int64_t end, int /*slice*/) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const int shard = active[static_cast<size_t>(i)];
+                  server_->ExecuteBatchedOnShard(
+                      shard, per_shard[static_cast<size_t>(shard)]);
+                }
+              });
+}
+
+size_t RequestBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace svt

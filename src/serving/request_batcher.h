@@ -1,0 +1,95 @@
+// RequestBatcher: coalesces concurrently submitted query batches per shard
+// and drains them on the global ThreadPool via the nested-safe ParallelFor.
+//
+// Submit() only enqueues (cheap, any thread — including pool tasks, which
+// is what a request handler running on the pool is). Drain() takes
+// everything pending, groups it per shard preserving the global submission
+// order, and executes one ParallelFor slice per shard with work, each
+// feeding the shard's reusable response buffer through RunAppend. Because
+// each shard's work is totally ordered by submission sequence, a fixed
+// (seed, num_shards, submission order) reproduces every response bitwise,
+// whatever the thread count or schedule.
+//
+// Drain() never blocks on pool scheduling or on another drain, so it is
+// safe to call from inside a pool task: contended callers return
+// immediately and the in-flight drain (or a later one) picks their
+// requests up.
+
+#ifndef SPARSEVEC_SERVING_REQUEST_BATCHER_H_
+#define SPARSEVEC_SERVING_REQUEST_BATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/response.h"
+#include "serving/sharded_server.h"
+
+namespace svt {
+
+class RequestBatcher {
+ public:
+  struct Options {
+    /// Submit() triggers a drain on the submitting thread once this many
+    /// requests are pending; 0 disables auto-drain (drain only when
+    /// Drain() is called).
+    size_t auto_drain_pending = 0;
+  };
+
+  /// `server` must outlive the batcher.
+  explicit RequestBatcher(ShardedSvtServer* server);
+  RequestBatcher(ShardedSvtServer* server, Options options);
+
+  /// Drains anything still pending. Concurrent Submit() racing the
+  /// destructor is a caller error.
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues one batch for the shard that owns `key`. `answers` and *out
+  /// must stay valid until the drain that executes the request returns;
+  /// *out is clear()ed and filled with the responses at that point (fewer
+  /// than answers.size() in kBudgetMetered mode once the shard's budget is
+  /// done). Thread-safe. Returns the request's global submission sequence
+  /// number.
+  uint64_t Submit(uint64_t key, std::span<const double> answers,
+                  double threshold, std::vector<Response>* out);
+
+  /// Executes pending requests until none remain; returns the number
+  /// executed by THIS call. If another thread is draining, returns
+  /// immediately (that drain re-checks for newly pending requests before
+  /// it returns, so every request submitted before a failed drain-lock
+  /// attempt is still executed) — never blocks on the drain lock or pool
+  /// scheduling, so calling it from a pool task cannot deadlock.
+  size_t Drain();
+
+  /// Requests submitted but not yet taken by a drain.
+  size_t pending() const;
+
+  const ShardedSvtServer& server() const { return *server_; }
+
+ private:
+  struct Request {
+    int shard = 0;
+    ShardedSvtServer::BatchItem item;
+  };
+
+  /// Executes one swapped-out batch of requests; called with drain_mu_ held.
+  void ExecuteBatch(std::vector<Request>* batch);
+
+  ShardedSvtServer* server_;
+  Options options_;
+
+  mutable std::mutex mu_;  ///< guards pending_ and next_sequence_
+  std::vector<Request> pending_;
+  uint64_t next_sequence_ = 0;
+
+  std::mutex drain_mu_;  ///< try_lock-only: at most one drain in flight
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_SERVING_REQUEST_BATCHER_H_

@@ -1,0 +1,147 @@
+#include "serving/sharded_server.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace svt {
+
+Status ServingOptions::Validate() const {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(num_shards));
+  }
+  switch (mode) {
+    case ShardMode::kAutoReset:
+      return svt.Validate();
+    case ShardMode::kBudgetMetered:
+      return session.Validate();
+  }
+  return Status::InvalidArgument("unknown ShardMode");
+}
+
+Result<std::unique_ptr<ShardedSvtServer>> ShardedSvtServer::Create(
+    const ServingOptions& options) {
+  SVT_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<ShardedSvtServer> server(new ShardedSvtServer(options));
+  // Fork the per-shard streams in index order on this thread: the streams
+  // are then a function of (seed, num_shards) alone.
+  Rng master(options.seed);
+  server->shards_.reserve(options.num_shards);
+  for (int i = 0; i < options.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->rng = master.Fork();
+    if (options.mode == ShardMode::kAutoReset) {
+      SVT_ASSIGN_OR_RETURN(shard->mech,
+                           SparseVector::Create(options.svt, &shard->rng));
+    } else {
+      SVT_ASSIGN_OR_RETURN(
+          shard->session,
+          AboveThresholdSession::Create(options.session, &shard->rng));
+    }
+    server->shards_.push_back(std::move(shard));
+  }
+  return server;
+}
+
+int ShardedSvtServer::ShardOf(uint64_t key) const {
+  // One SplitMix64 step decorrelates adjacent keys; the routing is
+  // stateless, so it can never perturb any shard's noise stream.
+  uint64_t state = key;
+  return static_cast<int>(SplitMix64Next(state) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+ShardedSvtServer::Shard& ShardedSvtServer::CheckedShard(int shard) const {
+  SVT_CHECK(shard >= 0 && shard < num_shards())
+      << "shard index " << shard << " out of range [0, " << num_shards()
+      << ")";
+  return *shards_[static_cast<size_t>(shard)];
+}
+
+size_t ShardedSvtServer::Execute(uint64_t key, std::span<const double> answers,
+                                 double threshold,
+                                 std::vector<Response>* out) {
+  return ExecuteOnShard(ShardOf(key), answers, threshold, out);
+}
+
+size_t ShardedSvtServer::ExecuteOnShard(int shard,
+                                        std::span<const double> answers,
+                                        double threshold,
+                                        std::vector<Response>* out) {
+  Shard& s = CheckedShard(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return ExecuteLocked(s, answers, threshold, out);
+}
+
+size_t ShardedSvtServer::ExecuteLocked(Shard& shard,
+                                       std::span<const double> answers,
+                                       double threshold,
+                                       std::vector<Response>* out) {
+  const size_t start = out->size();
+  if (options_.mode == ShardMode::kAutoReset) {
+    size_t consumed = 0;
+    while (consumed < answers.size()) {
+      if (shard.mech->exhausted()) shard.mech->Reset();
+      consumed +=
+          shard.mech->RunAppend(answers.subspan(consumed), threshold, out);
+    }
+  } else {
+    shard.session->RunAppend(answers, threshold, out);
+  }
+  const size_t appended = out->size() - start;
+  shard.stats.batches += 1;
+  shard.stats.queries += static_cast<int64_t>(appended);
+  for (size_t i = start; i < out->size(); ++i) {
+    if ((*out)[i].is_positive()) ++shard.stats.positives;
+  }
+  return appended;
+}
+
+void ShardedSvtServer::ExecuteBatchedOnShard(int shard,
+                                             std::span<BatchItem* const> items) {
+  Shard& s = CheckedShard(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  // One RunAppend-fed buffer for the whole drain: capacity converges to the
+  // per-drain high-water mark and stops re-allocating.
+  s.buffer.clear();
+  std::vector<size_t> ends;
+  ends.reserve(items.size());
+  for (BatchItem* item : items) {
+    ExecuteLocked(s, item->answers, item->threshold, &s.buffer);
+    ends.push_back(s.buffer.size());
+  }
+  // Copy out only after the last append: earlier spans into the buffer
+  // could be invalidated by growth.
+  size_t begin = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i]->out->assign(s.buffer.begin() + static_cast<ptrdiff_t>(begin),
+                          s.buffer.begin() + static_cast<ptrdiff_t>(ends[i]));
+    begin = ends[i];
+  }
+}
+
+bool ShardedSvtServer::ShardExhausted(int shard) const {
+  Shard& s = CheckedShard(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.session != nullptr && s.session->exhausted();
+}
+
+ServingStats ShardedSvtServer::StatsForShard(int shard) const {
+  Shard& s = CheckedShard(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
+}
+
+ServingStats ShardedSvtServer::TotalStats() const {
+  ServingStats total;
+  for (int i = 0; i < num_shards(); ++i) {
+    const ServingStats s = StatsForShard(i);
+    total.batches += s.batches;
+    total.queries += s.queries;
+    total.positives += s.positives;
+  }
+  return total;
+}
+
+}  // namespace svt

@@ -1,0 +1,146 @@
+// Sharded SVT serving: N independent shards, each backed by the paper's
+// standard SVT (or a budget-metered AboveThresholdSession) with its own
+// Rng::Fork()-derived stream, executing query batches through the
+// vectorized batch engine (core/batch_runner.h).
+//
+// This is the ROADMAP's interactive-at-scale target: the paper's §1 setting
+// — streams of threshold queries answered online, budget paid only for
+// positives — served across shards so heavy traffic parallelizes while
+// every shard stays a single deterministic SVT stream.
+//
+// Determinism contract (the same template as audit/monte_carlo.cc's worker
+// slices): Create() forks one stream per shard from `seed` in shard-index
+// order, and ShardOf() routes a key by a stateless SplitMix64 hash. A
+// shard's response stream is therefore a pure function of (seed,
+// num_shards, the order of batches executed on that shard) — bitwise
+// reproducible across runs, thread counts, and schedules. Concurrent
+// callers hitting one shard serialize on its mutex in arrival order; fixing
+// the per-shard submission order (as RequestBatcher's drain does) fixes
+// every response bitwise.
+
+#ifndef SPARSEVEC_SERVING_SHARDED_SERVER_H_
+#define SPARSEVEC_SERVING_SHARDED_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/response.h"
+#include "core/svt.h"
+#include "interactive/session.h"
+
+namespace svt {
+
+/// What backs each shard.
+enum class ShardMode {
+  /// One SparseVector per shard; when a run exhausts its cutoff the shard
+  /// Reset()s into a fresh run automatically, so execution never stops.
+  /// No budget metering: each run is ε-DP and lifetime composition across
+  /// runs is the operator's concern (throughput serving, simulation).
+  kAutoReset,
+  /// One AboveThresholdSession per shard: a lifetime budget, rounds funded
+  /// through the shared PrivacyAccountant, execution stops at exhaustion.
+  kBudgetMetered,
+};
+
+/// Configuration of a ShardedSvtServer.
+struct ServingOptions {
+  /// Number of independent shards (>= 1).
+  int num_shards = 1;
+  /// Seed of the master stream the per-shard streams are forked from.
+  uint64_t seed = 0;
+  ShardMode mode = ShardMode::kAutoReset;
+  /// Per-shard mechanism template (kAutoReset).
+  SvtOptions svt;
+  /// Per-shard session template (kBudgetMetered).
+  SessionOptions session;
+
+  Status Validate() const;
+};
+
+/// Per-shard (and aggregate) serving counters.
+struct ServingStats {
+  int64_t batches = 0;
+  int64_t queries = 0;
+  int64_t positives = 0;
+};
+
+class RequestBatcher;
+
+class ShardedSvtServer {
+ public:
+  /// One enqueued batch: `answers` against a common `threshold`, responses
+  /// delivered into *out (clear()ed and filled on execution).
+  struct BatchItem {
+    std::span<const double> answers;
+    double threshold = 0.0;
+    std::vector<Response>* out = nullptr;
+  };
+
+  static Result<std::unique_ptr<ShardedSvtServer>> Create(
+      const ServingOptions& options);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ServingOptions& options() const { return options_; }
+
+  /// Deterministic stateless routing: SplitMix64(key) mod num_shards.
+  int ShardOf(uint64_t key) const;
+
+  /// Executes one batch on the shard that owns `key`, appending one
+  /// Response per processed query to *out; returns the number appended.
+  /// Thread-safe: distinct shards execute in parallel, calls into one
+  /// shard serialize. In kBudgetMetered mode stops early once the shard's
+  /// budget cannot fund the next round (see ShardExhausted); in kAutoReset
+  /// mode always processes every query.
+  size_t Execute(uint64_t key, std::span<const double> answers,
+                 double threshold, std::vector<Response>* out);
+
+  /// Same, addressing the shard by index (checked).
+  size_t ExecuteOnShard(int shard, std::span<const double> answers,
+                        double threshold, std::vector<Response>* out);
+
+  /// kBudgetMetered: true once the shard's session can answer no further
+  /// queries. Always false in kAutoReset mode.
+  bool ShardExhausted(int shard) const;
+
+  ServingStats StatsForShard(int shard) const;
+  ServingStats TotalStats() const;
+
+ private:
+  friend class RequestBatcher;
+
+  struct Shard {
+    mutable std::mutex mu;
+    Rng rng{0};  ///< forked per-shard stream; mechanisms point into it
+    std::unique_ptr<SparseVector> mech;              // kAutoReset
+    std::unique_ptr<AboveThresholdSession> session;  // kBudgetMetered
+    /// Drain-scratch buffer, reused across drains (capacity persists; see
+    /// the buffer-reuse contract on SvtMechanism::RunAppend).
+    std::vector<Response> buffer;
+    ServingStats stats;
+  };
+
+  explicit ShardedSvtServer(const ServingOptions& options)
+      : options_(options) {}
+
+  Shard& CheckedShard(int shard) const;
+
+  /// Executes one batch with shard.mu held; returns responses appended.
+  size_t ExecuteLocked(Shard& shard, std::span<const double> answers,
+                       double threshold, std::vector<Response>* out);
+
+  /// Batcher entry point: runs `items` in order through the shard's
+  /// reusable buffer, then copies each item's slice into its *out.
+  void ExecuteBatchedOnShard(int shard, std::span<BatchItem* const> items);
+
+  ServingOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_SERVING_SHARDED_SERVER_H_

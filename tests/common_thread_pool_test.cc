@@ -102,6 +102,81 @@ TEST(ParallelForTest, PerSliceRngStreamsAreScheduleIndependent) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(ThreadPoolTest, WaitIdleBlocksUntilQueueDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+  pool.WaitIdle();  // idempotent on an idle pool
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDistinguishesWorkers) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(1);
+  std::atomic<int> inside{-1};
+  pool.Submit([&] { inside.store(ThreadPool::OnWorkerThread() ? 1 : 0); });
+  pool.WaitIdle();
+  EXPECT_EQ(inside.load(), 1);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+TEST(ParallelForTest, NestedUnderFullySubscribedPoolDoesNotDeadlock) {
+  // Every global-pool worker runs a task that itself calls ParallelFor —
+  // the request-handler-on-the-pool shape. Before the inline fallback this
+  // deadlocked as soon as the pool saturated: the outer tasks held every
+  // worker while waiting for slices only those workers could run.
+  const int tasks = 2 * ThreadPool::HardwareThreads() + 1;
+  std::atomic<int> done{0};
+  std::atomic<int64_t> total{0};
+  for (int t = 0; t < tasks; ++t) {
+    ThreadPool::Global().Submit([&] {
+      std::atomic<int64_t> sum{0};
+      ParallelFor(1000, 8, [&](int64_t begin, int64_t end, int) {
+        for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+      });
+      total.fetch_add(sum.load());
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < tasks) std::this_thread::yield();
+  EXPECT_EQ(total.load(), static_cast<int64_t>(tasks) * (1000 * 999 / 2));
+}
+
+TEST(ParallelForTest, NestedMatchesTopLevelBitwise) {
+  // The inline fallback must keep the slice boundaries and indices of the
+  // scheduled path so per-slice RNG streams produce identical results.
+  const auto run = [](bool nested) {
+    Rng master(123);
+    std::vector<Rng> streams;
+    for (int s = 0; s < 5; ++s) streams.push_back(master.Fork());
+    std::vector<uint64_t> result(5);
+    const auto work = [&] {
+      ParallelFor(997, 5, [&](int64_t begin, int64_t end, int slice) {
+        uint64_t acc = 0;
+        for (int64_t i = begin; i < end; ++i) {
+          acc ^= streams[slice].NextUint64() + static_cast<uint64_t>(i);
+        }
+        result[slice] = acc;
+      });
+    };
+    if (nested) {
+      std::atomic<bool> finished{false};
+      ThreadPool::Global().Submit([&] {
+        work();
+        finished.store(true);
+      });
+      while (!finished.load()) std::this_thread::yield();
+    } else {
+      work();
+    }
+    return result;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(ParallelForTest, ReentrantSequentialCalls) {
   // Back-to-back ParallelFor calls must not interfere through the global
   // pool's queue.

@@ -123,6 +123,61 @@ TEST(PrivacyAccountantTest, ToleratesRoundingAtBoundary) {
   }
 }
 
+TEST(PrivacyAccountantTest, CanChargePredictsChargeExactSum) {
+  // 10 × 0.1 sums exactly to the 1.0 budget (up to rounding): every round
+  // must be both predicted fundable and actually funded, and the 11th must
+  // be predicted unfundable before Charge refuses it.
+  PrivacyAccountant acct(1.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(acct.CanCharge(0.1)) << "round " << i;
+    ASSERT_TRUE(acct.Charge(0.1).ok()) << "round " << i;
+  }
+  EXPECT_FALSE(acct.CanCharge(0.1));
+  EXPECT_EQ(acct.Charge(0.1).code(), StatusCode::kExhausted);
+}
+
+TEST(PrivacyAccountantTest, CanChargePredictsChargeInexactSum) {
+  // 0.3 does not divide 1.0: three rounds fit, the fourth does not.
+  PrivacyAccountant acct(1.0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(acct.CanCharge(0.3)) << "round " << i;
+    ASSERT_TRUE(acct.Charge(0.3).ok()) << "round " << i;
+  }
+  EXPECT_FALSE(acct.CanCharge(0.3));
+  EXPECT_FALSE(acct.Charge(0.3).ok());
+}
+
+TEST(PrivacyAccountantTest, CanChargeAgreesWithChargeOnAGrid) {
+  // Whatever the boundary rounding, the probe and the action must agree:
+  // Charge succeeds iff CanCharge said so immediately before.
+  for (const double total : {1.0, 0.7, 1e-3, 12.5}) {
+    for (const double step : {total / 10.0, total / 3.0, total / 7.0}) {
+      PrivacyAccountant acct(total);
+      for (int i = 0; i < 40; ++i) {
+        const bool predicted = acct.CanCharge(step);
+        const bool actual = acct.Charge(step).ok();
+        ASSERT_EQ(predicted, actual)
+            << "total=" << total << " step=" << step << " round " << i;
+        if (!actual) break;
+      }
+    }
+  }
+  PrivacyAccountant acct(1.0);
+  EXPECT_FALSE(acct.CanCharge(-0.1));  // negative: same answer as Charge
+  EXPECT_FALSE(acct.Charge(-0.1).ok());
+}
+
+TEST(PrivacyAccountantTest, ExhaustedMessageHasRoundTripPrecision) {
+  // A boundary overdraft differs from the total only past the 6 digits
+  // std::to_string prints; the message must keep the distinction.
+  PrivacyAccountant acct(1.0);
+  ASSERT_TRUE(acct.Charge(1.0).ok());
+  const Status s = acct.Charge(1e-7);
+  ASSERT_EQ(s.code(), StatusCode::kExhausted);
+  EXPECT_NE(s.message().find("1e-07"), std::string::npos) << s.message();
+  EXPECT_EQ(s.message().find("0.000000"), std::string::npos) << s.message();
+}
+
 TEST(AdvancedCompositionTest, MatchesFormula) {
   // eps' = sqrt(2k ln(1/d)) e + k e (e^e - 1).
   const double eps = 0.1;

@@ -1,0 +1,179 @@
+// Streaming-vs-batch equivalence *through sessions*: a session executing
+// via RunAppend (batch engine per round, transparent round rollover, budget
+// charges at round starts) must emit exactly the Response sequence of the
+// pure Process() loop for the same seed — including where it stops when the
+// lifetime budget runs out, for exact-fit and inexact budget schedules.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "interactive/session.h"
+
+namespace svt {
+namespace {
+
+std::vector<double> MakeAnswers(size_t n) {
+  Rng gen(555);
+  std::vector<double> answers(n);
+  for (size_t i = 0; i < n; ++i) answers[i] = gen.NextUniform(-25.0, 25.0);
+  return answers;
+}
+
+SessionOptions Options(double total, double per_round) {
+  SessionOptions o;
+  o.total_epsilon = total;
+  o.epsilon_per_round = per_round;
+  o.round.sensitivity = 1.0;
+  o.round.cutoff = 2;
+  o.round.monotonic = true;
+  // Numeric answers make the comparison bitwise on doubles, not just on
+  // the ⊥/⊤ pattern.
+  o.round.numeric_output_fraction = 0.2;
+  return o;
+}
+
+/// Pure-streaming reference: Process() until the budget refuses.
+std::vector<Response> StreamAll(const SessionOptions& o, uint64_t seed,
+                                const std::vector<double>& answers,
+                                double threshold) {
+  Rng rng(seed);
+  auto session = AboveThresholdSession::Create(o, &rng).value();
+  std::vector<Response> out;
+  for (double a : answers) {
+    const auto r = session->Process(a, threshold);
+    if (!r.ok()) break;
+    out.push_back(*r);
+  }
+  return out;
+}
+
+TEST(SessionBatchTest, SingleRunAppendMatchesStreaming) {
+  const std::vector<double> answers = MakeAnswers(4000);
+  for (const auto& [total, per_round] :
+       {std::pair{1.0, 0.1}, {1.0, 0.3}, {0.45, 0.15}, {0.2, 0.2}}) {
+    const SessionOptions o = Options(total, per_round);
+    const std::vector<Response> expect = StreamAll(o, 7, answers, 0.0);
+
+    Rng rng(7);
+    auto session = AboveThresholdSession::Create(o, &rng).value();
+    std::vector<Response> got;
+    const size_t appended = session->RunAppend(answers, 0.0, &got);
+    EXPECT_EQ(appended, expect.size()) << "total=" << total;
+    EXPECT_EQ(got, expect) << "total=" << total << " per=" << per_round;
+    EXPECT_TRUE(session->exhausted());
+    EXPECT_EQ(session->queries_processed(),
+              static_cast<int64_t>(expect.size()));
+  }
+}
+
+TEST(SessionBatchTest, InterleavedProcessAndRunAppendMatchesStreaming) {
+  // Alternate single Process() calls, small batches, and batches large
+  // enough to roll over several rounds (Reset/re-Create inside the call),
+  // for both an exact-fit (10 × 0.1) and an inexact (0.3) schedule.
+  const std::vector<double> answers = MakeAnswers(4000);
+  for (const double per_round : {0.1, 0.3}) {
+    const SessionOptions o = Options(1.0, per_round);
+    const std::vector<Response> expect = StreamAll(o, 11, answers, 0.0);
+
+    Rng rng(11);
+    auto session = AboveThresholdSession::Create(o, &rng).value();
+    std::vector<Response> got;
+    size_t i = 0;
+    int step = 0;
+    while (i < answers.size() && !session->exhausted()) {
+      if (step % 3 == 0) {
+        const auto r = session->Process(answers[i], 0.0);
+        if (!r.ok()) break;
+        got.push_back(*r);
+        ++i;
+      } else {
+        const size_t want = step % 3 == 1 ? 7 : 701;
+        const std::span<const double> block(answers.data() + i,
+                                            std::min(want, answers.size() - i));
+        const size_t n = session->RunAppend(block, 0.0, &got);
+        i += n;
+        if (n < block.size()) break;  // budget ended mid-block
+      }
+      ++step;
+    }
+    EXPECT_EQ(got, expect) << "per_round=" << per_round;
+    EXPECT_TRUE(session->exhausted());
+  }
+}
+
+TEST(SessionBatchTest, PerQueryThresholdOverloadMatchesStreaming) {
+  const std::vector<double> answers = MakeAnswers(1500);
+  std::vector<double> thresholds(answers.size());
+  Rng tgen(556);
+  for (double& t : thresholds) t = tgen.NextUniform(-5.0, 5.0);
+
+  const SessionOptions o = Options(0.8, 0.2);
+  Rng rng_a(13);
+  auto streaming = AboveThresholdSession::Create(o, &rng_a).value();
+  std::vector<Response> expect;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    const auto r = streaming->Process(answers[i], thresholds[i]);
+    if (!r.ok()) break;
+    expect.push_back(*r);
+  }
+
+  Rng rng_b(13);
+  auto batch = AboveThresholdSession::Create(o, &rng_b).value();
+  std::vector<Response> got;
+  batch->RunAppend(answers, thresholds, &got);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(SessionBatchTest, RunAppendOnlyAppends) {
+  // Buffer-reuse contract: pre-existing elements survive untouched.
+  const std::vector<double> answers = MakeAnswers(100);
+  Rng rng(17);
+  auto session =
+      AboveThresholdSession::Create(Options(1.0, 0.25), &rng).value();
+  std::vector<Response> out = {Response::Above(), Response::AboveValue(3.5)};
+  const size_t appended = session->RunAppend(answers, 0.0, &out);
+  ASSERT_EQ(out.size(), 2 + appended);
+  EXPECT_EQ(out[0], Response::Above());
+  EXPECT_EQ(out[1], Response::AboveValue(3.5));
+}
+
+TEST(SessionBatchTest, RunAppendOnExhaustedSessionAppendsNothing) {
+  const std::vector<double> answers = MakeAnswers(50);
+  Rng rng(19);
+  auto session =
+      AboveThresholdSession::Create(Options(0.2, 0.2), &rng).value();
+  std::vector<Response> sink;
+  session->RunAppend(std::vector<double>(200, 1e9), 0.0, &sink);  // burn it
+  ASSERT_TRUE(session->exhausted());
+  std::vector<Response> out;
+  EXPECT_EQ(session->RunAppend(answers, 0.0, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SessionBatchTest, CountersMatchStreamingCounters) {
+  const std::vector<double> answers = MakeAnswers(3000);
+  const SessionOptions o = Options(1.0, 0.1);
+
+  Rng rng_a(23);
+  auto streaming = AboveThresholdSession::Create(o, &rng_a).value();
+  for (double a : answers) {
+    if (!streaming->Process(a, 0.0).ok()) break;
+  }
+
+  Rng rng_b(23);
+  auto batch = AboveThresholdSession::Create(o, &rng_b).value();
+  std::vector<Response> sink;
+  batch->RunAppend(answers, 0.0, &sink);
+
+  EXPECT_EQ(batch->queries_processed(), streaming->queries_processed());
+  EXPECT_EQ(batch->positives_emitted(), streaming->positives_emitted());
+  EXPECT_EQ(batch->rounds_started(), streaming->rounds_started());
+  EXPECT_DOUBLE_EQ(batch->accountant().spent(),
+                   streaming->accountant().spent());
+}
+
+}  // namespace
+}  // namespace svt

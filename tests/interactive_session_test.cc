@@ -117,6 +117,60 @@ TEST(SessionTest, MixedStreamStaysWithinBudget) {
   EXPECT_LE(session->rounds_started(), 4);
 }
 
+TEST(SessionTest, ExactFitBudgetFundsEveryRound) {
+  // 10 rounds of 0.1 sum exactly to the 1.0 budget. exhausted() and
+  // Charge now share PrivacyAccountant::CanCharge, so the session must
+  // fund all 10 rounds and flip exhausted() exactly when an 11th would be
+  // needed — the old re-derived 1e-12 tolerance could disagree with
+  // Charge's 1e-9 slack on either side of the boundary.
+  Rng rng(21);
+  SessionOptions o = BasicOptions();
+  o.total_epsilon = 1.0;
+  o.epsilon_per_round = 0.1;
+  o.round.cutoff = 1;
+  auto session = AboveThresholdSession::Create(o, &rng).value();
+  while (!session->exhausted()) {
+    // exhausted() == false must guarantee the next query succeeds.
+    ASSERT_TRUE(session->Process(1e9, 0.0).ok())
+        << "after round " << session->rounds_started();
+  }
+  EXPECT_EQ(session->rounds_started(), 10);
+  EXPECT_EQ(session->positives_emitted(), 10);
+  // exhausted() == true must guarantee the next query fails.
+  EXPECT_EQ(session->Process(1e9, 0.0).status().code(),
+            StatusCode::kExhausted);
+}
+
+TEST(SessionTest, InexactBudgetStopsAtLastFundableRound) {
+  Rng rng(22);
+  SessionOptions o = BasicOptions();
+  o.total_epsilon = 1.0;
+  o.epsilon_per_round = 0.3;  // three rounds fit, the fourth does not
+  o.round.cutoff = 1;
+  auto session = AboveThresholdSession::Create(o, &rng).value();
+  while (!session->exhausted()) {
+    ASSERT_TRUE(session->Process(1e9, 0.0).ok());
+  }
+  EXPECT_EQ(session->rounds_started(), 3);
+  EXPECT_FALSE(session->Process(1e9, 0.0).ok());
+}
+
+TEST(SessionTest, ExhaustedAgreesWithAccountantAtEveryStep) {
+  Rng rng(23);
+  SessionOptions o = BasicOptions();
+  o.total_epsilon = 0.7;
+  o.epsilon_per_round = 0.7 / 7.0;  // inexact per-round value
+  o.round.cutoff = 1;
+  auto session = AboveThresholdSession::Create(o, &rng).value();
+  for (int i = 0; i < 20; ++i) {
+    const bool was_exhausted = session->exhausted();
+    const auto r = session->Process(1e9, 0.0);
+    ASSERT_EQ(was_exhausted, !r.ok()) << "query " << i;
+    if (!r.ok()) break;
+  }
+  EXPECT_EQ(session->rounds_started(), 7);
+}
+
 TEST(SessionTest, DeterministicGivenSeed) {
   const auto run = [](uint64_t seed) {
     Rng rng(seed);

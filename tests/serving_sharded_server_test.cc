@@ -1,0 +1,222 @@
+// ShardedSvtServer: deterministic routing, bitwise reproducibility for a
+// fixed (seed, shard count, submission order), equivalence of each shard
+// with a standalone mechanism on the same forked stream, budget-metered
+// exhaustion, and thread-safety of concurrent shard execution.
+
+#include "serving/sharded_server.h"
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "interactive/session.h"
+
+namespace svt {
+namespace {
+
+ServingOptions AutoResetOptions(int shards, uint64_t seed) {
+  ServingOptions o;
+  o.num_shards = shards;
+  o.seed = seed;
+  o.mode = ShardMode::kAutoReset;
+  o.svt.epsilon = 1.0;
+  o.svt.cutoff = 2;
+  o.svt.monotonic = true;
+  // Numeric positives make every comparison bitwise on doubles.
+  o.svt.numeric_output_fraction = 0.2;
+  return o;
+}
+
+ServingOptions MeteredOptions(int shards, uint64_t seed) {
+  ServingOptions o;
+  o.num_shards = shards;
+  o.seed = seed;
+  o.mode = ShardMode::kBudgetMetered;
+  o.session.total_epsilon = 1.0;
+  o.session.epsilon_per_round = 0.1;
+  o.session.round.cutoff = 2;
+  o.session.round.monotonic = true;
+  return o;
+}
+
+std::vector<double> MakeAnswers(size_t n, uint64_t seed) {
+  Rng gen(seed);
+  std::vector<double> answers(n);
+  for (size_t i = 0; i < n; ++i) answers[i] = gen.NextUniform(-25.0, 25.0);
+  return answers;
+}
+
+TEST(ServingOptionsTest, Validation) {
+  EXPECT_TRUE(AutoResetOptions(4, 1).Validate().ok());
+  ServingOptions o = AutoResetOptions(0, 1);
+  EXPECT_FALSE(o.Validate().ok());
+  o = AutoResetOptions(2, 1);
+  o.svt.epsilon = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  EXPECT_FALSE(ShardedSvtServer::Create(o).ok());
+  o = MeteredOptions(2, 1);
+  o.session.epsilon_per_round = 2.0;  // exceeds total
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ShardedSvtServerTest, RoutingIsDeterministicAndCoversShards) {
+  auto server = ShardedSvtServer::Create(AutoResetOptions(4, 9)).value();
+  auto server2 = ShardedSvtServer::Create(AutoResetOptions(4, 10)).value();
+  std::set<int> seen;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const int s = server->ShardOf(key);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    // Routing is stateless and seed-independent: only (key, num_shards).
+    ASSERT_EQ(s, server->ShardOf(key));
+    ASSERT_EQ(s, server2->ShardOf(key));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ShardedSvtServerTest, ResponsesBitwiseReproducible) {
+  // Same (seed, shard count, submission order) on two independently
+  // created servers ⇒ identical responses, down to numeric-answer bits.
+  const std::vector<double> answers = MakeAnswers(3000, 42);
+  const auto run = [&] {
+    auto server = ShardedSvtServer::Create(AutoResetOptions(4, 77)).value();
+    std::vector<Response> transcript;
+    for (uint64_t key = 0; key < 24; ++key) {
+      const size_t begin = (key * 113) % 2000;
+      server->Execute(key, std::span(answers).subspan(begin, 500), 0.0,
+                      &transcript);
+    }
+    return transcript;
+  };
+  const std::vector<Response> a = run();
+  const std::vector<Response> b = run();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedSvtServerTest, ShardStreamsAreIndependent) {
+  // Adding traffic to other shards must not perturb a shard's responses:
+  // its stream depends only on its own submission order.
+  const std::vector<double> answers = MakeAnswers(1000, 43);
+  const int shard = 2;
+
+  auto quiet = ShardedSvtServer::Create(AutoResetOptions(4, 5)).value();
+  std::vector<Response> alone;
+  quiet->ExecuteOnShard(shard, answers, 0.0, &alone);
+
+  auto busy = ShardedSvtServer::Create(AutoResetOptions(4, 5)).value();
+  std::vector<Response> sink;
+  for (int other = 0; other < 4; ++other) {
+    if (other != shard) busy->ExecuteOnShard(other, answers, 0.0, &sink);
+  }
+  std::vector<Response> with_traffic;
+  busy->ExecuteOnShard(shard, answers, 0.0, &with_traffic);
+  EXPECT_EQ(alone, with_traffic);
+}
+
+TEST(ShardedSvtServerTest, ShardMatchesStandaloneMechanismOnForkedStream) {
+  // Each shard is exactly a SparseVector on the i-th fork of Rng(seed),
+  // auto-Reset on exhaustion — replicate shard 1 by hand, streaming.
+  const ServingOptions o = AutoResetOptions(3, 99);
+  const std::vector<double> answers = MakeAnswers(800, 44);
+
+  Rng master(o.seed);
+  master.Fork();  // shard 0's stream, not needed here
+  Rng stream1 = master.Fork();
+  auto reference = SparseVector::Create(o.svt, &stream1).value();
+  std::vector<Response> expect;
+  for (double a : answers) {
+    if (reference->exhausted()) reference->Reset();
+    expect.push_back(reference->Process(a, 0.0));
+  }
+
+  auto server = ShardedSvtServer::Create(o).value();
+  std::vector<Response> got;
+  EXPECT_EQ(server->ExecuteOnShard(1, answers, 0.0, &got), answers.size());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(ShardedSvtServerTest, MeteredShardMatchesStandaloneSession) {
+  const ServingOptions o = MeteredOptions(2, 31);
+  const std::vector<double> answers = MakeAnswers(4000, 45);
+
+  Rng master(o.seed);
+  Rng stream0 = master.Fork();
+  auto reference =
+      AboveThresholdSession::Create(o.session, &stream0).value();
+  std::vector<Response> expect;
+  reference->RunAppend(answers, 0.0, &expect);
+
+  auto server = ShardedSvtServer::Create(o).value();
+  std::vector<Response> got;
+  const size_t n = server->ExecuteOnShard(0, answers, 0.0, &got);
+  EXPECT_EQ(n, expect.size());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(ShardedSvtServerTest, MeteredShardsExhaustIndependently) {
+  auto server = ShardedSvtServer::Create(MeteredOptions(2, 8)).value();
+  const std::vector<double> hot(4000, 1e9);
+  std::vector<Response> out;
+  const size_t n = server->ExecuteOnShard(0, hot, 0.0, &out);
+  EXPECT_LT(n, hot.size());  // stopped at the budget, not the stream end
+  EXPECT_EQ(n, out.size());
+  EXPECT_TRUE(server->ShardExhausted(0));
+  EXPECT_FALSE(server->ShardExhausted(1));
+  // Positives per round × rounds: cutoff 2, 10 rounds of 0.1 in 1.0.
+  EXPECT_EQ(server->StatsForShard(0).positives, 20);
+  std::vector<Response> more;
+  EXPECT_EQ(server->ExecuteOnShard(0, hot, 0.0, &more), 0u);
+}
+
+TEST(ShardedSvtServerTest, StatsAggregate) {
+  auto server = ShardedSvtServer::Create(AutoResetOptions(3, 12)).value();
+  const std::vector<double> answers = MakeAnswers(300, 46);
+  std::vector<Response> sink;
+  for (uint64_t key = 0; key < 9; ++key) {
+    server->Execute(key, answers, 0.0, &sink);
+  }
+  const ServingStats total = server->TotalStats();
+  EXPECT_EQ(total.batches, 9);
+  EXPECT_EQ(total.queries, 9 * 300);
+  int64_t positives = 0;
+  for (const Response& r : sink) positives += r.is_positive() ? 1 : 0;
+  EXPECT_EQ(total.positives, positives);
+}
+
+TEST(ShardedSvtServerTest, ConcurrentShardExecutionMatchesSerial) {
+  // One thread per shard, all executing simultaneously; the result must be
+  // byte-identical to the serial run because shards share no state.
+  const int shards = 4;
+  const std::vector<double> answers = MakeAnswers(2000, 47);
+
+  auto serial = ShardedSvtServer::Create(AutoResetOptions(shards, 3)).value();
+  std::vector<std::vector<Response>> expect(shards);
+  for (int s = 0; s < shards; ++s) {
+    serial->ExecuteOnShard(s, answers, 0.0, &expect[s]);
+  }
+
+  auto server = ShardedSvtServer::Create(AutoResetOptions(shards, 3)).value();
+  std::vector<std::vector<Response>> got(shards);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (int s = 0; s < shards; ++s) {
+      threads.emplace_back([&, s] {
+        server->ExecuteOnShard(s, answers, 0.0, &got[s]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_EQ(got[s], expect[s]) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace svt
