@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "common/distributions.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/vecmath.h"
 #include "core/exponential_mechanism.h"
 #include "core/svt.h"
 #include "core/svt_retraversal.h"
@@ -132,6 +134,65 @@ void BM_SvtRunBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SvtRunBatch)->Arg(1 << 20);
+
+void BM_SvtRunBatchNearThreshold(benchmark::State& state) {
+  // The tier-2-bound regime: every answer within a few ν scales of the
+  // threshold, so the tier-1 chunk bound can never prove a chunk ⊥ and
+  // every ν block is materialized through the vecmath transform kernels.
+  // This is the workload the vecmath layer exists for; the PR-3
+  // acceptance target is ≥ 2× the PR-1 scalar-libm-log baseline here.
+  Rng rng(5);
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 1 << 20;
+  o.monotonic = true;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const double nu_scale = mech->query_noise_scale();
+  std::vector<double> answers(static_cast<size_t>(state.range(0)));
+  Rng gen(7);
+  for (double& a : answers) {
+    a = (-6.0 + (gen.NextDouble() - 0.5)) * nu_scale;  // rare positives
+  }
+  std::vector<Response> out;
+  for (auto _ : state) {
+    mech->Reset();  // clears the rare positives' cutoff progress
+    out.clear();
+    mech->RunAppend(answers, 0.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SvtRunBatchNearThreshold)->Arg(1 << 20);
+
+void BM_VecLogBlock(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> in(static_cast<size_t>(state.range(0)));
+  std::vector<double> out(in.size());
+  rng.FillDoublePositive(in);
+  for (auto _ : state) {
+    vec::LogBlock(in, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
+}
+BENCHMARK(BM_VecLogBlock)->Arg(4096);
+
+void BM_LibmLogLoop(benchmark::State& state) {
+  // The libm baseline BM_VecLogBlock is measured against.
+  Rng rng(11);
+  std::vector<double> in(static_cast<size_t>(state.range(0)));
+  std::vector<double> out(in.size());
+  rng.FillDoublePositive(in);
+  for (auto _ : state) {
+    for (size_t i = 0; i < in.size(); ++i) out[i] = std::log(in[i]);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LibmLogLoop)->Arg(4096);
 
 void BM_McSerial(benchmark::State& state) {
   // Legacy serial Monte-Carlo loop (num_workers = 1): the baseline for

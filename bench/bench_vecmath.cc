@@ -1,0 +1,126 @@
+// Standalone micro-benchmark for the vecmath kernel family: libm baseline
+// vs the scalar reference lane vs the dispatched block kernels, at every
+// dispatch level this host supports. Also times the fused Laplace
+// transform (the batch engine's tier-2 inner loop) against the PR-1-style
+// two-pass scalar composition it replaced.
+//
+// Informational (always exits 0): the hard acceptance number — tier-2
+// batch throughput — lives in bench_micro's BM_SvtRunBatchNearThreshold
+// and is recorded in BENCH_micro.json. CI smoke-runs this binary at both
+// dispatch levels to keep the kernels and the dispatch plumbing honest.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "common/vecmath.h"
+
+namespace {
+
+using svt::Rng;
+
+template <typename F>
+double BestNsPerElem(F&& f, size_t n, int reps = 9) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best / static_cast<double>(n) * 1e9;
+}
+
+volatile double g_sink;
+
+}  // namespace
+
+int main() {
+  using namespace svt::vec;
+  constexpr size_t kN = 1 << 16;
+
+  std::printf("vecmath micro-benchmark (%zu elements/pass, %u hw threads)\n",
+              kN, std::thread::hardware_concurrency());
+  std::printf("compiled-in levels: scalar%s\n",
+              DispatchLevelSupported(DispatchLevel::kAvx2) ? " avx2" : "");
+  std::printf("active level at startup: %s\n\n",
+              DispatchLevelName(ActiveDispatchLevel()));
+
+  Rng rng(1);
+  std::vector<double> u(kN), out(kN), xs(kN);
+  std::vector<uint64_t> words(2 * kN);
+  rng.FillDoublePositive(u);
+  rng.FillUint64(words);
+  for (size_t i = 0; i < kN; ++i) xs[i] = 700.0 * (u[i] - 0.5);
+
+  const double libm_log = BestNsPerElem(
+      [&] {
+        for (size_t i = 0; i < kN; ++i) out[i] = std::log(u[i]);
+        g_sink = out[kN / 2];
+      },
+      kN);
+  const double libm_exp = BestNsPerElem(
+      [&] {
+        for (size_t i = 0; i < kN; ++i) out[i] = std::exp(xs[i]);
+        g_sink = out[kN / 2];
+      },
+      kN);
+  const double scalar_log = BestNsPerElem(
+      [&] {
+        for (size_t i = 0; i < kN; ++i) out[i] = Log(u[i]);
+        g_sink = out[kN / 2];
+      },
+      kN);
+  std::printf("log:  libm %.2f ns/elem | vec::Log scalar %.2f ns/elem\n",
+              libm_log, scalar_log);
+  std::printf("exp:  libm %.2f ns/elem\n", libm_exp);
+
+  const svt::Laplace lap(0.0, 2.0);
+  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+    if (!SetDispatchLevel(level)) continue;
+    const char* name = DispatchLevelName(level);
+    const double log_block = BestNsPerElem(
+        [&] {
+          LogBlock(u, out);
+          g_sink = out[kN / 2];
+        },
+        kN);
+    const double exp_block = BestNsPerElem(
+        [&] {
+          ExpBlock(xs, out);
+          g_sink = out[kN / 2];
+        },
+        kN);
+    const double neg_log = BestNsPerElem(
+        [&] {
+          NegLogUnitPositiveBlock(words, 2, out);
+          g_sink = out[kN / 2];
+        },
+        kN);
+    const double lap_tf = BestNsPerElem(
+        [&] {
+          lap.TransformBlock(words, out);
+          g_sink = out[kN / 2];
+        },
+        kN);
+    const double lap_sample = BestNsPerElem(
+        [&] {
+          lap.SampleBlock(rng, out);
+          g_sink = out[kN / 2];
+        },
+        kN);
+    std::printf(
+        "[%6s] LogBlock %.2f | ExpBlock %.2f | NegLogUnit %.2f | "
+        "LaplaceTransform %.2f | SampleBlock %.2f ns/elem "
+        "(log speedup vs libm: %.2fx)\n",
+        name, log_block, exp_block, neg_log, lap_tf, lap_sample,
+        libm_log / log_block);
+  }
+  return 0;
+}

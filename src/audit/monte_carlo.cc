@@ -14,29 +14,37 @@ namespace {
 
 /// Runs `trials` simulations of `spec` against `pattern` drawing all
 /// randomness from `rng`; returns the number of exact pattern matches.
-/// This is the legacy serial loop — the parallel path runs it once per
-/// worker stream.
+/// Each worker stream runs this once.
+///
+/// Trials execute through the batch engine (RunAppend) over one response
+/// buffer reused for the worker's whole slice, so every ν draw flows
+/// through the block samplers' vectorized vecmath kernels instead of
+/// per-draw scalar calls — this loop was the last scalar-sampling hot loop
+/// outside the mechanisms. Each trial processes its full pattern window
+/// (the batch engine does not stop at a mismatch the way the old scalar
+/// loop broke early), so for specs that draw from the base stream at
+/// positives the stream position after a trial is a function of the trial
+/// alone, never of where a mismatch occurred; per-trial outcomes are
+/// unchanged (the ν substream is re-derived every Reset()).
 int64_t CountPatternHits(const VariantSpec& spec,
                          std::span<const double> query_answers,
                          double threshold, std::string_view pattern,
                          int64_t trials, Rng* rng) {
   CustomSvt mech(spec, rng);
+  const std::span<const double> window =
+      query_answers.first(pattern.size());
+  std::vector<Response> responses;
+  responses.reserve(pattern.size());
   int64_t hits = 0;
   for (int64_t trial = 0; trial < trials; ++trial) {
     mech.Reset();
-    bool match = true;
-    for (size_t i = 0; i < pattern.size(); ++i) {
-      if (mech.exhausted()) {
-        // Mechanism aborted before producing pattern.size() outputs.
-        match = false;
-        break;
-      }
-      const Response r = mech.Process(query_answers[i], threshold);
-      const bool want_positive = pattern[i] == 'T';
-      if (r.is_positive() != want_positive) {
-        match = false;
-        break;
-      }
+    responses.clear();
+    // Fewer responses than pattern positions means the cutoff exhausted
+    // the run before the pattern window completed: no match.
+    bool match = mech.RunAppend(window, threshold, &responses) ==
+                 pattern.size();
+    for (size_t i = 0; match && i < pattern.size(); ++i) {
+      match = responses[i].is_positive() == (pattern[i] == 'T');
     }
     if (match) ++hits;
   }

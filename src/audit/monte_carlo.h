@@ -11,6 +11,11 @@
 // assigns each worker a fixed contiguous trial slice, so for a fixed
 // (rng state, num_workers) the hit counts are bitwise-reproducible no
 // matter how the OS schedules the threads.
+//
+// Each worker executes its trials through the batch engine over one reused
+// response buffer, so all ν sampling runs the vectorized vecmath block
+// kernels; a trial always consumes the RNG for its full pattern window
+// (match checking happens after, not by breaking the query loop early).
 
 #ifndef SPARSEVEC_AUDIT_MONTE_CARLO_H_
 #define SPARSEVEC_AUDIT_MONTE_CARLO_H_
@@ -28,10 +33,10 @@ struct McOptions {
   int64_t trials = 100000;
   /// Confidence level of the reported interval (Wilson bounds).
   double confidence = 0.999;
-  /// Number of deterministic worker streams. 1 (the default) runs the
-  /// legacy serial path — every trial draws from the caller's `rng`
-  /// directly, draw for draw. 0 means one worker per hardware thread.
-  /// Workers beyond `trials` are dropped.
+  /// Number of deterministic worker streams. 1 (the default) runs every
+  /// trial on the caller's `rng` directly (serially, on the calling
+  /// thread). 0 means one worker per hardware thread. Workers beyond
+  /// `trials` are dropped.
   int num_workers = 1;
 };
 

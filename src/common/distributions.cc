@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/vecmath.h"
 
 namespace svt {
 
@@ -55,7 +56,9 @@ double Laplace::Quantile(double p) const {
 double Laplace::Sample(Rng& rng) const {
   // Exact two-draw scheme: Laplace = signed Exponential. Avoids the
   // open/closed interval edge cases of the single-uniform inverse CDF.
-  const double e = -std::log(rng.NextDoublePositive());
+  // The log is vecmath's polynomial kernel — the same kernel (scalar or
+  // SIMD lane, bit-identical) that TransformBlock applies in bulk.
+  const double e = -vec::Log(rng.NextDoublePositive());
   const bool negative = rng.NextBernoulli(0.5);
   return negative ? mu_ - b_ * e : mu_ + b_ * e;
 }
@@ -63,29 +66,12 @@ double Laplace::Sample(Rng& rng) const {
 void Laplace::TransformBlock(std::span<const uint64_t> words,
                              std::span<double> out) const {
   SVT_CHECK(words.size() == 2 * out.size());
-  // Two passes. Pass 1 computes the exponential magnitudes — a tight loop
-  // of independent log() calls that the CPU can overlap, unlike one log()
-  // buried in each mechanism step. Pass 2 applies sign and scale with a
-  // branch-free select. Both passes use the exact expressions of Sample()
-  // so the outputs are bitwise identical to a scalar loop.
-  constexpr size_t kBlock = 256;
-  double magnitudes[kBlock];
-  size_t done = 0;
-  while (done < out.size()) {
-    const size_t n = std::min(kBlock, out.size() - done);
-    for (size_t i = 0; i < n; ++i) {
-      // words[2i] -> NextDoublePositive(), as in Sample().
-      const double u = Rng::ToUnitDoublePositive(words[2 * (done + i)]);
-      magnitudes[i] = -std::log(u);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      // words[2i+1] -> NextBernoulli(0.5), i.e. NextDouble() < 0.5.
-      const double u = Rng::ToUnitDouble(words[2 * (done + i) + 1]);
-      const double be = b_ * magnitudes[i];
-      out[done + i] = u < 0.5 ? mu_ - be : mu_ + be;
-    }
-    done += n;
-  }
+  // One fused dispatched pass: even word -> (0,1] uniform -> -log ->
+  // scale -> sign select, the exact op-for-op composition Sample()
+  // evaluates per draw (see the kernel contract in common/vecmath.h for
+  // why the branch-free sign select is IEEE-identical to Sample()'s
+  // ternary). Bitwise-equal to a Sample() loop at every dispatch level.
+  vec::LaplaceTransformBlock(words, mu_, b_, out);
 }
 
 void Laplace::SampleBlock(Rng& rng, std::span<double> out) const {
@@ -126,7 +112,7 @@ double Exponential::Quantile(double p) const {
 }
 
 double Exponential::Sample(Rng& rng) const {
-  return -std::log(rng.NextDoublePositive()) / rate_;
+  return -vec::Log(rng.NextDoublePositive()) / rate_;
 }
 
 double Gumbel::Pdf(double x) const {
@@ -143,20 +129,26 @@ double Gumbel::Quantile(double p) const {
 double Gumbel::Sample(Rng& rng) const { return SampleGumbel(rng); }
 
 double SampleGumbel(Rng& rng) {
-  return -std::log(-std::log(rng.NextDoublePositive()));
+  return -vec::Log(-vec::Log(rng.NextDoublePositive()));
 }
 
 void SampleGumbelBlock(Rng& rng, std::span<double> out) {
+  // Two fused vecmath passes: t = -log(u) from the raw words, then
+  // -log(t) in place — each step the exact op sequence of SampleGumbel(),
+  // so the block is bit-for-bit a scalar loop at any dispatch level. The
+  // only special inner value is t == -0.0 (u == 1, probability 2^-53),
+  // which LogBlock's special handling maps to -inf, negated to +inf —
+  // exactly what the scalar composition produces.
   constexpr size_t kBlock = 512;
   uint64_t words[kBlock];
   size_t done = 0;
   while (done < out.size()) {
     const size_t n = std::min(kBlock, out.size() - done);
     rng.FillUint64({words, n});
-    for (size_t i = 0; i < n; ++i) {
-      const double u = Rng::ToUnitDoublePositive(words[i]);
-      out[done + i] = -std::log(-std::log(u));
-    }
+    std::span<double> chunk = out.subspan(done, n);
+    vec::NegLogUnitPositiveBlock({words, n}, 1, chunk);
+    vec::LogBlock(chunk, chunk);
+    for (double& g : chunk) g = -g;
     done += n;
   }
 }

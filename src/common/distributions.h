@@ -6,6 +6,15 @@
 // SVT threshold noise rho and the per-query noise nu_i are Laplace, and the
 // audit module (src/audit) consumes the pdf/cdf to evaluate output
 // probabilities in closed form.
+//
+// Sampling-side transcendentals route through common/vecmath.h: scalar
+// Sample() calls use vec::Log (the polynomial reference lane) and the
+// *Block paths use the dispatched SIMD kernels, which are bit-identical to
+// it by construction. That keeps the block/scalar draw-for-draw guarantees
+// below independent of the host's dispatch level. Density/CDF/quantile
+// evaluation (the audit-side math) deliberately stays on libm: it feeds
+// closed-form probability computations, not the draw stream, so it has no
+// bitwise contract to honor.
 
 #ifndef SPARSEVEC_COMMON_DISTRIBUTIONS_H_
 #define SPARSEVEC_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,672 @@
+// Implementation notes
+// --------------------
+// Both kernels are the classic fdlibm reductions with the polynomial
+// evaluated in one fixed Horner order:
+//
+//   Log: decompose x = 2^k * m with m in [sqrt(1/2), sqrt(2)) by integer
+//   bit manipulation (exact), then with s = f/(2+f), f = m-1:
+//     log(m) = f - (hfsq - s*(hfsq + R(s^2))),  R a degree-7 minimax poly,
+//   recombined with k*ln2 in hi/lo parts. Subnormals are prescaled by
+//   2^54 (exact) first.
+//
+//   Exp: k = round(x/ln2) via the 1.5*2^52 magic-add (exact for |x| in
+//   range), r = (x - k*ln2_hi) - k*ln2_lo, then fdlibm's rational form
+//     exp(r) = 1 - ((lo - r*c/(2-c)) - hi),  c = r - r^2*P(r^2),
+//   scaled by 2^k as two exact power-of-two multiplies (k split in halves)
+//   so deep underflow rounds once, into the subnormal range, correctly.
+//
+// The AVX2 lane mirrors the scalar lane operation for operation: every
+// step is a correctly-rounded IEEE double op (+ - * /) or an exact integer
+// manipulation, and no FMA contraction can occur (explicit non-fused
+// intrinsics here; -ffp-contract=off for the scalar lane, set in
+// CMakeLists.txt). Lanes holding operands outside the fast path's domain
+// (zero/subnormal/negative/non-finite for Log, |x| > 700 or NaN for Exp)
+// are patched with the scalar kernel after the vector store, so every
+// special case has exactly one implementation.
+
+#include "common/vecmath.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && !defined(SVT_DISABLE_AVX2) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SVT_VECMATH_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define SVT_VECMATH_HAVE_AVX2 0
+#endif
+
+namespace svt {
+namespace vec {
+
+namespace {
+
+// --- shared constants (bit-exact fdlibm values, written as hex floats) ---
+
+constexpr double kLn2Hi = 0x1.62e42fee00000p-1;   // 6.93147180369123816490e-01
+constexpr double kLn2Lo = 0x1.a39ef35793c76p-33;  // 1.90821492927058770002e-10
+
+// log: R(z) ~= z*Lg1 + z^2*Lg2 + ... + z^7*Lg7 on z = s^2, |s| <= 0.1716.
+constexpr double kLg1 = 0x1.5555555555593p-1;
+constexpr double kLg2 = 0x1.999999997fa04p-2;
+constexpr double kLg3 = 0x1.2492494229359p-2;
+constexpr double kLg4 = 0x1.c71c51d8e78afp-3;
+constexpr double kLg5 = 0x1.7466496cb03dep-3;
+constexpr double kLg6 = 0x1.39a09d078c69fp-3;
+constexpr double kLg7 = 0x1.2f112df3e5244p-3;
+
+// exp: c = r - r^2*(P1 + r^2*(P2 + ...)), |r| <= ln2/2.
+constexpr double kP1 = 0x1.5555555555553p-3;
+constexpr double kP2 = -0x1.6c16c16bebd93p-9;
+constexpr double kP3 = 0x1.1566aaf25de2cp-14;
+constexpr double kP4 = -0x1.bbd41c5d26bf1p-20;
+constexpr double kP5 = 0x1.6376972bea4d0p-25;
+constexpr double kLog2e = 0x1.71547652b82fep+0;
+// 1.5 * 2^52: adding and subtracting rounds to the nearest integer
+// (ties-to-even) for |t| < 2^51, entirely in double arithmetic.
+constexpr double kRoundMagic = 6755399441055744.0;
+// exp() overflows above this (largest x with exp(x) finite).
+constexpr double kExpOverflow = 709.782712893383973096;
+
+// 2^k for k in [-1022, 1023], built exactly from the exponent field.
+inline double Pow2(int64_t k) {
+  return std::bit_cast<double>(static_cast<uint64_t>(k + 1023) << 52);
+}
+
+DispatchLevel DetectDispatchLevel() {
+  const char* force = std::getenv("SVT_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return DispatchLevel::kScalar;
+  }
+#if SVT_VECMATH_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return DispatchLevel::kAvx2;
+#endif
+  return DispatchLevel::kScalar;
+}
+
+std::atomic<int>& ActiveLevelVar() {
+  static std::atomic<int> level{static_cast<int>(DetectDispatchLevel())};
+  return level;
+}
+
+}  // namespace
+
+const char* DispatchLevelName(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool DispatchLevelSupported(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return true;
+    case DispatchLevel::kAvx2:
+#if SVT_VECMATH_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+DispatchLevel ActiveDispatchLevel() {
+  return static_cast<DispatchLevel>(
+      ActiveLevelVar().load(std::memory_order_relaxed));
+}
+
+bool SetDispatchLevel(DispatchLevel level) {
+  if (!DispatchLevelSupported(level)) return false;
+  ActiveLevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+double Log(double x) {
+  uint64_t bits = std::bit_cast<uint64_t>(x);
+  int64_t k = 0;
+  if (bits < 0x0010000000000000ull || bits >= 0x7FF0000000000000ull) {
+    if (bits << 1 == 0) {  // ±0
+      return -std::numeric_limits<double>::infinity();
+    }
+    if (bits >> 63) {  // negative (incl. -inf): domain error
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (bits >= 0x7FF0000000000000ull) {  // +inf, NaN: propagate
+      return x;
+    }
+    // Positive subnormal: prescale exactly into the normal range.
+    x *= 0x1p54;
+    k = -54;
+    bits = std::bit_cast<uint64_t>(x);
+  }
+  // Normalize the significand into m in [sqrt(1/2), sqrt(2)): adding
+  // 0x95F62 to the top of the mantissa field carries into the exponent
+  // exactly when the significand is >= sqrt(2), in which case m takes the
+  // halved binade (fdlibm's high-word trick, done on the full 64 bits —
+  // the constant's low 32 bits are zero, so mantissa bits pass through).
+  const uint64_t adj = bits + 0x0009'5F62'0000'0000ull;
+  k += static_cast<int64_t>(adj >> 52) - 1023;
+  const uint64_t mbits =
+      (adj & 0x000F'FFFF'FFFF'FFFFull) + 0x3FE6'A09E'0000'0000ull;
+  const double m = std::bit_cast<double>(mbits);
+
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = (0.5 * f) * f;
+  const double dk = static_cast<double>(k);
+  return dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+}
+
+double Exp(double x) {
+  // Outside these bounds the k-split scaling below would leave the double
+  // exponent range; the results are exactly +inf / 0 anyway.
+  if (std::isnan(x)) return x + x;
+  if (x > kExpOverflow) return std::numeric_limits<double>::infinity();
+  if (x < -1000.0) return 0.0;  // exp(-745.14) already underflows to 0
+
+  const double t = x * kLog2e;
+  const double kd = (t + kRoundMagic) - kRoundMagic;
+  const int64_t k = static_cast<int64_t>(kd);
+  const double hi = x - kd * kLn2Hi;
+  const double lo = kd * kLn2Lo;
+  const double r = hi - lo;
+  const double z = r * r;
+  const double c =
+      r - z * (kP1 + z * (kP2 + z * (kP3 + z * (kP4 + z * kP5))));
+  const double y = 1.0 - ((lo - (r * c) / (2.0 - c)) - hi);
+  // Scale by 2^k in two halves: the first multiply is exact (y ~ 1, k1
+  // never reaches the exponent limits), so the second rounds once —
+  // correctly — even when the final result is subnormal.
+  const int64_t k1 = k >> 1;
+  const int64_t k2 = k - k1;
+  return y * Pow2(k1) * Pow2(k2);
+}
+
+#if SVT_VECMATH_HAVE_AVX2
+
+namespace {
+
+// 4-wide mirrors of Log()/Exp(). Operand order and association replicate
+// the scalar lane exactly; _mm256_{add,sub,mul,div}_pd are the same
+// correctly-rounded IEEE operations, and no fused ops are used.
+
+// The normal-path log body, shared by LogBlockAvx2 (which adds the
+// special-lane patching) and the fused sampling kernel (whose inputs are
+// always normal by construction). Inlined into same-target callers.
+__attribute__((target("avx2"))) inline __m256d Log4Normal(__m256d x) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d lg1 = _mm256_set1_pd(kLg1), lg2 = _mm256_set1_pd(kLg2),
+                lg3 = _mm256_set1_pd(kLg3), lg4 = _mm256_set1_pd(kLg4),
+                lg5 = _mm256_set1_pd(kLg5), lg6 = _mm256_set1_pd(kLg6),
+                lg7 = _mm256_set1_pd(kLg7);
+  const __m256d ln2hi = _mm256_set1_pd(kLn2Hi), ln2lo = _mm256_set1_pd(kLn2Lo);
+
+  const __m256i bits = _mm256_castpd_si256(x);
+  const __m256i adj =
+      _mm256_add_epi64(bits, _mm256_set1_epi64x(0x0009'5F62'0000'0000ll));
+  const __m256i k64 = _mm256_sub_epi64(_mm256_srli_epi64(adj, 52),
+                                       _mm256_set1_epi64x(1023));
+  const __m256i mbits = _mm256_add_epi64(
+      _mm256_and_si256(adj, _mm256_set1_epi64x(0x000F'FFFF'FFFF'FFFFll)),
+      _mm256_set1_epi64x(0x3FE6'A09E'0000'0000ll));
+  const __m256d m = _mm256_castsi256_pd(mbits);
+
+  const __m256d f = _mm256_sub_pd(m, one);
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(two, f));
+  const __m256d z = _mm256_mul_pd(s, s);
+  const __m256d w = _mm256_mul_pd(z, z);
+  const __m256d t1 = _mm256_mul_pd(
+      w, _mm256_add_pd(
+             lg2, _mm256_mul_pd(w, _mm256_add_pd(lg4, _mm256_mul_pd(w, lg6)))));
+  const __m256d t2 = _mm256_mul_pd(
+      z, _mm256_add_pd(
+             lg1,
+             _mm256_mul_pd(
+                 w, _mm256_add_pd(
+                        lg3, _mm256_mul_pd(
+                                 w, _mm256_add_pd(
+                                        lg5, _mm256_mul_pd(w, lg7)))))));
+  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq = _mm256_mul_pd(_mm256_mul_pd(half, f), f);
+
+  // k64 -> packed int32 -> double (k fits in 32 bits).
+  const __m256i klo = _mm256_shuffle_epi32(k64, 0xE8);  // [q.lo32 pairs]
+  const __m128i k32 =
+      _mm256_castsi256_si128(_mm256_permute4x64_epi64(klo, 0x08));
+  const __m256d dk = _mm256_cvtepi32_pd(k32);
+
+  // dk*ln2hi - ((hfsq - (s*(hfsq+r) + dk*ln2lo)) - f)
+  const __m256d inner = _mm256_add_pd(
+      _mm256_mul_pd(s, _mm256_add_pd(hfsq, r)), _mm256_mul_pd(dk, ln2lo));
+  return _mm256_sub_pd(_mm256_mul_pd(dk, ln2hi),
+                       _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
+}
+
+__attribute__((target("avx2"))) void LogBlockAvx2(const double* in,
+                                                  double* out, size_t n) {
+  const __m256d min_normal = _mm256_set1_pd(0x1p-1022);
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(in + i);
+    // Fast-path lanes: normal positive finite. Ordered compares reject NaN.
+    const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(x, min_normal, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(x, inf, _CMP_LT_OQ));
+    const __m256d res = Log4Normal(x);
+    const int good = _mm256_movemask_pd(ok);
+    if (good == 0xF) {
+      _mm256_storeu_pd(out + i, res);
+    } else {
+      alignas(32) double tmp[4];
+      _mm256_store_pd(tmp, res);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (!(good & (1 << lane))) tmp[lane] = Log(in[i + lane]);
+      }
+      _mm256_storeu_pd(out + i, _mm256_load_pd(tmp));
+    }
+  }
+  for (; i < n; ++i) out[i] = Log(in[i]);
+}
+
+// (double)v for v < 2^53, lane-wise, without AVX-512's cvtepu64_pd: split
+// into 32-bit halves and rebuild through the 2^52 / 2^84 magic constants.
+// Every step is exact, so the result is bit-identical to a scalar
+// static_cast<double>(v).
+__attribute__((target("avx2"))) inline __m256d U53ToDouble(__m256i v) {
+  const __m256i lo = _mm256_and_si256(v, _mm256_set1_epi64x(0xFFFFFFFFll));
+  const __m256i hi = _mm256_srli_epi64(v, 32);
+  const __m256d dlo = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_or_si256(lo, _mm256_set1_epi64x(0x4330'0000'0000'0000ll))),
+      _mm256_set1_pd(0x1p52));
+  const __m256d dhi = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_or_si256(hi, _mm256_set1_epi64x(0x4530'0000'0000'0000ll))),
+      _mm256_set1_pd(0x1p84));
+  return _mm256_add_pd(dhi, dlo);
+}
+
+__attribute__((target("avx2"))) void NegLogUnitPositiveAvx2(
+    const uint64_t* words, size_t stride, double* out, size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d lattice = _mm256_set1_pd(0x1p-53);
+  const __m256d neg = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i w;
+    if (stride == 1) {
+      w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    } else {
+      // Gather the even qwords of two consecutive vectors: unpacklo pairs
+      // them as [w0 w4 w2 w6]; the permute restores index order.
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(words + 2 * i));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(words + 2 * i + 4));
+      w = _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(v0, v1), 0xD8);
+    }
+    // u = ((double)(w >> 11) + 1) * 2^-53, the ToUnitDoublePositive map:
+    // u in (0, 1], always normal, so the log fast path covers every lane.
+    const __m256d d = U53ToDouble(_mm256_srli_epi64(w, 11));
+    const __m256d u = _mm256_mul_pd(_mm256_add_pd(d, one), lattice);
+    _mm256_storeu_pd(out + i, _mm256_xor_pd(Log4Normal(u), neg));
+  }
+  for (; i < n; ++i) {
+    out[i] = -Log(Rng::ToUnitDoublePositive(words[i * stride]));
+  }
+}
+
+__attribute__((target("avx2"))) void LaplaceTransformAvx2(
+    const uint64_t* words, double mu, double b, double* out, size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d lattice = _mm256_set1_pd(0x1p-53);
+  const __m256d neg = _mm256_set1_pd(-0.0);
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vb = _mm256_set1_pd(b);
+  const __m256i sign_bit = _mm256_set1_epi64x(
+      static_cast<int64_t>(0x8000'0000'0000'0000ull));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Two loads cover 4 (magnitude, sign) word pairs; unpack + permute
+    // split them into index order.
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + 2 * i));
+    const __m256i v1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + 2 * i + 4));
+    const __m256i even =
+        _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(v0, v1), 0xD8);
+    const __m256i odd =
+        _mm256_permute4x64_epi64(_mm256_unpackhi_epi64(v0, v1), 0xD8);
+
+    const __m256d d = U53ToDouble(_mm256_srli_epi64(even, 11));
+    const __m256d u = _mm256_mul_pd(_mm256_add_pd(d, one), lattice);
+    const __m256d e = _mm256_xor_pd(Log4Normal(u), neg);
+    const __m256d be = _mm256_mul_pd(vb, e);
+    // Sign select: flip be's sign bit where the sign word's bit 63 is 0.
+    const __m256d flip =
+        _mm256_castsi256_pd(_mm256_andnot_si256(odd, sign_bit));
+    _mm256_storeu_pd(out + i,
+                     _mm256_add_pd(vmu, _mm256_xor_pd(be, flip)));
+  }
+  for (; i < n; ++i) {
+    const double e = -Log(Rng::ToUnitDoublePositive(words[2 * i]));
+    const double be = b * e;
+    const uint64_t flip = ~words[2 * i + 1] & 0x8000'0000'0000'0000ull;
+    out[i] = mu + std::bit_cast<double>(std::bit_cast<uint64_t>(be) ^ flip);
+  }
+}
+
+__attribute__((target("avx2"))) double MaxBlockAvx2(const double* in,
+                                                    size_t n) {
+  __m256d acc = _mm256_set1_pd(in[0]);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(acc, _mm256_loadu_pd(in + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double m = std::max(std::max(lanes[0], lanes[1]),
+                      std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) m = std::max(m, in[i]);
+  return m;
+}
+
+__attribute__((target("avx2"))) uint64_t MinWordBlockAvx2(
+    const uint64_t* words, size_t stride, size_t n) {
+  // Unsigned 64-bit min via the sign-flip trick over cmpgt_epi64.
+  const __m256i flip = _mm256_set1_epi64x(
+      static_cast<int64_t>(0x8000'0000'0000'0000ull));
+  __m256i acc = _mm256_set1_epi64x(static_cast<int64_t>(words[0]));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i w;
+    if (stride == 1) {
+      w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    } else {
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(words + 2 * i));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(words + 2 * i + 4));
+      // Min is order-free: no need to restore index order after unpack.
+      w = _mm256_unpacklo_epi64(v0, v1);
+    }
+    const __m256i gt =
+        _mm256_cmpgt_epi64(_mm256_xor_si256(acc, flip),
+                           _mm256_xor_si256(w, flip));
+    acc = _mm256_blendv_epi8(acc, w, gt);
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t m = std::min(std::min(lanes[0], lanes[1]),
+                        std::min(lanes[2], lanes[3]));
+  for (; i < n; ++i) m = std::min(m, words[i * stride]);
+  return m;
+}
+
+__attribute__((target("avx2"))) size_t FindFirstSumGeAvx2(const double* a,
+                                                          const double* b,
+                                                          double bar,
+                                                          size_t n) {
+  const __m256d vbar = _mm256_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d sum =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] + b[i] >= bar) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t FindFirstGeAvx2(const double* a,
+                                                       double bar, size_t n) {
+  const __m256d vbar = _mm256_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(a + i), vbar, _CMP_GE_OQ));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] >= bar) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) void ExpBlockAvx2(const double* in,
+                                                  double* out, size_t n) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFF'FFFF'FFFF'FFFFll));
+  const __m256d dom = _mm256_set1_pd(700.0);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d log2e = _mm256_set1_pd(kLog2e);
+  const __m256d magic = _mm256_set1_pd(kRoundMagic);
+  const __m256d ln2hi = _mm256_set1_pd(kLn2Hi), ln2lo = _mm256_set1_pd(kLn2Lo);
+  const __m256d p1 = _mm256_set1_pd(kP1), p2 = _mm256_set1_pd(kP2),
+                p3 = _mm256_set1_pd(kP3), p4 = _mm256_set1_pd(kP4),
+                p5 = _mm256_set1_pd(kP5);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(in + i);
+    // Fast path: |x| <= 700 (k-split scaling stays in the exponent range,
+    // results stay clear of overflow/underflow). NaN fails the compare.
+    const __m256d ok =
+        _mm256_cmp_pd(_mm256_and_pd(x, abs_mask), dom, _CMP_LE_OQ);
+
+    const __m256d t = _mm256_mul_pd(x, log2e);
+    const __m256d kd =
+        _mm256_sub_pd(_mm256_add_pd(t, magic), magic);
+    const __m128i ki = _mm256_cvtpd_epi32(kd);  // exact: kd is integral
+
+    const __m256d hi = _mm256_sub_pd(x, _mm256_mul_pd(kd, ln2hi));
+    const __m256d lo = _mm256_mul_pd(kd, ln2lo);
+    const __m256d r = _mm256_sub_pd(hi, lo);
+    const __m256d z = _mm256_mul_pd(r, r);
+    const __m256d c = _mm256_sub_pd(
+        r,
+        _mm256_mul_pd(
+            z,
+            _mm256_add_pd(
+                p1,
+                _mm256_mul_pd(
+                    z,
+                    _mm256_add_pd(
+                        p2,
+                        _mm256_mul_pd(
+                            z, _mm256_add_pd(
+                                   p3, _mm256_mul_pd(
+                                           z, _mm256_add_pd(
+                                                  p4,
+                                                  _mm256_mul_pd(z, p5))))))))));
+    // y = 1 - ((lo - (r*c)/(2-c)) - hi)
+    const __m256d y = _mm256_sub_pd(
+        one,
+        _mm256_sub_pd(
+            _mm256_sub_pd(
+                lo, _mm256_div_pd(_mm256_mul_pd(r, c), _mm256_sub_pd(two, c))),
+            hi));
+
+    // Scale by 2^k1 * 2^k2, k1 = k>>1 (arithmetic), k2 = k - k1.
+    const __m128i k1 = _mm_srai_epi32(ki, 1);
+    const __m128i k2 = _mm_sub_epi32(ki, k1);
+    const __m256i e1 = _mm256_slli_epi64(
+        _mm256_add_epi64(_mm256_cvtepi32_epi64(k1),
+                         _mm256_set1_epi64x(1023)),
+        52);
+    const __m256i e2 = _mm256_slli_epi64(
+        _mm256_add_epi64(_mm256_cvtepi32_epi64(k2),
+                         _mm256_set1_epi64x(1023)),
+        52);
+    const __m256d res = _mm256_mul_pd(
+        _mm256_mul_pd(y, _mm256_castsi256_pd(e1)), _mm256_castsi256_pd(e2));
+
+    const int good = _mm256_movemask_pd(ok);
+    if (good == 0xF) {
+      _mm256_storeu_pd(out + i, res);
+    } else {
+      alignas(32) double tmp[4];
+      _mm256_store_pd(tmp, res);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (!(good & (1 << lane))) tmp[lane] = Exp(in[i + lane]);
+      }
+      _mm256_storeu_pd(out + i, _mm256_load_pd(tmp));
+    }
+  }
+  for (; i < n; ++i) out[i] = Exp(in[i]);
+}
+
+}  // namespace
+
+#endif  // SVT_VECMATH_HAVE_AVX2
+
+void LogBlock(std::span<const double> in, std::span<double> out) {
+  SVT_CHECK(in.size() == out.size())
+      << "LogBlock size mismatch: " << in.size() << " vs " << out.size();
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    LogBlockAvx2(in.data(), out.data(), in.size());
+    return;
+  }
+#endif
+  for (size_t i = 0; i < in.size(); ++i) out[i] = Log(in[i]);
+}
+
+void ExpBlock(std::span<const double> in, std::span<double> out) {
+  SVT_CHECK(in.size() == out.size())
+      << "ExpBlock size mismatch: " << in.size() << " vs " << out.size();
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    ExpBlockAvx2(in.data(), out.data(), in.size());
+    return;
+  }
+#endif
+  for (size_t i = 0; i < in.size(); ++i) out[i] = Exp(in[i]);
+}
+
+void NegLogUnitPositiveBlock(std::span<const uint64_t> words, size_t stride,
+                             std::span<double> out) {
+  SVT_CHECK(stride == 1 || stride == 2)
+      << "NegLogUnitPositiveBlock stride must be 1 or 2, got " << stride;
+  SVT_CHECK(words.size() == stride * out.size())
+      << "NegLogUnitPositiveBlock size mismatch: " << words.size()
+      << " words for " << out.size() << " outputs at stride " << stride;
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    NegLogUnitPositiveAvx2(words.data(), stride, out.data(), out.size());
+    return;
+  }
+#endif
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = -Log(Rng::ToUnitDoublePositive(words[i * stride]));
+  }
+}
+
+void LaplaceTransformBlock(std::span<const uint64_t> words, double mu,
+                           double b, std::span<double> out) {
+  SVT_CHECK(words.size() == 2 * out.size())
+      << "LaplaceTransformBlock size mismatch: " << words.size()
+      << " words for " << out.size() << " outputs";
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    LaplaceTransformAvx2(words.data(), mu, b, out.data(), out.size());
+    return;
+  }
+#endif
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double e = -Log(Rng::ToUnitDoublePositive(words[2 * i]));
+    const double be = b * e;
+    const uint64_t flip = ~words[2 * i + 1] & 0x8000'0000'0000'0000ull;
+    out[i] = mu + std::bit_cast<double>(std::bit_cast<uint64_t>(be) ^ flip);
+  }
+}
+
+double MaxBlock(std::span<const double> in) {
+  SVT_CHECK(!in.empty()) << "MaxBlock requires at least one element";
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    return MaxBlockAvx2(in.data(), in.size());
+  }
+#endif
+  double m = in[0];
+  for (double x : in) m = std::max(m, x);
+  return m;
+}
+
+uint64_t MinWordBlock(std::span<const uint64_t> words, size_t stride) {
+  SVT_CHECK(stride == 1 || stride == 2)
+      << "MinWordBlock stride must be 1 or 2, got " << stride;
+  SVT_CHECK(!words.empty() && words.size() % stride == 0)
+      << "MinWordBlock needs a non-empty multiple of stride, got "
+      << words.size();
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    return MinWordBlockAvx2(words.data(), stride, words.size() / stride);
+  }
+#endif
+  uint64_t m = words[0];
+  for (size_t i = 0; i < words.size(); i += stride) {
+    m = std::min(m, words[i]);
+  }
+  return m;
+}
+
+size_t FindFirstSumGe(std::span<const double> a, std::span<const double> b,
+                      double bar) {
+  SVT_CHECK(a.size() == b.size())
+      << "FindFirstSumGe size mismatch: " << a.size() << " vs " << b.size();
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    return FindFirstSumGeAvx2(a.data(), b.data(), bar, a.size());
+  }
+#endif
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] + b[i] >= bar) return i;
+  }
+  return a.size();
+}
+
+size_t FindFirstGe(std::span<const double> a, double bar) {
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+    return FindFirstGeAvx2(a.data(), bar, a.size());
+  }
+#endif
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= bar) return i;
+  }
+  return a.size();
+}
+
+}  // namespace vec
+}  // namespace svt

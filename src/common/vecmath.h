@@ -1,0 +1,144 @@
+// Pluggable vectorized math layer: the polynomial log/exp kernel family
+// behind every noise draw in the library.
+//
+// Motivation: the batch engine's tier-2 path (and every bulk sampler) was
+// bound by scalar libm log() at ~15-20 ns/draw — the dominant cost exactly
+// in near-threshold SVT workloads, where chunks cannot be proven all-below
+// and every ν must be materialized. This layer replaces libm on the
+// sampling side with a fixed polynomial kernel that exists in two lanes:
+//
+//   * a scalar reference (Log/Exp below), and
+//   * an AVX2 4-wide implementation selected by runtime CPUID dispatch,
+//
+// defined to produce *bit-identical* doubles. That guarantee is what lets
+// the batch engine stay bitwise-equal to the streaming path (the pinned
+// per-role draw-order contract on SpecDrivenSvt, core/svt.h) while being
+// free to change dispatch level per host — results depend on the seed, not
+// on the CPU the process landed on.
+//
+// How bit-identity is achieved:
+//   * both lanes evaluate the same fdlibm-derived polynomials in the same
+//     fixed Horner order, step for step;
+//   * every step is an IEEE-754 correctly-rounded primitive (+ - * /),
+//     identical scalar and per-SIMD-lane;
+//   * no FMA is emitted in either lane: the AVX2 path uses explicit
+//     non-fused mul/add intrinsics, and vecmath.cc is compiled with
+//     -ffp-contract=off so the compiler cannot contract the scalar lane
+//     (see CMakeLists.txt);
+//   * special operands (zero, subnormal, negative, ±inf, NaN, and for Exp
+//     magnitudes beyond ±700) are detected per SIMD lane and delegated to
+//     the scalar reference kernel.
+//
+// Accuracy: the kernels track libm to within a few ULP (the bound is
+// asserted in tests/common_vecmath_test.cc); they are *not* bit-equal to
+// libm, which is why switching the samplers onto this layer was a one-time
+// golden re-record (see README "Performance").
+//
+// Dispatch: resolved once per process from CPUID; the SVT_FORCE_SCALAR
+// environment variable (set to anything but "0"/"") pins the scalar lane,
+// and SetDispatchLevel() lets tests and benches flip levels at runtime to
+// assert cross-dispatch equality in one binary. Compiling with
+// -DSVT_DISABLE_AVX2 removes the SIMD lane entirely (for -mno-avx2 CI legs
+// and non-x86 hosts).
+
+#ifndef SPARSEVEC_COMMON_VECMATH_H_
+#define SPARSEVEC_COMMON_VECMATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace svt {
+namespace vec {
+
+/// Available kernel implementations, in increasing width.
+enum class DispatchLevel {
+  kScalar = 0,  ///< portable reference lane (always available)
+  kAvx2 = 1,    ///< 4-wide AVX2 lane (x86-64 with AVX2, unless compiled out)
+};
+
+/// Human-readable name ("scalar", "avx2") for logs and bench output.
+const char* DispatchLevelName(DispatchLevel level);
+
+/// True if `level` can execute on this host *and* was compiled in.
+bool DispatchLevelSupported(DispatchLevel level);
+
+/// The level the Block kernels currently run at. Resolved on first use:
+/// the widest supported level, unless SVT_FORCE_SCALAR is set in the
+/// environment (then kScalar).
+DispatchLevel ActiveDispatchLevel();
+
+/// Overrides the active level (tests/benches). Returns false — leaving the
+/// level unchanged — if `level` is unsupported on this host. Thread-safe.
+bool SetDispatchLevel(DispatchLevel level);
+
+/// Natural log, scalar reference lane. Full domain: ±0 → -inf, negative →
+/// NaN, +inf → +inf, NaN → NaN, subnormals exact via prescaling.
+double Log(double x);
+
+/// Natural exponential, scalar reference lane. Full domain: overflows to
+/// +inf, underflows through the subnormal range to 0, NaN → NaN.
+double Exp(double x);
+
+/// out[i] = Log(in[i]) at the active dispatch level. Bit-identical to a
+/// scalar Log() loop at every level. In-place operation (out == in) is
+/// allowed; other overlap is not. in.size() must equal out.size().
+void LogBlock(std::span<const double> in, std::span<double> out);
+
+/// out[i] = Exp(in[i]) at the active dispatch level; same aliasing and
+/// bit-identity contract as LogBlock.
+void ExpBlock(std::span<const double> in, std::span<double> out);
+
+/// Fused sampling kernel: out[i] = -Log(u) where u is words[i * stride]
+/// mapped onto the (0, 1] 53-bit lattice exactly as
+/// Rng::ToUnitDoublePositive — i.e. the exponential magnitude behind every
+/// Laplace/Gumbel draw, straight from the raw RNG words with no
+/// intermediate pass. stride is 1 (Gumbel: every word) or 2 (Laplace: the
+/// even words are magnitudes, the odd words signs). words.size() must be
+/// stride * out.size(). Dispatched; bit-identical to the scalar
+/// composition -Log(Rng::ToUnitDoublePositive(w)) at every level.
+void NegLogUnitPositiveBlock(std::span<const std::uint64_t> words,
+                             std::size_t stride, std::span<double> out);
+
+/// The complete Laplace(mu, b) inverse-CDF transform, fused into one
+/// dispatched pass over the raw word pairs: with e_i =
+/// -Log(ToUnitDoublePositive(words[2i])) and be_i = b * e_i,
+///   out[i] = mu + be_i   if bit 63 of words[2i+1] is set
+///            mu + (-be_i) otherwise,
+/// where -be_i is a sign-bit flip — IEEE-identical to the streaming
+/// sampler's `sign-uniform < 0.5 ? mu - be : mu + be` (the sign uniform is
+/// < 0.5 exactly when bit 63 of its word is 0, and a - b == a + (-b)
+/// exactly). words.size() must be 2 * out.size(). This is the hottest
+/// kernel in the system: the batch engine's tier-2 ν materialization.
+void LaplaceTransformBlock(std::span<const std::uint64_t> words, double mu,
+                           double b, std::span<double> out);
+
+/// Reduction: max over in (in.size() >= 1), dispatched. Exact and
+/// association-independent when no element is NaN (the tier-1 bound's
+/// input); with NaNs the result is unspecified — some levels drop them —
+/// so callers must already be conservative under NaN (the chunk bound is:
+/// a NaN max fails its comparison and falls through to the exact scan).
+double MaxBlock(std::span<const double> in);
+
+/// Reduction: minimum of words[0], words[stride], words[2*stride], ...
+/// (words.size() must be a multiple of stride; at least one element).
+/// Exact at every dispatch level. stride 2 is the batch engine's bound on
+/// the magnitude uniforms (the even words of a ν chunk).
+std::uint64_t MinWordBlock(std::span<const std::uint64_t> words,
+                           std::size_t stride);
+
+/// Returns the smallest i with a[i] + b[i] >= bar — the SVT positive test
+/// of the batch engine's tier-2 compare-scan — or a.size() if no element
+/// passes. One correctly-rounded add and one ordered >= per element, so
+/// the index is bit-identical at every dispatch level (NaN sums never
+/// match, as in the scalar loop). a.size() must equal b.size().
+std::size_t FindFirstSumGe(std::span<const double> a,
+                           std::span<const double> b, double bar);
+
+/// As FindFirstSumGe without the addend: smallest i with a[i] >= bar.
+std::size_t FindFirstGe(std::span<const double> a, double bar);
+
+}  // namespace vec
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_VECMATH_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/distributions.h"
+#include "common/vecmath.h"
 
 namespace svt {
 
@@ -55,22 +56,18 @@ Response BatchRunner::MakePositiveResponse(double answer, double nu_j) {
 // Scans one chunk (all pointers chunk-local, res pre-zeroed to ⊥) and
 // writes positive responses in place. Returns the number of chunk elements
 // processed: n unless the cutoff exhausted the run inside the chunk.
-// `nu` may be null (specs without query noise).
-template <typename BarAt>
+// `find_next(from, rho)` returns the index of the first positive at or
+// after `from` under threshold offset rho, or n — either a vecmath
+// dispatched compare-scan (common threshold) or a scalar loop (per-query
+// thresholds); both apply the exact streaming positive test
+// `answer + ν >= threshold + ρ`, including for non-finite answers.
+template <typename FindNext>
 size_t BatchRunner::ScanChunk(const double* answers, size_t n,
-                              const double* nu, BarAt bar_at, Response* res) {
+                              const double* nu, FindNext find_next,
+                              Response* res) {
   size_t i = 0;
   while (i < n) {
-    const double rho = state_->rho;
-    size_t j = i;
-    // Tight scan for the next positive. The negated comparison keeps the
-    // streaming path's exact semantics (`answer + ν >= threshold + ρ` is
-    // the positive test) including for non-finite answers.
-    if (nu != nullptr) {
-      while (j < n && !(answers[j] + nu[j] >= bar_at(j, rho))) ++j;
-    } else {
-      while (j < n && !(answers[j] >= bar_at(j, rho))) ++j;
-    }
+    const size_t j = find_next(i, state_->rho);
     state_->processed += static_cast<int64_t>(j - i);
     if (j == n) return n;
 
@@ -96,9 +93,6 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
   double nu_block[kChunkSize];
   const Laplace nu_dist =
       has_nu ? Laplace::Centered(spec_.nu_scale) : Laplace::Centered(1.0);
-  const auto bar_at = [threshold](size_t, double rho) {
-    return threshold + rho;
-  };
 
   size_t done = 0;
   while (done < total) {
@@ -106,7 +100,10 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
     const double* const a = answers.data() + done;
     size_t chunk_processed = n;
     if (!has_nu) {
-      chunk_processed = ScanChunk(a, n, nullptr, bar_at, res + done);
+      const auto find_next = [a, n, threshold](size_t from, double rho) {
+        return from + vec::FindFirstGe({a + from, n - from}, threshold + rho);
+      };
+      chunk_processed = ScanChunk(a, n, nullptr, find_next, res + done);
     } else {
       // Pre-fetch the chunk's raw ν words — the substream advances exactly
       // as if each ν_i had been drawn scalar-style.
@@ -118,38 +115,31 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       // cannot cross the noisy threshold under that bound, the whole chunk
       // is provably ⊥ and the transform is skipped entirely. Every step of
       // the bound chain is a monotone rounded operation, so the shortcut
-      // emits exactly what the exact comparison would.
-      // Multi-accumulator reductions break the min/max dependency chains.
-      uint64_t m0 = words[0], m1 = words[0];
-      {
-        size_t i = 1;
-        for (; i + 1 < n; i += 2) {
-          m0 = std::min(m0, words[2 * i]);
-          m1 = std::min(m1, words[2 * i + 2]);
-        }
-        if (i < n) m0 = std::min(m0, words[2 * i]);
-      }
-      const uint64_t w_min = std::min(m0, m1);
-      double a0 = a[0], a1 = a[0], a2 = a[0], a3 = a[0];
-      size_t i = 1;
-      for (; i + 3 < n; i += 4) {
-        a0 = std::max(a0, a[i]);
-        a1 = std::max(a1, a[i + 1]);
-        a2 = std::max(a2, a[i + 2]);
-        a3 = std::max(a3, a[i + 3]);
-      }
-      for (; i < n; ++i) a0 = std::max(a0, a[i]);
-      const double a_max = std::max(std::max(a0, a1), std::max(a2, a3));
-
+      // emits exactly what the exact comparison would. The bound evaluates
+      // the same vecmath kernel that tier-2's transform would apply, so
+      // kBoundSlack only has to absorb the kernel's own sub-ulp rounding
+      // wiggle, never a libm-vs-polynomial discrepancy.
+      const uint64_t w_min = vec::MinWordBlock({words, 2 * n}, 2);
+      const double a_max = vec::MaxBlock({a, n});
       const double u_min = Rng::ToUnitDoublePositive(w_min);
       const double nu_bound =
-          spec_.nu_scale * (-std::log(u_min)) * kBoundSlack;
+          spec_.nu_scale * (-vec::Log(u_min)) * kBoundSlack;
       if (a_max + nu_bound < threshold + state_->rho) {
         state_->processed += static_cast<int64_t>(n);  // res already ⊥
+        ++state_->batch.tier1_chunks_skipped;
       } else {
-        // Tier-2: materialize the ν block and compare-scan it.
+        // Tier-2: materialize the ν block and run the dispatched
+        // compare-scan over it.
+        ++state_->batch.tier2_chunks_scanned;
         nu_dist.TransformBlock({words, 2 * n}, {nu_block, n});
-        chunk_processed = ScanChunk(a, n, nu_block, bar_at, res + done);
+        const double* const nu = nu_block;
+        const auto find_next = [a, nu, n, threshold](size_t from,
+                                                     double rho) {
+          return from + vec::FindFirstSumGe({a + from, n - from},
+                                            {nu + from, n - from},
+                                            threshold + rho);
+        };
+        chunk_processed = ScanChunk(a, n, nu_block, find_next, res + done);
       }
     }
     if (state_->exhausted) {
@@ -184,14 +174,26 @@ size_t BatchRunner::Run(std::span<const double> answers,
     if (has_nu) {
       // Per-query thresholds forgo the tier-1 bound (the rounding of
       // answer − threshold would make it unsound); the block transform
-      // still amortizes the RNG and pipelines the log() calls.
+      // still amortizes the RNG and runs the dispatched vecmath kernels.
+      ++state_->batch.tier2_chunks_scanned;
       SampleLaplaceBlock(state_->nu_rng, spec_.nu_scale, {nu_block, n});
       nu = nu_block;
     }
     const double* const t = thresholds.data() + done;
-    const auto bar_at = [t](size_t k, double rho) { return t[k] + rho; };
-    const size_t chunk_processed =
-        ScanChunk(answers.data() + done, n, nu, bar_at, res + done);
+    const double* const a = answers.data() + done;
+    // Per-query bars vary per element, so the scan stays scalar (the
+    // transform above is still the dispatched kernel); semantics are the
+    // exact streaming positive test.
+    const auto find_next = [a, nu, t, n](size_t from, double rho) {
+      size_t j = from;
+      if (nu != nullptr) {
+        while (j < n && !(a[j] + nu[j] >= t[j] + rho)) ++j;
+      } else {
+        while (j < n && !(a[j] >= t[j] + rho)) ++j;
+      }
+      return j;
+    };
+    const size_t chunk_processed = ScanChunk(a, n, nu, find_next, res + done);
     if (state_->exhausted) {
       const size_t emitted = done + chunk_processed;
       out->resize(start + emitted);

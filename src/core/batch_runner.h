@@ -12,15 +12,21 @@
 //     largest answer provably cannot cross the noisy threshold the whole
 //     chunk is emitted as ⊥ without a single log() — the dominant case in
 //     ⊥-heavy SVT workloads, where negatives are free;
-//   * otherwise a bulk inverse-CDF transform (Laplace::TransformBlock) and
-//     a tight, branch-predictable compare-scan that finds the next positive
-//     and emits the ⊥ run before it in one fill;
+//   * otherwise a bulk inverse-CDF transform (Laplace::TransformBlock,
+//     running vecmath's runtime-dispatched SIMD log kernels) and a tight,
+//     branch-predictable compare-scan that finds the next positive and
+//     emits the ⊥ run before it in one fill;
 //   * a slow path only at positives, handling the cutoff, Alg. 2's ρ
 //     resampling, Alg. 3's q+ν output and ε₃ numeric answers.
 //
+// Which tier each chunk took is counted in SvtRunState::batch (exposed as
+// SpecDrivenSvt::batch_stats()) so tests and capacity planning can verify
+// a workload actually exercises the tier they target.
+//
 // Under the draw-order contract documented on SpecDrivenSvt (core/svt.h)
 // the emitted Response sequence is bit-for-bit the one the streaming
-// Process() loop would produce for the same seed.
+// Process() loop would produce for the same seed — at every vecmath
+// dispatch level, since the kernels are bit-identical across levels.
 
 #ifndef SPARSEVEC_CORE_BATCH_RUNNER_H_
 #define SPARSEVEC_CORE_BATCH_RUNNER_H_
@@ -60,9 +66,9 @@ class BatchRunner {
  private:
   Response MakePositiveResponse(double answer, double nu_j);
 
-  template <typename BarAt>
+  template <typename FindNext>
   size_t ScanChunk(const double* answers, size_t n, const double* nu,
-                   BarAt bar_at, Response* res);
+                   FindNext find_next, Response* res);
 
   const VariantSpec& spec_;
   Rng* base_rng_;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/distributions.h"
 #include "common/math_util.h"
+#include "common/vecmath.h"
 
 namespace svt {
 
@@ -46,8 +47,13 @@ Result<size_t> ExponentialMechanism::SelectOne(std::span<const double> scores,
   for (size_t i = 0; i < scores.size(); ++i) logw[i] = coef * scores[i];
   const double log_z = LogSumExp(logw);
 
+  // The draw-side log goes through vecmath like every other sampler, so
+  // this path adds no dispatch-level dependence. (LogSumExp/LogAddExp
+  // stay on libm — they evaluate scores, not draws — so unlike the SVT
+  // samplers, SelectOne outcomes can still differ across hosts with
+  // different libm implementations at ulp-boundary seeds.)
   const double u = rng.NextDoublePositive();
-  const double target = std::log(u) + log_z;
+  const double target = vec::Log(u) + log_z;
 
   double cumulative = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < logw.size(); ++i) {

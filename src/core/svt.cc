@@ -102,6 +102,7 @@ void SpecDrivenSvt::Reset() {
   state_.positives = 0;
   state_.processed = 0;
   state_.exhausted = false;
+  state_.batch = BatchRunStats{};
 }
 
 size_t SpecDrivenSvt::RunAppend(std::span<const double> answers,

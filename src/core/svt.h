@@ -91,6 +91,18 @@ class SvtMechanism {
                            std::vector<Response>* out);
 };
 
+/// Execution counters of the batch engine, cleared on Reset(). They report
+/// *how* a batch executed (which tier), never *what* it produced — outputs
+/// are tier-independent by the chunk bound's conservativeness proof.
+struct BatchRunStats {
+  /// Chunks proven all-⊥ by the tier-1 bound: emitted without
+  /// materializing a single ν (the log-free fast path).
+  int64_t tier1_chunks_skipped = 0;
+  /// Chunks that materialized their ν block and ran the tier-2
+  /// transform/compare scan (includes every per-query-threshold chunk).
+  int64_t tier2_chunks_scanned = 0;
+};
+
 /// Mutable per-run state shared by the streaming Process() path and the
 /// batch engine (core/batch_runner.h).
 struct SvtRunState {
@@ -99,6 +111,7 @@ struct SvtRunState {
   int positives = 0;
   int64_t processed = 0;
   bool exhausted = false;
+  BatchRunStats batch;  ///< batch-engine tier counters (diagnostics)
 };
 
 /// Shared engine for every spec-driven SVT mechanism: a noisy threshold,
@@ -117,8 +130,16 @@ struct SvtRunState {
 ///   3. Numeric answers to positives (ε₃, Alg. 7) and Alg. 2's ρ
 ///      resampling draw from the base stream at the positive, in emission
 ///      order.
+///   4. The word→variate transform is part of the contract: every Laplace
+///      (and Gumbel) variate is produced by the vecmath kernel family
+///      (common/vecmath.h) — the scalar Process() path through vec::Log,
+///      the batch engine through the dispatched block kernels — which are
+///      bit-identical across dispatch levels by construction. Swapping
+///      libm (or any other log) into only one of the paths breaks the
+///      equivalence; changing the polynomial is a golden re-record.
 /// Hence the k-th emitted Response is the same whether queries arrive one
-/// at a time through Process() or in bulk through Run(): the batch engine
+/// at a time through Process() or in bulk through Run() — and, by (4),
+/// whether the host dispatches scalar or AVX2 kernels: the batch engine
 /// pre-fills whole blocks of the ν substream without disturbing the base
 /// stream. After a cutoff abort the ν substream position is unspecified
 /// until the next Reset() re-derives it (no further draws can be requested
@@ -138,6 +159,11 @@ class SpecDrivenSvt : public SvtMechanism {
                    std::vector<Response>* out) override;
   size_t RunAppend(std::span<const double> answers, double threshold,
                    std::vector<Response>* out) override;
+
+  /// Batch-engine tier counters since the last Reset(): how many chunks the
+  /// tier-1 bound skipped vs how many ran the tier-2 transform scan.
+  /// Diagnostics only — outputs never depend on the tier taken.
+  const BatchRunStats& batch_stats() const { return state_.batch; }
 
  protected:
   SpecDrivenSvt(VariantSpec spec, Rng* rng);

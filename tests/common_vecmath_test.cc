@@ -1,0 +1,318 @@
+// The vecmath layer's two contracts:
+//
+//  1. Accuracy: the polynomial Log/Exp kernels track libm within a small,
+//     documented ULP bound (kMaxUlp below) over dense sweeps and the
+//     adversarial inputs the samplers and the batch engine's chunk bound
+//     actually produce — subnormals, near-1 arguments, the (0,1] lattice
+//     edge values.
+//
+//  2. Bit-identity across dispatch: every Block kernel emits bitwise the
+//     scalar reference lane's outputs at every supported dispatch level.
+//     This is the property the batch/streaming equivalence of the SVT
+//     engine rests on; it is asserted here against dense random and
+//     adversarial inputs, for every kernel in the family.
+//
+// When no SIMD level is available (non-x86, SVT_DISABLE_AVX2, or an old
+// CPU) the cross-dispatch tests reduce to scalar-vs-scalar and still pass.
+
+#include "common/vecmath.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace svt {
+namespace vec {
+namespace {
+
+// Measured max over the dense sweeps below is 1 ulp for both kernels
+// (fdlibm-grade polynomials); 2 leaves headroom for worst-case inputs the
+// sweeps miss, and is still far below any statistical relevance for noise
+// sampling. Documented in README "Performance".
+constexpr int64_t kMaxUlp = 2;
+
+int64_t UlpDiff(double a, double b) {
+  if (a == b) return 0;  // covers equal infinities; +0 == -0 on purpose
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  int64_t ia = std::bit_cast<int64_t>(a);
+  int64_t ib = std::bit_cast<int64_t>(b);
+  // Map to a monotone integer line so the distance works across zero.
+  if (ia < 0) ia = std::numeric_limits<int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<int64_t>::min() - ib;
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+std::vector<double> LogTestInputs() {
+  std::vector<double> xs;
+  // Dense geometric sweep across the full normal range.
+  for (double x = 1e-300; x < 1e300; x *= 1.001) xs.push_back(x);
+  // Near 1, where log loses absolute accuracy: a dense window at the ulp
+  // scale (±20k ulps) plus a coarser sweep across ±1e-4.
+  double lo = 1.0, hi = 1.0;
+  for (int i = 0; i < 20000; ++i) {
+    lo = std::nextafter(lo, 0.0);
+    hi = std::nextafter(hi, 2.0);
+    xs.push_back(lo);
+    xs.push_back(hi);
+  }
+  for (double x = 0.9999; x < 1.0001; x += 1e-8) xs.push_back(x);
+  // The (0,1] lattice the samplers draw from: smallest, largest, and the
+  // chunk-bound edge values around them.
+  xs.push_back(0x1.0p-53);                       // smallest uniform
+  xs.push_back(1.0);                             // largest uniform
+  xs.push_back(1.0 - 0x1.0p-53);                 // second-largest
+  xs.push_back(2.0 * 0x1.0p-53);                 // second-smallest
+  // Subnormals, including the very smallest.
+  xs.push_back(5e-324);
+  xs.push_back(1e-310);
+  xs.push_back(std::numeric_limits<double>::denorm_min());
+  xs.push_back(std::numeric_limits<double>::min() / 2);
+  // Boundaries of the normal range.
+  xs.push_back(std::numeric_limits<double>::min());
+  xs.push_back(std::numeric_limits<double>::max());
+  // Exact powers of two land on the decomposition seams.
+  for (int e = -1074; e <= 1023; e += 37) xs.push_back(std::ldexp(1.0, e));
+  return xs;
+}
+
+TEST(VecmathLogTest, UlpBoundVsLibmDenseAndAdversarial) {
+  int64_t max_ulp = 0;
+  double worst = 0.0;
+  for (double x : LogTestInputs()) {
+    const int64_t u = UlpDiff(Log(x), std::log(x));
+    if (u > max_ulp) {
+      max_ulp = u;
+      worst = x;
+    }
+  }
+  EXPECT_LE(max_ulp, kMaxUlp) << "worst input " << worst;
+}
+
+TEST(VecmathLogTest, SpecialOperands) {
+  EXPECT_EQ(Log(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Log(-0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(Log(-1.0)));
+  EXPECT_TRUE(std::isnan(Log(-std::numeric_limits<double>::infinity())));
+  EXPECT_EQ(Log(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(Log(std::nan(""))));
+  EXPECT_EQ(Log(1.0), 0.0);
+}
+
+TEST(VecmathExpTest, UlpBoundVsLibmDense) {
+  int64_t max_ulp = 0;
+  double worst = 0.0;
+  for (double x = -708.0; x < 709.0; x += 0.000717) {
+    const int64_t u = UlpDiff(Exp(x), std::exp(x));
+    if (u > max_ulp) {
+      max_ulp = u;
+      worst = x;
+    }
+  }
+  // Tiny arguments (the near-1 outputs).
+  for (double x = -1e-3; x < 1e-3; x += 1e-7) {
+    max_ulp = std::max(max_ulp, UlpDiff(Exp(x), std::exp(x)));
+  }
+  EXPECT_LE(max_ulp, kMaxUlp) << "worst input " << worst;
+}
+
+TEST(VecmathExpTest, SpecialOperands) {
+  EXPECT_EQ(Exp(0.0), 1.0);
+  EXPECT_EQ(Exp(710.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Exp(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Exp(-800.0), 0.0);
+  EXPECT_EQ(Exp(-std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_TRUE(std::isnan(Exp(std::nan(""))));
+}
+
+TEST(VecmathDispatchTest, NamesAndScalarAlwaysSupported) {
+  EXPECT_STREQ(DispatchLevelName(DispatchLevel::kScalar), "scalar");
+  EXPECT_STREQ(DispatchLevelName(DispatchLevel::kAvx2), "avx2");
+  EXPECT_TRUE(DispatchLevelSupported(DispatchLevel::kScalar));
+  // The active level is always a supported one.
+  EXPECT_TRUE(DispatchLevelSupported(ActiveDispatchLevel()));
+  // Requesting an unsupported level fails and leaves the level unchanged.
+  if (!DispatchLevelSupported(DispatchLevel::kAvx2)) {
+    const DispatchLevel before = ActiveDispatchLevel();
+    EXPECT_FALSE(SetDispatchLevel(DispatchLevel::kAvx2));
+    EXPECT_EQ(ActiveDispatchLevel(), before);
+  }
+}
+
+// Restores the entry dispatch level on scope exit so tests compose.
+class ScopedLevel {
+ public:
+  ScopedLevel() : saved_(ActiveDispatchLevel()) {}
+  ~ScopedLevel() { SetDispatchLevel(saved_); }
+
+ private:
+  DispatchLevel saved_;
+};
+
+void ExpectBitEqual(const std::vector<double>& a,
+                    const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i]))
+        << what << " diverges at i=" << i << " (" << a[i] << " vs " << b[i]
+        << ")";
+  }
+}
+
+TEST(VecmathDispatchTest, LogBlockBitIdenticalAcrossLevels) {
+  ScopedLevel restore;
+  const std::vector<double> xs = LogTestInputs();
+  std::vector<double> scalar_ref(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) scalar_ref[i] = Log(xs[i]);
+
+  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+    if (!SetDispatchLevel(level)) continue;
+    std::vector<double> out(xs.size());
+    LogBlock(xs, out);
+    ExpectBitEqual(out, scalar_ref, DispatchLevelName(level));
+    // In-place operation is part of the contract.
+    std::vector<double> inplace = xs;
+    LogBlock(inplace, inplace);
+    ExpectBitEqual(inplace, scalar_ref, "in-place");
+  }
+}
+
+TEST(VecmathDispatchTest, ExpBlockBitIdenticalAcrossLevels) {
+  ScopedLevel restore;
+  std::vector<double> xs;
+  for (double x = -745.0; x < 710.0; x += 0.01037) xs.push_back(x);
+  xs.push_back(0.0);
+  xs.push_back(1e9);                  // overflow lane
+  xs.push_back(-1e9);                 // underflow lane
+  xs.push_back(std::nan(""));         // NaN lane
+  xs.push_back(705.0);                // near the fast-path domain edge
+  xs.push_back(-705.0);
+  std::vector<double> scalar_ref(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) scalar_ref[i] = Exp(xs[i]);
+
+  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+    if (!SetDispatchLevel(level)) continue;
+    std::vector<double> out(xs.size());
+    ExpBlock(xs, out);
+    ASSERT_EQ(out.size(), scalar_ref.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (std::isnan(scalar_ref[i])) {
+        ASSERT_TRUE(std::isnan(out[i])) << "i=" << i;
+        continue;
+      }
+      ASSERT_EQ(std::bit_cast<uint64_t>(out[i]),
+                std::bit_cast<uint64_t>(scalar_ref[i]))
+          << DispatchLevelName(level) << " diverges at i=" << i;
+    }
+  }
+}
+
+TEST(VecmathDispatchTest, SamplingKernelsBitIdenticalAcrossLevels) {
+  ScopedLevel restore;
+  // Raw RNG words, including the lattice edges (all-ones word -> u == 1,
+  // whose -log is -0.0 and whose Gumbel output is +inf).
+  Rng rng(123);
+  std::vector<uint64_t> words(4096);
+  rng.FillUint64(words);
+  words[17] = ~0ull;
+  words[2 * 33] = ~0ull;
+  words[0] = 0;
+
+  const size_t n = words.size() / 2;
+  std::vector<double> ref1(words.size()), ref2(n), ref_lap(n);
+  SetDispatchLevel(DispatchLevel::kScalar);
+  NegLogUnitPositiveBlock(words, 1, ref1);
+  NegLogUnitPositiveBlock(words, 2, ref2);
+  LaplaceTransformBlock(words, 0.25, 1.75, ref_lap);
+  const uint64_t ref_min1 = MinWordBlock(words, 1);
+  const uint64_t ref_min2 = MinWordBlock(words, 2);
+
+  if (SetDispatchLevel(DispatchLevel::kAvx2)) {
+    std::vector<double> out1(words.size()), out2(n), out_lap(n);
+    NegLogUnitPositiveBlock(words, 1, out1);
+    NegLogUnitPositiveBlock(words, 2, out2);
+    LaplaceTransformBlock(words, 0.25, 1.75, out_lap);
+    ExpectBitEqual(out1, ref1, "neg-log stride 1");
+    ExpectBitEqual(out2, ref2, "neg-log stride 2");
+    ExpectBitEqual(out_lap, ref_lap, "laplace transform");
+    EXPECT_EQ(MinWordBlock(words, 1), ref_min1);
+    EXPECT_EQ(MinWordBlock(words, 2), ref_min2);
+  }
+
+  // The stride-1 kernel on even words must equal the stride-2 kernel.
+  std::vector<uint64_t> evens(n);
+  for (size_t i = 0; i < n; ++i) evens[i] = words[2 * i];
+  std::vector<double> from_evens(n);
+  NegLogUnitPositiveBlock(evens, 1, from_evens);
+  ExpectBitEqual(from_evens, ref2, "stride 1 on evens vs stride 2");
+}
+
+TEST(VecmathDispatchTest, ReductionsAndScansAcrossLevels) {
+  ScopedLevel restore;
+  Rng rng(7);
+  std::vector<double> a(1000), b(1000);
+  rng.FillDouble(a);
+  rng.FillDouble(b);
+  a[777] = 3.0;  // guaranteed hit: 3.0 + b >= 3.0
+
+  SetDispatchLevel(DispatchLevel::kScalar);
+  const double ref_max = MaxBlock(a);
+  const size_t ref_sum_idx = FindFirstSumGe(a, b, 3.0);
+  const size_t ref_idx = FindFirstGe(a, 2.5);
+  const size_t ref_none = FindFirstGe(a, 1e9);
+
+  if (SetDispatchLevel(DispatchLevel::kAvx2)) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(MaxBlock(a)),
+              std::bit_cast<uint64_t>(ref_max));
+    EXPECT_EQ(FindFirstSumGe(a, b, 3.0), ref_sum_idx);
+    EXPECT_EQ(FindFirstGe(a, 2.5), ref_idx);
+    EXPECT_EQ(FindFirstGe(a, 1e9), ref_none);
+  }
+  EXPECT_EQ(ref_none, a.size());
+  EXPECT_LE(ref_sum_idx, 777u);
+
+  // Odd (non-multiple-of-4) sizes exercise the scalar tails.
+  for (size_t len : {1u, 3u, 5u, 7u}) {
+    const std::span<const double> head(a.data(), len);
+    SetDispatchLevel(DispatchLevel::kScalar);
+    const double m_scalar = MaxBlock(head);
+    const size_t f_scalar = FindFirstGe(head, 0.5);
+    if (SetDispatchLevel(DispatchLevel::kAvx2)) {
+      EXPECT_EQ(MaxBlock(head), m_scalar) << "len=" << len;
+      EXPECT_EQ(FindFirstGe(head, 0.5), f_scalar) << "len=" << len;
+    }
+  }
+}
+
+TEST(VecmathDispatchTest, ScalarKernelMatchesComposedDefinition) {
+  // The fused sampling kernels are *defined* by composition of Log and the
+  // lattice map; pin that definition at the scalar level.
+  Rng rng(99);
+  std::vector<uint64_t> words(64);
+  rng.FillUint64(words);
+  ScopedLevel restore;
+  SetDispatchLevel(DispatchLevel::kScalar);
+  std::vector<double> out(64);
+  NegLogUnitPositiveBlock(words, 1, out);
+  for (size_t i = 0; i < words.size(); ++i) {
+    const double expected = -Log(Rng::ToUnitDoublePositive(words[i]));
+    ASSERT_EQ(std::bit_cast<uint64_t>(out[i]),
+              std::bit_cast<uint64_t>(expected))
+        << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace vec
+}  // namespace svt

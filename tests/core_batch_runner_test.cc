@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/vecmath.h"
 #include "core/budget.h"
 #include "core/response.h"
 #include "core/svt.h"
@@ -103,6 +104,36 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
                       VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
                       VariantId::kGptt, VariantId::kStandard));
+
+TEST_P(VariantEquivalence, BatchOutputIdenticalAcrossDispatchLevels) {
+  // Scalar vs SIMD dispatch for every variant's noise structure: same
+  // seed, same batch, bit-identical responses. Skips the SIMD half where
+  // no SIMD level is compiled in / supported.
+  const VariantId id = GetParam();
+  const vec::DispatchLevel entry_level = vec::ActiveDispatchLevel();
+  const std::vector<double> answers =
+      MixedAnswers(2 * BatchRunner::kChunkSize + 77);
+
+  ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+  Rng rng_scalar(41);
+  auto scalar_mech = MakeVariantMechanism(id, 1.0, 1.0, 40, &rng_scalar)
+                         .value();
+  const std::vector<Response> scalar_out = scalar_mech->Run(answers, 0.0);
+
+  if (vec::SetDispatchLevel(vec::DispatchLevel::kAvx2)) {
+    Rng rng_simd(41);
+    auto simd_mech =
+        MakeVariantMechanism(id, 1.0, 1.0, 40, &rng_simd).value();
+    const std::vector<Response> simd_out = simd_mech->Run(answers, 0.0);
+    ExpectSameResponses(simd_out, scalar_out,
+                        std::string(VariantIdToString(id)) + " dispatch");
+    EXPECT_EQ(simd_mech->positives_emitted(),
+              scalar_mech->positives_emitted());
+    EXPECT_EQ(simd_mech->queries_processed(),
+              scalar_mech->queries_processed());
+  }
+  vec::SetDispatchLevel(entry_level);
+}
 
 TEST(BatchRunnerTest, NumericOutputEpsilon3Equivalence) {
   // Alg. 7 with ε₃ > 0: numeric answers draw from the base stream at each
@@ -237,6 +268,106 @@ TEST(BatchRunnerTest, AllBelowFastPathCountsProcessed) {
   EXPECT_EQ(mech->queries_processed(), 4096);
   EXPECT_EQ(mech->positives_emitted(), 0);
   for (const Response& r : rs) ASSERT_FALSE(r.is_positive());
+  // Far-below answers are exactly what the tier-1 bound proves ⊥: both
+  // chunks skip, nothing reaches tier-2.
+  EXPECT_EQ(mech->batch_stats().tier1_chunks_skipped, 2);
+  EXPECT_EQ(mech->batch_stats().tier2_chunks_scanned, 0);
+}
+
+// Builds a near-threshold stream: every answer within a few ν scales of
+// the threshold, so no chunk can be proven all-below (the tier-1 bound on
+// 2048 draws is ~7.6 ν scales) while positives stay rare — the regime
+// where Lyu-Su-Li's variants spend their noise draws.
+std::vector<double> NearThresholdAnswers(size_t n, double nu_scale,
+                                         uint64_t seed) {
+  std::vector<double> answers(n);
+  Rng gen(seed);
+  for (double& a : answers) {
+    a = (-6.0 + (gen.NextDouble() - 0.5)) * nu_scale;
+  }
+  return answers;
+}
+
+TEST(BatchRunnerTest, NearThresholdWorkloadExercisesTier2) {
+  // Queries clustered at ρ±ν scale: tier-2 must run for every chunk (the
+  // skip counter proves the workload actually hits the transform path) and
+  // stay bitwise-equal to streaming.
+  const size_t n = 4 * BatchRunner::kChunkSize + 321;
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 1 << 20;
+  o.monotonic = true;
+  Rng rng_probe(21);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+  const std::vector<double> answers = NearThresholdAnswers(n, nu_scale, 99);
+
+  Rng rng_batch(21), rng_stream(21);
+  auto batch = SparseVector::Create(o, &rng_batch).value();
+  auto stream = SparseVector::Create(o, &rng_stream).value();
+
+  const std::vector<Response> b = batch->Run(answers, 0.0);
+  std::vector<Response> s;
+  for (double a : answers) {
+    if (stream->exhausted()) break;
+    s.push_back(stream->Process(a, 0.0));
+  }
+  ExpectSameResponses(b, s, "near-threshold");
+
+  // Every chunk materialized its ν block; none was skipped.
+  EXPECT_EQ(batch->batch_stats().tier1_chunks_skipped, 0);
+  EXPECT_EQ(batch->batch_stats().tier2_chunks_scanned, 5);
+  // Positives occur (the workload is near, not under, the threshold) but
+  // stay rare — this is a ⊥-dominated tier-2 stream, not a cutoff test.
+  EXPECT_GT(batch->positives_emitted(), 0);
+  EXPECT_LT(batch->positives_emitted(), static_cast<int>(n / 100));
+
+  // Reset clears the tier counters with the rest of the run state.
+  batch->Reset();
+  EXPECT_EQ(batch->batch_stats().tier1_chunks_skipped, 0);
+  EXPECT_EQ(batch->batch_stats().tier2_chunks_scanned, 0);
+}
+
+TEST(BatchRunnerTest, BatchOutputIndependentOfDispatchLevel) {
+  // The vecmath kernels are bit-identical across dispatch levels, so the
+  // whole mechanism — responses, counters, tier decisions — must be too.
+  // On hosts without AVX2 this degenerates to scalar-vs-scalar.
+  const vec::DispatchLevel entry_level = vec::ActiveDispatchLevel();
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 50;
+  o.monotonic = true;
+  Rng rng_probe(33);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+  std::vector<double> answers =
+      NearThresholdAnswers(3 * BatchRunner::kChunkSize, nu_scale, 7);
+  // Splice in far-below stretches so tier-1 skips on some chunks too.
+  for (size_t i = 0; i < BatchRunner::kChunkSize; ++i) {
+    answers[BatchRunner::kChunkSize + i] = -1e9;
+  }
+
+  ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+  Rng rng_scalar(5);
+  auto scalar_mech = SparseVector::Create(o, &rng_scalar).value();
+  const std::vector<Response> scalar_out = scalar_mech->Run(answers, 0.0);
+  const auto scalar_stats = scalar_mech->batch_stats();
+
+  if (vec::SetDispatchLevel(vec::DispatchLevel::kAvx2)) {
+    Rng rng_simd(5);
+    auto simd_mech = SparseVector::Create(o, &rng_simd).value();
+    const std::vector<Response> simd_out = simd_mech->Run(answers, 0.0);
+    ExpectSameResponses(simd_out, scalar_out, "dispatch");
+    EXPECT_EQ(simd_mech->batch_stats().tier1_chunks_skipped,
+              scalar_stats.tier1_chunks_skipped);
+    EXPECT_EQ(simd_mech->batch_stats().tier2_chunks_scanned,
+              scalar_stats.tier2_chunks_scanned);
+    EXPECT_EQ(simd_mech->positives_emitted(),
+              scalar_mech->positives_emitted());
+  }
+  vec::SetDispatchLevel(entry_level);
+  EXPECT_GT(scalar_stats.tier1_chunks_skipped, 0);
+  EXPECT_GT(scalar_stats.tier2_chunks_scanned, 0);
 }
 
 }  // namespace
