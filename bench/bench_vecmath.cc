@@ -1,8 +1,9 @@
 // Standalone micro-benchmark for the vecmath kernel family: libm baseline
 // vs the scalar reference lane vs the dispatched block kernels, at every
-// dispatch level this host supports. Also times the fused Laplace
-// transform (the batch engine's tier-2 inner loop) against the PR-1-style
-// two-pass scalar composition it replaced.
+// dispatch level this host supports (scalar / AVX2 / AVX-512). Also times
+// the fused Laplace transform (the batch engine's tier-2 inner loop), the
+// lockstep block RNG behind every Fill/SampleBlock path, and the pairwise
+// per-query-threshold scan.
 //
 // Informational (always exits 0): the hard acceptance number — tier-2
 // batch throughput — lives in bench_micro's BM_SvtRunBatchNearThreshold
@@ -47,8 +48,9 @@ int main() {
 
   std::printf("vecmath micro-benchmark (%zu elements/pass, %u hw threads)\n",
               kN, std::thread::hardware_concurrency());
-  std::printf("compiled-in levels: scalar%s\n",
-              DispatchLevelSupported(DispatchLevel::kAvx2) ? " avx2" : "");
+  std::printf("supported levels: scalar%s%s\n",
+              DispatchLevelSupported(DispatchLevel::kAvx2) ? " avx2" : "",
+              DispatchLevelSupported(DispatchLevel::kAvx512) ? " avx512" : "");
   std::printf("active level at startup: %s\n\n",
               DispatchLevelName(ActiveDispatchLevel()));
 
@@ -82,7 +84,7 @@ int main() {
   std::printf("exp:  libm %.2f ns/elem\n", libm_exp);
 
   const svt::Laplace lap(0.0, 2.0);
-  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+  for (DispatchLevel level : kAllDispatchLevels) {
     if (!SetDispatchLevel(level)) continue;
     const char* name = DispatchLevelName(level);
     const double log_block = BestNsPerElem(
@@ -115,12 +117,31 @@ int main() {
           g_sink = out[kN / 2];
         },
         kN);
+    // Lockstep block RNG (feeds every SampleBlock path).
+    std::vector<uint64_t> rng_buf(kN);
+    Rng fill_rng(3);
+    const double rng_fill = BestNsPerElem(
+        [&] {
+          fill_rng.FillUint64(rng_buf);
+          g_sink = static_cast<double>(rng_buf[kN / 2] >> 12);
+        },
+        kN);
+    // Pairwise per-query-threshold scan over a no-match stream (the
+    // ⊥-dominated regime the batch engine scans in).
+    std::vector<double> bars(kN, 1e9);
+    const double pairwise = BestNsPerElem(
+        [&] {
+          g_sink = static_cast<double>(
+              FindFirstSumGePairwise({u.data(), kN}, {out.data(), kN},
+                                     {bars.data(), kN}, 0.0));
+        },
+        kN);
     std::printf(
         "[%6s] LogBlock %.2f | ExpBlock %.2f | NegLogUnit %.2f | "
-        "LaplaceTransform %.2f | SampleBlock %.2f ns/elem "
-        "(log speedup vs libm: %.2fx)\n",
-        name, log_block, exp_block, neg_log, lap_tf, lap_sample,
-        libm_log / log_block);
+        "LaplaceTransform %.2f | SampleBlock %.2f | RngFill %.2f | "
+        "PairwiseScan %.2f ns/elem (log speedup vs libm: %.2fx)\n",
+        name, log_block, exp_block, neg_log, lap_tf, lap_sample, rng_fill,
+        pairwise, libm_log / log_block);
   }
   return 0;
 }

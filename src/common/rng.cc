@@ -3,6 +3,21 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/vecmath.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && !defined(SVT_DISABLE_AVX2) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SVT_RNG_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define SVT_RNG_HAVE_AVX2 0
+#endif
+
+#if SVT_RNG_HAVE_AVX2 && !defined(SVT_DISABLE_AVX512)
+#define SVT_RNG_HAVE_AVX512 1
+#else
+#define SVT_RNG_HAVE_AVX512 0
+#endif
 
 namespace svt {
 
@@ -10,6 +25,127 @@ namespace {
 
 inline uint64_t Rotl(uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
+}
+
+// One lockstep step of all four lanes is pure integer arithmetic, so the
+// scalar loop and the SIMD kernels below are bit-identical by construction
+// (no rounding anywhere); the kernels differ only in how many lanes one
+// instruction advances. `s` points at the SoA state block: s[w * 4 + lane]
+// is state word w of lane `lane`, so one 256-bit load covers one word of
+// all four lanes.
+
+void FillLockstepScalar(uint64_t* s, uint64_t* p, size_t steps) {
+  // Register-resident reference lane: lift the 16 state words out of
+  // memory for the whole span, exactly like the pre-lockstep block kernel.
+  uint64_t s0[4], s1[4], s2[4], s3[4];
+  for (int j = 0; j < 4; ++j) {
+    s0[j] = s[j];
+    s1[j] = s[4 + j];
+    s2[j] = s[8 + j];
+    s3[j] = s[12 + j];
+  }
+  for (size_t step = 0; step < steps; ++step) {
+    for (int j = 0; j < 4; ++j) {
+      p[j] = Rotl(s0[j] + s3[j], 23) + s0[j];
+      const uint64_t t = s1[j] << 17;
+      s2[j] ^= s0[j];
+      s3[j] ^= s1[j];
+      s1[j] ^= s2[j];
+      s0[j] ^= s3[j];
+      s2[j] ^= t;
+      s3[j] = Rotl(s3[j], 45);
+    }
+    p += 4;
+  }
+  for (int j = 0; j < 4; ++j) {
+    s[j] = s0[j];
+    s[4 + j] = s1[j];
+    s[8 + j] = s2[j];
+    s[12 + j] = s3[j];
+  }
+}
+
+#if SVT_RNG_HAVE_AVX2
+
+__attribute__((target("avx2"))) inline __m256i Rotl4Avx2(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                         _mm256_srli_epi64(x, 64 - k));
+}
+
+__attribute__((target("avx2"))) void FillLockstepAvx2(uint64_t* s,
+                                                      uint64_t* p,
+                                                      size_t steps) {
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 12));
+  for (size_t step = 0; step < steps; ++step) {
+    const __m256i result =
+        _mm256_add_epi64(Rotl4Avx2(_mm256_add_epi64(s0, s3), 23), s0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), result);
+    p += 4;
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = Rotl4Avx2(s3, 45);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s), s0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 4), s1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 8), s2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 12), s3);
+}
+
+#endif  // SVT_RNG_HAVE_AVX2
+
+#if SVT_RNG_HAVE_AVX512
+
+// AVX-512VL variant: same four 256-bit lanes, but the two rotates use the
+// native 64-bit rotate instruction (vprolq) instead of shift+shift+or —
+// the rotation is exact either way, so outputs are bit-identical.
+__attribute__((target("avx512f,avx512vl"))) void FillLockstepAvx512(
+    uint64_t* s, uint64_t* p, size_t steps) {
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 12));
+  for (size_t step = 0; step < steps; ++step) {
+    const __m256i result = _mm256_add_epi64(
+        _mm256_rol_epi64(_mm256_add_epi64(s0, s3), 23), s0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), result);
+    p += 4;
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = _mm256_rol_epi64(s3, 45);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s), s0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 4), s1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 8), s2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 12), s3);
+}
+
+#endif  // SVT_RNG_HAVE_AVX512
+
+void FillLockstep(uint64_t* s, uint64_t* p, size_t steps) {
+#if SVT_RNG_HAVE_AVX512
+  if (vec::ActiveDispatchLevel() >= vec::DispatchLevel::kAvx512) {
+    FillLockstepAvx512(s, p, steps);
+    return;
+  }
+#endif
+#if SVT_RNG_HAVE_AVX2
+  if (vec::ActiveDispatchLevel() >= vec::DispatchLevel::kAvx2) {
+    FillLockstepAvx2(s, p, steps);
+    return;
+  }
+#endif
+  FillLockstepScalar(s, p, steps);
 }
 
 }  // namespace
@@ -21,35 +157,96 @@ uint64_t SplitMix64Next(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-Rng::Rng(uint64_t seed) {
+BlockRng::BlockRng(uint64_t seed) {
+  // Stream definition, seeding half: one SplitMix64 key per lane in lane
+  // order, each key expanded by its own SplitMix64 sequence into the
+  // lane's four state words.
   uint64_t sm = seed;
-  for (auto& word : state_) word = SplitMix64Next(sm);
-  // xoshiro requires a nonzero state; SplitMix64 outputs four zero words
-  // with probability 2^-256, but guard anyway.
-  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
-    state_[0] = 0x9e3779b97f4a7c15ULL;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    uint64_t lane_sm = SplitMix64Next(sm);
+    for (int w = 0; w < 4; ++w) s_[w][lane] = SplitMix64Next(lane_sm);
+    // xoshiro requires a nonzero state; SplitMix64 emits four zero words
+    // with probability 2^-256 per lane, but guard anyway.
+    if (s_[0][lane] == 0 && s_[1][lane] == 0 && s_[2][lane] == 0 &&
+        s_[3][lane] == 0) {
+      s_[0][lane] = 0x9e3779b97f4a7c15ULL;
+    }
   }
 }
 
-Rng::Rng(const std::array<uint64_t, 4>& state) : state_(state) {
-  SVT_CHECK(state_[0] != 0 || state_[1] != 0 || state_[2] != 0 ||
-            state_[3] != 0);
+BlockRng::BlockRng(const State& state) : phase_(state.phase) {
+  SVT_CHECK(state.phase < kLanes)
+      << "BlockRng state phase out of range: " << state.phase;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    for (int w = 0; w < 4; ++w) s_[w][lane] = state.words[w * kLanes + lane];
+    SVT_CHECK(s_[0][lane] != 0 || s_[1][lane] != 0 || s_[2][lane] != 0 ||
+              s_[3][lane] != 0)
+        << "BlockRng lane " << lane << " restored to the all-zero state";
+  }
 }
 
-uint64_t Rng::NextUint64() {
-  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
+uint64_t BlockRng::StepLane(size_t lane) {
+  uint64_t s0 = s_[0][lane];
+  uint64_t s1 = s_[1][lane];
+  uint64_t s2 = s_[2][lane];
+  uint64_t s3 = s_[3][lane];
+  const uint64_t result = Rotl(s0 + s3, 23) + s0;
+  const uint64_t t = s1 << 17;
+  s2 ^= s0;
+  s3 ^= s1;
+  s1 ^= s2;
+  s0 ^= s3;
+  s2 ^= t;
+  s3 = Rotl(s3, 45);
+  s_[0][lane] = s0;
+  s_[1][lane] = s1;
+  s_[2][lane] = s2;
+  s_[3][lane] = s3;
   return result;
 }
 
+uint64_t BlockRng::Next() {
+  const uint64_t result = StepLane(phase_);
+  phase_ = (phase_ + 1) & (kLanes - 1);
+  return result;
+}
+
+void BlockRng::Fill(std::span<uint64_t> out) {
+  // An empty span may carry a null data(); bail before the pointer
+  // arithmetic below.
+  if (out.empty()) return;
+  uint64_t* p = out.data();
+  uint64_t* const end = p + out.size();
+  // Scalar until the next output is lane 0's (a lane-aligned stream
+  // position), then lockstep whole steps, then a scalar tail.
+  while (phase_ != 0 && p < end) *p++ = Next();
+  const size_t steps = static_cast<size_t>(end - p) / kLanes;
+  if (steps > 0) {
+    FillLockstep(&s_[0][0], p, steps);
+    p += steps * kLanes;
+  }
+  while (p < end) *p++ = Next();
+}
+
+BlockRng::State BlockRng::state() const {
+  State st;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    for (int w = 0; w < 4; ++w) st.words[w * kLanes + lane] = s_[w][lane];
+  }
+  st.phase = phase_;
+  return st;
+}
+
+Rng::Rng(uint64_t seed) : core_(seed) {}
+
+Rng::Rng(const State& state) : core_(state) {}
+
+uint64_t Rng::NextUint64() { return core_.Next(); }
+
 uint64_t Rng::NextBounded(uint64_t bound) {
-  SVT_CHECK(bound > 0);
+  // bound == 0 would make the threshold computation below divide by zero;
+  // fail loudly instead of raising SIGFPE (regression-tested).
+  SVT_CHECK(bound > 0) << "NextBounded requires bound > 0";
   // Rejection sampling over the top of the range to avoid modulo bias
   // (Lemire's threshold formulation).
   const uint64_t threshold = (-bound) % bound;
@@ -59,40 +256,7 @@ uint64_t Rng::NextBounded(uint64_t bound) {
   }
 }
 
-void Rng::FillUint64(std::span<uint64_t> out) {
-  // An empty span may carry a null data(); bail before the pointer
-  // arithmetic below (p + 4 on nullptr is UB).
-  if (out.empty()) return;
-  // The xoshiro recurrence is inherently serial, so the block win comes
-  // from keeping the state in registers across the whole span (NextUint64
-  // reloads and spills the four state words on every call) and from
-  // unrolling away the loop overhead.
-  uint64_t s0 = state_[0];
-  uint64_t s1 = state_[1];
-  uint64_t s2 = state_[2];
-  uint64_t s3 = state_[3];
-  const auto step = [&]() {
-    const uint64_t result = Rotl(s0 + s3, 23) + s0;
-    const uint64_t t = s1 << 17;
-    s2 ^= s0;
-    s3 ^= s1;
-    s1 ^= s2;
-    s0 ^= s3;
-    s2 ^= t;
-    s3 = Rotl(s3, 45);
-    return result;
-  };
-  uint64_t* p = out.data();
-  uint64_t* const end = p + out.size();
-  for (; p + 4 <= end; p += 4) {
-    p[0] = step();
-    p[1] = step();
-    p[2] = step();
-    p[3] = step();
-  }
-  for (; p < end; ++p) *p = step();
-  state_ = {s0, s1, s2, s3};
-}
+void Rng::FillUint64(std::span<uint64_t> out) { core_.Fill(out); }
 
 namespace {
 
@@ -143,15 +307,15 @@ bool Rng::NextBernoulli(double p) {
 
 Rng Rng::Fork() {
   // Key-splitting: the child is a fresh generator seeded (via the
-  // SplitMix64 expansion in the constructor) from one parent draw. Unlike
-  // jump-based schemes this is safe for *nested* forks — a tree of forks
+  // BlockRng seeding expansion) from one parent draw. Unlike jump-based
+  // schemes this is safe for *nested* forks — a tree of forks
   // (eval/experiment.cc forks per run, then per method) lands every leaf
   // at an unrelated state instead of re-entering blocks handed out
   // elsewhere in the tree. Two caveats, both negligible here: separation
-  // is probabilistic (xoshiro256++ is a single cycle; SplitMix64 seeding
-  // places children ~2^255 draws apart in expectation), and distinct
-  // parents that happen to emit the same 64-bit value (p ≈ 2^-64 per
-  // pair) would spawn identical children.
+  // is probabilistic (each xoshiro lane is a single cycle; SplitMix64
+  // seeding places children ~2^255 draws apart in expectation), and
+  // distinct parents that happen to emit the same 64-bit value
+  // (p ≈ 2^-64 per pair) would spawn identical children.
   //
   // Long-jumping the *child* is outright wrong (the jump is GF(2)-linear
   // and commutes with the transition, so consecutive children would be

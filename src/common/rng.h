@@ -7,9 +7,14 @@
 // algorithms; the samplers in distributions.h are hand-written inverse-CDF
 // transforms over Rng's 53-bit uniforms.
 //
-// The generator is xoshiro256++ (Blackman & Vigna), seeded through
-// SplitMix64 so that low-entropy seeds (0, 1, 2, ...) still produce
-// well-separated streams.
+// The generator is a four-lane lockstep xoshiro256++ (Blackman & Vigna)
+// block generator (BlockRng below): the output stream is the round-robin
+// interleave of four independent xoshiro256++ lanes, each seeded through
+// SplitMix64 key-splitting. The interleaved definition is what lets the
+// bulk Fill* paths run all four lanes in SIMD registers (AVX2 / AVX-512
+// behind the vecmath runtime dispatch) while the scalar Next* calls walk
+// the exact same stream one word at a time — block and scalar draws are
+// interchangeable draw for draw at every dispatch level.
 
 #ifndef SPARSEVEC_COMMON_RNG_H_
 #define SPARSEVEC_COMMON_RNG_H_
@@ -26,22 +31,90 @@ namespace svt {
 /// Advances `state` and returns the next 64-bit output.
 uint64_t SplitMix64Next(uint64_t& state);
 
-/// xoshiro256++ generator with convenience draws used by the samplers.
+/// Four xoshiro256++ lanes run in lockstep, emitting one interleaved
+/// stream. This is the engine behind Rng; it is exposed separately so the
+/// stream definition — the draw-order contract's step 5 — has one named
+/// owner, and so tests can pin the lane layout directly.
+///
+/// Stream definition (pinned; golden-tested in common_rng_block_test.cc):
+///
+///   * Seeding: a SplitMix64 sequence started at `seed` emits one 64-bit
+///     key per lane, in lane order 0..3; lane j's four state words are the
+///     first four outputs of a fresh SplitMix64 sequence started at key_j
+///     (identical to the pre-PR-4 single-lane seeding applied per lane).
+///   * Output k of the stream is lane (k mod 4)'s xoshiro256++ output at
+///     step floor(k / 4) — lane-interleaved, so four consecutive outputs
+///     at a lane-aligned position are one step of all four lanes.
+///
+/// Next() and Fill() walk this one stream; Fill() executes lane-aligned
+/// spans as SIMD lockstep steps (AVX2, or AVX-512's native 64-bit rotate,
+/// per vecmath's runtime dispatch level) and is bit-identical to a Next()
+/// loop at every level — xoshiro is pure integer arithmetic, so lanes
+/// cannot diverge by rounding.
+class BlockRng {
+ public:
+  /// Lane count. Fixed by the stream definition: changing it changes every
+  /// stream (a golden re-record), not just performance.
+  static constexpr size_t kLanes = 4;
+
+  /// Full state snapshot: the 16 xoshiro words in lane-interleaved order
+  /// (words[w * kLanes + lane] is state word w of lane `lane`) plus the
+  /// lane that emits the next output.
+  struct State {
+    std::array<uint64_t, 4 * kLanes> words{};
+    uint32_t phase = 0;
+  };
+
+  /// Seeds all four lanes from `seed` per the stream definition above.
+  explicit BlockRng(uint64_t seed);
+
+  /// Restores a snapshot (every lane must have a nonzero state; checked).
+  explicit BlockRng(const State& state);
+
+  /// Next output of the interleaved stream.
+  uint64_t Next();
+
+  /// Fills `out` with the next out.size() Next() outputs. Lane-aligned
+  /// interior spans run as SIMD lockstep blocks at the active vecmath
+  /// dispatch level; leading (phase != 0) and trailing partial steps run
+  /// scalar. The sequence is identical to calling Next() out.size() times
+  /// at every dispatch level.
+  void Fill(std::span<uint64_t> out);
+
+  /// Snapshot for serialization and tests.
+  State state() const;
+
+ private:
+  uint64_t StepLane(size_t lane);
+
+  // Structure-of-arrays across lanes: s_[w][lane] is state word w of lane
+  // `lane`, so the SIMD kernels load state word w of all lanes with one
+  // 256-bit load.
+  std::array<std::array<uint64_t, kLanes>, 4> s_;
+  uint32_t phase_ = 0;
+};
+
+/// Interleaved four-lane xoshiro256++ generator (see BlockRng) with the
+/// convenience draws used by the samplers.
 ///
 /// Not thread-safe; use one Rng per thread (Fork() produces independent
 /// streams for parallel experiment runs).
 class Rng {
  public:
+  /// Full state snapshot type (BlockRng::State).
+  using State = BlockRng::State;
+
   /// Seeds the generator; equal seeds produce equal streams.
   explicit Rng(uint64_t seed = 0xdeadbeefcafef00dULL);
 
-  /// Constructs directly from internal state (used by Fork()).
-  explicit Rng(const std::array<uint64_t, 4>& state);
+  /// Constructs directly from a state snapshot (round-trips state()).
+  explicit Rng(const State& state);
 
   /// Next raw 64-bit output.
   uint64_t NextUint64();
 
-  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0
+  /// (checked: bound == 0 would divide by zero in the rejection threshold).
   uint64_t NextBounded(uint64_t bound);
 
   /// The uint64 -> double mappings behind NextDouble/NextDoublePositive,
@@ -66,10 +139,10 @@ class Rng {
   /// Uniform double in (0, 1]; never returns 0 (safe for log()).
   double NextDoublePositive();
 
-  /// Fills `out` with the next out.size() NextUint64() outputs. Block
-  /// kernel: the state lives in registers for the whole span instead of
-  /// being loaded/stored around every draw, and the loop is unrolled. The
-  /// sequence is identical to calling NextUint64() out.size() times.
+  /// Fills `out` with the next out.size() NextUint64() outputs, running
+  /// the four xoshiro lanes in SIMD lockstep where the span is
+  /// lane-aligned (see BlockRng::Fill). The sequence is identical to
+  /// calling NextUint64() out.size() times, at every dispatch level.
   void FillUint64(std::span<uint64_t> out);
 
   /// Fills `out` with the next out.size() NextDouble() outputs.
@@ -84,12 +157,12 @@ class Rng {
   /// Bernoulli draw with success probability p in [0, 1].
   bool NextBernoulli(double p);
 
-  /// Returns a new Rng seeded (via SplitMix64) from one draw of this
-  /// stream — JAX-style key splitting. Safe for arbitrarily *nested*
-  /// forking (per-run, then per-method, then per-worker): every stream in
-  /// the fork tree is well separated with overwhelming probability.
-  /// Deterministic: same parent state, same children. Advances this
-  /// generator by exactly one draw.
+  /// Returns a new Rng seeded (via the BlockRng seeding expansion) from
+  /// one draw of this stream — JAX-style key splitting. Safe for
+  /// arbitrarily *nested* forking (per-run, then per-method, then
+  /// per-worker): every stream in the fork tree is well separated with
+  /// overwhelming probability. Deterministic: same parent state, same
+  /// children. Advances this generator by exactly one draw.
   Rng Fork();
 
   /// Fisher-Yates shuffles indices [0, n) into `out` (resized to n).
@@ -114,10 +187,10 @@ class Rng {
   }
 
   /// Internal state snapshot (for tests and serialization).
-  const std::array<uint64_t, 4>& state() const { return state_; }
+  State state() const { return core_.state(); }
 
  private:
-  std::array<uint64_t, 4> state_;
+  BlockRng core_;
 };
 
 }  // namespace svt

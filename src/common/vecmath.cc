@@ -15,14 +15,18 @@
 //   scaled by 2^k as two exact power-of-two multiplies (k split in halves)
 //   so deep underflow rounds once, into the subnormal range, correctly.
 //
-// The AVX2 lane mirrors the scalar lane operation for operation: every
-// step is a correctly-rounded IEEE double op (+ - * /) or an exact integer
-// manipulation, and no FMA contraction can occur (explicit non-fused
-// intrinsics here; -ffp-contract=off for the scalar lane, set in
-// CMakeLists.txt). Lanes holding operands outside the fast path's domain
-// (zero/subnormal/negative/non-finite for Log, |x| > 700 or NaN for Exp)
-// are patched with the scalar kernel after the vector store, so every
-// special case has exactly one implementation.
+// The AVX2 and AVX-512 lanes mirror the scalar lane operation for
+// operation: every step is a correctly-rounded IEEE double op (+ - * /) or
+// an exact integer manipulation, and no FMA contraction can occur
+// (explicit non-fused intrinsics here; -ffp-contract=off for the scalar
+// lane, set in CMakeLists.txt). Lanes holding operands outside the fast
+// path's domain (zero/subnormal/negative/non-finite for Log, |x| > 700 or
+// NaN for Exp) are patched with the scalar kernel after the vector store,
+// so every special case has exactly one implementation. The AVX-512 lane
+// additionally uses the exact integer<->double conversions AVX-512DQ
+// provides (cvtepu64_pd / cvtepi64_pd / cvtpd_epi64) where the AVX2 lane
+// rebuilds them from 32-bit halves — both are exact for the magnitudes
+// involved, so the lanes agree bit for bit.
 
 #include "common/vecmath.h"
 
@@ -30,9 +34,11 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <cctype>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -43,6 +49,15 @@
 #include <immintrin.h>
 #else
 #define SVT_VECMATH_HAVE_AVX2 0
+#endif
+
+// The AVX-512 lane rides on the same toolchain requirements as AVX2 (and
+// is pointless without it: dispatch is ordered). -DSVT_DISABLE_AVX512
+// compiles just this lane out, for -mno-avx512f-style CI legs.
+#if SVT_VECMATH_HAVE_AVX2 && !defined(SVT_DISABLE_AVX512)
+#define SVT_VECMATH_HAVE_AVX512 1
+#else
+#define SVT_VECMATH_HAVE_AVX512 0
 #endif
 
 namespace svt {
@@ -82,16 +97,33 @@ inline double Pow2(int64_t k) {
   return std::bit_cast<double>(static_cast<uint64_t>(k + 1023) << 52);
 }
 
+// The SVT_MAX_DISPATCH cap, read once per process. Folded into
+// DispatchLevelSupported() below so a capped level is indistinguishable
+// from a missing one everywhere: auto-detection never picks it AND
+// SetDispatchLevel() refuses it — a CI leg running with
+// SVT_MAX_DISPATCH=avx2 on AVX-512 hardware therefore exercises the AVX2
+// lane even through tests that iterate kAllDispatchLevels themselves.
+DispatchLevel EnvDispatchCap() {
+  static const DispatchLevel cap =
+      ParseDispatchCap(std::getenv("SVT_MAX_DISPATCH"));
+  return cap;
+}
+
 DispatchLevel DetectDispatchLevel() {
   const char* force = std::getenv("SVT_FORCE_SCALAR");
   if (force != nullptr && force[0] != '\0' &&
       !(force[0] == '0' && force[1] == '\0')) {
     return DispatchLevel::kScalar;
   }
-#if SVT_VECMATH_HAVE_AVX2
-  if (__builtin_cpu_supports("avx2")) return DispatchLevel::kAvx2;
-#endif
-  return DispatchLevel::kScalar;
+  // DispatchLevelSupported embeds the SVT_MAX_DISPATCH cap.
+  DispatchLevel best = DispatchLevel::kScalar;
+  if (DispatchLevelSupported(DispatchLevel::kAvx2)) {
+    best = DispatchLevel::kAvx2;
+  }
+  if (DispatchLevelSupported(DispatchLevel::kAvx512)) {
+    best = DispatchLevel::kAvx512;
+  }
+  return best;
 }
 
 std::atomic<int>& ActiveLevelVar() {
@@ -107,11 +139,17 @@ const char* DispatchLevelName(DispatchLevel level) {
       return "scalar";
     case DispatchLevel::kAvx2:
       return "avx2";
+    case DispatchLevel::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
 bool DispatchLevelSupported(DispatchLevel level) {
+  // A level above the SVT_MAX_DISPATCH cap reads as unsupported, so both
+  // auto-detection and SetDispatchLevel() honor the cap and capped-out
+  // halves of cross-dispatch tests skip cleanly.
+  if (level > EnvDispatchCap()) return false;
   switch (level) {
     case DispatchLevel::kScalar:
       return true;
@@ -121,8 +159,38 @@ bool DispatchLevelSupported(DispatchLevel level) {
 #else
       return false;
 #endif
+    case DispatchLevel::kAvx512:
+#if SVT_VECMATH_HAVE_AVX512
+      // F for the 512-bit kernels, DQ for the exact 64-bit int<->double
+      // conversions and the 512-bit pd logic ops, VL for BlockRng's
+      // 256-bit rotate variant. One predicate for the whole level keeps
+      // "kAvx512 is active" meaning the same thing everywhere.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+#else
+      return false;
+#endif
   }
   return false;
+}
+
+DispatchLevel ParseDispatchCap(const char* value) {
+  // Unset/empty means "no cap" (the widest level is the cap).
+  if (value == nullptr || value[0] == '\0') return DispatchLevel::kAvx512;
+  std::string v(value);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v == "scalar" || v == "0") return DispatchLevel::kScalar;
+  if (v == "avx2" || v == "1") return DispatchLevel::kAvx2;
+  if (v == "avx512" || v == "2") return DispatchLevel::kAvx512;
+  // A present-but-unrecognized cap must fail loudly: treating a typo
+  // ("avx-2", "AVX 2") as "no cap" would silently run the CI dispatch
+  // legs uncapped while reporting green.
+  SVT_CHECK(false) << "unrecognized SVT_MAX_DISPATCH value \"" << value
+                   << "\" (expected scalar/avx2/avx512 or 0/1/2)";
+  return DispatchLevel::kAvx512;  // unreachable
 }
 
 DispatchLevel ActiveDispatchLevel() {
@@ -463,6 +531,45 @@ __attribute__((target("avx2"))) size_t FindFirstGeAvx2(const double* a,
   return n;
 }
 
+__attribute__((target("avx2"))) size_t FindFirstGePairwiseAvx2(
+    const double* a, const double* bars, double rho, size_t n) {
+  const __m256d vrho = _mm256_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(a + i), bar, _CMP_GE_OQ));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] >= bars[i] + rho) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t FindFirstSumGePairwiseAvx2(
+    const double* a, const double* b, const double* bars, double rho,
+    size_t n) {
+  const __m256d vrho = _mm256_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d sum =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(mask));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] + b[i] >= bars[i] + rho) return i;
+  }
+  return n;
+}
+
 __attribute__((target("avx2"))) void ExpBlockAvx2(const double* in,
                                                   double* out, size_t n) {
   const __m256d abs_mask =
@@ -550,11 +657,376 @@ __attribute__((target("avx2"))) void ExpBlockAvx2(const double* in,
 
 #endif  // SVT_VECMATH_HAVE_AVX2
 
+#if SVT_VECMATH_HAVE_AVX512
+
+// GCC's AVX-512 intrinsic headers initialize "undefined" vectors with a
+// self-read (`__m512i __Y = __Y;`), which -Wmaybe-uninitialized flags
+// through inlining on GCC 12. Header-internal false positive; silence it
+// for this lane only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace {
+
+// 8-wide mirrors of Log()/Exp() and the fused kernels. Operand order and
+// association replicate the scalar lane exactly; _mm512_{add,sub,mul,div}_pd
+// are the same correctly-rounded IEEE operations, and no fused ops are
+// used. Integer<->double conversions go through AVX-512DQ's exact
+// instructions (the values involved always fit in 53 bits).
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512d Log8Normal(
+    __m512d x) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d two = _mm512_set1_pd(2.0);
+  const __m512d half = _mm512_set1_pd(0.5);
+  const __m512d lg1 = _mm512_set1_pd(kLg1), lg2 = _mm512_set1_pd(kLg2),
+                lg3 = _mm512_set1_pd(kLg3), lg4 = _mm512_set1_pd(kLg4),
+                lg5 = _mm512_set1_pd(kLg5), lg6 = _mm512_set1_pd(kLg6),
+                lg7 = _mm512_set1_pd(kLg7);
+  const __m512d ln2hi = _mm512_set1_pd(kLn2Hi), ln2lo = _mm512_set1_pd(kLn2Lo);
+
+  const __m512i bits = _mm512_castpd_si512(x);
+  const __m512i adj =
+      _mm512_add_epi64(bits, _mm512_set1_epi64(0x0009'5F62'0000'0000ll));
+  const __m512i k64 = _mm512_sub_epi64(_mm512_srli_epi64(adj, 52),
+                                       _mm512_set1_epi64(1023));
+  const __m512i mbits = _mm512_add_epi64(
+      _mm512_and_si512(adj, _mm512_set1_epi64(0x000F'FFFF'FFFF'FFFFll)),
+      _mm512_set1_epi64(0x3FE6'A09E'0000'0000ll));
+  const __m512d m = _mm512_castsi512_pd(mbits);
+
+  const __m512d f = _mm512_sub_pd(m, one);
+  const __m512d s = _mm512_div_pd(f, _mm512_add_pd(two, f));
+  const __m512d z = _mm512_mul_pd(s, s);
+  const __m512d w = _mm512_mul_pd(z, z);
+  const __m512d t1 = _mm512_mul_pd(
+      w, _mm512_add_pd(
+             lg2, _mm512_mul_pd(w, _mm512_add_pd(lg4, _mm512_mul_pd(w, lg6)))));
+  const __m512d t2 = _mm512_mul_pd(
+      z, _mm512_add_pd(
+             lg1,
+             _mm512_mul_pd(
+                 w, _mm512_add_pd(
+                        lg3, _mm512_mul_pd(
+                                 w, _mm512_add_pd(
+                                        lg5, _mm512_mul_pd(w, lg7)))))));
+  const __m512d r = _mm512_add_pd(t2, t1);
+  const __m512d hfsq = _mm512_mul_pd(_mm512_mul_pd(half, f), f);
+  // Exact int64 -> double (|k| <= ~1100): same value the AVX2 lane builds
+  // from 32-bit halves.
+  const __m512d dk = _mm512_cvtepi64_pd(k64);
+
+  // dk*ln2hi - ((hfsq - (s*(hfsq+r) + dk*ln2lo)) - f)
+  const __m512d inner = _mm512_add_pd(
+      _mm512_mul_pd(s, _mm512_add_pd(hfsq, r)), _mm512_mul_pd(dk, ln2lo));
+  return _mm512_sub_pd(_mm512_mul_pd(dk, ln2hi),
+                       _mm512_sub_pd(_mm512_sub_pd(hfsq, inner), f));
+}
+
+__attribute__((target("avx512f,avx512dq"))) void LogBlockAvx512(
+    const double* in, double* out, size_t n) {
+  const __m512d min_normal = _mm512_set1_pd(0x1p-1022);
+  const __m512d inf = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(in + i);
+    // Fast-path lanes: normal positive finite. Ordered compares reject NaN.
+    const __mmask8 good =
+        _mm512_cmp_pd_mask(x, min_normal, _CMP_GE_OQ) &
+        _mm512_cmp_pd_mask(x, inf, _CMP_LT_OQ);
+    const __m512d res = Log8Normal(x);
+    if (good == 0xFF) {
+      _mm512_storeu_pd(out + i, res);
+    } else {
+      alignas(64) double tmp[8];
+      _mm512_store_pd(tmp, res);
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!(good & (1 << lane))) tmp[lane] = Log(in[i + lane]);
+      }
+      _mm512_storeu_pd(out + i, _mm512_load_pd(tmp));
+    }
+  }
+  for (; i < n; ++i) out[i] = Log(in[i]);
+}
+
+// Gather indices for splitting 4 consecutive (even, odd) qword pairs
+// spread over two 512-bit vectors back into index order.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i EvenIdx512() {
+  return _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+}
+__attribute__((target("avx512f,avx512dq"))) inline __m512i OddIdx512() {
+  return _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void NegLogUnitPositiveAvx512(
+    const uint64_t* words, size_t stride, double* out, size_t n) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d lattice = _mm512_set1_pd(0x1p-53);
+  const __m512d neg = _mm512_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i w;
+    if (stride == 1) {
+      w = _mm512_loadu_si512(words + i);
+    } else {
+      const __m512i v0 = _mm512_loadu_si512(words + 2 * i);
+      const __m512i v1 = _mm512_loadu_si512(words + 2 * i + 8);
+      w = _mm512_permutex2var_epi64(v0, EvenIdx512(), v1);
+    }
+    // u = ((double)(w >> 11) + 1) * 2^-53, the ToUnitDoublePositive map:
+    // u in (0, 1], always normal, so the log fast path covers every lane.
+    const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(w, 11));
+    const __m512d u = _mm512_mul_pd(_mm512_add_pd(d, one), lattice);
+    _mm512_storeu_pd(out + i, _mm512_xor_pd(Log8Normal(u), neg));
+  }
+  for (; i < n; ++i) {
+    out[i] = -Log(Rng::ToUnitDoublePositive(words[i * stride]));
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void LaplaceTransformAvx512(
+    const uint64_t* words, double mu, double b, double* out, size_t n) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d lattice = _mm512_set1_pd(0x1p-53);
+  const __m512d neg = _mm512_set1_pd(-0.0);
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vb = _mm512_set1_pd(b);
+  const __m512i sign_bit = _mm512_set1_epi64(
+      static_cast<int64_t>(0x8000'0000'0000'0000ull));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v0 = _mm512_loadu_si512(words + 2 * i);
+    const __m512i v1 = _mm512_loadu_si512(words + 2 * i + 8);
+    const __m512i even = _mm512_permutex2var_epi64(v0, EvenIdx512(), v1);
+    const __m512i odd = _mm512_permutex2var_epi64(v0, OddIdx512(), v1);
+
+    const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(even, 11));
+    const __m512d u = _mm512_mul_pd(_mm512_add_pd(d, one), lattice);
+    const __m512d e = _mm512_xor_pd(Log8Normal(u), neg);
+    const __m512d be = _mm512_mul_pd(vb, e);
+    // Sign select: flip be's sign bit where the sign word's bit 63 is 0.
+    const __m512d flip =
+        _mm512_castsi512_pd(_mm512_andnot_si512(odd, sign_bit));
+    _mm512_storeu_pd(out + i,
+                     _mm512_add_pd(vmu, _mm512_xor_pd(be, flip)));
+  }
+  for (; i < n; ++i) {
+    const double e = -Log(Rng::ToUnitDoublePositive(words[2 * i]));
+    const double be = b * e;
+    const uint64_t flip = ~words[2 * i + 1] & 0x8000'0000'0000'0000ull;
+    out[i] = mu + std::bit_cast<double>(std::bit_cast<uint64_t>(be) ^ flip);
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) double MaxBlockAvx512(
+    const double* in, size_t n) {
+  __m512d acc = _mm512_set1_pd(in[0]);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_max_pd(acc, _mm512_loadu_pd(in + i));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  double m = lanes[0];
+  for (int lane = 1; lane < 8; ++lane) m = std::max(m, lanes[lane]);
+  for (; i < n; ++i) m = std::max(m, in[i]);
+  return m;
+}
+
+__attribute__((target("avx512f,avx512dq"))) uint64_t MinWordBlockAvx512(
+    const uint64_t* words, size_t stride, size_t n) {
+  __m512i acc = _mm512_set1_epi64(static_cast<int64_t>(words[0]));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i w;
+    if (stride == 1) {
+      w = _mm512_loadu_si512(words + i);
+    } else {
+      const __m512i v0 = _mm512_loadu_si512(words + 2 * i);
+      const __m512i v1 = _mm512_loadu_si512(words + 2 * i + 8);
+      w = _mm512_permutex2var_epi64(v0, EvenIdx512(), v1);
+    }
+    acc = _mm512_min_epu64(acc, w);
+  }
+  alignas(64) uint64_t lanes[8];
+  _mm512_store_si512(lanes, acc);
+  uint64_t m = lanes[0];
+  for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+  for (; i < n; ++i) m = std::min(m, words[i * stride]);
+  return m;
+}
+
+__attribute__((target("avx512f,avx512dq"))) size_t FindFirstSumGeAvx512(
+    const double* a, const double* b, double bar, size_t n) {
+  const __m512d vbar = _mm512_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d sum =
+        _mm512_add_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) {
+      return i + static_cast<size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] + b[i] >= bar) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx512f,avx512dq"))) size_t FindFirstGeAvx512(
+    const double* a, double bar, size_t n) {
+  const __m512d vbar = _mm512_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 mask =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(a + i), vbar, _CMP_GE_OQ);
+    if (mask != 0) {
+      return i + static_cast<size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] >= bar) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx512f,avx512dq"))) size_t FindFirstGePairwiseAvx512(
+    const double* a, const double* bars, double rho, size_t n) {
+  const __m512d vrho = _mm512_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(a + i), bar, _CMP_GE_OQ);
+    if (mask != 0) {
+      return i + static_cast<size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] >= bars[i] + rho) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx512f,avx512dq"))) size_t
+FindFirstSumGePairwiseAvx512(const double* a, const double* b,
+                             const double* bars, double rho, size_t n) {
+  const __m512d vrho = _mm512_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d sum =
+        _mm512_add_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) {
+      return i + static_cast<size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] + b[i] >= bars[i] + rho) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx512f,avx512dq"))) void ExpBlockAvx512(
+    const double* in, double* out, size_t n) {
+  const __m512d abs_mask =
+      _mm512_castsi512_pd(_mm512_set1_epi64(0x7FFF'FFFF'FFFF'FFFFll));
+  const __m512d dom = _mm512_set1_pd(700.0);
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d two = _mm512_set1_pd(2.0);
+  const __m512d log2e = _mm512_set1_pd(kLog2e);
+  const __m512d magic = _mm512_set1_pd(kRoundMagic);
+  const __m512d ln2hi = _mm512_set1_pd(kLn2Hi), ln2lo = _mm512_set1_pd(kLn2Lo);
+  const __m512d p1 = _mm512_set1_pd(kP1), p2 = _mm512_set1_pd(kP2),
+                p3 = _mm512_set1_pd(kP3), p4 = _mm512_set1_pd(kP4),
+                p5 = _mm512_set1_pd(kP5);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(in + i);
+    // Fast path: |x| <= 700 (k-split scaling stays in the exponent range,
+    // results stay clear of overflow/underflow). NaN fails the compare.
+    const __mmask8 good =
+        _mm512_cmp_pd_mask(_mm512_and_pd(x, abs_mask), dom, _CMP_LE_OQ);
+
+    const __m512d t = _mm512_mul_pd(x, log2e);
+    const __m512d kd = _mm512_sub_pd(_mm512_add_pd(t, magic), magic);
+    const __m512i ki = _mm512_cvtpd_epi64(kd);  // exact: kd is integral
+
+    const __m512d hi = _mm512_sub_pd(x, _mm512_mul_pd(kd, ln2hi));
+    const __m512d lo = _mm512_mul_pd(kd, ln2lo);
+    const __m512d r = _mm512_sub_pd(hi, lo);
+    const __m512d z = _mm512_mul_pd(r, r);
+    const __m512d c = _mm512_sub_pd(
+        r,
+        _mm512_mul_pd(
+            z,
+            _mm512_add_pd(
+                p1,
+                _mm512_mul_pd(
+                    z,
+                    _mm512_add_pd(
+                        p2,
+                        _mm512_mul_pd(
+                            z, _mm512_add_pd(
+                                   p3, _mm512_mul_pd(
+                                           z, _mm512_add_pd(
+                                                  p4,
+                                                  _mm512_mul_pd(z, p5))))))))));
+    // y = 1 - ((lo - (r*c)/(2-c)) - hi)
+    const __m512d y = _mm512_sub_pd(
+        one,
+        _mm512_sub_pd(
+            _mm512_sub_pd(
+                lo, _mm512_div_pd(_mm512_mul_pd(r, c), _mm512_sub_pd(two, c))),
+            hi));
+
+    // Scale by 2^k1 * 2^k2, k1 = k>>1 (arithmetic), k2 = k - k1.
+    const __m512i k1 = _mm512_srai_epi64(ki, 1);
+    const __m512i k2 = _mm512_sub_epi64(ki, k1);
+    const __m512i e1 = _mm512_slli_epi64(
+        _mm512_add_epi64(k1, _mm512_set1_epi64(1023)), 52);
+    const __m512i e2 = _mm512_slli_epi64(
+        _mm512_add_epi64(k2, _mm512_set1_epi64(1023)), 52);
+    const __m512d res = _mm512_mul_pd(
+        _mm512_mul_pd(y, _mm512_castsi512_pd(e1)), _mm512_castsi512_pd(e2));
+
+    if (good == 0xFF) {
+      _mm512_storeu_pd(out + i, res);
+    } else {
+      alignas(64) double tmp[8];
+      _mm512_store_pd(tmp, res);
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!(good & (1 << lane))) tmp[lane] = Exp(in[i + lane]);
+      }
+      _mm512_storeu_pd(out + i, _mm512_load_pd(tmp));
+    }
+  }
+  for (; i < n; ++i) out[i] = Exp(in[i]);
+}
+
+}  // namespace
+
+#pragma GCC diagnostic pop
+
+#endif  // SVT_VECMATH_HAVE_AVX512
+
 void LogBlock(std::span<const double> in, std::span<double> out) {
   SVT_CHECK(in.size() == out.size())
       << "LogBlock size mismatch: " << in.size() << " vs " << out.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    LogBlockAvx512(in.data(), out.data(), in.size());
+    return;
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     LogBlockAvx2(in.data(), out.data(), in.size());
     return;
   }
@@ -565,8 +1037,14 @@ void LogBlock(std::span<const double> in, std::span<double> out) {
 void ExpBlock(std::span<const double> in, std::span<double> out) {
   SVT_CHECK(in.size() == out.size())
       << "ExpBlock size mismatch: " << in.size() << " vs " << out.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    ExpBlockAvx512(in.data(), out.data(), in.size());
+    return;
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     ExpBlockAvx2(in.data(), out.data(), in.size());
     return;
   }
@@ -581,8 +1059,14 @@ void NegLogUnitPositiveBlock(std::span<const uint64_t> words, size_t stride,
   SVT_CHECK(words.size() == stride * out.size())
       << "NegLogUnitPositiveBlock size mismatch: " << words.size()
       << " words for " << out.size() << " outputs at stride " << stride;
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    NegLogUnitPositiveAvx512(words.data(), stride, out.data(), out.size());
+    return;
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     NegLogUnitPositiveAvx2(words.data(), stride, out.data(), out.size());
     return;
   }
@@ -597,8 +1081,14 @@ void LaplaceTransformBlock(std::span<const uint64_t> words, double mu,
   SVT_CHECK(words.size() == 2 * out.size())
       << "LaplaceTransformBlock size mismatch: " << words.size()
       << " words for " << out.size() << " outputs";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    LaplaceTransformAvx512(words.data(), mu, b, out.data(), out.size());
+    return;
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     LaplaceTransformAvx2(words.data(), mu, b, out.data(), out.size());
     return;
   }
@@ -613,8 +1103,13 @@ void LaplaceTransformBlock(std::span<const uint64_t> words, double mu,
 
 double MaxBlock(std::span<const double> in) {
   SVT_CHECK(!in.empty()) << "MaxBlock requires at least one element";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return MaxBlockAvx512(in.data(), in.size());
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     return MaxBlockAvx2(in.data(), in.size());
   }
 #endif
@@ -629,8 +1124,13 @@ uint64_t MinWordBlock(std::span<const uint64_t> words, size_t stride) {
   SVT_CHECK(!words.empty() && words.size() % stride == 0)
       << "MinWordBlock needs a non-empty multiple of stride, got "
       << words.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return MinWordBlockAvx512(words.data(), stride, words.size() / stride);
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     return MinWordBlockAvx2(words.data(), stride, words.size() / stride);
   }
 #endif
@@ -645,8 +1145,13 @@ size_t FindFirstSumGe(std::span<const double> a, std::span<const double> b,
                       double bar) {
   SVT_CHECK(a.size() == b.size())
       << "FindFirstSumGe size mismatch: " << a.size() << " vs " << b.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FindFirstSumGeAvx512(a.data(), b.data(), bar, a.size());
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     return FindFirstSumGeAvx2(a.data(), b.data(), bar, a.size());
   }
 #endif
@@ -657,13 +1162,64 @@ size_t FindFirstSumGe(std::span<const double> a, std::span<const double> b,
 }
 
 size_t FindFirstGe(std::span<const double> a, double bar) {
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FindFirstGeAvx512(a.data(), bar, a.size());
+  }
+#endif
 #if SVT_VECMATH_HAVE_AVX2
-  if (ActiveDispatchLevel() == DispatchLevel::kAvx2) {
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
     return FindFirstGeAvx2(a.data(), bar, a.size());
   }
 #endif
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i] >= bar) return i;
+  }
+  return a.size();
+}
+
+
+size_t FindFirstGePairwise(std::span<const double> a,
+                           std::span<const double> bars, double rho) {
+  SVT_CHECK(a.size() == bars.size())
+      << "FindFirstGePairwise size mismatch: " << a.size() << " vs "
+      << bars.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FindFirstGePairwiseAvx512(a.data(), bars.data(), rho, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FindFirstGePairwiseAvx2(a.data(), bars.data(), rho, a.size());
+  }
+#endif
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= bars[i] + rho) return i;
+  }
+  return a.size();
+}
+
+size_t FindFirstSumGePairwise(std::span<const double> a,
+                              std::span<const double> b,
+                              std::span<const double> bars, double rho) {
+  SVT_CHECK(a.size() == b.size() && a.size() == bars.size())
+      << "FindFirstSumGePairwise size mismatch: " << a.size() << " vs "
+      << b.size() << " vs " << bars.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FindFirstSumGePairwiseAvx512(a.data(), b.data(), bars.data(), rho,
+                                        a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FindFirstSumGePairwiseAvx2(a.data(), b.data(), bars.data(), rho,
+                                      a.size());
+  }
+#endif
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] + b[i] >= bars[i] + rho) return i;
   }
   return a.size();
 }

@@ -5,23 +5,25 @@
 // bound by scalar libm log() at ~15-20 ns/draw — the dominant cost exactly
 // in near-threshold SVT workloads, where chunks cannot be proven all-below
 // and every ν must be materialized. This layer replaces libm on the
-// sampling side with a fixed polynomial kernel that exists in two lanes:
+// sampling side with a fixed polynomial kernel that exists in three lanes:
 //
-//   * a scalar reference (Log/Exp below), and
-//   * an AVX2 4-wide implementation selected by runtime CPUID dispatch,
+//   * a scalar reference (Log/Exp below),
+//   * an AVX2 4-wide implementation, and
+//   * an AVX-512 8-wide implementation (AVX-512F+DQ+VL),
 //
-// defined to produce *bit-identical* doubles. That guarantee is what lets
+// selected by runtime CPUID dispatch and defined to produce *bit-identical*
+// doubles. That guarantee is what lets
 // the batch engine stay bitwise-equal to the streaming path (the pinned
 // per-role draw-order contract on SpecDrivenSvt, core/svt.h) while being
 // free to change dispatch level per host — results depend on the seed, not
 // on the CPU the process landed on.
 //
 // How bit-identity is achieved:
-//   * both lanes evaluate the same fdlibm-derived polynomials in the same
+//   * all lanes evaluate the same fdlibm-derived polynomials in the same
 //     fixed Horner order, step for step;
 //   * every step is an IEEE-754 correctly-rounded primitive (+ - * /),
 //     identical scalar and per-SIMD-lane;
-//   * no FMA is emitted in either lane: the AVX2 path uses explicit
+//   * no FMA is emitted in any lane: the SIMD paths use explicit
 //     non-fused mul/add intrinsics, and vecmath.cc is compiled with
 //     -ffp-contract=off so the compiler cannot contract the scalar lane
 //     (see CMakeLists.txt);
@@ -36,10 +38,15 @@
 //
 // Dispatch: resolved once per process from CPUID; the SVT_FORCE_SCALAR
 // environment variable (set to anything but "0"/"") pins the scalar lane,
-// and SetDispatchLevel() lets tests and benches flip levels at runtime to
-// assert cross-dispatch equality in one binary. Compiling with
-// -DSVT_DISABLE_AVX2 removes the SIMD lane entirely (for -mno-avx2 CI legs
-// and non-x86 hosts).
+// SVT_MAX_DISPATCH ("scalar"/"avx2"/"avx512", or the enum value 0/1/2)
+// caps the available levels — a capped level reads as unsupported
+// everywhere, for auto-detection AND SetDispatchLevel(), so e.g.
+// SVT_MAX_DISPATCH=avx2 on an AVX-512 host exercises the AVX2 lane even
+// through tests that flip levels themselves — and SetDispatchLevel()
+// lets tests and benches flip levels at runtime to assert cross-dispatch
+// equality in one binary. Compiling with -DSVT_DISABLE_AVX2 removes every
+// SIMD lane (for -mno-avx2 CI legs and non-x86 hosts); -DSVT_DISABLE_AVX512
+// removes only the AVX-512 lane.
 
 #ifndef SPARSEVEC_COMMON_VECMATH_H_
 #define SPARSEVEC_COMMON_VECMATH_H_
@@ -55,18 +62,33 @@ namespace vec {
 enum class DispatchLevel {
   kScalar = 0,  ///< portable reference lane (always available)
   kAvx2 = 1,    ///< 4-wide AVX2 lane (x86-64 with AVX2, unless compiled out)
+  kAvx512 = 2,  ///< 8-wide AVX-512 lane (needs AVX-512F+DQ+VL)
 };
 
-/// Human-readable name ("scalar", "avx2") for logs and bench output.
+/// All levels, widest last — the canonical iteration order for
+/// cross-dispatch tests and benches.
+inline constexpr DispatchLevel kAllDispatchLevels[] = {
+    DispatchLevel::kScalar, DispatchLevel::kAvx2, DispatchLevel::kAvx512};
+
+/// Human-readable name ("scalar", "avx2", "avx512") for logs and benches.
 const char* DispatchLevelName(DispatchLevel level);
 
-/// True if `level` can execute on this host *and* was compiled in.
+/// True if `level` can execute on this host, was compiled in, and lies
+/// within the SVT_MAX_DISPATCH cap (capped levels read as unsupported, so
+/// the cap binds SetDispatchLevel() too).
 bool DispatchLevelSupported(DispatchLevel level);
 
 /// The level the Block kernels currently run at. Resolved on first use:
 /// the widest supported level, unless SVT_FORCE_SCALAR is set in the
-/// environment (then kScalar).
+/// environment (then kScalar) or SVT_MAX_DISPATCH caps it lower.
 DispatchLevel ActiveDispatchLevel();
+
+/// Parses an SVT_MAX_DISPATCH value ("scalar"/"avx2"/"avx512" or "0"/"1"/
+/// "2", case-insensitive) into the cap it denotes. Unset/empty means "no
+/// cap" and returns the widest level; a present-but-unrecognized value is
+/// a fatal SVT_CHECK (a typo must not silently uncap a CI leg). Exposed
+/// for tests; the environment is read once at dispatch-resolution time.
+DispatchLevel ParseDispatchCap(const char* value);
 
 /// Overrides the active level (tests/benches). Returns false — leaving the
 /// level unchanged — if `level` is unsupported on this host. Thread-safe.
@@ -137,6 +159,24 @@ std::size_t FindFirstSumGe(std::span<const double> a,
 
 /// As FindFirstSumGe without the addend: smallest i with a[i] >= bar.
 std::size_t FindFirstGe(std::span<const double> a, double bar);
+
+/// Per-query-threshold compare-scan: smallest i with a[i] >= bars[i] + rho
+/// — the SVT positive test when every query carries its own threshold
+/// (Alg. 7's general form; the bar varies per element, so the common-
+/// threshold kernels above don't apply). The bar sum bars[i] + rho is one
+/// correctly-rounded add and the compare is ordered >=, exactly the
+/// streaming test, so the index is bit-identical at every dispatch level
+/// (NaN operands never match, as in the scalar loop). a.size() must equal
+/// bars.size(); returns a.size() if no element passes.
+std::size_t FindFirstGePairwise(std::span<const double> a,
+                                std::span<const double> bars, double rho);
+
+/// The general per-query positive test with query noise: smallest i with
+/// a[i] + b[i] >= bars[i] + rho (each side one rounded add, ordered >=).
+/// Sizes must match; returns a.size() if no element passes.
+std::size_t FindFirstSumGePairwise(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::span<const double> bars, double rho);
 
 }  // namespace vec
 }  // namespace svt

@@ -165,7 +165,10 @@ size_t BatchRunner::Run(std::span<const double> answers,
   Response* const res = out->data() + start;
 
   const bool has_nu = spec_.nu_scale > 0.0;
+  uint64_t words[2 * kChunkSize];
   double nu_block[kChunkSize];
+  const Laplace nu_dist =
+      has_nu ? Laplace::Centered(spec_.nu_scale) : Laplace::Centered(1.0);
 
   size_t done = 0;
   while (done < total) {
@@ -173,25 +176,30 @@ size_t BatchRunner::Run(std::span<const double> answers,
     const double* nu = nullptr;
     if (has_nu) {
       // Per-query thresholds forgo the tier-1 bound (the rounding of
-      // answer − threshold would make it unsound); the block transform
-      // still amortizes the RNG and runs the dispatched vecmath kernels.
+      // answer − threshold would make it unsound); the raw-word fill plus
+      // one full-chunk transform still amortizes the RNG and runs the
+      // dispatched vecmath kernels, consuming the substream exactly as a
+      // scalar draw loop would (the same shape as the common-threshold
+      // tier-2 path).
       ++state_->batch.tier2_chunks_scanned;
-      SampleLaplaceBlock(state_->nu_rng, spec_.nu_scale, {nu_block, n});
+      state_->nu_rng.FillUint64({words, 2 * n});
+      nu_dist.TransformBlock({words, 2 * n}, {nu_block, n});
       nu = nu_block;
     }
     const double* const t = thresholds.data() + done;
     const double* const a = answers.data() + done;
-    // Per-query bars vary per element, so the scan stays scalar (the
-    // transform above is still the dispatched kernel); semantics are the
-    // exact streaming positive test.
+    // Per-query bars vary per element; the pairwise vecmath kernels scan
+    // them with the same dispatched compare machinery as the common-
+    // threshold path. Semantics are the exact streaming positive test
+    // (each side one rounded add, ordered >=), bit-identical across
+    // dispatch levels.
     const auto find_next = [a, nu, t, n](size_t from, double rho) {
-      size_t j = from;
+      const size_t m = n - from;
       if (nu != nullptr) {
-        while (j < n && !(a[j] + nu[j] >= t[j] + rho)) ++j;
-      } else {
-        while (j < n && !(a[j] >= t[j] + rho)) ++j;
+        return from + vec::FindFirstSumGePairwise(
+                          {a + from, m}, {nu + from, m}, {t + from, m}, rho);
       }
-      return j;
+      return from + vec::FindFirstGePairwise({a + from, m}, {t + from, m}, rho);
     };
     const size_t chunk_processed = ScanChunk(a, n, nu, find_next, res + done);
     if (state_->exhausted) {

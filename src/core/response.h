@@ -22,10 +22,17 @@ enum class Outcome {
 };
 
 /// One per-query answer.
+///
+/// Deliberately a *trivial* aggregate (no default member initializers):
+/// value-initialization (`Response{}`, vector::resize) zero-initializes to
+/// ⊥ — statically asserted by the batch engine, which emits its ⊥ runs as
+/// one bulk zero-fill at memset speed; a non-trivial default constructor
+/// would turn that fill into a per-element loop. Construct through the
+/// factories below (or full aggregate braces), never default-init a local.
 struct Response {
-  Outcome outcome = Outcome::kBelow;
+  Outcome outcome;  ///< zero value is kBelow (⊥)
   /// Numeric answer; meaningful only when outcome == kAboveValue.
-  double value = 0.0;
+  double value;
 
   static Response Below() { return {Outcome::kBelow, 0.0}; }
   static Response Above() { return {Outcome::kAbove, 0.0}; }

@@ -137,13 +137,21 @@ struct SvtRunState {
 ///      bit-identical across dispatch levels by construction. Swapping
 ///      libm (or any other log) into only one of the paths breaks the
 ///      equivalence; changing the polynomial is a golden re-record.
+///   5. The raw 64-bit word stream underneath every draw is BlockRng's
+///      four-lane interleave (common/rng.h): word k of a stream is lane
+///      (k mod 4)'s xoshiro256++ output at step ⌊k/4⌋, with the four
+///      lanes seeded by SplitMix64 key-splitting in lane order. Scalar
+///      NextUint64() and the SIMD FillUint64() lockstep kernels walk this
+///      one stream, so block prefetch sizes and dispatch level never move
+///      a draw's position. Changing the lane count or layout changes
+///      every stream — a golden re-record, like (4).
 /// Hence the k-th emitted Response is the same whether queries arrive one
-/// at a time through Process() or in bulk through Run() — and, by (4),
-/// whether the host dispatches scalar or AVX2 kernels: the batch engine
-/// pre-fills whole blocks of the ν substream without disturbing the base
-/// stream. After a cutoff abort the ν substream position is unspecified
-/// until the next Reset() re-derives it (no further draws can be requested
-/// from an exhausted run).
+/// at a time through Process() or in bulk through Run() — and, by (4) and
+/// (5), whether the host dispatches scalar, AVX2 or AVX-512 kernels: the
+/// batch engine pre-fills whole blocks of the ν substream without
+/// disturbing the base stream. After a cutoff abort the ν substream
+/// position is unspecified until the next Reset() re-derives it (no
+/// further draws can be requested from an exhausted run).
 class SpecDrivenSvt : public SvtMechanism {
  public:
   Response Process(double query_answer, double threshold) override;

@@ -17,9 +17,25 @@ RequestBatcher::RequestBatcher(ShardedSvtServer* server, Options options)
 
 RequestBatcher::~RequestBatcher() {
   // A request whose drain never ran would leave its *out stale; flush.
-  // Submit() racing destruction is a use-after-free regardless, so a
-  // plain final drain is enough.
-  while (Drain() > 0 || pending() > 0) {
+  // Submit() racing destruction is a use-after-free regardless, so only
+  // drains started before destruction matter here. The final flush is
+  // BLOCKING: it acquires drain_mu_ outright (waiting out an in-flight
+  // Drain() and, transitively, the shard locks its batch execution holds)
+  // instead of spinning hot on the try-lock path — a slow shard used to
+  // turn this destructor into a busy-wait burning a core.
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::lock_guard<std::mutex> drain(drain_mu_);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        batch.swap(pending_);
+      }
+      if (batch.empty()) return;
+      ExecuteBatch(&batch);
+    }
+    // Requests enqueued by a Drain() that lost the race between our swap
+    // and our drain_mu_ release are picked up by the next iteration.
   }
 }
 

@@ -42,8 +42,10 @@ class RequestBatcher {
   explicit RequestBatcher(ShardedSvtServer* server);
   RequestBatcher(ShardedSvtServer* server, Options options);
 
-  /// Drains anything still pending. Concurrent Submit() racing the
-  /// destructor is a caller error.
+  /// Drains anything still pending. The final flush is blocking: it
+  /// acquires the drain and shard locks outright (no try-lock spinning),
+  /// so it waits out slow shards instead of burning a core. Concurrent
+  /// Submit() or Drain() racing the destructor is a caller error.
   ~RequestBatcher();
 
   RequestBatcher(const RequestBatcher&) = delete;

@@ -222,10 +222,25 @@ TEST(RngTest, ShuffleActuallyPermutes) {
 }
 
 TEST(RngTest, StateRoundTrip) {
-  Rng a(61);
-  a.NextUint64();
-  Rng b(a.state());
-  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  // Odd draw counts leave the generator mid-phase (the next output is not
+  // lane 0's); the snapshot must capture that too.
+  for (int pre : {0, 1, 2, 3, 7}) {
+    Rng a(61);
+    for (int i = 0; i < pre; ++i) a.NextUint64();
+    Rng b(a.state());
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(a.NextUint64(), b.NextUint64());
+    std::vector<uint64_t> fa(37), fb(37);
+    a.FillUint64(fa);
+    b.FillUint64(fb);
+    ASSERT_EQ(fa, fb) << "pre=" << pre;
+  }
+}
+
+TEST(RngDeathTest, NextBoundedZeroAborts) {
+  // bound == 0 would be a division by zero in the rejection threshold
+  // ((-bound) % bound); the guard must fail loudly instead of SIGFPE.
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "bound > 0");
 }
 
 // Sanity: equidistribution of high/low bits (xoshiro256++ is known-good;

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "dispatch_test_util.h"
 
 namespace svt {
 namespace vec {
@@ -98,6 +99,31 @@ TEST(VecmathLogTest, UlpBoundVsLibmDenseAndAdversarial) {
   EXPECT_LE(max_ulp, kMaxUlp) << "worst input " << worst;
 }
 
+TEST(VecmathLogTest, UlpBoundHoldsAtEveryDispatchLevel) {
+  // The cross-dispatch bit-identity tests below transfer the scalar ULP
+  // bound to every lane; this asserts it directly against libm per level
+  // (scalar, AVX2, AVX-512), so an accuracy regression in a SIMD lane
+  // cannot hide behind a matching regression in the reference.
+  ScopedDispatchLevel restore;
+  const std::vector<double> xs = LogTestInputs();
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    std::vector<double> out(xs.size());
+    LogBlock(xs, out);
+    int64_t max_ulp = 0;
+    double worst = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const int64_t u = UlpDiff(out[i], std::log(xs[i]));
+      if (u > max_ulp) {
+        max_ulp = u;
+        worst = xs[i];
+      }
+    }
+    EXPECT_LE(max_ulp, kMaxUlp)
+        << DispatchLevelName(level) << " worst input " << worst;
+  }
+}
+
 TEST(VecmathLogTest, SpecialOperands) {
   EXPECT_EQ(Log(0.0), -std::numeric_limits<double>::infinity());
   EXPECT_EQ(Log(-0.0), -std::numeric_limits<double>::infinity());
@@ -139,26 +165,43 @@ TEST(VecmathExpTest, SpecialOperands) {
 TEST(VecmathDispatchTest, NamesAndScalarAlwaysSupported) {
   EXPECT_STREQ(DispatchLevelName(DispatchLevel::kScalar), "scalar");
   EXPECT_STREQ(DispatchLevelName(DispatchLevel::kAvx2), "avx2");
+  EXPECT_STREQ(DispatchLevelName(DispatchLevel::kAvx512), "avx512");
   EXPECT_TRUE(DispatchLevelSupported(DispatchLevel::kScalar));
   // The active level is always a supported one.
   EXPECT_TRUE(DispatchLevelSupported(ActiveDispatchLevel()));
   // Requesting an unsupported level fails and leaves the level unchanged.
-  if (!DispatchLevelSupported(DispatchLevel::kAvx2)) {
-    const DispatchLevel before = ActiveDispatchLevel();
-    EXPECT_FALSE(SetDispatchLevel(DispatchLevel::kAvx2));
-    EXPECT_EQ(ActiveDispatchLevel(), before);
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!DispatchLevelSupported(level)) {
+      const DispatchLevel before = ActiveDispatchLevel();
+      EXPECT_FALSE(SetDispatchLevel(level));
+      EXPECT_EQ(ActiveDispatchLevel(), before);
+    }
   }
 }
 
-// Restores the entry dispatch level on scope exit so tests compose.
-class ScopedLevel {
- public:
-  ScopedLevel() : saved_(ActiveDispatchLevel()) {}
-  ~ScopedLevel() { SetDispatchLevel(saved_); }
+TEST(VecmathDispatchTest, ParseDispatchCap) {
+  // The SVT_MAX_DISPATCH environment values; unset/empty = no cap, names
+  // are case-insensitive.
+  EXPECT_EQ(ParseDispatchCap(nullptr), DispatchLevel::kAvx512);
+  EXPECT_EQ(ParseDispatchCap(""), DispatchLevel::kAvx512);
+  EXPECT_EQ(ParseDispatchCap("scalar"), DispatchLevel::kScalar);
+  EXPECT_EQ(ParseDispatchCap("0"), DispatchLevel::kScalar);
+  EXPECT_EQ(ParseDispatchCap("avx2"), DispatchLevel::kAvx2);
+  EXPECT_EQ(ParseDispatchCap("AVX2"), DispatchLevel::kAvx2);
+  EXPECT_EQ(ParseDispatchCap("1"), DispatchLevel::kAvx2);
+  EXPECT_EQ(ParseDispatchCap("avx512"), DispatchLevel::kAvx512);
+  EXPECT_EQ(ParseDispatchCap("AVX512"), DispatchLevel::kAvx512);
+  EXPECT_EQ(ParseDispatchCap("2"), DispatchLevel::kAvx512);
+}
 
- private:
-  DispatchLevel saved_;
-};
+TEST(VecmathDispatchDeathTest, UnrecognizedCapAborts) {
+  // A typo in SVT_MAX_DISPATCH must fail loudly, not silently uncap the
+  // dispatch (which would hollow out a capped CI leg while it reports
+  // green).
+  EXPECT_DEATH(ParseDispatchCap("avx-2"), "SVT_MAX_DISPATCH");
+  EXPECT_DEATH(ParseDispatchCap("bogus"), "SVT_MAX_DISPATCH");
+}
 
 void ExpectBitEqual(const std::vector<double>& a,
                     const std::vector<double>& b, const char* what) {
@@ -171,12 +214,12 @@ void ExpectBitEqual(const std::vector<double>& a,
 }
 
 TEST(VecmathDispatchTest, LogBlockBitIdenticalAcrossLevels) {
-  ScopedLevel restore;
+  ScopedDispatchLevel restore;
   const std::vector<double> xs = LogTestInputs();
   std::vector<double> scalar_ref(xs.size());
   for (size_t i = 0; i < xs.size(); ++i) scalar_ref[i] = Log(xs[i]);
 
-  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+  for (DispatchLevel level : kAllDispatchLevels) {
     if (!SetDispatchLevel(level)) continue;
     std::vector<double> out(xs.size());
     LogBlock(xs, out);
@@ -189,7 +232,7 @@ TEST(VecmathDispatchTest, LogBlockBitIdenticalAcrossLevels) {
 }
 
 TEST(VecmathDispatchTest, ExpBlockBitIdenticalAcrossLevels) {
-  ScopedLevel restore;
+  ScopedDispatchLevel restore;
   std::vector<double> xs;
   for (double x = -745.0; x < 710.0; x += 0.01037) xs.push_back(x);
   xs.push_back(0.0);
@@ -201,7 +244,7 @@ TEST(VecmathDispatchTest, ExpBlockBitIdenticalAcrossLevels) {
   std::vector<double> scalar_ref(xs.size());
   for (size_t i = 0; i < xs.size(); ++i) scalar_ref[i] = Exp(xs[i]);
 
-  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2}) {
+  for (DispatchLevel level : kAllDispatchLevels) {
     if (!SetDispatchLevel(level)) continue;
     std::vector<double> out(xs.size());
     ExpBlock(xs, out);
@@ -219,7 +262,7 @@ TEST(VecmathDispatchTest, ExpBlockBitIdenticalAcrossLevels) {
 }
 
 TEST(VecmathDispatchTest, SamplingKernelsBitIdenticalAcrossLevels) {
-  ScopedLevel restore;
+  ScopedDispatchLevel restore;
   // Raw RNG words, including the lattice edges (all-ones word -> u == 1,
   // whose -log is -0.0 and whose Gumbel output is +inf).
   Rng rng(123);
@@ -238,7 +281,9 @@ TEST(VecmathDispatchTest, SamplingKernelsBitIdenticalAcrossLevels) {
   const uint64_t ref_min1 = MinWordBlock(words, 1);
   const uint64_t ref_min2 = MinWordBlock(words, 2);
 
-  if (SetDispatchLevel(DispatchLevel::kAvx2)) {
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!SetDispatchLevel(level)) continue;
     std::vector<double> out1(words.size()), out2(n), out_lap(n);
     NegLogUnitPositiveBlock(words, 1, out1);
     NegLogUnitPositiveBlock(words, 2, out2);
@@ -246,8 +291,10 @@ TEST(VecmathDispatchTest, SamplingKernelsBitIdenticalAcrossLevels) {
     ExpectBitEqual(out1, ref1, "neg-log stride 1");
     ExpectBitEqual(out2, ref2, "neg-log stride 2");
     ExpectBitEqual(out_lap, ref_lap, "laplace transform");
-    EXPECT_EQ(MinWordBlock(words, 1), ref_min1);
-    EXPECT_EQ(MinWordBlock(words, 2), ref_min2);
+    EXPECT_EQ(MinWordBlock(words, 1), ref_min1)
+        << DispatchLevelName(level);
+    EXPECT_EQ(MinWordBlock(words, 2), ref_min2)
+        << DispatchLevelName(level);
   }
 
   // The stride-1 kernel on even words must equal the stride-2 kernel.
@@ -259,7 +306,7 @@ TEST(VecmathDispatchTest, SamplingKernelsBitIdenticalAcrossLevels) {
 }
 
 TEST(VecmathDispatchTest, ReductionsAndScansAcrossLevels) {
-  ScopedLevel restore;
+  ScopedDispatchLevel restore;
   Rng rng(7);
   std::vector<double> a(1000), b(1000);
   rng.FillDouble(a);
@@ -272,9 +319,12 @@ TEST(VecmathDispatchTest, ReductionsAndScansAcrossLevels) {
   const size_t ref_idx = FindFirstGe(a, 2.5);
   const size_t ref_none = FindFirstGe(a, 1e9);
 
-  if (SetDispatchLevel(DispatchLevel::kAvx2)) {
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!SetDispatchLevel(level)) continue;
     EXPECT_EQ(std::bit_cast<uint64_t>(MaxBlock(a)),
-              std::bit_cast<uint64_t>(ref_max));
+              std::bit_cast<uint64_t>(ref_max))
+        << DispatchLevelName(level);
     EXPECT_EQ(FindFirstSumGe(a, b, 3.0), ref_sum_idx);
     EXPECT_EQ(FindFirstGe(a, 2.5), ref_idx);
     EXPECT_EQ(FindFirstGe(a, 1e9), ref_none);
@@ -282,16 +332,86 @@ TEST(VecmathDispatchTest, ReductionsAndScansAcrossLevels) {
   EXPECT_EQ(ref_none, a.size());
   EXPECT_LE(ref_sum_idx, 777u);
 
-  // Odd (non-multiple-of-4) sizes exercise the scalar tails.
-  for (size_t len : {1u, 3u, 5u, 7u}) {
+  // Odd (non-multiple-of-the-SIMD-width) sizes exercise the scalar tails.
+  for (size_t len : {1u, 3u, 5u, 7u, 9u, 11u, 15u}) {
     const std::span<const double> head(a.data(), len);
     SetDispatchLevel(DispatchLevel::kScalar);
     const double m_scalar = MaxBlock(head);
     const size_t f_scalar = FindFirstGe(head, 0.5);
-    if (SetDispatchLevel(DispatchLevel::kAvx2)) {
-      EXPECT_EQ(MaxBlock(head), m_scalar) << "len=" << len;
-      EXPECT_EQ(FindFirstGe(head, 0.5), f_scalar) << "len=" << len;
+    for (DispatchLevel level :
+         {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+      if (!SetDispatchLevel(level)) continue;
+      EXPECT_EQ(MaxBlock(head), m_scalar)
+          << DispatchLevelName(level) << " len=" << len;
+      EXPECT_EQ(FindFirstGe(head, 0.5), f_scalar)
+          << DispatchLevelName(level) << " len=" << len;
     }
+  }
+}
+
+TEST(VecmathDispatchTest, PairwiseScansAcrossLevels) {
+  // The per-query-threshold compare-scan: bars vary per element. Checked
+  // against a literal transcription of the streaming positive test, at
+  // every level, over random bars, near-threshold bars (ties included:
+  // bars[i] + rho == a[i] exactly), odd tails, and NaN patterns.
+  ScopedDispatchLevel restore;
+  Rng rng(99);
+  const size_t n = 1003;  // odd: exercises every lane tail
+  std::vector<double> a(n), b(n), bars(n);
+  rng.FillDouble(a);
+  rng.FillDouble(b);
+  rng.FillDouble(bars);
+  const double rho = 0.125;
+  // Exact ties: the >= must fire on equality, at any lane position.
+  for (size_t i : {size_t{37}, size_t{512}, n - 1}) {
+    bars[i] = a[i] - rho;  // bars[i] + rho rounds back to exactly a[i]
+  }
+  // NaN answers and NaN bars must never match (ordered compare).
+  a[101] = std::nan("");
+  bars[202] = std::nan("");
+
+  const auto ref_ge = [&](size_t from) {
+    size_t j = from;
+    while (j < n && !(a[j] >= bars[j] + rho)) ++j;
+    return j;
+  };
+  const auto ref_sum_ge = [&](size_t from) {
+    size_t j = from;
+    while (j < n && !(a[j] + b[j] >= bars[j] + rho)) ++j;
+    return j;
+  };
+
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    // Walk every positive like the batch engine's ScanChunk does.
+    size_t from = 0;
+    while (from <= n) {
+      const size_t expect = ref_ge(from);
+      const size_t got =
+          from + FindFirstGePairwise({a.data() + from, n - from},
+                                     {bars.data() + from, n - from}, rho);
+      ASSERT_EQ(got, expect)
+          << DispatchLevelName(level) << " from=" << from;
+      if (expect >= n) break;
+      from = expect + 1;
+    }
+    from = 0;
+    while (from <= n) {
+      const size_t expect = ref_sum_ge(from);
+      const size_t got = from + FindFirstSumGePairwise(
+                                    {a.data() + from, n - from},
+                                    {b.data() + from, n - from},
+                                    {bars.data() + from, n - from}, rho);
+      ASSERT_EQ(got, expect)
+          << DispatchLevelName(level) << " from=" << from;
+      if (expect >= n) break;
+      from = expect + 1;
+    }
+    // No-match scan returns size().
+    EXPECT_EQ(FindFirstGePairwise(a, bars, 1e9), n);
+    EXPECT_EQ(FindFirstSumGePairwise(a, b, bars, 1e9), n);
+    // Empty input.
+    EXPECT_EQ(FindFirstGePairwise({}, {}, rho), 0u);
   }
 }
 
@@ -301,7 +421,7 @@ TEST(VecmathDispatchTest, ScalarKernelMatchesComposedDefinition) {
   Rng rng(99);
   std::vector<uint64_t> words(64);
   rng.FillUint64(words);
-  ScopedLevel restore;
+  ScopedDispatchLevel restore;
   SetDispatchLevel(DispatchLevel::kScalar);
   std::vector<double> out(64);
   NegLogUnitPositiveBlock(words, 1, out);

@@ -22,6 +22,7 @@
 #include "core/svt.h"
 #include "core/svt_variants.h"
 #include "core/variant_spec.h"
+#include "dispatch_test_util.h"
 
 namespace svt {
 namespace {
@@ -110,7 +111,7 @@ TEST_P(VariantEquivalence, BatchOutputIdenticalAcrossDispatchLevels) {
   // seed, same batch, bit-identical responses. Skips the SIMD half where
   // no SIMD level is compiled in / supported.
   const VariantId id = GetParam();
-  const vec::DispatchLevel entry_level = vec::ActiveDispatchLevel();
+  ScopedDispatchLevel restore;
   const std::vector<double> answers =
       MixedAnswers(2 * BatchRunner::kChunkSize + 77);
 
@@ -120,19 +121,21 @@ TEST_P(VariantEquivalence, BatchOutputIdenticalAcrossDispatchLevels) {
                          .value();
   const std::vector<Response> scalar_out = scalar_mech->Run(answers, 0.0);
 
-  if (vec::SetDispatchLevel(vec::DispatchLevel::kAvx2)) {
+  for (vec::DispatchLevel level :
+       {vec::DispatchLevel::kAvx2, vec::DispatchLevel::kAvx512}) {
+    if (!vec::SetDispatchLevel(level)) continue;
     Rng rng_simd(41);
     auto simd_mech =
         MakeVariantMechanism(id, 1.0, 1.0, 40, &rng_simd).value();
     const std::vector<Response> simd_out = simd_mech->Run(answers, 0.0);
     ExpectSameResponses(simd_out, scalar_out,
-                        std::string(VariantIdToString(id)) + " dispatch");
+                        std::string(VariantIdToString(id)) + " dispatch " +
+                            vec::DispatchLevelName(level));
     EXPECT_EQ(simd_mech->positives_emitted(),
               scalar_mech->positives_emitted());
     EXPECT_EQ(simd_mech->queries_processed(),
               scalar_mech->queries_processed());
   }
-  vec::SetDispatchLevel(entry_level);
 }
 
 TEST(BatchRunnerTest, NumericOutputEpsilon3Equivalence) {
@@ -332,7 +335,7 @@ TEST(BatchRunnerTest, BatchOutputIndependentOfDispatchLevel) {
   // The vecmath kernels are bit-identical across dispatch levels, so the
   // whole mechanism — responses, counters, tier decisions — must be too.
   // On hosts without AVX2 this degenerates to scalar-vs-scalar.
-  const vec::DispatchLevel entry_level = vec::ActiveDispatchLevel();
+  ScopedDispatchLevel restore;
   SvtOptions o;
   o.epsilon = 0.1;
   o.cutoff = 50;
@@ -353,11 +356,15 @@ TEST(BatchRunnerTest, BatchOutputIndependentOfDispatchLevel) {
   const std::vector<Response> scalar_out = scalar_mech->Run(answers, 0.0);
   const auto scalar_stats = scalar_mech->batch_stats();
 
-  if (vec::SetDispatchLevel(vec::DispatchLevel::kAvx2)) {
+  for (vec::DispatchLevel level :
+       {vec::DispatchLevel::kAvx2, vec::DispatchLevel::kAvx512}) {
+    if (!vec::SetDispatchLevel(level)) continue;
     Rng rng_simd(5);
     auto simd_mech = SparseVector::Create(o, &rng_simd).value();
     const std::vector<Response> simd_out = simd_mech->Run(answers, 0.0);
-    ExpectSameResponses(simd_out, scalar_out, "dispatch");
+    ExpectSameResponses(simd_out, scalar_out,
+                        std::string("dispatch ") +
+                            vec::DispatchLevelName(level));
     EXPECT_EQ(simd_mech->batch_stats().tier1_chunks_skipped,
               scalar_stats.tier1_chunks_skipped);
     EXPECT_EQ(simd_mech->batch_stats().tier2_chunks_scanned,
@@ -365,9 +372,89 @@ TEST(BatchRunnerTest, BatchOutputIndependentOfDispatchLevel) {
     EXPECT_EQ(simd_mech->positives_emitted(),
               scalar_mech->positives_emitted());
   }
-  vec::SetDispatchLevel(entry_level);
   EXPECT_GT(scalar_stats.tier1_chunks_skipped, 0);
   EXPECT_GT(scalar_stats.tier2_chunks_scanned, 0);
+}
+
+TEST(BatchRunnerTest, PerQueryThresholdNearThresholdAcrossDispatchLevels) {
+  // The per-query-threshold scan (FindFirst*Pairwise) in its target
+  // regime: every answer AND every bar within a few ν scales of zero, odd
+  // tail sizes, ties near chunk boundaries. Batch must equal streaming
+  // bit for bit at every dispatch level, with and without query noise.
+  ScopedDispatchLevel restore;
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 200;
+  o.monotonic = true;
+  Rng rng_probe(55);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+
+  for (size_t n : {2 * BatchRunner::kChunkSize + 1,
+                   3 * BatchRunner::kChunkSize - 1, size_t{613}}) {
+    std::vector<double> answers(n), thresholds(n);
+    Rng gen(n);
+    for (size_t i = 0; i < n; ++i) {
+      answers[i] = (-6.0 + (gen.NextDouble() - 0.5)) * nu_scale;
+      thresholds[i] = (gen.NextDouble() - 0.5) * nu_scale;
+    }
+    // A bar pattern that ties exactly at a chunk boundary answer.
+    thresholds[BatchRunner::kChunkSize] = answers[BatchRunner::kChunkSize];
+
+    // Scalar streaming is the reference for every (level, path) pair.
+    ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+    Rng rng_stream(77);
+    auto stream = SparseVector::Create(o, &rng_stream).value();
+    std::vector<Response> ref;
+    for (size_t i = 0; i < n; ++i) {
+      if (stream->exhausted()) break;
+      ref.push_back(stream->Process(answers[i], thresholds[i]));
+    }
+
+    for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+      if (!vec::SetDispatchLevel(level)) continue;
+      Rng rng_batch(77);
+      auto batch = SparseVector::Create(o, &rng_batch).value();
+      const std::vector<Response> b = batch->Run(answers, thresholds);
+      ExpectSameResponses(b, ref,
+                          std::string("per-query near-threshold ") +
+                              vec::DispatchLevelName(level) +
+                              " n=" + std::to_string(n));
+      // Per-query chunks always run tier-2 (no tier-1 bound is sound).
+      EXPECT_EQ(batch->batch_stats().tier1_chunks_skipped, 0);
+      EXPECT_GT(batch->batch_stats().tier2_chunks_scanned, 0);
+    }
+  }
+
+  // The ν-free per-query path (pure FindFirstGePairwise): Alg. 5
+  // (Stoddard) has nu_scale == 0, so the scan compares raw answers to
+  // per-query bars.
+  const size_t n = BatchRunner::kChunkSize + 13;
+  std::vector<double> answers(n, -1.0), thresholds(n);
+  Rng gen(3);
+  for (size_t i = 0; i < n; ++i) {
+    thresholds[i] = gen.NextDouble() - 0.97;  // bars straddle the answers
+  }
+  ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+  Rng rng_stream(91);
+  auto stream =
+      MakeVariantMechanism(VariantId::kAlg5, 1.0, 1.0, 30, &rng_stream)
+          .value();
+  std::vector<Response> ref;
+  for (size_t i = 0; i < n; ++i) {
+    if (stream->exhausted()) break;
+    ref.push_back(stream->Process(answers[i], thresholds[i]));
+  }
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    Rng rng_batch(91);
+    auto batch =
+        MakeVariantMechanism(VariantId::kAlg5, 1.0, 1.0, 30, &rng_batch)
+            .value();
+    ExpectSameResponses(batch->Run(answers, thresholds), ref,
+                        std::string("nu-free per-query ") +
+                            vec::DispatchLevelName(level));
+  }
 }
 
 }  // namespace

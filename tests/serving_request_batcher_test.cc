@@ -119,6 +119,53 @@ TEST(RequestBatcherTest, DestructorDrainsPending) {
   EXPECT_EQ(got.size(), answers.size());
 }
 
+TEST(RequestBatcherTest, DestructorUnderLoadFlushesEverything) {
+  // Regression for the busy-spin final flush: the destructor used to loop
+  // `while (Drain() > 0 || pending() > 0)` on the try-lock drain path,
+  // spinning hot whenever the shards were slow. The flush is now blocking
+  // — it waits on the drain and shard mutexes like any other executor —
+  // so destroying a batcher with pending requests while other threads
+  // hammer the same shards directly must still deliver every response
+  // exactly once (and, under the TSan CI job, without a reported race).
+  const std::vector<double> answers = MakeAnswers(3000, 57);
+  auto server = ShardedSvtServer::Create(TestOptions(2, 26)).value();
+
+  const int kRequests = 12;
+  std::vector<std::vector<Response>> got(static_cast<size_t>(kRequests));
+  std::atomic<bool> busy_started{false};
+  std::atomic<bool> stop{false};
+  // Direct executors keep both shard mutexes contended for the whole
+  // destructor flush.
+  std::vector<std::thread> busy;
+  for (int s = 0; s < 2; ++s) {
+    busy.emplace_back([&, s] {
+      std::vector<Response> sink;
+      while (!stop.load(std::memory_order_relaxed)) {
+        sink.clear();
+        server->ExecuteOnShard(s, answers, 0.0, &sink);
+        busy_started.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  {
+    RequestBatcher batcher(server.get());
+    for (int r = 0; r < kRequests; ++r) {
+      batcher.Submit(static_cast<uint64_t>(r) * 11, answers, 0.0,
+                     &got[static_cast<size_t>(r)]);
+    }
+    while (!busy_started.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+    // Destructor runs here, against busy shards.
+  }
+  stop.store(true);
+  for (std::thread& t : busy) t.join();
+  for (int r = 0; r < kRequests; ++r) {
+    EXPECT_EQ(got[static_cast<size_t>(r)].size(), answers.size())
+        << "request " << r;
+  }
+}
+
 TEST(RequestBatcherTest, SubmitAndDrainFromPoolTasksCompletes) {
   // Request handlers running on the global pool submit their batch and
   // then call Drain() themselves. With the pool fully subscribed this

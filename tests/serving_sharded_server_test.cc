@@ -5,6 +5,7 @@
 
 #include "serving/sharded_server.h"
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <thread>
@@ -216,6 +217,63 @@ TEST(ShardedSvtServerTest, ConcurrentShardExecutionMatchesSerial) {
   for (int s = 0; s < shards; ++s) {
     EXPECT_EQ(got[s], expect[s]) << "shard " << s;
   }
+}
+
+TEST(ShardedSvtServerTest, StatsPolledDuringConcurrentBatches) {
+  // Regression guard for the stats/Run race: StatsForShard()/TotalStats()
+  // read the counters Run mutates, so both sides must hold the shard
+  // mutex. A poller hammers the stats accessors while worker threads
+  // execute batches; under ThreadSanitizer (CI job) an unlocked read is a
+  // reported race, and the monotonicity assertions below catch torn or
+  // stale aggregates even in a plain build.
+  const int shards = 4;
+  const std::vector<double> answers = MakeAnswers(500, 48);
+  auto server = ShardedSvtServer::Create(AutoResetOptions(shards, 13)).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> polls{0};
+  std::thread poller([&] {
+    int64_t last_queries = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ServingStats total = server->TotalStats();
+      // Counters only grow, and every batch's counts are published
+      // atomically under the shard lock.
+      EXPECT_GE(total.queries, last_queries);
+      EXPECT_GE(total.queries, total.positives);
+      EXPECT_GE(total.batches, 0);
+      last_queries = total.queries;
+      for (int s = 0; s < shards; ++s) {
+        const ServingStats per = server->StatsForShard(s);
+        EXPECT_GE(per.queries, per.positives);
+      }
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const int kThreads = 2;
+  const int kBatchesPerThread = 40;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<Response> sink;
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        sink.clear();
+        server->Execute(static_cast<uint64_t>(t * 1000 + b), answers, 0.0,
+                        &sink);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stop.store(true);
+  poller.join();
+
+  EXPECT_GT(polls.load(), 0);
+  const ServingStats total = server->TotalStats();
+  EXPECT_EQ(total.batches, kThreads * kBatchesPerThread);
+  EXPECT_EQ(total.queries, static_cast<int64_t>(kThreads) *
+                               kBatchesPerThread *
+                               static_cast<int64_t>(answers.size()));
 }
 
 }  // namespace
