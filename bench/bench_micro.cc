@@ -196,6 +196,27 @@ void BM_SvtRunBatchPerQueryNearThreshold(benchmark::State& state) {
 }
 BENCHMARK(BM_SvtRunBatchPerQueryNearThreshold)->Arg(1 << 20);
 
+void BM_FusedLaplaceScanSumGePairwise(benchmark::State& state) {
+  // The fused tier-2 kernel alone (sample + transform + compare in one
+  // register pass) over a no-match stream: the per-query batch engine's
+  // inner loop with the RNG fill and chunk bookkeeping stripped away.
+  Rng rng(12);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> words(2 * n);
+  std::vector<double> answers(n), bars(n, 1e9);
+  rng.FillUint64(words);
+  rng.FillDouble(answers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vec::FusedLaplaceScanSumGePairwise(words, 0.0, 2.0, answers, bars,
+                                           0.0)
+            .index);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
+}
+BENCHMARK(BM_FusedLaplaceScanSumGePairwise)->Arg(4096);
+
 void BM_VecLogBlock(benchmark::State& state) {
   Rng rng(11);
   std::vector<double> in(static_cast<size_t>(state.range(0)));

@@ -136,12 +136,35 @@ int main() {
                                      {bars.data(), kN}, 0.0));
         },
         kN);
+    // Fused single-pass sample-and-scan vs its unfused composition
+    // (TransformBlock + pairwise scan) over the same no-match stream —
+    // the batch engine's tier-2 inner loop before and after fusion.
+    const double unfused_scan = BestNsPerElem(
+        [&] {
+          lap.TransformBlock(words, out);
+          g_sink = static_cast<double>(
+              FindFirstSumGePairwise({u.data(), kN}, {out.data(), kN},
+                                     {bars.data(), kN}, 0.0));
+        },
+        kN);
+    const double fused_scan = BestNsPerElem(
+        [&] {
+          g_sink = static_cast<double>(
+              FusedLaplaceScanSumGePairwise(words, 0.0, 2.0, {u.data(), kN},
+                                            {bars.data(), kN}, 0.0)
+                  .index);
+        },
+        kN);
     std::printf(
         "[%6s] LogBlock %.2f | ExpBlock %.2f | NegLogUnit %.2f | "
         "LaplaceTransform %.2f | SampleBlock %.2f | RngFill %.2f | "
         "PairwiseScan %.2f ns/elem (log speedup vs libm: %.2fx)\n",
         name, log_block, exp_block, neg_log, lap_tf, lap_sample, rng_fill,
         pairwise, libm_log / log_block);
+    std::printf(
+        "[%6s] fused sample-and-scan %.2f vs unfused transform+scan %.2f "
+        "ns/elem (%.2fx)\n",
+        name, fused_scan, unfused_scan, unfused_scan / fused_scan);
   }
   return 0;
 }

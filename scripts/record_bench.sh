@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# record_bench.sh — run the micro benches REPS times and emit min/max
+# items_per_second per benchmark as a JSON fragment, the noise-range
+# protocol BENCH_micro.json records (ranges over >= 3 repetitions on this
+# container). Replaces hand-running the bench and hand-editing ranges.
+#
+# Usage:
+#   scripts/record_bench.sh                 # default filter, 5 reps
+#   scripts/record_bench.sh 'BM_SvtRun.*'   # custom filter regex
+#
+# Environment:
+#   BENCH     bench binary          (default build/bench_micro)
+#   REPS      repetitions           (default 5)
+#   MIN_TIME  --benchmark_min_time  (default 0.25)
+set -euo pipefail
+
+BENCH="${BENCH:-build/bench_micro}"
+REPS="${REPS:-5}"
+MIN_TIME="${MIN_TIME:-0.25}"
+FILTER="${1:-BM_SvtRunBatch/|BM_SvtRunBatchNearThreshold|BM_SvtRunBatchPerQueryNearThreshold|BM_FusedLaplaceScanSumGePairwise|BM_RngFillUint64|BM_LaplaceSampleBlock}"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not found or not executable (build with benchmarks on)" >&2
+  exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+for i in $(seq "$REPS"); do
+  echo "== rep $i/$REPS: $BENCH --benchmark_filter=$FILTER" >&2
+  "$BENCH" --benchmark_filter="$FILTER" --benchmark_min_time="$MIN_TIME" \
+    2>/dev/null |
+    awk '/items_per_second=/ {
+      v = ""
+      for (f = 1; f <= NF; ++f) if ($f ~ /items_per_second=/) v = $f
+      sub(/.*items_per_second=/, "", v)
+      mult = 1
+      if (v ~ /G\/s$/)      mult = 1e9
+      else if (v ~ /M\/s$/) mult = 1e6
+      else if (v ~ /k\/s$/) mult = 1e3
+      sub(/[GMk]?\/s$/, "", v)
+      printf "%s %.6e\n", $1, v * mult
+    }' >>"$tmp"
+done
+
+if ! [ -s "$tmp" ]; then
+  echo "error: no items_per_second lines matched filter '$FILTER'" >&2
+  exit 1
+fi
+
+awk -v reps="$REPS" -v mt="$MIN_TIME" '
+{
+  n = $1; v = $2 + 0
+  if (!(n in min) || v < min[n]) min[n] = v
+  if (!(n in max) || v > max[n]) max[n] = v
+  if (!(n in seen)) { order[++k] = n; seen[n] = 1 }
+}
+END {
+  printf "{\n"
+  printf "  \"noise_protocol\": \"min-max items/sec over %d reps of --benchmark_min_time=%s (scripts/record_bench.sh)\"", reps, mt
+  for (i = 1; i <= k; ++i) {
+    n = order[i]
+    printf ",\n  \"%s_items_per_second\": [%.4e, %.4e]", n, min[n], max[n]
+  }
+  printf "\n}\n"
+}' "$tmp"

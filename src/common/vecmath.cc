@@ -270,6 +270,68 @@ double Exp(double x) {
   return y * Pow2(k1) * Pow2(k2);
 }
 
+namespace {
+
+// The word-pair → Laplace(mu, b) transform of one element, shared by the
+// fused scan kernels' scalar lane and every SIMD lane's sub-width tail.
+// Operation for operation the scalar body of LaplaceTransformBlock — the
+// fused kernels are *defined* by this composition.
+inline double LaplaceNuScalar(uint64_t w_mag, uint64_t w_sign, double mu,
+                              double b) {
+  const double e = -Log(Rng::ToUnitDoublePositive(w_mag));
+  const double be = b * e;
+  const uint64_t flip = ~w_sign & 0x8000'0000'0000'0000ull;
+  return mu + std::bit_cast<double>(std::bit_cast<uint64_t>(be) ^ flip);
+}
+
+// Scalar reference lanes of the four fused sample-and-scan kernels. Each
+// starts at element `from` (0 for the dispatch entry points; the SIMD
+// lanes delegate their < width tails here, the same rule the unfused
+// kernels use). The positive tests are literal transcriptions of the
+// streaming comparisons, so hit indices are bit-identical across lanes.
+
+FusedScanHit FusedScanGeScalar(const uint64_t* words, double mu, double b,
+                               double bar, size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = LaplaceNuScalar(words[2 * i], words[2 * i + 1], mu, b);
+    if (nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit FusedScanSumGeScalar(const uint64_t* words, double mu, double b,
+                                  const double* a, double bar, size_t n,
+                                  size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = LaplaceNuScalar(words[2 * i], words[2 * i + 1], mu, b);
+    if (a[i] + nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit FusedScanGePairwiseScalar(const uint64_t* words, double mu,
+                                       double b, const double* bars,
+                                       double rho, size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = LaplaceNuScalar(words[2 * i], words[2 * i + 1], mu, b);
+    if (nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit FusedScanSumGePairwiseScalar(const uint64_t* words, double mu,
+                                          double b, const double* a,
+                                          const double* bars, double rho,
+                                          size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = LaplaceNuScalar(words[2 * i], words[2 * i + 1], mu, b);
+    if (a[i] + nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+}  // namespace
+
 #if SVT_VECMATH_HAVE_AVX2
 
 namespace {
@@ -568,6 +630,108 @@ __attribute__((target("avx2"))) size_t FindFirstSumGePairwiseAvx2(
     if (a[i] + b[i] >= bars[i] + rho) return i;
   }
   return n;
+}
+
+// One fused transform step: 4 consecutive (magnitude, sign) word pairs →
+// 4 ν values, bit-identical to the operation sequence of
+// LaplaceTransformAvx2 — that identity is what makes the fused scans
+// bit-identical to the unfused FillUint64 + TransformBlock + FindFirst*
+// pipeline. One deliberate register-pressure optimization: `vnb` carries
+// -b, so be = (-b)·log(u) replaces the reference's b·(-log(u)) — IEEE
+// multiplication computes the sign as the XOR of the operand signs and
+// the magnitude independently, so the product is bit-identical while the
+// -0.0 constant and its xor drop out of the loop.
+__attribute__((target("avx2"))) inline __m256d LaplaceNu4Avx2(
+    const uint64_t* word_pairs, __m256d vmu, __m256d vnb) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d lattice = _mm256_set1_pd(0x1p-53);
+  const __m256i sign_bit = _mm256_set1_epi64x(
+      static_cast<int64_t>(0x8000'0000'0000'0000ull));
+  const __m256i v0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(word_pairs));
+  const __m256i v1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(word_pairs + 4));
+  const __m256i even =
+      _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(v0, v1), 0xD8);
+  const __m256i odd =
+      _mm256_permute4x64_epi64(_mm256_unpackhi_epi64(v0, v1), 0xD8);
+  const __m256d d = U53ToDouble(_mm256_srli_epi64(even, 11));
+  const __m256d u = _mm256_mul_pd(_mm256_add_pd(d, one), lattice);
+  const __m256d be = _mm256_mul_pd(vnb, Log4Normal(u));
+  const __m256d flip = _mm256_castsi256_pd(_mm256_andnot_si256(odd, sign_bit));
+  return _mm256_add_pd(vmu, _mm256_xor_pd(be, flip));
+}
+
+// Extracts the hit from a nonzero compare mask: lane index + that lane's ν.
+__attribute__((target("avx2"))) inline FusedScanHit FusedHitAvx2(
+    size_t i, int mask, __m256d nu) {
+  const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, nu);
+  return {i + static_cast<size_t>(lane), lanes[lane]};
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedLaplaceScanGeAvx2(
+    const uint64_t* words, double mu, double b, double bar, size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = LaplaceNu4Avx2(words + 2 * i, vmu, vnb);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(nu, vbar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedScanGeScalar(words, mu, b, bar, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedLaplaceScanSumGeAvx2(
+    const uint64_t* words, double mu, double b, const double* a, double bar,
+    size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = LaplaceNu4Avx2(words + 2 * i, vmu, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedScanSumGeScalar(words, mu, b, a, bar, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedLaplaceScanGePairwiseAvx2(
+    const uint64_t* words, double mu, double b, const double* bars,
+    double rho, size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = LaplaceNu4Avx2(words + 2 * i, vmu, vnb);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(nu, bar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedScanGePairwiseScalar(words, mu, b, bars, rho, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedLaplaceScanSumGePairwiseAvx2(
+    const uint64_t* words, double mu, double b, const double* a,
+    const double* bars, double rho, size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = LaplaceNu4Avx2(words + 2 * i, vmu, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedScanSumGePairwiseScalar(words, mu, b, a, bars, rho, n, i);
 }
 
 __attribute__((target("avx2"))) void ExpBlockAvx2(const double* in,
@@ -933,6 +1097,105 @@ FindFirstSumGePairwiseAvx512(const double* a, const double* b,
   return n;
 }
 
+// 8-wide fused transform step, mirroring LaplaceTransformAvx512 operation
+// for operation, with the same bit-identical (-b)·log(u) fold as
+// LaplaceNu4Avx2 (see there for why both identities hold).
+__attribute__((target("avx512f,avx512dq"))) inline __m512d LaplaceNu8Avx512(
+    const uint64_t* word_pairs, __m512d vmu, __m512d vnb) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d lattice = _mm512_set1_pd(0x1p-53);
+  const __m512i sign_bit = _mm512_set1_epi64(
+      static_cast<int64_t>(0x8000'0000'0000'0000ull));
+  const __m512i v0 = _mm512_loadu_si512(word_pairs);
+  const __m512i v1 = _mm512_loadu_si512(word_pairs + 8);
+  const __m512i even = _mm512_permutex2var_epi64(v0, EvenIdx512(), v1);
+  const __m512i odd = _mm512_permutex2var_epi64(v0, OddIdx512(), v1);
+  const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(even, 11));
+  const __m512d u = _mm512_mul_pd(_mm512_add_pd(d, one), lattice);
+  const __m512d be = _mm512_mul_pd(vnb, Log8Normal(u));
+  const __m512d flip = _mm512_castsi512_pd(_mm512_andnot_si512(odd, sign_bit));
+  return _mm512_add_pd(vmu, _mm512_xor_pd(be, flip));
+}
+
+__attribute__((target("avx512f,avx512dq"))) inline FusedScanHit FusedHitAvx512(
+    size_t i, __mmask8 mask, __m512d nu) {
+  const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, nu);
+  return {i + static_cast<size_t>(lane), lanes[lane]};
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedLaplaceScanGeAvx512(const uint64_t* words, double mu, double b,
+                         double bar, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = LaplaceNu8Avx512(words + 2 * i, vmu, vnb);
+    const __mmask8 mask = _mm512_cmp_pd_mask(nu, vbar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedScanGeScalar(words, mu, b, bar, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedLaplaceScanSumGeAvx512(const uint64_t* words, double mu, double b,
+                            const double* a, double bar, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  size_t i = 0;
+  // Deliberately not unrolled: the single 8-wide body keeps every
+  // polynomial constant register-resident — a 2× unroll was measured to
+  // push GCC into re-broadcasting ~15 constants per iteration, costing
+  // more than the second div chain bought.
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = LaplaceNu8Avx512(words + 2 * i, vmu, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedScanSumGeScalar(words, mu, b, a, bar, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedLaplaceScanGePairwiseAvx512(const uint64_t* words, double mu, double b,
+                                 const double* bars, double rho, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = LaplaceNu8Avx512(words + 2 * i, vmu, vnb);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(nu, bar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedScanGePairwiseScalar(words, mu, b, bars, rho, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedLaplaceScanSumGePairwiseAvx512(const uint64_t* words, double mu,
+                                    double b, const double* a,
+                                    const double* bars, double rho,
+                                    size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  size_t i = 0;
+  // Not unrolled — see FusedLaplaceScanSumGeAvx512 (register pressure).
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = LaplaceNu8Avx512(words + 2 * i, vmu, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedScanSumGePairwiseScalar(words, mu, b, a, bars, rho, n, i);
+}
+
 __attribute__((target("avx512f,avx512dq"))) void ExpBlockAvx512(
     const double* in, double* out, size_t n) {
   const __m512d abs_mask =
@@ -1222,6 +1485,95 @@ size_t FindFirstSumGePairwise(std::span<const double> a,
     if (a[i] + b[i] >= bars[i] + rho) return i;
   }
   return a.size();
+}
+
+FusedScanHit FusedLaplaceScanGe(std::span<const uint64_t> words, double mu,
+                                double b, double bar) {
+  SVT_CHECK(words.size() % 2 == 0)
+      << "FusedLaplaceScanGe needs (magnitude, sign) word pairs, got "
+      << words.size() << " words";
+  const size_t n = words.size() / 2;
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedLaplaceScanGeAvx512(words.data(), mu, b, bar, n);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedLaplaceScanGeAvx2(words.data(), mu, b, bar, n);
+  }
+#endif
+  return FusedScanGeScalar(words.data(), mu, b, bar, n, 0);
+}
+
+FusedScanHit FusedLaplaceScanSumGe(std::span<const uint64_t> words, double mu,
+                                   double b, std::span<const double> a,
+                                   double bar) {
+  SVT_CHECK(words.size() == 2 * a.size())
+      << "FusedLaplaceScanSumGe size mismatch: " << words.size()
+      << " words for " << a.size() << " answers";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedLaplaceScanSumGeAvx512(words.data(), mu, b, a.data(), bar,
+                                       a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedLaplaceScanSumGeAvx2(words.data(), mu, b, a.data(), bar,
+                                     a.size());
+  }
+#endif
+  return FusedScanSumGeScalar(words.data(), mu, b, a.data(), bar, a.size(),
+                              0);
+}
+
+FusedScanHit FusedLaplaceScanGePairwise(std::span<const uint64_t> words,
+                                        double mu, double b,
+                                        std::span<const double> bars,
+                                        double rho) {
+  SVT_CHECK(words.size() == 2 * bars.size())
+      << "FusedLaplaceScanGePairwise size mismatch: " << words.size()
+      << " words for " << bars.size() << " bars";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedLaplaceScanGePairwiseAvx512(words.data(), mu, b, bars.data(),
+                                            rho, bars.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedLaplaceScanGePairwiseAvx2(words.data(), mu, b, bars.data(),
+                                          rho, bars.size());
+  }
+#endif
+  return FusedScanGePairwiseScalar(words.data(), mu, b, bars.data(), rho,
+                                   bars.size(), 0);
+}
+
+FusedScanHit FusedLaplaceScanSumGePairwise(std::span<const uint64_t> words,
+                                           double mu, double b,
+                                           std::span<const double> a,
+                                           std::span<const double> bars,
+                                           double rho) {
+  SVT_CHECK(words.size() == 2 * a.size() && a.size() == bars.size())
+      << "FusedLaplaceScanSumGePairwise size mismatch: " << words.size()
+      << " words for " << a.size() << " answers and " << bars.size()
+      << " bars";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedLaplaceScanSumGePairwiseAvx512(
+        words.data(), mu, b, a.data(), bars.data(), rho, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedLaplaceScanSumGePairwiseAvx2(words.data(), mu, b, a.data(),
+                                             bars.data(), rho, a.size());
+  }
+#endif
+  return FusedScanSumGePairwiseScalar(words.data(), mu, b, a.data(),
+                                      bars.data(), rho, a.size(), 0);
 }
 
 }  // namespace vec

@@ -178,6 +178,63 @@ std::size_t FindFirstSumGePairwise(std::span<const double> a,
                                    std::span<const double> b,
                                    std::span<const double> bars, double rho);
 
+// --- Fused single-pass sample-and-scan kernels ----------------------------
+//
+// The batch engine's tier-2 scans used to be three passes over L1-sized
+// scratch per chunk: FillUint64 → words, LaplaceTransformBlock → ν block,
+// FindFirst* over the ν block. The FusedLaplaceScan* family collapses the
+// last two: it reads the raw word pairs, applies the complete Laplace
+// inverse-CDF transform in registers, and tests the SVT positive condition
+// in the same pass — the ν block is never materialized. The transform is
+// operation-for-operation the one LaplaceTransformBlock runs (the kernels
+// are *defined* by that composition, which the tests diff against at every
+// dispatch level), so the hit index, the returned ν, and the word→ν
+// lattice are bit-identical to the unfused sequence — fusion is
+// draw-order-neutral and needed no golden re-record.
+//
+// Chunk tails shorter than one SIMD width delegate to the scalar lane,
+// the same rule as every other kernel in the family (regression-tested on
+// odd tails and empty spans).
+
+/// Result of a fused sample-and-scan pass.
+struct FusedScanHit {
+  /// First passing element, or the element count when none passes.
+  std::size_t index = 0;
+  /// The transformed ν at `index` — exactly the value the unfused
+  /// LaplaceTransformBlock would have written there (the caller needs it
+  /// for Alg. 3's q+ν output and as the comparison noise of the positive).
+  /// 0.0 when there is no hit.
+  double nu = 0.0;
+};
+
+/// Pure-noise scan: smallest i with ν_i >= bar, where ν_i is the
+/// Laplace(mu, b) transform of the word pair (words[2i], words[2i+1]) —
+/// magnitude word even, sign word odd, as in LaplaceTransformBlock.
+/// words.size() must be even; the element count is words.size() / 2.
+FusedScanHit FusedLaplaceScanGe(std::span<const std::uint64_t> words,
+                                double mu, double b, double bar);
+
+/// The common-threshold tier-2 positive test, fused: smallest i with
+/// a[i] + ν_i >= bar (one rounded add, ordered >=, exactly the streaming
+/// test). words.size() must be 2 * a.size().
+FusedScanHit FusedLaplaceScanSumGe(std::span<const std::uint64_t> words,
+                                   double mu, double b,
+                                   std::span<const double> a, double bar);
+
+/// Per-query-bar pure-noise scan: smallest i with ν_i >= bars[i] + rho.
+/// words.size() must be 2 * bars.size().
+FusedScanHit FusedLaplaceScanGePairwise(std::span<const std::uint64_t> words,
+                                        double mu, double b,
+                                        std::span<const double> bars,
+                                        double rho);
+
+/// The per-query-threshold tier-2 positive test, fused: smallest i with
+/// a[i] + ν_i >= bars[i] + rho (each side one rounded add, ordered >=).
+/// words.size() must be 2 * a.size(); a.size() must equal bars.size().
+FusedScanHit FusedLaplaceScanSumGePairwise(
+    std::span<const std::uint64_t> words, double mu, double b,
+    std::span<const double> a, std::span<const double> bars, double rho);
+
 }  // namespace vec
 }  // namespace svt
 

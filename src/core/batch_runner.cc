@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/distributions.h"
@@ -53,26 +54,25 @@ Response BatchRunner::MakePositiveResponse(double answer, double nu_j) {
   return Response::Above();
 }
 
-// Scans one chunk (all pointers chunk-local, res pre-zeroed to ⊥) and
-// writes positive responses in place. Returns the number of chunk elements
-// processed: n unless the cutoff exhausted the run inside the chunk.
-// `find_next(from, rho)` returns the index of the first positive at or
-// after `from` under threshold offset rho, or n — either a vecmath
-// dispatched compare-scan (common threshold) or a scalar loop (per-query
-// thresholds); both apply the exact streaming positive test
-// `answer + ν >= threshold + ρ`, including for non-finite answers.
+// Scans one span (all pointers span-local, res pre-zeroed to ⊥) and writes
+// positive responses in place. Returns the number of span elements
+// processed: n unless the cutoff exhausted the run inside the span.
+// `find_next(from, rho)` returns the first positive at or after `from`
+// under threshold offset rho — index n if none — together with the ν that
+// fired it (0.0 for the ν-free scans). The fused paths compute that ν in
+// the same register pass as the compare; every path applies the exact
+// streaming positive test, including for non-finite answers.
 template <typename FindNext>
 size_t BatchRunner::ScanChunk(const double* answers, size_t n,
-                              const double* nu, FindNext find_next,
-                              Response* res) {
+                              FindNext find_next, Response* res) {
   size_t i = 0;
   while (i < n) {
-    const size_t j = find_next(i, state_->rho);
-    state_->processed += static_cast<int64_t>(j - i);
-    if (j == n) return n;
+    const vec::FusedScanHit hit = find_next(i, state_->rho);
+    state_->processed += static_cast<int64_t>(hit.index - i);
+    if (hit.index == n) return n;
 
-    res[j] = MakePositiveResponse(answers[j], nu != nullptr ? nu[j] : 0.0);
-    i = j + 1;
+    res[hit.index] = MakePositiveResponse(answers[hit.index], hit.nu);
+    i = hit.index + 1;
     if (state_->exhausted) return i;
   }
   return n;
@@ -89,10 +89,10 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
   Response* const res = out->data() + start;
 
   const bool has_nu = spec_.nu_scale > 0.0;
-  uint64_t words[2 * kChunkSize];
-  double nu_block[kChunkSize];
-  const Laplace nu_dist =
-      has_nu ? Laplace::Centered(spec_.nu_scale) : Laplace::Centered(1.0);
+  // Cache-line-aligned so the 512-bit loads of the tier-1 word reduction
+  // and the fused scan kernels never split lines.
+  alignas(64) uint64_t words[2 * kChunkSize];
+  SVT_DCHECK(reinterpret_cast<uintptr_t>(words) % 64 == 0);
 
   size_t done = 0;
   while (done < total) {
@@ -101,9 +101,11 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
     size_t chunk_processed = n;
     if (!has_nu) {
       const auto find_next = [a, n, threshold](size_t from, double rho) {
-        return from + vec::FindFirstGe({a + from, n - from}, threshold + rho);
+        return vec::FusedScanHit{
+            from + vec::FindFirstGe({a + from, n - from}, threshold + rho),
+            0.0};
       };
-      chunk_processed = ScanChunk(a, n, nullptr, find_next, res + done);
+      chunk_processed = ScanChunk(a, n, find_next, res + done);
     } else {
       // Pre-fetch the chunk's raw ν words — the substream advances exactly
       // as if each ν_i had been drawn scalar-style.
@@ -116,8 +118,8 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       // is provably ⊥ and the transform is skipped entirely. Every step of
       // the bound chain is a monotone rounded operation, so the shortcut
       // emits exactly what the exact comparison would. The bound evaluates
-      // the same vecmath kernel that tier-2's transform would apply, so
-      // kBoundSlack only has to absorb the kernel's own sub-ulp rounding
+      // the same vecmath log kernel that the fused scan applies per word,
+      // so kBoundSlack only has to absorb the kernel's own sub-ulp rounding
       // wiggle, never a libm-vs-polynomial discrepancy.
       const uint64_t w_min = vec::MinWordBlock({words, 2 * n}, 2);
       const double a_max = vec::MaxBlock({a, n});
@@ -128,18 +130,51 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
         state_->processed += static_cast<int64_t>(n);  // res already ⊥
         ++state_->batch.tier1_chunks_skipped;
       } else {
-        // Tier-2: materialize the ν block and run the dispatched
-        // compare-scan over it.
+        // Tier-2, single pass and hierarchical: the chunk-level bound
+        // failed, but the same conservative max-|ν| argument re-applies
+        // per kBoundSpan sub-span, where the max over far fewer draws is
+        // much smaller — in near-threshold workloads (answers a few ν
+        // scales under the bar) most sub-spans still prove all-⊥ from two
+        // integer/float reductions and skip their transform outright.
+        // Surviving sub-spans run the fused kernel, which transforms the
+        // raw word pairs and tests the positive condition in the same
+        // register pass — no ν block round-trip. Resume segments re-enter
+        // past the previous positive (re-checking the remainder of its
+        // sub-span under the possibly resampled ρ), so no word pair is
+        // transformed more than a handful of times even with positives.
         ++state_->batch.tier2_chunks_scanned;
-        nu_dist.TransformBlock({words, 2 * n}, {nu_block, n});
-        const double* const nu = nu_block;
-        const auto find_next = [a, nu, n, threshold](size_t from,
-                                                     double rho) {
-          return from + vec::FindFirstSumGe({a + from, n - from},
-                                            {nu + from, n - from},
-                                            threshold + rho);
+        const double nu_scale = spec_.nu_scale;
+        const uint64_t* const w = words;
+        BatchRunStats* const stats = &state_->batch;
+        const auto find_next = [a, w, n, threshold, nu_scale, stats](
+                                   size_t from, double rho) -> vec::FusedScanHit {
+          const double bar = threshold + rho;
+          size_t s = from;
+          while (s < n) {
+            const size_t m = std::min(kBoundSpan, n - s);
+            // Sub-span bound: the tier-1 chain over [s, s+m). Monotone
+            // rounded ops + kBoundSlack make the skip strictly
+            // conservative, and every input is dispatch-independent, so
+            // the skip decisions (and counters) are too.
+            const uint64_t w_min = vec::MinWordBlock({w + 2 * s, 2 * m}, 2);
+            const double a_max = vec::MaxBlock({a + s, m});
+            const double nu_bound =
+                nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min))) *
+                kBoundSlack;
+            if (a_max + nu_bound < bar) {
+              ++stats->tier2_spans_skipped;
+              s += m;
+              continue;
+            }
+            ++stats->tier2_fused_segments;
+            const vec::FusedScanHit hit = vec::FusedLaplaceScanSumGe(
+                {w + 2 * s, 2 * m}, 0.0, nu_scale, {a + s, m}, bar);
+            if (hit.index < m) return {s + hit.index, hit.nu};
+            s += m;
+          }
+          return {n, 0.0};
         };
-        chunk_processed = ScanChunk(a, n, nu_block, find_next, res + done);
+        chunk_processed = ScanChunk(a, n, find_next, res + done);
       }
     }
     if (state_->exhausted) {
@@ -165,43 +200,68 @@ size_t BatchRunner::Run(std::span<const double> answers,
   Response* const res = out->data() + start;
 
   const bool has_nu = spec_.nu_scale > 0.0;
-  uint64_t words[2 * kChunkSize];
-  double nu_block[kChunkSize];
-  const Laplace nu_dist =
-      has_nu ? Laplace::Centered(spec_.nu_scale) : Laplace::Centered(1.0);
+  // Per-query scratch: one sub-block of raw ν words, cache-line-aligned.
+  // There is no tier-1 bound to feed (it would be unsound under per-query
+  // bars), so nothing forces a whole-chunk prefetch — the words are pulled
+  // through the bounded fill hook in L1-sized pieces and consumed by the
+  // fused scan while still hot.
+  alignas(64) uint64_t words[2 * kFusedSubBlock];
+  SVT_DCHECK(reinterpret_cast<uintptr_t>(words) % 64 == 0);
 
   size_t done = 0;
   while (done < total) {
     const size_t n = std::min(kChunkSize, total - done);
-    const double* nu = nullptr;
-    if (has_nu) {
-      // Per-query thresholds forgo the tier-1 bound (the rounding of
-      // answer − threshold would make it unsound); the raw-word fill plus
-      // one full-chunk transform still amortizes the RNG and runs the
-      // dispatched vecmath kernels, consuming the substream exactly as a
-      // scalar draw loop would (the same shape as the common-threshold
-      // tier-2 path).
-      ++state_->batch.tier2_chunks_scanned;
-      state_->nu_rng.FillUint64({words, 2 * n});
-      nu_dist.TransformBlock({words, 2 * n}, {nu_block, n});
-      nu = nu_block;
-    }
-    const double* const t = thresholds.data() + done;
     const double* const a = answers.data() + done;
-    // Per-query bars vary per element; the pairwise vecmath kernels scan
-    // them with the same dispatched compare machinery as the common-
-    // threshold path. Semantics are the exact streaming positive test
-    // (each side one rounded add, ordered >=), bit-identical across
-    // dispatch levels.
-    const auto find_next = [a, nu, t, n](size_t from, double rho) {
-      const size_t m = n - from;
-      if (nu != nullptr) {
-        return from + vec::FindFirstSumGePairwise(
-                          {a + from, m}, {nu + from, m}, {t + from, m}, rho);
+    const double* const t = thresholds.data() + done;
+    size_t chunk_processed = n;
+    if (!has_nu) {
+      // ν-free per-query scan (Alg. 5): no noise words — nothing to fuse;
+      // the dispatched pairwise compare-scan applies the exact streaming
+      // positive test (each side one rounded add, ordered >=).
+      const auto find_next = [a, t, n](size_t from, double rho) {
+        return vec::FusedScanHit{
+            from + vec::FindFirstGePairwise({a + from, n - from},
+                                            {t + from, n - from}, rho),
+            0.0};
+      };
+      chunk_processed = ScanChunk(a, n, find_next, res + done);
+    } else {
+      // Fused per-query tier-2: bounded fills pull the chunk's substream
+      // words sub-block by sub-block — the same words in the same order a
+      // scalar draw loop (or the pre-fusion whole-chunk fill) consumes, so
+      // a completed chunk leaves the substream at the identical position.
+      ++state_->batch.tier2_chunks_scanned;
+      const double nu_scale = spec_.nu_scale;
+      BatchRunStats* const stats = &state_->batch;
+      size_t sub = 0;
+      while (sub < n) {
+        const size_t m = std::min(kFusedSubBlock, n - sub);
+        size_t filled = 0;
+        while (filled < 2 * m) {
+          filled += state_->nu_rng.FillUint64Bounded(
+              {words + filled, 2 * m - filled});
+        }
+        ++stats->tier2_fused_subblocks;
+        const double* const a_sub = a + sub;
+        const double* const t_sub = t + sub;
+        const uint64_t* const w = words;
+        const auto find_next = [a_sub, t_sub, w, m, nu_scale, stats](
+                                   size_t from, double rho) {
+          ++stats->tier2_fused_segments;
+          const vec::FusedScanHit hit = vec::FusedLaplaceScanSumGePairwise(
+              {w + 2 * from, 2 * (m - from)}, 0.0, nu_scale,
+              {a_sub + from, m - from}, {t_sub + from, m - from}, rho);
+          return vec::FusedScanHit{from + hit.index, hit.nu};
+        };
+        const size_t sub_processed =
+            ScanChunk(a_sub, m, find_next, res + done + sub);
+        if (state_->exhausted) {
+          chunk_processed = sub + sub_processed;
+          break;
+        }
+        sub += m;
       }
-      return from + vec::FindFirstGePairwise({a + from, m}, {t + from, m}, rho);
-    };
-    const size_t chunk_processed = ScanChunk(a, n, nu, find_next, res + done);
+    }
     if (state_->exhausted) {
       const size_t emitted = done + chunk_processed;
       out->resize(start + emitted);

@@ -12,10 +12,15 @@
 //     largest answer provably cannot cross the noisy threshold the whole
 //     chunk is emitted as ⊥ without a single log() — the dominant case in
 //     ⊥-heavy SVT workloads, where negatives are free;
-//   * otherwise a bulk inverse-CDF transform (Laplace::TransformBlock,
-//     running vecmath's runtime-dispatched SIMD log kernels) and a tight,
-//     branch-predictable compare-scan that finds the next positive and
-//     emits the ⊥ run before it in one fill;
+//   * otherwise a *fused* single-pass sample-and-scan
+//     (vec::FusedLaplaceScan*): the full Laplace inverse-CDF transform and
+//     the positive test run in the same register pass straight off the raw
+//     words — the ν block of the pre-fusion engine is never materialized,
+//     and resume segments after a positive re-enter the kernel past it, so
+//     every word pair is transformed exactly once per chunk;
+//   * per-query-threshold chunks (no sound tier-1 bound) pull their words
+//     through Rng::FillUint64Bounded in L1-resident sub-blocks and scan
+//     them fused while still hot;
 //   * a slow path only at positives, handling the cutoff, Alg. 2's ρ
 //     resampling, Alg. 3's q+ν output and ε₃ numeric answers.
 //
@@ -44,9 +49,24 @@ namespace svt {
 
 class BatchRunner {
  public:
-  /// Queries per ν block: 16 KiB of noise, L1-resident alongside the
-  /// answers being scanned.
+  /// Queries per chunk: 32 KiB of raw ν words, prefetched whole so the
+  /// tier-1 bound can reduce over them before any transform runs.
   static constexpr size_t kChunkSize = 2048;
+
+  /// Queries per hierarchical tier-2 bound span (common threshold): when
+  /// the whole-chunk bound fails, the same conservative max-|ν| test is
+  /// re-applied per span this size — over few enough draws that
+  /// near-threshold workloads still skip most spans' transforms.
+  static constexpr size_t kBoundSpan = 128;
+
+  /// Queries per fused per-query sub-block (raw words per bounded fill).
+  /// Tuned to one whole chunk on the reference container: sweeping
+  /// 256/512/1024/2048 with an in-process A/B showed the smaller fills
+  /// 10-25% slower (per-call lockstep state round-trips plus restarted
+  /// scan streams outweigh the L1 footprint win there). The sub-block
+  /// structure stays because the knob is host-dependent — a machine with
+  /// a smaller L1d or slower L2 wants it below the chunk size.
+  static constexpr size_t kFusedSubBlock = kChunkSize;
 
   /// Runs over the state of a live mechanism; all three must outlive the
   /// runner. `state` is mutated exactly as the streaming path would.
@@ -67,8 +87,8 @@ class BatchRunner {
   Response MakePositiveResponse(double answer, double nu_j);
 
   template <typename FindNext>
-  size_t ScanChunk(const double* answers, size_t n, const double* nu,
-                   FindNext find_next, Response* res);
+  size_t ScanChunk(const double* answers, size_t n, FindNext find_next,
+                   Response* res);
 
   const VariantSpec& spec_;
   Rng* base_rng_;

@@ -98,9 +98,22 @@ struct BatchRunStats {
   /// Chunks proven all-⊥ by the tier-1 bound: emitted without
   /// materializing a single ν (the log-free fast path).
   int64_t tier1_chunks_skipped = 0;
-  /// Chunks that materialized their ν block and ran the tier-2
-  /// transform/compare scan (includes every per-query-threshold chunk).
+  /// Chunks that ran the tier-2 fused sample-and-scan over their raw ν
+  /// words (includes every per-query-threshold chunk with query noise).
   int64_t tier2_chunks_scanned = 0;
+  /// Fused single-pass scan segments executed: one FusedLaplaceScan* call
+  /// per tier-2 scan span — at least one per surviving bound span (or
+  /// per-query sub-block), plus extra entries from resumes after
+  /// positives. Dispatch-level independent, like every counter here.
+  int64_t tier2_fused_segments = 0;
+  /// Hierarchical-bound skips inside common-threshold tier-2 chunks:
+  /// kBoundSpan-sized spans proven all-⊥ by the per-span max-|ν| bound
+  /// after the whole-chunk bound failed — their transforms never ran.
+  int64_t tier2_spans_skipped = 0;
+  /// Bounded ν-substream sub-block fills in the per-query fused path
+  /// (Rng::FillUint64Bounded loops). The common-threshold path prefetches
+  /// whole chunks for the tier-1 bound and counts none.
+  int64_t tier2_fused_subblocks = 0;
 };
 
 /// Mutable per-run state shared by the streaming Process() path and the
@@ -145,6 +158,14 @@ struct SvtRunState {
 ///      one stream, so block prefetch sizes and dispatch level never move
 ///      a draw's position. Changing the lane count or layout changes
 ///      every stream — a golden re-record, like (4).
+///
+/// Kernel fusion is draw-order-neutral: the batch engine's single-pass
+/// FusedLaplaceScan* kernels (common/vecmath.h) consume the identical raw
+/// word pairs through the identical word→ν lattice of steps (4) and (5) —
+/// they merely skip materializing the ν block between transform and
+/// compare. Steps 1–5 are unchanged and no golden re-record accompanied
+/// fusion; the fused/unfused cross-checks in tests/common_vecmath_test.cc
+/// and the batch/streaming suites enforce this bitwise.
 /// Hence the k-th emitted Response is the same whether queries arrive one
 /// at a time through Process() or in bulk through Run() — and, by (4) and
 /// (5), whether the host dispatches scalar, AVX2 or AVX-512 kernels: the

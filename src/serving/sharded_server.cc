@@ -30,6 +30,10 @@ Result<std::unique_ptr<ShardedSvtServer>> ShardedSvtServer::Create(
   server->shards_.reserve(options.num_shards);
   for (int i = 0; i < options.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    // alignas(64) on Shard routes through aligned operator new; assert the
+    // no-false-sharing guarantee actually held.
+    SVT_DCHECK(reinterpret_cast<uintptr_t>(shard.get()) % alignof(Shard) ==
+               0);
     shard->rng = master.Fork();
     if (options.mode == ShardMode::kAutoReset) {
       SVT_ASSIGN_OR_RETURN(shard->mech,

@@ -113,7 +113,16 @@ class ShardedSvtServer {
  private:
   friend class RequestBatcher;
 
-  struct Shard {
+  /// Cache-line-aligned (and padded to whole lines by the alignas): a
+  /// shard's mutex, RNG state, stats and buffer *object* never share a
+  /// line with another shard's, so concurrent per-shard locking and stats
+  /// updates don't false-share across shards. Note the buffer's *element
+  /// storage* is a separate default-aligned heap allocation the alignas
+  /// cannot reach; isolating response elements across shards would need
+  /// an aligned allocator on a type that must stay std::vector<Response>
+  /// (the RunAppend API). Alignment is asserted at Create() in debug
+  /// builds.
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     Rng rng{0};  ///< forked per-shard stream; mechanisms point into it
     std::unique_ptr<SparseVector> mech;              // kAutoReset

@@ -272,5 +272,65 @@ TEST(SampleBlockTest, BlockStatisticsAreLaplace) {
   EXPECT_NEAR(abs_sum / block.size(), 2.0, 0.05);
 }
 
+TEST(FillBoundedTest, PrefixIsTheNextOutputsOfTheStream) {
+  // FillBounded writes some prefix of the stream — whatever the length it
+  // picks, the words must be exactly the next Next() outputs.
+  Rng ref(1234), rng(1234);
+  std::vector<uint64_t> buf(4096);
+  size_t total = 0;
+  while (total < 3000) {
+    const size_t got =
+        rng.FillUint64Bounded({buf.data(), 1 + total % 613});
+    ASSERT_GT(got, 0u) << "bounded fill must always progress";
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(buf[i], ref.NextUint64()) << "word " << total + i;
+    }
+    total += got;
+  }
+}
+
+TEST(FillBoundedTest, StopsLaneAlignedAndCatchesUpPhase) {
+  // From a lane-aligned position, a fill of 4k+r words stops after the 4k
+  // whole lockstep steps (r in 1..3 left unwritten); after scalar draws
+  // advanced the phase, the catch-up words count toward the prefix.
+  BlockRng rng(42);
+  std::vector<uint64_t> buf(64);
+  EXPECT_EQ(rng.FillBounded({buf.data(), 11}), 8u);   // phase 0: 2 steps
+  // The stream is now at a lane-aligned position again.
+  EXPECT_EQ(rng.state().phase, 0u);
+  rng.Next();  // phase 1: catch-up is 3 words
+  EXPECT_EQ(rng.state().phase, 1u);
+  EXPECT_EQ(rng.FillBounded({buf.data(), 12}), 11u);  // 3 catch-up + 2 steps
+  EXPECT_EQ(rng.state().phase, 0u);
+  // A span smaller than one step at an aligned position fills whole —
+  // scalar — so callers looping toward a fixed word count terminate.
+  EXPECT_EQ(rng.FillBounded({buf.data(), 3}), 3u);
+  EXPECT_EQ(rng.state().phase, 3u);
+  // Empty span: no-op.
+  EXPECT_EQ(rng.FillBounded({}), 0u);
+  EXPECT_EQ(rng.state().phase, 3u);
+}
+
+TEST(FillBoundedTest, LoopingToATargetEqualsOneFill) {
+  // The batch engine's usage pattern: loop FillBounded until 2m words are
+  // consumed. End state and content must equal a single FillUint64.
+  for (const size_t target : {size_t{1}, size_t{2}, size_t{7}, size_t{1024},
+                              size_t{1226}, size_t{4096}}) {
+    Rng a(99), b(99);
+    a.NextUint64();  // start both mid-step (phase 1)
+    b.NextUint64();
+    std::vector<uint64_t> one(target), looped(target);
+    a.FillUint64(one);
+    size_t filled = 0;
+    while (filled < target) {
+      filled += b.FillUint64Bounded({looped.data() + filled, target - filled});
+    }
+    EXPECT_EQ(one, looped) << "target=" << target;
+    const Rng::State sa = a.state(), sb = b.state();
+    EXPECT_EQ(sa.words, sb.words) << "target=" << target;
+    EXPECT_EQ(sa.phase, sb.phase) << "target=" << target;
+  }
+}
+
 }  // namespace
 }  // namespace svt

@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/distributions.h"
 #include "common/rng.h"
 #include "dispatch_test_util.h"
 
@@ -412,6 +414,201 @@ TEST(VecmathDispatchTest, PairwiseScansAcrossLevels) {
     EXPECT_EQ(FindFirstSumGePairwise(a, b, bars, 1e9), n);
     // Empty input.
     EXPECT_EQ(FindFirstGePairwise({}, {}, rho), 0u);
+  }
+}
+
+TEST(VecmathFusedScanTest, MatchesUnfusedCompositionAtEveryLevel) {
+  // The fused sample-and-scan kernels are *defined* as the composition of
+  // the unfused pipeline: TransformBlock to materialize ν, then the
+  // FindFirst* compare-scan. At every dispatch level, walking every hit
+  // must reproduce the oracle's indices exactly and return the oracle's ν
+  // bit for bit — this is the contract that lets the batch engine go
+  // single-pass with no golden re-record.
+  ScopedDispatchLevel restore;
+  Rng rng(321);
+  const size_t n = 1003;  // odd: exercises every lane tail
+  std::vector<uint64_t> words(2 * n);
+  rng.FillUint64(words);
+  words[0] = ~0ull;        // u == 1 lattice edge: ν == ±0
+  words[2 * 500] = 0;      // largest magnitude draw
+  const double mu = 0.25, b = 1.75;
+  std::vector<double> a(n), bars(n);
+  rng.FillDouble(a);
+  rng.FillDouble(bars);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = (a[i] - 0.5) * 8.0;     // straddle the ν scale
+    bars[i] = (bars[i] - 0.5) * 4.0;
+  }
+  const double rho = 0.125;
+
+  const Laplace dist(mu, b);
+  std::vector<double> nu(n);
+
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    const std::string ctx = DispatchLevelName(level);
+    dist.TransformBlock(words, nu);  // the oracle's ν block, same level
+
+    // Walk all hits of all four kernels against the composed oracle.
+    const auto walk = [&](auto fused, auto oracle) {
+      size_t from = 0;
+      while (from <= n) {
+        const std::span<const uint64_t> w{words.data() + 2 * from,
+                                          2 * (n - from)};
+        const FusedScanHit hit = fused(w, from);
+        const size_t expect = oracle(from);
+        ASSERT_EQ(from + hit.index, expect) << ctx << " from=" << from;
+        if (expect >= n) {
+          ASSERT_EQ(hit.index, n - from);
+          ASSERT_EQ(hit.nu, 0.0) << ctx << " no-hit nu must be 0";
+          break;
+        }
+        ASSERT_EQ(std::bit_cast<uint64_t>(hit.nu),
+                  std::bit_cast<uint64_t>(nu[expect]))
+            << ctx << " nu diverges at " << expect;
+        from = expect + 1;
+      }
+    };
+
+    const double bar = mu + b;  // plenty of hits, plenty of gaps
+    walk(
+        [&](std::span<const uint64_t> w, size_t) {
+          return FusedLaplaceScanGe(w, mu, b, bar);
+        },
+        [&](size_t from) {
+          size_t j = from;
+          while (j < n && !(nu[j] >= bar)) ++j;
+          return j;
+        });
+    walk(
+        [&](std::span<const uint64_t> w, size_t from) {
+          return FusedLaplaceScanSumGe(w, mu, b, {a.data() + from, n - from},
+                                       bar);
+        },
+        [&](size_t from) {
+          return from + FindFirstSumGe({a.data() + from, n - from},
+                                       {nu.data() + from, n - from}, bar);
+        });
+    walk(
+        [&](std::span<const uint64_t> w, size_t from) {
+          return FusedLaplaceScanGePairwise(
+              w, mu, b, {bars.data() + from, n - from}, rho);
+        },
+        [&](size_t from) {
+          size_t j = from;
+          while (j < n && !(nu[j] >= bars[j] + rho)) ++j;
+          return j;
+        });
+    walk(
+        [&](std::span<const uint64_t> w, size_t from) {
+          return FusedLaplaceScanSumGePairwise(
+              w, mu, b, {a.data() + from, n - from},
+              {bars.data() + from, n - from}, rho);
+        },
+        [&](size_t from) {
+          return from + FindFirstSumGePairwise({a.data() + from, n - from},
+                                               {nu.data() + from, n - from},
+                                               {bars.data() + from, n - from},
+                                               rho);
+        });
+  }
+}
+
+TEST(VecmathFusedScanTest, BitIdenticalAcrossDispatchLevels) {
+  // Fused results (index AND ν payload) must not depend on the lane, for
+  // hit positions at every lane offset.
+  ScopedDispatchLevel restore;
+  Rng rng(99);
+  const size_t n = 531;
+  std::vector<uint64_t> words(2 * n);
+  rng.FillUint64(words);
+  std::vector<double> a(n), bars(n);
+  rng.FillDouble(a);
+  rng.FillDouble(bars);
+
+  ASSERT_TRUE(SetDispatchLevel(DispatchLevel::kScalar));
+  std::vector<FusedScanHit> ref;
+  for (size_t from = 0; from <= n;) {
+    const FusedScanHit hit = FusedLaplaceScanSumGePairwise(
+        {words.data() + 2 * from, 2 * (n - from)}, 0.0, 2.0,
+        {a.data() + from, n - from}, {bars.data() + from, n - from}, 0.5);
+    ref.push_back(hit);
+    if (from + hit.index >= n) break;
+    from += hit.index + 1;
+  }
+  ASSERT_GT(ref.size(), 2u) << "workload must contain several hits";
+
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!SetDispatchLevel(level)) continue;
+    size_t k = 0;
+    for (size_t from = 0; from <= n;) {
+      const FusedScanHit hit = FusedLaplaceScanSumGePairwise(
+          {words.data() + 2 * from, 2 * (n - from)}, 0.0, 2.0,
+          {a.data() + from, n - from}, {bars.data() + from, n - from}, 0.5);
+      ASSERT_LT(k, ref.size());
+      ASSERT_EQ(hit.index, ref[k].index) << DispatchLevelName(level);
+      ASSERT_EQ(std::bit_cast<uint64_t>(hit.nu),
+                std::bit_cast<uint64_t>(ref[k].nu))
+          << DispatchLevelName(level);
+      ++k;
+      if (from + hit.index >= n) break;
+      from += hit.index + 1;
+    }
+    EXPECT_EQ(k, ref.size()) << DispatchLevelName(level);
+  }
+}
+
+TEST(VecmathFusedScanTest, OddTailsAndEmptySpans) {
+  // Chunk tails shorter than one SIMD width delegate to the scalar lane —
+  // the same rule as the unfused kernels. Regression-test every length
+  // that straddles the AVX2 (4) and AVX-512 (8, plus sub-width) tails,
+  // and the empty span, at every level.
+  ScopedDispatchLevel restore;
+  Rng rng(7);
+  std::vector<uint64_t> words(2 * 32);
+  rng.FillUint64(words);
+  std::vector<double> a(32, -1.0), bars(32, 1e9);
+  const Laplace dist(0.0, 1.0);
+  std::vector<double> nu(32);
+
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    dist.TransformBlock(words, nu);
+    for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                       size_t{7}, size_t{9}, size_t{11}, size_t{15},
+                       size_t{17}, size_t{31}}) {
+      // No-hit scans return {len, 0.0} for every variant.
+      EXPECT_EQ(FusedLaplaceScanGe({words.data(), 2 * len}, 0.0, 1.0, 1e9)
+                    .index,
+                len)
+          << DispatchLevelName(level) << " len=" << len;
+      EXPECT_EQ(FusedLaplaceScanSumGe({words.data(), 2 * len}, 0.0, 1.0,
+                                      {a.data(), len}, 1e9)
+                    .index,
+                len);
+      EXPECT_EQ(FusedLaplaceScanGePairwise({words.data(), 2 * len}, 0.0, 1.0,
+                                           {bars.data(), len}, 0.0)
+                    .index,
+                len);
+      EXPECT_EQ(
+          FusedLaplaceScanSumGePairwise({words.data(), 2 * len}, 0.0, 1.0,
+                                        {a.data(), len}, {bars.data(), len},
+                                        0.0)
+              .index,
+          len);
+      if (len == 0) continue;
+      // A hit in the very last element of an odd tail is found with the
+      // oracle's ν.
+      const size_t last = len - 1;
+      const double bar = nu[last];  // ties fire the ordered >=
+      const FusedScanHit hit =
+          FusedLaplaceScanGe({words.data(), 2 * len}, 0.0, 1.0, bar);
+      ASSERT_LE(hit.index, last);
+      ASSERT_EQ(std::bit_cast<uint64_t>(hit.nu),
+                std::bit_cast<uint64_t>(nu[hit.index]))
+          << DispatchLevelName(level) << " len=" << len;
+    }
   }
 }
 

@@ -7,8 +7,10 @@
 
 #include "core/batch_runner.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -454,6 +456,173 @@ TEST(BatchRunnerTest, PerQueryThresholdNearThresholdAcrossDispatchLevels) {
     ExpectSameResponses(batch->Run(answers, thresholds), ref,
                         std::string("nu-free per-query ") +
                             vec::DispatchLevelName(level));
+  }
+}
+
+TEST(BatchRunnerTest, InterleavedCommonAndPerQueryRunAppendAcrossLevels) {
+  // One mechanism fed alternately through the common-threshold and the
+  // per-query-threshold RunAppend overloads — the two fused tier-2 paths
+  // share the ν substream, so their interleaving must stay draw-for-draw
+  // aligned with one streaming Process() loop, at every dispatch level,
+  // including segments with odd tails shorter than a SIMD width.
+  ScopedDispatchLevel restore;
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 500;
+  o.monotonic = true;
+  Rng rng_probe(66);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+
+  const size_t n = 3 * BatchRunner::kChunkSize + 41;
+  std::vector<double> answers(n), bars(n);
+  Rng gen(13);
+  for (size_t i = 0; i < n; ++i) {
+    answers[i] = (-6.0 + (gen.NextDouble() - 0.5)) * nu_scale;
+    bars[i] = (gen.NextDouble() - 0.5) * nu_scale;
+  }
+  // Segment lengths cycle through odd tails, sub-SIMD-width pieces, and
+  // chunk-crossing blocks; even segments run common-threshold (bar 0 for
+  // every element), odd segments the per-query overload.
+  const size_t seg_len[] = {7, 613, 3, BatchRunner::kChunkSize + 9, 1, 257};
+
+  // Streaming reference (scalar level).
+  ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+  Rng rng_stream(29);
+  auto stream = SparseVector::Create(o, &rng_stream).value();
+  std::vector<Response> ref;
+  {
+    size_t i = 0, seg = 0;
+    while (i < n && !stream->exhausted()) {
+      const size_t len = std::min(seg_len[seg % 6], n - i);
+      for (size_t k = 0; k < len && !stream->exhausted(); ++k) {
+        const double bar = (seg % 2 == 0) ? 0.0 : bars[i + k];
+        ref.push_back(stream->Process(answers[i + k], bar));
+      }
+      i += len;
+      ++seg;
+    }
+  }
+
+  std::optional<BatchRunStats> scalar_stats;
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    Rng rng_batch(29);
+    auto batch = SparseVector::Create(o, &rng_batch).value();
+    std::vector<Response> got;
+    size_t i = 0, seg = 0;
+    while (i < n && !batch->exhausted()) {
+      const size_t len = std::min(seg_len[seg % 6], n - i);
+      const std::span<const double> a{answers.data() + i, len};
+      if (seg % 2 == 0) {
+        batch->RunAppend(a, 0.0, &got);
+      } else {
+        batch->RunAppend(a, {bars.data() + i, len}, &got);
+      }
+      i += len;
+      ++seg;
+    }
+    ExpectSameResponses(got, ref,
+                        std::string("interleaved ") +
+                            vec::DispatchLevelName(level));
+    EXPECT_EQ(batch->positives_emitted(), stream->positives_emitted());
+    EXPECT_EQ(batch->queries_processed(), stream->queries_processed());
+
+    // The fused paths must be observable: both overloads ran tier-2, the
+    // per-query path pulled bounded sub-blocks, and the counters — like
+    // the responses — are dispatch-level-independent.
+    const BatchRunStats& st = batch->batch_stats();
+    EXPECT_GT(st.tier2_chunks_scanned, 0) << vec::DispatchLevelName(level);
+    EXPECT_GT(st.tier2_fused_segments, 0) << vec::DispatchLevelName(level);
+    EXPECT_GT(st.tier2_fused_subblocks, 0) << vec::DispatchLevelName(level);
+    if (!scalar_stats.has_value()) {
+      scalar_stats = st;
+    } else {
+      EXPECT_EQ(st.tier1_chunks_skipped, scalar_stats->tier1_chunks_skipped);
+      EXPECT_EQ(st.tier2_chunks_scanned, scalar_stats->tier2_chunks_scanned);
+      EXPECT_EQ(st.tier2_fused_segments, scalar_stats->tier2_fused_segments);
+      EXPECT_EQ(st.tier2_fused_subblocks,
+                scalar_stats->tier2_fused_subblocks);
+      EXPECT_EQ(st.tier2_spans_skipped, scalar_stats->tier2_spans_skipped);
+    }
+  }
+}
+
+TEST(BatchRunnerTest, HierarchicalBoundSkipsSpansInsideTier2Chunks) {
+  // A chunk with one near-threshold element defeats the whole-chunk bound
+  // (the chunk must run tier-2) while every other kBoundSpan-sized span is
+  // far below — those spans skip their transform, observably.
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 100;
+  o.monotonic = true;
+  Rng rng_probe(31);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+
+  const size_t n = BatchRunner::kChunkSize;
+  std::vector<double> answers(n, -1e9);
+  answers[n - 1] = -0.5 * nu_scale;  // near the bar: no bound can clear it
+  Rng rng_batch(31), rng_stream(31);
+  auto batch = SparseVector::Create(o, &rng_batch).value();
+  auto stream = SparseVector::Create(o, &rng_stream).value();
+
+  const std::vector<Response> b = batch->Run(answers, 0.0);
+  std::vector<Response> s;
+  for (double a : answers) {
+    if (stream->exhausted()) break;
+    s.push_back(stream->Process(a, 0.0));
+  }
+  ExpectSameResponses(b, s, "hierarchical-bound");
+
+  const BatchRunStats& st = batch->batch_stats();
+  EXPECT_EQ(st.tier1_chunks_skipped, 0);
+  EXPECT_EQ(st.tier2_chunks_scanned, 1);
+  // All spans except the one holding the near-threshold element skip.
+  EXPECT_GE(st.tier2_spans_skipped,
+            static_cast<int64_t>(n / BatchRunner::kBoundSpan) - 1);
+  EXPECT_GT(st.tier2_fused_segments, 0);
+}
+
+TEST(BatchRunnerTest, TinyAndOddSizedBatchesMatchStreaming) {
+  // Engine-level odd-tail regression for the fused paths: batches shorter
+  // than one SIMD width, shorter than one bound span, and one past each
+  // boundary — common and per-query — must equal streaming exactly.
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 50;
+  o.monotonic = true;
+  Rng rng_probe(71);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+
+  for (size_t n : {size_t{1}, size_t{3}, size_t{7}, size_t{9},
+                   BatchRunner::kBoundSpan - 1, BatchRunner::kBoundSpan + 1,
+                   BatchRunner::kChunkSize + 3}) {
+    std::vector<double> answers(n), bars(n);
+    Rng gen(n + 1);
+    for (size_t i = 0; i < n; ++i) {
+      answers[i] = (-2.0 + (gen.NextDouble() - 0.5)) * nu_scale;
+      bars[i] = (gen.NextDouble() - 0.5) * nu_scale;
+    }
+    for (const bool per_query : {false, true}) {
+      Rng rng_batch(77), rng_stream(77);
+      auto batch = SparseVector::Create(o, &rng_batch).value();
+      auto stream = SparseVector::Create(o, &rng_stream).value();
+      std::vector<Response> got, ref;
+      if (per_query) {
+        batch->RunAppend(answers, bars, &got);
+      } else {
+        batch->RunAppend(answers, 0.0, &got);
+      }
+      for (size_t i = 0; i < n && !stream->exhausted(); ++i) {
+        ref.push_back(
+            stream->Process(answers[i], per_query ? bars[i] : 0.0));
+      }
+      ExpectSameResponses(got, ref,
+                          "tiny n=" + std::to_string(n) +
+                              (per_query ? " per-query" : " common"));
+    }
   }
 }
 

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/vecmath.h"
+#include "dispatch_test_util.h"
 #include "interactive/session.h"
 
 namespace svt {
@@ -125,6 +127,49 @@ TEST(SessionBatchTest, PerQueryThresholdOverloadMatchesStreaming) {
   std::vector<Response> got;
   batch->RunAppend(answers, thresholds, &got);
   EXPECT_EQ(got, expect);
+}
+
+TEST(SessionBatchTest, NearThresholdRolloverStaysFusedAndBitEqual) {
+  // Session rollover through the fused tier-2 engine: answers clustered
+  // near the threshold so every round's chunks run the single-pass fused
+  // scan (not the tier-1 skip), across several budget-funded rounds, at
+  // every dispatch level. The Response stream must equal the scalar
+  // streaming session bit for bit — rollover replays draw-order step 1
+  // per round, and fusion must not disturb it.
+  ScopedDispatchLevel restore;
+  SessionOptions o = Options(1.0, 0.2);
+  o.round.cutoff = 4;  // several rollovers inside one RunAppend
+  // Probe the round's ν scale to park answers a couple of scales below.
+  Rng rng_probe(91);
+  const double nu_scale =
+      SparseVector::Create(
+          [&] {
+            SvtOptions r = o.round;
+            r.epsilon = o.epsilon_per_round;
+            return r;
+          }(),
+          &rng_probe)
+          .value()
+          ->query_noise_scale();
+  std::vector<double> answers(3000);
+  Rng gen(557);
+  for (double& a : answers) {
+    a = (-2.0 + (gen.NextDouble() - 0.5)) * nu_scale;
+  }
+
+  ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+  const std::vector<Response> expect = StreamAll(o, 37, answers, 0.0);
+  ASSERT_FALSE(expect.empty());
+
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    Rng rng(37);
+    auto session = AboveThresholdSession::Create(o, &rng).value();
+    std::vector<Response> got;
+    session->RunAppend(answers, 0.0, &got);
+    EXPECT_EQ(got, expect) << vec::DispatchLevelName(level);
+    EXPECT_GT(session->rounds_started(), 1) << "workload must roll over";
+  }
 }
 
 TEST(SessionBatchTest, RunAppendOnlyAppends) {
