@@ -1,0 +1,36 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace svt {
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepFor(int64_t nanos) override {
+    SVT_DCHECK(nanos >= 0);
+    if (nanos > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+    }
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  // Leaked singleton: serving objects may read the clock from static
+  // destructors, so it must never be torn down.
+  static SteadyClock* const kClock = new SteadyClock();
+  return kClock;
+}
+
+}  // namespace svt

@@ -1,0 +1,68 @@
+// Injectable monotonic time source.
+//
+// The serving layer (admission control, deadlines, per-shard latency) needs
+// a notion of time, but wall-clock reads would make every overload and
+// deadline test nondeterministic. All time in src/serving flows through
+// this interface instead: production uses RealClock() (steady_clock),
+// tests and the fault-injection harness use a VirtualClock they advance by
+// hand, so "a shard stalled for 50ms" or "this deadline expired" are exact,
+// reproducible events rather than sleeps and races.
+//
+// Times are nanoseconds on an arbitrary monotonic epoch (steady_clock's
+// for RealClock, 0 for a fresh VirtualClock). Deadlines are absolute
+// values in the same domain: callers compute them as NowNanos() + budget.
+
+#ifndef SPARSEVEC_COMMON_CLOCK_H_
+#define SPARSEVEC_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace svt {
+
+/// Abstract monotonic clock. Implementations must be thread-safe: serving
+/// reads the clock concurrently from every shard slice.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since the clock's epoch. Monotonic
+  /// non-decreasing across threads.
+  virtual int64_t NowNanos() = 0;
+
+  /// Blocks (or, for virtual clocks, advances time) for `nanos` >= 0.
+  /// This is what an injected shard stall calls, so a VirtualClock turns
+  /// "the shard hung for 50ms" into a deterministic time jump while
+  /// RealClock actually sleeps the thread.
+  virtual void SleepFor(int64_t nanos) = 0;
+};
+
+/// Process-wide std::chrono::steady_clock adapter; never destroyed.
+Clock* RealClock();
+
+/// Deterministic test clock: time moves only when told to. SleepFor()
+/// advances the shared time instead of blocking, so a "stalled" shard
+/// finishes instantly in real time while everything downstream observes
+/// the stall through NowNanos().
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void SleepFor(int64_t nanos) override { Advance(nanos); }
+
+  /// Moves time forward by `nanos` >= 0.
+  void Advance(int64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_COMMON_CLOCK_H_

@@ -18,6 +18,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Exhausted";
     case StatusCode::kNumericalError:
       return "NumericalError";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -33,6 +33,13 @@ enum class StatusCode : int {
   kExhausted = 5,
   /// Numerical routine failed to converge to the requested tolerance.
   kNumericalError = 6,
+  /// The serving layer shed the request: its admission queue is at
+  /// capacity (or a blocking submit timed out waiting for space). The
+  /// request was NOT executed; callers may retry with backoff.
+  kOverloaded = 7,
+  /// The request's deadline expired before it could be executed. The
+  /// request was NOT executed.
+  kDeadlineExceeded = 8,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -67,6 +74,12 @@ class Status {
   }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,80 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace svt {
+
+std::string_view ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kReject:
+      return "kReject";
+    case ShedPolicy::kBlock:
+      return "kBlock";
+  }
+  return "unknown";
+}
+
+std::string_view RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kPending:
+      return "kPending";
+    case RequestOutcome::kOk:
+      return "kOk";
+    case RequestOutcome::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case RequestOutcome::kBudgetExhausted:
+      return "kBudgetExhausted";
+    case RequestOutcome::kShardFailed:
+      return "kShardFailed";
+  }
+  return "unknown";
+}
+
+Status JitteredBackoff::Options::Validate() const {
+  if (initial_delay_nanos <= 0) {
+    return Status::InvalidArgument(
+        "JitteredBackoff initial_delay_nanos must be > 0");
+  }
+  if (max_delay_nanos < initial_delay_nanos) {
+    return Status::InvalidArgument(
+        "JitteredBackoff max_delay_nanos must be >= initial_delay_nanos");
+  }
+  if (!(multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "JitteredBackoff multiplier must be >= 1.0");
+  }
+  if (!(jitter >= 0.0 && jitter <= 1.0)) {
+    return Status::InvalidArgument("JitteredBackoff jitter must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+JitteredBackoff::JitteredBackoff(const Options& options, Rng* rng)
+    : options_(options), rng_(rng) {
+  SVT_CHECK(rng_ != nullptr);
+  SVT_CHECK_OK(options_.Validate());
+}
+
+int64_t JitteredBackoff::NextDelayNanos() {
+  // Grow in double space and clamp before converting: attempt counts large
+  // enough to overflow int64 nanos are reachable in long retry loops.
+  const double grown =
+      static_cast<double>(options_.initial_delay_nanos) *
+      std::pow(options_.multiplier, static_cast<double>(attempt_));
+  const double capped =
+      std::min(grown, static_cast<double>(options_.max_delay_nanos));
+  ++attempt_;
+  double scale = 1.0;
+  if (options_.jitter > 0.0) {
+    // One draw per delay, jitter or not reached yet: the schedule's Rng
+    // consumption is a function of the call count alone.
+    scale = 1.0 - options_.jitter * rng_->NextDouble();
+  }
+  const int64_t delay = static_cast<int64_t>(capped * scale);
+  return std::max<int64_t>(delay, 1);
+}
+
+}  // namespace svt

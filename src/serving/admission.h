@@ -1,0 +1,107 @@
+// Admission-control vocabulary for the serving layer: shed policies for a
+// full pending queue, structured per-request outcomes (so degraded modes —
+// exhausted budgets, expired deadlines, injected shard failures — are
+// reported instead of silently truncating responses), and a seeded
+// jittered-backoff helper so retry schedules stay reproducible.
+//
+// Overload handling follows the standard production recipe (bounded queue
+// + explicit shed + caller retry-with-backoff) rather than unbounded
+// buffering: the ROADMAP's serving item names admission control and
+// backpressure as prerequisites for a front end serving millions of users.
+
+#ifndef SPARSEVEC_SERVING_ADMISSION_H_
+#define SPARSEVEC_SERVING_ADMISSION_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace svt {
+
+/// What Submit() does when the pending queue is at capacity.
+enum class ShedPolicy : uint8_t {
+  /// Fail fast: return kOverloaded immediately, never block. The default —
+  /// a request handler must not stall its thread on a saturated server.
+  kReject,
+  /// Backpressure: block the submitting thread until space frees or
+  /// `block_timeout_nanos` elapses (then kOverloaded). Never call from a
+  /// thread that is itself responsible for draining.
+  kBlock,
+};
+
+std::string_view ShedPolicyName(ShedPolicy policy);
+
+/// Terminal state of one submitted request, written to the caller's
+/// outcome slot by the drain that consumed it. A request that was never
+/// admitted (Submit returned an error) keeps whatever the slot held;
+/// Submit sets admitted requests to kPending first.
+enum class RequestOutcome : uint8_t {
+  /// Admitted but not yet drained.
+  kPending = 0,
+  /// Executed; one Response per query delivered to *out.
+  kOk,
+  /// Deadline expired while queued; the request was NOT executed (its
+  /// shard's noise stream is untouched) and *out is empty.
+  kDeadlineExceeded,
+  /// kBudgetMetered only: the shard's lifetime budget could not fund all
+  /// (possibly any) of the request's queries. *out holds the responses
+  /// that were funded — fewer than answers.size(), possibly zero.
+  kBudgetExhausted,
+  /// The shard failed to execute the request (fault injection, or a real
+  /// shard-level failure). NOT executed, noise stream untouched, *out
+  /// empty. Other shards' requests in the same drain are unaffected.
+  kShardFailed,
+};
+
+std::string_view RequestOutcomeName(RequestOutcome outcome);
+
+/// Per-request admission parameters (RequestBatcher::Submit).
+struct SubmitOptions {
+  /// Absolute deadline in the server clock's domain (NowNanos() +
+  /// budget); 0 = none. Expired requests are never executed: rejected at
+  /// submit with kDeadlineExceeded, or skipped at drain time with outcome
+  /// kDeadlineExceeded.
+  int64_t deadline_nanos = 0;
+};
+
+/// Deterministic exponential backoff with multiplicative jitter, seeded
+/// from an Rng fork so a retry schedule is a pure function of the seed.
+/// Delay k (0-based) is clamp(initial * multiplier^k, ., max) scaled by a
+/// uniform factor in [1 - jitter, 1]; jitter desynchronizes retry storms
+/// while the Rng keeps every run bitwise reproducible.
+class JitteredBackoff {
+ public:
+  struct Options {
+    int64_t initial_delay_nanos = 1'000'000;  // 1 ms
+    int64_t max_delay_nanos = 100'000'000;    // 100 ms
+    double multiplier = 2.0;
+    /// Fraction of each delay that jitter may remove, in [0, 1].
+    double jitter = 0.5;
+
+    Status Validate() const;
+  };
+
+  /// Options are checked fatally (SVT_CHECK_OK); validate first when they
+  /// come from configuration. `rng` must outlive the helper.
+  JitteredBackoff(const Options& options, Rng* rng);
+
+  /// Delay before the next retry; each call advances the schedule (and
+  /// consumes exactly one Rng draw when jitter > 0).
+  int64_t NextDelayNanos();
+
+  /// Restarts the schedule at the initial delay (Rng stream continues).
+  void Reset() { attempt_ = 0; }
+
+  int attempts() const { return attempt_; }
+
+ private:
+  Options options_;
+  Rng* rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_SERVING_ADMISSION_H_

@@ -1,0 +1,126 @@
+#include "serving/fault_injection.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace svt {
+namespace {
+
+/// Fault sites, folded into the decision hash so the same (shard,
+/// attempt) coordinates draw independent decisions per fault kind.
+enum Site : uint64_t {
+  kSiteStall = 1,
+  kSiteFailure = 2,
+  kSiteSubmitShed = 3,
+  kSiteClockSkew = 4,
+};
+
+/// Stateless uniform in [0, 1) at coordinates (seed, site, a, b): a short
+/// SplitMix64 chain folding each coordinate into the state. Pure, so fault
+/// decisions cannot depend on thread interleaving.
+double UniformAt(uint64_t seed, uint64_t site, uint64_t a, uint64_t b) {
+  uint64_t state = seed;
+  uint64_t h = SplitMix64Next(state);
+  state = h ^ (site * 0x9e3779b97f4a7c15ULL);
+  h = SplitMix64Next(state);
+  state = h ^ a;
+  h = SplitMix64Next(state);
+  state = h ^ b;
+  return Rng::ToUnitDouble(SplitMix64Next(state));
+}
+
+Status CheckProbability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument(std::string("FaultInjector ") + name +
+                                   " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultInjector::Options::Validate() const {
+  SVT_RETURN_NOT_OK(
+      CheckProbability(shard_stall_probability, "shard_stall_probability"));
+  SVT_RETURN_NOT_OK(CheckProbability(shard_failure_probability,
+                                     "shard_failure_probability"));
+  SVT_RETURN_NOT_OK(
+      CheckProbability(submit_shed_probability, "submit_shed_probability"));
+  SVT_RETURN_NOT_OK(
+      CheckProbability(clock_skew_probability, "clock_skew_probability"));
+  if (stall_nanos < 0) {
+    return Status::InvalidArgument("FaultInjector stall_nanos must be >= 0");
+  }
+  if (clock_skew_nanos < 0) {
+    return Status::InvalidArgument(
+        "FaultInjector clock_skew_nanos must be >= 0");
+  }
+  if (submit_shed_burst < 1) {
+    return Status::InvalidArgument(
+        "FaultInjector submit_shed_burst must be >= 1");
+  }
+  if (shard_stall_probability > 0.0 && stall_nanos == 0) {
+    return Status::InvalidArgument(
+        "FaultInjector shard_stall_probability > 0 needs stall_nanos > 0");
+  }
+  if (clock_skew_probability > 0.0 && clock_skew_nanos == 0) {
+    return Status::InvalidArgument(
+        "FaultInjector clock_skew_probability > 0 needs clock_skew_nanos > "
+        "0");
+  }
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(const Options& options) : options_(options) {
+  SVT_CHECK_OK(options_.Validate());
+}
+
+FaultInjector::ShardFault FaultInjector::OnShardAttempt(
+    int shard, uint64_t attempt) const {
+  ShardFault fault;
+  const auto s = static_cast<uint64_t>(shard);
+  if (options_.shard_stall_probability > 0.0 &&
+      UniformAt(options_.seed, kSiteStall, s, attempt) <
+          options_.shard_stall_probability) {
+    fault.stall_nanos = options_.stall_nanos;
+  }
+  if (options_.shard_failure_probability > 0.0 &&
+      UniformAt(options_.seed, kSiteFailure, s, attempt) <
+          options_.shard_failure_probability) {
+    fault.fail = true;
+  }
+  return fault;
+}
+
+bool FaultInjector::OnSubmitAttempt(uint64_t attempt) const {
+  if (options_.submit_shed_probability <= 0.0) return false;
+  // Burst semantics: the trigger is drawn once per burst-length window, so
+  // a hit sheds the whole window of consecutive attempts (a queue staying
+  // full for a while, not isolated blips).
+  const uint64_t window =
+      attempt / static_cast<uint64_t>(options_.submit_shed_burst);
+  return UniformAt(options_.seed, kSiteSubmitShed, window, 0) <
+         options_.submit_shed_probability;
+}
+
+int64_t FaultInjector::SkewNanos(uint64_t attempt) const {
+  if (options_.clock_skew_probability <= 0.0) return 0;
+  if (UniformAt(options_.seed, kSiteClockSkew, attempt, 0) <
+      options_.clock_skew_probability) {
+    return options_.clock_skew_nanos;
+  }
+  return 0;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  Counters c;
+  c.stalls = stalls_.load(std::memory_order_relaxed);
+  c.failures = failures_.load(std::memory_order_relaxed);
+  c.submit_sheds = submit_sheds_.load(std::memory_order_relaxed);
+  c.skews = skews_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace svt

@@ -1,0 +1,118 @@
+// Deterministic fault injection for the serving layer.
+//
+// A FaultInjector is a *pure decision table*: every fault decision is a
+// stateless SplitMix64 hash of (seed, fault site, shard, attempt index),
+// so a fixed seed and submission schedule reproduce exactly the same
+// faults regardless of thread count or interleaving — which is what lets
+// the fault-matrix test suite assert bitwise determinism under every
+// fault. The injector never touches a shard's noise stream: faults change
+// *which* requests are admitted/executed, never the noise of the ones
+// that run (the serving determinism contract in sharded_server.h).
+//
+// Wiring is zero-cost when disabled: ShardedSvtServer and RequestBatcher
+// hold a FaultInjector* that defaults to nullptr, and every injection
+// site is guarded by one never-taken null check (verified by paired A/B
+// runs of bench_serving with the injector compiled in but inactive).
+//
+// Supported faults:
+//   * shard stall     — the shard sleeps (real clock) or jumps time
+//                       (VirtualClock) before executing a request, so
+//                       queued requests behind it miss deadlines;
+//   * shard failure   — the request is skipped and reported kShardFailed,
+//                       the shard's noise stream untouched;
+//   * queue-full burst— Submit() sheds runs of consecutive submissions as
+//                       if the pending queue were at capacity;
+//   * clock skew      — admission-time clock reads are shifted forward,
+//                       expiring deadlines early. Decisions only; no
+//                       execution-path perturbation.
+
+#ifndef SPARSEVEC_SERVING_FAULT_INJECTION_H_
+#define SPARSEVEC_SERVING_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace svt {
+
+class FaultInjector {
+ public:
+  struct Options {
+    /// Seed of the decision table; independent of every serving seed.
+    uint64_t seed = 0;
+
+    /// P[a shard execution attempt stalls for stall_nanos].
+    double shard_stall_probability = 0.0;
+    int64_t stall_nanos = 0;
+
+    /// P[a shard execution attempt fails -> kShardFailed].
+    double shard_failure_probability = 0.0;
+
+    /// P[a submission attempt starts a shed burst]; each trigger sheds
+    /// `submit_shed_burst` consecutive submission attempts (>= 1).
+    double submit_shed_probability = 0.0;
+    int submit_shed_burst = 1;
+
+    /// P[an admission-time clock read is skewed forward by
+    /// clock_skew_nanos].
+    double clock_skew_probability = 0.0;
+    int64_t clock_skew_nanos = 0;
+
+    Status Validate() const;
+  };
+
+  /// Options are checked fatally (SVT_CHECK_OK); Validate() first when
+  /// they come from configuration.
+  explicit FaultInjector(const Options& options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decision for the `attempt`-th execution attempt on `shard` (the
+  /// shard's own attempt counter: deterministic given its accepted-request
+  /// order). Stall and failure are drawn independently; a request can
+  /// stall and then fail.
+  struct ShardFault {
+    int64_t stall_nanos = 0;  ///< 0 = no stall
+    bool fail = false;
+  };
+  ShardFault OnShardAttempt(int shard, uint64_t attempt) const;
+
+  /// True when the `attempt`-th global submission attempt falls in an
+  /// injected queue-full burst (shed with kOverloaded, not enqueued).
+  bool OnSubmitAttempt(uint64_t attempt) const;
+
+  /// Forward skew (>= 0) applied to the admission-time clock read of the
+  /// `attempt`-th global submission attempt.
+  int64_t SkewNanos(uint64_t attempt) const;
+
+  /// How many faults actually fired (telemetry; updated by the serving
+  /// sites, not by the pure decision functions above).
+  struct Counters {
+    int64_t stalls = 0;
+    int64_t failures = 0;
+    int64_t submit_sheds = 0;
+    int64_t skews = 0;
+  };
+  Counters counters() const;
+  void CountStall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
+  void CountFailure() { failures_.fetch_add(1, std::memory_order_relaxed); }
+  void CountSubmitShed() {
+    submit_sheds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountSkew() { skews_.fetch_add(1, std::memory_order_relaxed); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::atomic<int64_t> stalls_{0};
+  std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> submit_sheds_{0};
+  std::atomic<int64_t> skews_{0};
+};
+
+}  // namespace svt
+
+#endif  // SPARSEVEC_SERVING_FAULT_INJECTION_H_

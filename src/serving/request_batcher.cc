@@ -1,11 +1,48 @@
 #include "serving/request_batcher.h"
 
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "serving/fault_injection.h"
 
 namespace svt {
+
+Status RequestBatcher::Options::Validate() const {
+  if (block_timeout_nanos < 0) {
+    return Status::InvalidArgument(
+        "RequestBatcher block_timeout_nanos must be >= 0");
+  }
+  switch (shed_policy) {
+    case ShedPolicy::kReject:
+      break;
+    case ShedPolicy::kBlock:
+      if (max_pending == 0) {
+        return Status::InvalidArgument(
+            "ShedPolicy::kBlock requires a bounded queue (max_pending > 0): "
+            "an unbounded queue never blocks, so the policy would be dead "
+            "configuration");
+      }
+      if (block_timeout_nanos == 0) {
+        return Status::InvalidArgument(
+            "ShedPolicy::kBlock requires block_timeout_nanos > 0 (an "
+            "unbounded wait would hang submitters on a saturated server)");
+      }
+      break;
+    default:
+      return Status::InvalidArgument("unknown ShedPolicy");
+  }
+  if (max_pending > 0 && auto_drain_pending > max_pending) {
+    return Status::InvalidArgument(
+        "auto_drain_pending (" + std::to_string(auto_drain_pending) +
+        ") exceeds max_pending (" + std::to_string(max_pending) +
+        "): the pending queue can never reach the auto-drain threshold, so "
+        "auto-drain would silently never fire");
+  }
+  return Status::OK();
+}
 
 RequestBatcher::RequestBatcher(ShardedSvtServer* server)
     : RequestBatcher(server, Options()) {}
@@ -13,20 +50,34 @@ RequestBatcher::RequestBatcher(ShardedSvtServer* server)
 RequestBatcher::RequestBatcher(ShardedSvtServer* server, Options options)
     : server_(server), options_(options) {
   SVT_CHECK(server_ != nullptr);
+  SVT_CHECK_OK(options_.Validate());
+  clock_ = server_->clock();
   // The drain lock is declared alignas(64) to keep it off mu_'s line; a
   // batcher placed in under-aligned storage would silently reintroduce
   // the false sharing.
   SVT_DCHECK(reinterpret_cast<uintptr_t>(&drain_mu_) % 64 == 0);
 }
 
+void RequestBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  space_cv_.notify_all();
+}
+
 RequestBatcher::~RequestBatcher() {
+  // Shut the admission door first: any Submit() that races the final
+  // flush takes the defined reject-after-shutdown path instead of
+  // appending to a queue being torn down. Blocked kBlock submitters wake
+  // on the notify and reject themselves.
+  Shutdown();
   // A request whose drain never ran would leave its *out stale; flush.
-  // Submit() racing destruction is a use-after-free regardless, so only
-  // drains started before destruction matter here. The final flush is
-  // BLOCKING: it acquires drain_mu_ outright (waiting out an in-flight
-  // Drain() and, transitively, the shard locks its batch execution holds)
-  // instead of spinning hot on the try-lock path — a slow shard used to
-  // turn this destructor into a busy-wait burning a core.
+  // The final flush is BLOCKING: it acquires drain_mu_ outright (waiting
+  // out an in-flight Drain() and, transitively, the shard locks its batch
+  // execution holds) instead of spinning hot on the try-lock path — a
+  // slow shard used to turn this destructor into a busy-wait burning a
+  // core.
   for (;;) {
     std::vector<Request> batch;
     {
@@ -34,6 +85,7 @@ RequestBatcher::~RequestBatcher() {
       {
         std::lock_guard<std::mutex> lock(mu_);
         batch.swap(pending_);
+        if (!batch.empty()) ++stats_.drains;
       }
       if (batch.empty()) return;
       ExecuteBatch(&batch);
@@ -43,24 +95,120 @@ RequestBatcher::~RequestBatcher() {
   }
 }
 
-uint64_t RequestBatcher::Submit(uint64_t key, std::span<const double> answers,
-                                double threshold,
-                                std::vector<Response>* out) {
+Result<uint64_t> RequestBatcher::Submit(uint64_t key,
+                                        std::span<const double> answers,
+                                        double threshold,
+                                        std::vector<Response>* out,
+                                        const SubmitOptions& submit,
+                                        RequestOutcome* outcome) {
   SVT_CHECK(out != nullptr);
+  const int shard = server_->ShardOf(key);
   uint64_t sequence;
   size_t now_pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t attempt = submit_attempts_++;
+    if (shutdown_) {
+      ++stats_.shed_shutdown;
+      return Status::FailedPrecondition(
+          "RequestBatcher::Submit after shutdown: request rejected");
+    }
+    int64_t now = clock_->NowNanos();
+    FaultInjector* injector = server_->fault_injector();
+    if (injector != nullptr) [[unlikely]] {
+      const int64_t skew = injector->SkewNanos(attempt);
+      if (skew > 0) {
+        now += skew;
+        injector->CountSkew();
+      }
+      if (injector->OnSubmitAttempt(attempt)) {
+        ++stats_.shed_overload;
+        injector->CountSubmitShed();
+        server_->RecordShed(shard);
+        return Status::Overloaded("injected queue-full burst");
+      }
+    }
+    if (submit.deadline_nanos > 0 && now >= submit.deadline_nanos) {
+      ++stats_.shed_deadline;
+      server_->RecordDeadlineMiss(shard);
+      return Status::DeadlineExceeded(
+          "request deadline expired before admission");
+    }
+    if (options_.max_pending > 0 &&
+        pending_.size() >= options_.max_pending) {
+      if (options_.shed_policy == ShedPolicy::kReject) {
+        ++stats_.shed_overload;
+        server_->RecordShed(shard);
+        return Status::Overloaded(
+            "pending queue full (max_pending=" +
+            std::to_string(options_.max_pending) + "); request shed");
+      }
+      // kBlock: backpressure with a timeout. The 1ms poll bounds how long
+      // a VirtualClock advance (which has no real-time notification) can
+      // go unobserved; a Drain() freeing space notifies immediately.
+      const int64_t give_up = now + options_.block_timeout_nanos;
+      while (pending_.size() >= options_.max_pending) {
+        if (shutdown_) {
+          ++stats_.shed_shutdown;
+          return Status::FailedPrecondition(
+              "RequestBatcher::Submit after shutdown: request rejected");
+        }
+        if (clock_->NowNanos() >= give_up) {
+          ++stats_.shed_overload;
+          ++stats_.block_timeouts;
+          server_->RecordShed(shard);
+          return Status::Overloaded(
+              "timed out after " +
+              std::to_string(options_.block_timeout_nanos) +
+              "ns waiting for queue space (max_pending=" +
+              std::to_string(options_.max_pending) + ")");
+        }
+        space_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+    }
     sequence = next_sequence_++;
-    pending_.push_back(
-        Request{server_->ShardOf(key), {answers, threshold, out}});
+    if (outcome != nullptr) *outcome = RequestOutcome::kPending;
+    pending_.push_back(Request{
+        shard,
+        {answers, threshold, out, submit.deadline_nanos, sequence, outcome}});
     now_pending = pending_.size();
+    ++stats_.submitted;
+    if (now_pending > stats_.queue_high_water) {
+      stats_.queue_high_water = now_pending;
+    }
   }
   if (options_.auto_drain_pending > 0 &&
       now_pending >= options_.auto_drain_pending) {
     Drain();
   }
   return sequence;
+}
+
+Result<uint64_t> RequestBatcher::SubmitWithRetry(
+    uint64_t key, std::span<const double> answers, double threshold,
+    std::vector<Response>* out, const SubmitOptions& submit,
+    RequestOutcome* outcome, int max_attempts, JitteredBackoff* backoff) {
+  SVT_CHECK(max_attempts >= 1);
+  SVT_CHECK(backoff != nullptr);
+  Result<uint64_t> result =
+      Submit(key, answers, threshold, out, submit, outcome);
+  for (int attempt = 1; attempt < max_attempts; ++attempt) {
+    if (result.ok() || result.status().code() != StatusCode::kOverloaded) {
+      break;  // only overload is retriable; deadlines/shutdown are final
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    server_->RecordRetry(server_->ShardOf(key));
+    clock_->SleepFor(backoff->NextDelayNanos());
+    // In-process, queue space only frees when someone drains; doing it
+    // here makes the retry loop self-sufficient (and harmless when a
+    // dedicated drain thread got there first).
+    Drain();
+    result = Submit(key, answers, threshold, out, submit, outcome);
+  }
+  return result;
 }
 
 size_t RequestBatcher::Drain() {
@@ -73,6 +221,7 @@ size_t RequestBatcher::Drain() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       batch.swap(pending_);
+      if (!batch.empty()) ++stats_.drains;
     }
     if (batch.empty()) {
       drain_mu_.unlock();
@@ -83,6 +232,9 @@ size_t RequestBatcher::Drain() {
       if (pending() == 0) return executed;
       continue;
     }
+    // The swap freed the whole queue: wake kBlock submitters waiting for
+    // space before executing (execution can take a while).
+    space_cv_.notify_all();
     ExecuteBatch(&batch);
     executed += batch.size();
     drain_mu_.unlock();
@@ -117,6 +269,11 @@ void RequestBatcher::ExecuteBatch(std::vector<Request>* batch) {
 size_t RequestBatcher::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
+}
+
+RequestBatcher::BatcherStats RequestBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace svt

@@ -1,8 +1,10 @@
 #include "serving/sharded_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
+#include "serving/fault_injection.h"
 
 namespace svt {
 
@@ -10,6 +12,11 @@ Status ServingOptions::Validate() const {
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1, got " +
                                    std::to_string(num_shards));
+  }
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards must be <= " + std::to_string(kMaxShards) + ", got " +
+        std::to_string(num_shards));
   }
   switch (mode) {
     case ShardMode::kAutoReset:
@@ -24,6 +31,8 @@ Result<std::unique_ptr<ShardedSvtServer>> ShardedSvtServer::Create(
     const ServingOptions& options) {
   SVT_RETURN_NOT_OK(options.Validate());
   std::unique_ptr<ShardedSvtServer> server(new ShardedSvtServer(options));
+  server->clock_ = options.clock != nullptr ? options.clock : RealClock();
+  server->injector_ = options.fault_injector;
   // Fork the per-shard streams in index order on this thread: the streams
   // are then a function of (seed, num_shards) alone.
   Rng master(options.seed);
@@ -34,6 +43,7 @@ Result<std::unique_ptr<ShardedSvtServer>> ShardedSvtServer::Create(
     // no-false-sharing guarantee actually held.
     SVT_DCHECK(reinterpret_cast<uintptr_t>(shard.get()) % alignof(Shard) ==
                0);
+    shard->index = i;
     shard->rng = master.Fork();
     if (options.mode == ShardMode::kAutoReset) {
       SVT_ASSIGN_OR_RETURN(shard->mech,
@@ -64,24 +74,53 @@ ShardedSvtServer::Shard& ShardedSvtServer::CheckedShard(int shard) const {
 }
 
 size_t ShardedSvtServer::Execute(uint64_t key, std::span<const double> answers,
-                                 double threshold,
-                                 std::vector<Response>* out) {
-  return ExecuteOnShard(ShardOf(key), answers, threshold, out);
+                                 double threshold, std::vector<Response>* out,
+                                 RequestOutcome* outcome) {
+  return ExecuteOnShard(ShardOf(key), answers, threshold, out, outcome);
 }
 
 size_t ShardedSvtServer::ExecuteOnShard(int shard,
                                         std::span<const double> answers,
                                         double threshold,
-                                        std::vector<Response>* out) {
+                                        std::vector<Response>* out,
+                                        RequestOutcome* outcome) {
   Shard& s = CheckedShard(shard);
   std::lock_guard<std::mutex> lock(s.mu);
-  return ExecuteLocked(s, answers, threshold, out);
+  RequestOutcome result = RequestOutcome::kOk;
+  const size_t appended = ExecuteLocked(s, answers, threshold, out, &result);
+  if (outcome != nullptr) *outcome = result;
+  return appended;
 }
 
 size_t ShardedSvtServer::ExecuteLocked(Shard& shard,
                                        std::span<const double> answers,
                                        double threshold,
-                                       std::vector<Response>* out) {
+                                       std::vector<Response>* out,
+                                       RequestOutcome* outcome) {
+  // Fault decisions are drawn at (shard, attempt) — the attempt counter
+  // advances even when the attempt then fails, so the decision coordinates
+  // are a pure function of the shard's accepted-request order.
+  const uint64_t attempt = shard.fault_attempts++;
+  if (injector_ != nullptr) [[unlikely]] {
+    const FaultInjector::ShardFault fault =
+        injector_->OnShardAttempt(shard.index, attempt);
+    if (fault.stall_nanos > 0) {
+      // A VirtualClock turns this into a deterministic time jump.
+      clock_->SleepFor(fault.stall_nanos);
+      shard.stats.stall_nanos += fault.stall_nanos;
+      injector_->CountStall();
+    }
+    if (fault.fail) {
+      // Skip-and-fail THIS request only: nothing was drawn from the
+      // shard's stream, so later requests see the stream exactly where a
+      // fault-free run (without this request) would have left it.
+      shard.stats.shard_failures += 1;
+      injector_->CountFailure();
+      *outcome = RequestOutcome::kShardFailed;
+      return 0;
+    }
+  }
+  const int64_t exec_start = clock_->NowNanos();
   const size_t start = out->size();
   if (options_.mode == ShardMode::kAutoReset) {
     size_t consumed = 0;
@@ -94,11 +133,24 @@ size_t ShardedSvtServer::ExecuteLocked(Shard& shard,
     shard.session->RunAppend(answers, threshold, out);
   }
   const size_t appended = out->size() - start;
+  *outcome = RequestOutcome::kOk;
+  if (options_.mode == ShardMode::kBudgetMetered &&
+      appended < answers.size()) {
+    // Structured degradation instead of silent truncation: the caller can
+    // tell "answered" from "budget ran out mid-request" without comparing
+    // sizes.
+    *outcome = RequestOutcome::kBudgetExhausted;
+    shard.stats.budget_exhausted += 1;
+  }
   shard.stats.batches += 1;
   shard.stats.queries += static_cast<int64_t>(appended);
   for (size_t i = start; i < out->size(); ++i) {
     if ((*out)[i].is_positive()) ++shard.stats.positives;
   }
+  const int64_t exec_nanos = clock_->NowNanos() - exec_start;
+  shard.stats.exec_nanos += exec_nanos;
+  shard.stats.exec_nanos_max =
+      std::max(shard.stats.exec_nanos_max, exec_nanos);
   return appended;
 }
 
@@ -110,9 +162,20 @@ void ShardedSvtServer::ExecuteBatchedOnShard(int shard,
   // per-drain high-water mark and stops re-allocating.
   s.buffer.clear();
   std::vector<size_t> ends;
+  std::vector<RequestOutcome> outcomes;
   ends.reserve(items.size());
+  outcomes.reserve(items.size());
   for (BatchItem* item : items) {
-    ExecuteLocked(s, item->answers, item->threshold, &s.buffer);
+    RequestOutcome outcome = RequestOutcome::kOk;
+    if (item->deadline_nanos > 0 && ExpiredAtDrain(*item)) {
+      // Never execute an expired request: its shard stream stays
+      // untouched, so the accepted set changes but no noise moves.
+      s.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+      outcome = RequestOutcome::kDeadlineExceeded;
+    } else {
+      ExecuteLocked(s, item->answers, item->threshold, &s.buffer, &outcome);
+    }
+    outcomes.push_back(outcome);
     ends.push_back(s.buffer.size());
   }
   // Copy out only after the last append: earlier spans into the buffer
@@ -122,7 +185,20 @@ void ShardedSvtServer::ExecuteBatchedOnShard(int shard,
     items[i]->out->assign(s.buffer.begin() + static_cast<ptrdiff_t>(begin),
                           s.buffer.begin() + static_cast<ptrdiff_t>(ends[i]));
     begin = ends[i];
+    if (items[i]->outcome != nullptr) *items[i]->outcome = outcomes[i];
   }
+}
+
+bool ShardedSvtServer::ExpiredAtDrain(const BatchItem& item) {
+  int64_t now = clock_->NowNanos();
+  if (injector_ != nullptr) [[unlikely]] {
+    const int64_t skew = injector_->SkewNanos(item.sequence);
+    if (skew > 0) {
+      now += skew;
+      injector_->CountSkew();
+    }
+  }
+  return now >= item.deadline_nanos;
 }
 
 bool ShardedSvtServer::ShardExhausted(int shard) const {
@@ -133,8 +209,19 @@ bool ShardedSvtServer::ShardExhausted(int shard) const {
 
 ServingStats ShardedSvtServer::StatsForShard(int shard) const {
   Shard& s = CheckedShard(shard);
-  std::lock_guard<std::mutex> lock(s.mu);
-  return s.stats;
+  ServingStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    snapshot = s.stats;
+  }
+  // The admission-side counters live outside the shard lock (a shed or a
+  // submit-time deadline miss must not wait out a long-running batch); the
+  // lock-guarded stats never touch these three fields.
+  snapshot.shed = s.shed.load(std::memory_order_relaxed);
+  snapshot.deadline_misses +=
+      s.deadline_misses.load(std::memory_order_relaxed);
+  snapshot.retries = s.retries.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 ServingStats ShardedSvtServer::TotalStats() const {
@@ -144,6 +231,14 @@ ServingStats ShardedSvtServer::TotalStats() const {
     total.batches += s.batches;
     total.queries += s.queries;
     total.positives += s.positives;
+    total.shed += s.shed;
+    total.deadline_misses += s.deadline_misses;
+    total.retries += s.retries;
+    total.budget_exhausted += s.budget_exhausted;
+    total.shard_failures += s.shard_failures;
+    total.stall_nanos += s.stall_nanos;
+    total.exec_nanos += s.exec_nanos;
+    total.exec_nanos_max = std::max(total.exec_nanos_max, s.exec_nanos_max);
   }
   return total;
 }

@@ -1,0 +1,67 @@
+// Clock: the injectable time source behind serving deadlines, stalls and
+// latency stats. RealClock must be monotonic and actually sleep;
+// VirtualClock must move only when told to, from any thread.
+
+#include "common/clock.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace svt {
+namespace {
+
+TEST(RealClockTest, MonotonicNonDecreasing) {
+  Clock* clock = RealClock();
+  int64_t last = clock->NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t now = clock->NowNanos();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(RealClockTest, SleepForAdvancesTime) {
+  Clock* clock = RealClock();
+  const int64_t before = clock->NowNanos();
+  clock->SleepFor(2'000'000);  // 2 ms
+  EXPECT_GE(clock->NowNanos() - before, 2'000'000);
+}
+
+TEST(RealClockTest, SingletonIdentity) {
+  EXPECT_EQ(RealClock(), RealClock());
+}
+
+TEST(VirtualClockTest, TimeMovesOnlyWhenAdvanced) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100);
+  EXPECT_EQ(clock.NowNanos(), 100);  // reads don't move time
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowNanos(), 150);
+  clock.SleepFor(25);  // a "sleep" is a deterministic jump
+  EXPECT_EQ(clock.NowNanos(), 175);
+  clock.Advance(0);
+  EXPECT_EQ(clock.NowNanos(), 175);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvancesSum) {
+  // Serving shards advance a shared VirtualClock from ParallelFor slices;
+  // advances must never be lost.
+  VirtualClock clock;
+  const int kThreads = 4;
+  const int kAdvancesPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAdvancesPerThread; ++i) clock.Advance(3);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(clock.NowNanos(),
+            static_cast<int64_t>(kThreads) * kAdvancesPerThread * 3);
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,278 @@
+// Fault-matrix determinism suite: the serving determinism contract
+// ("faults change WHICH requests are accepted, never the noise stream of
+// the ones that run") checked as a table of fault legs crossed with every
+// vecmath dispatch level.
+//
+// For each leg the same submission schedule runs against a faulted server
+// and the accepted (kOk) responses are compared bitwise against a fresh
+// fault-free server fed ONLY the accepted requests in order — i.e. the
+// restricted fault-free run the contract promises. Each leg is also run
+// twice (bitwise run-to-run reproducibility, including which faults fire)
+// and the per-leg transcripts are compared across dispatch levels.
+//
+// Legs that make time-dependent decisions (stall, skew: a stall on one
+// shard can expire deadlines on another via the shared VirtualClock) pin
+// num_shards = 1 so the accepted set is schedule-independent on any
+// machine; time-independent legs (failure, burst) exercise 4 shards.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/vecmath.h"
+#include "dispatch_test_util.h"
+#include "serving/admission.h"
+#include "serving/fault_injection.h"
+#include "serving/request_batcher.h"
+#include "serving/sharded_server.h"
+
+namespace svt {
+namespace {
+
+ServingOptions BaseOptions(int shards, uint64_t seed) {
+  ServingOptions o;
+  o.num_shards = shards;
+  o.seed = seed;
+  o.mode = ShardMode::kAutoReset;
+  o.svt.epsilon = 1.0;
+  o.svt.cutoff = 2;
+  o.svt.monotonic = true;
+  // Numeric positives make every comparison bitwise on doubles.
+  o.svt.numeric_output_fraction = 0.25;
+  return o;
+}
+
+struct FaultLeg {
+  const char* name;
+  int num_shards;
+  /// Every request's absolute deadline (VirtualClock domain); 0 = none.
+  int64_t deadline_nanos;
+  FaultInjector::Options faults;  // seed 0 + all-zero probabilities = none
+  bool inject = false;            ///< pass an injector at all?
+};
+
+std::vector<FaultLeg> MakeLegs() {
+  std::vector<FaultLeg> legs;
+  legs.push_back({"none", 4, 0, {}, false});
+  {
+    // Stalls advance the shared VirtualClock past queued deadlines: some
+    // requests are accepted, stalled behind, and expire before execution.
+    FaultLeg leg{"stall", 1, 50'000, {}, true};
+    leg.faults.seed = 101;
+    leg.faults.shard_stall_probability = 0.25;
+    leg.faults.stall_nanos = 7'000;
+    legs.push_back(leg);
+  }
+  {
+    FaultLeg leg{"shard-failure", 4, 0, {}, true};
+    leg.faults.seed = 102;
+    leg.faults.shard_failure_probability = 0.2;
+    legs.push_back(leg);
+  }
+  {
+    FaultLeg leg{"queue-full-burst", 4, 0, {}, true};
+    leg.faults.seed = 103;
+    leg.faults.submit_shed_probability = 0.15;
+    leg.faults.submit_shed_burst = 3;
+    legs.push_back(leg);
+  }
+  {
+    // Forward skew expires deadlines early at admission and at drain.
+    FaultLeg leg{"clock-skew", 1, 30'000, {}, true};
+    leg.faults.seed = 104;
+    leg.faults.clock_skew_probability = 0.3;
+    leg.faults.clock_skew_nanos = 40'000;
+    legs.push_back(leg);
+  }
+  {
+    // Everything at once, single shard for schedule independence.
+    FaultLeg leg{"combined", 1, 60'000, {}, true};
+    leg.faults.seed = 105;
+    leg.faults.shard_stall_probability = 0.2;
+    leg.faults.stall_nanos = 9'000;
+    leg.faults.shard_failure_probability = 0.15;
+    leg.faults.submit_shed_probability = 0.1;
+    leg.faults.submit_shed_burst = 2;
+    leg.faults.clock_skew_probability = 0.2;
+    leg.faults.clock_skew_nanos = 25'000;
+    legs.push_back(leg);
+  }
+  return legs;
+}
+
+constexpr int kRequests = 48;
+constexpr size_t kQueriesPerRequest = 64;
+constexpr uint64_t kServerSeed = 7;
+
+struct Transcript {
+  std::vector<RequestOutcome> outcomes;          // per request
+  std::vector<std::vector<Response>> responses;  // per request
+  ServingStats stats;
+  FaultInjector::Counters fault_counters;
+
+  bool operator==(const Transcript& other) const {
+    if (outcomes != other.outcomes) return false;
+    if (responses != other.responses) return false;
+    if (fault_counters.stalls != other.fault_counters.stalls) return false;
+    if (fault_counters.failures != other.fault_counters.failures) {
+      return false;
+    }
+    if (fault_counters.submit_sheds != other.fault_counters.submit_sheds) {
+      return false;
+    }
+    return fault_counters.skews == other.fault_counters.skews;
+  }
+};
+
+std::vector<double> RequestAnswers(int request) {
+  Rng gen(1000 + static_cast<uint64_t>(request));
+  std::vector<double> answers(kQueriesPerRequest);
+  for (size_t i = 0; i < answers.size(); ++i) {
+    answers[i] = gen.NextUniform(-30.0, 30.0);
+  }
+  return answers;
+}
+
+/// Runs the leg's fixed submission schedule once: kRequests requests,
+/// submitted in order, drained in chunks of 8 with the clock advancing
+/// between chunks (so queued deadlines can expire under stalls/skew).
+Transcript RunLeg(const FaultLeg& leg) {
+  std::optional<FaultInjector> injector;
+  if (leg.inject) injector.emplace(leg.faults);
+  VirtualClock clock;
+  ServingOptions so = BaseOptions(leg.num_shards, kServerSeed);
+  so.clock = &clock;
+  so.fault_injector = leg.inject ? &*injector : nullptr;
+  auto server = ShardedSvtServer::Create(so).value();
+  RequestBatcher batcher(server.get());
+
+  Transcript t;
+  t.outcomes.assign(kRequests, RequestOutcome::kPending);
+  t.responses.resize(kRequests);
+  // Answers must outlive the drain that executes them (Submit stores a
+  // span), so they live outside the loop.
+  std::vector<std::vector<double>> answers(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    answers[static_cast<size_t>(r)] = RequestAnswers(r);
+    SubmitOptions submit;
+    submit.deadline_nanos = leg.deadline_nanos;
+    const Result<uint64_t> result = batcher.Submit(
+        static_cast<uint64_t>(r), answers[static_cast<size_t>(r)], 0.5,
+        &t.responses[static_cast<size_t>(r)], submit,
+        &t.outcomes[static_cast<size_t>(r)]);
+    if (!result.ok()) {
+      // Shed at admission: record the terminal reason in the transcript.
+      t.outcomes[static_cast<size_t>(r)] =
+          result.status().code() == StatusCode::kDeadlineExceeded
+              ? RequestOutcome::kDeadlineExceeded
+              : RequestOutcome::kShardFailed;  // kOverloaded burst
+    }
+    if ((r + 1) % 8 == 0) {
+      batcher.Drain();
+      clock.Advance(10'000);
+    }
+  }
+  batcher.Drain();
+  t.stats = server->TotalStats();
+  if (leg.inject) t.fault_counters = injector->counters();
+  return t;
+}
+
+/// The contract's reference: a fault-free server fed only the requests the
+/// faulted run accepted (outcome kOk), in their original order.
+std::vector<std::vector<Response>> RunRestrictedReference(
+    const FaultLeg& leg, const std::vector<RequestOutcome>& outcomes) {
+  auto server =
+      ShardedSvtServer::Create(BaseOptions(leg.num_shards, kServerSeed))
+          .value();
+  RequestBatcher batcher(server.get());
+  std::vector<std::vector<Response>> responses(kRequests);
+  std::vector<std::vector<double>> answers(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    if (outcomes[static_cast<size_t>(r)] != RequestOutcome::kOk) continue;
+    answers[static_cast<size_t>(r)] = RequestAnswers(r);
+    EXPECT_TRUE(batcher
+                    .Submit(static_cast<uint64_t>(r),
+                            answers[static_cast<size_t>(r)], 0.5,
+                            &responses[static_cast<size_t>(r)])
+                    .ok());
+  }
+  batcher.Drain();
+  return responses;
+}
+
+void CheckLegAtCurrentLevel(const FaultLeg& leg, const Transcript& t) {
+  // 1. Run-to-run reproducibility: the same leg replays bitwise, faults
+  //    included.
+  const Transcript replay = RunLeg(leg);
+  EXPECT_TRUE(t == replay) << leg.name << ": leg is not reproducible";
+
+  // 2. Accepted responses == fault-free run restricted to the accepted
+  //    set. Faults changed the set, not the noise.
+  const std::vector<std::vector<Response>> reference =
+      RunRestrictedReference(leg, t.outcomes);
+  int accepted = 0;
+  for (int r = 0; r < kRequests; ++r) {
+    const auto& got = t.responses[static_cast<size_t>(r)];
+    if (t.outcomes[static_cast<size_t>(r)] == RequestOutcome::kOk) {
+      EXPECT_EQ(got, reference[static_cast<size_t>(r)])
+          << leg.name << ": accepted request " << r
+          << " diverges from the restricted fault-free run";
+      ++accepted;
+    } else {
+      EXPECT_TRUE(got.empty() ||
+                  t.outcomes[static_cast<size_t>(r)] ==
+                      RequestOutcome::kBudgetExhausted)
+          << leg.name << ": non-accepted request " << r << " has responses";
+    }
+  }
+
+  // 3. The leg exercised what it claims to exercise.
+  if (std::string(leg.name) == "none") {
+    EXPECT_EQ(accepted, kRequests);
+    EXPECT_EQ(t.stats.shard_failures, 0);
+    EXPECT_EQ(t.stats.deadline_misses, 0);
+    EXPECT_EQ(t.stats.shed, 0);
+  } else {
+    EXPECT_LT(accepted, kRequests)
+        << leg.name << ": no fault actually bit; leg is vacuous";
+    EXPECT_GT(accepted, 0) << leg.name << ": every request faulted";
+    const auto& c = t.fault_counters;
+    EXPECT_GT(c.stalls + c.failures + c.submit_sheds + c.skews, 0);
+  }
+}
+
+TEST(ServingFaultMatrixTest, FaultsNeverPerturbAcceptedStreams) {
+  ScopedDispatchLevel guard;
+  const std::vector<FaultLeg> legs = MakeLegs();
+  // Transcripts per leg at the first supported level, to compare across
+  // dispatch levels: the accepted set and every response must be
+  // level-independent.
+  std::vector<std::optional<Transcript>> baseline(legs.size());
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) {
+      continue;  // e.g. AVX-512 on a host without it
+    }
+    SCOPED_TRACE(std::string("dispatch level ") +
+                 vec::DispatchLevelName(level));
+    for (size_t i = 0; i < legs.size(); ++i) {
+      SCOPED_TRACE(std::string("leg ") + legs[i].name);
+      const Transcript t = RunLeg(legs[i]);
+      CheckLegAtCurrentLevel(legs[i], t);
+      if (!baseline[i].has_value()) {
+        baseline[i] = t;
+      } else {
+        EXPECT_TRUE(t == *baseline[i])
+            << legs[i].name << ": transcript differs across dispatch levels";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svt

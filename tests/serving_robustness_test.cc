@@ -1,0 +1,642 @@
+// Overload-hardened serving: admission control (bounded queue, kReject /
+// kBlock shed policies), per-request deadlines, structured degraded
+// outcomes (kBudgetExhausted instead of silent truncation, kShardFailed
+// skip-and-fail), the reject-after-shutdown contract, the seeded
+// jittered-backoff retry helper, and the robustness counters in
+// ServingStats / BatcherStats. Everything time-dependent runs on a
+// VirtualClock so overload is an exact, reproducible event.
+//
+// The fault-matrix determinism suite (every injected fault × every
+// dispatch level) lives in serving_fault_matrix_test.cc.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "serving/admission.h"
+#include "serving/fault_injection.h"
+#include "serving/request_batcher.h"
+#include "serving/sharded_server.h"
+
+namespace svt {
+namespace {
+
+ServingOptions AutoResetOptions(int shards, uint64_t seed) {
+  ServingOptions o;
+  o.num_shards = shards;
+  o.seed = seed;
+  o.mode = ShardMode::kAutoReset;
+  o.svt.epsilon = 1.0;
+  o.svt.cutoff = 2;
+  o.svt.monotonic = true;
+  o.svt.numeric_output_fraction = 0.2;
+  return o;
+}
+
+ServingOptions MeteredOptions(int shards, uint64_t seed) {
+  ServingOptions o;
+  o.num_shards = shards;
+  o.seed = seed;
+  o.mode = ShardMode::kBudgetMetered;
+  o.session.total_epsilon = 1.0;
+  o.session.epsilon_per_round = 0.1;
+  o.session.round.cutoff = 2;
+  o.session.round.monotonic = true;
+  return o;
+}
+
+std::vector<double> MakeAnswers(size_t n, uint64_t seed) {
+  Rng gen(seed);
+  std::vector<double> answers(n);
+  for (size_t i = 0; i < n; ++i) answers[i] = gen.NextUniform(-25.0, 25.0);
+  return answers;
+}
+
+/// Smallest key that ShardOf routes to `shard`.
+uint64_t KeyForShard(const ShardedSvtServer& server, int shard) {
+  for (uint64_t key = 0;; ++key) {
+    if (server.ShardOf(key) == shard) return key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validate() error paths
+// ---------------------------------------------------------------------------
+
+TEST(ServingOptionsValidateTest, ErrorPaths) {
+  EXPECT_TRUE(AutoResetOptions(4, 1).Validate().ok());
+
+  ServingOptions o = AutoResetOptions(0, 1);
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = AutoResetOptions(-3, 1);
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+
+  o = AutoResetOptions(ServingOptions::kMaxShards + 1, 1);
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ShardedSvtServer::Create(o).ok());
+  o.num_shards = ServingOptions::kMaxShards;  // boundary value is legal
+  EXPECT_TRUE(o.Validate().ok());
+
+  o = AutoResetOptions(2, 1);
+  o.svt.epsilon = -1.0;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = MeteredOptions(2, 1);
+  o.session.epsilon_per_round = 2.0;  // exceeds total
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(BatcherOptionsValidateTest, ErrorPaths) {
+  RequestBatcher::Options o;
+  EXPECT_TRUE(o.Validate().ok());  // defaults: unbounded queue, kReject
+
+  o.max_pending = 8;
+  o.auto_drain_pending = 4;
+  EXPECT_TRUE(o.Validate().ok());
+
+  // auto_drain threshold above the queue cap can never fire.
+  o.auto_drain_pending = 9;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.auto_drain_pending = 8;  // equal is reachable, hence legal
+  EXPECT_TRUE(o.Validate().ok());
+
+  // kBlock needs a bounded queue and a positive timeout.
+  o = RequestBatcher::Options();
+  o.shed_policy = ShedPolicy::kBlock;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.max_pending = 4;
+  EXPECT_TRUE(o.Validate().ok());
+  o.block_timeout_nanos = 0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.block_timeout_nanos = -5;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjectorOptionsValidateTest, ErrorPaths) {
+  FaultInjector::Options o;
+  EXPECT_TRUE(o.Validate().ok());
+
+  o.shard_stall_probability = 1.5;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+  o.shard_stall_probability = 0.5;
+  EXPECT_FALSE(o.Validate().ok());  // stall probability without stall_nanos
+  o.stall_nanos = 100;
+  EXPECT_TRUE(o.Validate().ok());
+  o.stall_nanos = -1;
+  EXPECT_FALSE(o.Validate().ok());
+
+  o = FaultInjector::Options();
+  o.submit_shed_burst = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FaultInjector::Options();
+  o.clock_skew_probability = 0.1;
+  EXPECT_FALSE(o.Validate().ok());  // skew probability without skew_nanos
+  o.clock_skew_nanos = 10;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(JitteredBackoffOptionsValidateTest, ErrorPaths) {
+  JitteredBackoff::Options o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.initial_delay_nanos = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = JitteredBackoff::Options();
+  o.max_delay_nanos = o.initial_delay_nanos - 1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = JitteredBackoff::Options();
+  o.multiplier = 0.9;
+  EXPECT_FALSE(o.Validate().ok());
+  o = JitteredBackoff::Options();
+  o.jitter = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, RejectPolicyShedsAtCapacityWithoutBlocking) {
+  VirtualClock clock;
+  ServingOptions so = AutoResetOptions(2, 11);
+  so.clock = &clock;
+  auto server = ShardedSvtServer::Create(so).value();
+  RequestBatcher::Options bo;
+  bo.max_pending = 3;
+  bo.shed_policy = ShedPolicy::kReject;
+  RequestBatcher batcher(server.get(), bo);
+
+  const std::vector<double> answers = MakeAnswers(50, 60);
+  std::vector<std::vector<Response>> outs(5);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(batcher.Submit(static_cast<uint64_t>(r), answers, 0.0,
+                               &outs[static_cast<size_t>(r)])
+                    .ok());
+  }
+  // Queue is at capacity: the next submissions shed instantly. With a
+  // VirtualClock "instantly" is provable: time cannot pass.
+  const int64_t before = clock.NowNanos();
+  for (int r = 3; r < 5; ++r) {
+    const Result<uint64_t> result = batcher.Submit(
+        static_cast<uint64_t>(r), answers, 0.0, &outs[static_cast<size_t>(r)]);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+    EXPECT_TRUE(outs[static_cast<size_t>(r)].empty());
+  }
+  EXPECT_EQ(clock.NowNanos(), before);
+
+  const RequestBatcher::BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.shed_overload, 2);
+  EXPECT_EQ(stats.queue_high_water, 3u);
+  EXPECT_EQ(server->TotalStats().shed, 2);
+
+  // Draining frees the queue; admission resumes.
+  EXPECT_EQ(batcher.Drain(), 3u);
+  EXPECT_TRUE(batcher.Submit(7, answers, 0.0, &outs[3]).ok());
+  EXPECT_EQ(batcher.Drain(), 1u);
+  EXPECT_EQ(outs[3].size(), answers.size());
+}
+
+TEST(AdmissionTest, BlockPolicyTimesOutWhenNothingDrains) {
+  auto server = ShardedSvtServer::Create(AutoResetOptions(2, 12)).value();
+  RequestBatcher::Options bo;
+  bo.max_pending = 1;
+  bo.shed_policy = ShedPolicy::kBlock;
+  bo.block_timeout_nanos = 5'000'000;  // 5 ms real time
+  // Buffers before the batcher: request A stays pending until the
+  // destructor's final flush, which still reads them (the documented
+  // Submit lifetime contract).
+  const std::vector<double> answers = MakeAnswers(20, 61);
+  std::vector<Response> out_a, out_b;
+  RequestBatcher batcher(server.get(), bo);
+
+  ASSERT_TRUE(batcher.Submit(0, answers, 0.0, &out_a).ok());
+  // Nothing drains, so the wait must give up with kOverloaded.
+  const Result<uint64_t> result = batcher.Submit(1, answers, 0.0, &out_b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  const RequestBatcher::BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.block_timeouts, 1);
+  EXPECT_EQ(stats.shed_overload, 1);
+}
+
+TEST(AdmissionTest, BlockPolicyAdmitsOnceADrainFreesSpace) {
+  auto server = ShardedSvtServer::Create(AutoResetOptions(2, 13)).value();
+  RequestBatcher::Options bo;
+  bo.max_pending = 1;
+  bo.shed_policy = ShedPolicy::kBlock;
+  bo.block_timeout_nanos = 10'000'000'000;  // 10 s: must not be reached
+  const std::vector<double> answers = MakeAnswers(20, 62);
+  std::vector<Response> out_a, out_b;
+  RequestBatcher batcher(server.get(), bo);
+
+  ASSERT_TRUE(batcher.Submit(0, answers, 0.0, &out_a).ok());
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    batcher.Drain();
+  });
+  // Blocks until the drainer frees the slot, then is admitted.
+  const Result<uint64_t> result = batcher.Submit(1, answers, 0.0, &out_b);
+  drainer.join();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(batcher.stats().shed_overload, 0);
+  batcher.Drain();
+  EXPECT_EQ(out_b.size(), answers.size());
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, ExpiredAtSubmitIsRejectedNotEnqueued) {
+  VirtualClock clock(1'000);
+  ServingOptions so = AutoResetOptions(2, 14);
+  so.clock = &clock;
+  auto server = ShardedSvtServer::Create(so).value();
+  RequestBatcher batcher(server.get());
+
+  const std::vector<double> answers = MakeAnswers(20, 63);
+  std::vector<Response> out;
+  SubmitOptions submit;
+  submit.deadline_nanos = 500;  // already in the past
+  const Result<uint64_t> result =
+      batcher.Submit(0, answers, 0.0, &out, submit);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.stats().shed_deadline, 1);
+  EXPECT_EQ(server->TotalStats().deadline_misses, 1);
+}
+
+TEST(DeadlineTest, ExpiredInQueueIsSkippedAndStreamsAreUnperturbed) {
+  // Request B expires while queued; it must never execute, and the
+  // responses of A and C must equal a fault-free run of just {A, C} —
+  // the deadline changed the accepted set, not the noise.
+  const std::vector<double> answers = MakeAnswers(300, 64);
+  const uint64_t key = 0;  // everything on one shard
+
+  VirtualClock clock;
+  ServingOptions so = AutoResetOptions(2, 15);
+  so.clock = &clock;
+  auto server = ShardedSvtServer::Create(so).value();
+  RequestBatcher batcher(server.get());
+
+  std::vector<Response> out_a, out_b, out_c;
+  RequestOutcome oc_a = RequestOutcome::kPending;
+  RequestOutcome oc_b = RequestOutcome::kPending;
+  RequestOutcome oc_c = RequestOutcome::kPending;
+  SubmitOptions no_deadline;
+  SubmitOptions tight;
+  tight.deadline_nanos = 100;
+  ASSERT_TRUE(
+      batcher.Submit(key, answers, 0.5, &out_a, no_deadline, &oc_a).ok());
+  ASSERT_TRUE(batcher.Submit(key, answers, 0.5, &out_b, tight, &oc_b).ok());
+  ASSERT_TRUE(
+      batcher.Submit(key, answers, 0.5, &out_c, no_deadline, &oc_c).ok());
+  clock.Advance(200);  // B's deadline passes while queued
+  EXPECT_EQ(batcher.Drain(), 3u);
+
+  EXPECT_EQ(oc_a, RequestOutcome::kOk);
+  EXPECT_EQ(oc_b, RequestOutcome::kDeadlineExceeded);
+  EXPECT_EQ(oc_c, RequestOutcome::kOk);
+  EXPECT_TRUE(out_b.empty());
+  EXPECT_EQ(server->TotalStats().deadline_misses, 1);
+
+  // Fault-free reference restricted to the accepted set {A, C}.
+  auto reference = ShardedSvtServer::Create(AutoResetOptions(2, 15)).value();
+  RequestBatcher ref_batcher(reference.get());
+  std::vector<Response> ref_a, ref_c;
+  ASSERT_TRUE(ref_batcher.Submit(key, answers, 0.5, &ref_a).ok());
+  ASSERT_TRUE(ref_batcher.Submit(key, answers, 0.5, &ref_c).ok());
+  ref_batcher.Drain();
+  EXPECT_EQ(out_a, ref_a);
+  EXPECT_EQ(out_c, ref_c);
+}
+
+// ---------------------------------------------------------------------------
+// Budget exhaustion: structured outcome, not silent truncation
+// ---------------------------------------------------------------------------
+
+TEST(BudgetOutcomeTest, ExhaustedMeteredShardReportsBudgetExhausted) {
+  auto server = ShardedSvtServer::Create(MeteredOptions(2, 16)).value();
+  RequestBatcher batcher(server.get());
+  const uint64_t key0 = KeyForShard(*server, 0);
+  const uint64_t key1 = KeyForShard(*server, 1);
+
+  // All-hot answers: every query is a positive, so shard 0's budget
+  // (cutoff 2 × 10 rounds of 0.1 in 1.0 = 20 positives) exhausts inside
+  // the first request.
+  const std::vector<double> hot(30, 1e9);
+  std::vector<Response> out_a, out_b, out_c;
+  RequestOutcome oc_a = RequestOutcome::kPending;
+  RequestOutcome oc_b = RequestOutcome::kPending;
+  RequestOutcome oc_c = RequestOutcome::kPending;
+  ASSERT_TRUE(batcher.Submit(key0, hot, 0.0, &out_a, {}, &oc_a).ok());
+  ASSERT_TRUE(batcher.Submit(key0, hot, 0.0, &out_b, {}, &oc_b).ok());
+  // Shard 1's request rides in the same drain: only the exhausted shard's
+  // requests degrade, never the whole drain.
+  ASSERT_TRUE(batcher.Submit(key1, hot, 0.0, &out_c, {}, &oc_c).ok());
+  EXPECT_EQ(batcher.Drain(), 3u);
+
+  EXPECT_EQ(oc_a, RequestOutcome::kBudgetExhausted);
+  EXPECT_EQ(out_a.size(), 20u);  // the funded prefix, not silently absent
+  EXPECT_EQ(oc_b, RequestOutcome::kBudgetExhausted);
+  EXPECT_TRUE(out_b.empty());
+  EXPECT_EQ(oc_c, RequestOutcome::kBudgetExhausted);
+  EXPECT_EQ(out_c.size(), 20u);  // shard 1 spent its own budget
+
+  EXPECT_TRUE(server->ShardExhausted(0));
+  EXPECT_EQ(server->StatsForShard(0).budget_exhausted, 2);
+  EXPECT_EQ(server->TotalStats().budget_exhausted, 3);
+}
+
+TEST(BudgetOutcomeTest, DirectExecuteReportsOutcomeToo) {
+  auto server = ShardedSvtServer::Create(MeteredOptions(1, 17)).value();
+  const std::vector<double> hot(25, 1e9);
+  const std::vector<double> cold(25, -1e9);
+  std::vector<Response> out;
+  RequestOutcome outcome = RequestOutcome::kPending;
+  server->ExecuteOnShard(0, cold, 0.0, &out, &outcome);
+  EXPECT_EQ(outcome, RequestOutcome::kOk);  // negatives are free
+  out.clear();
+  server->ExecuteOnShard(0, hot, 0.0, &out, &outcome);
+  EXPECT_EQ(outcome, RequestOutcome::kBudgetExhausted);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown contract
+// ---------------------------------------------------------------------------
+
+TEST(ShutdownTest, SubmitAfterShutdownIsRejectedAndPendingStillDrains) {
+  auto server = ShardedSvtServer::Create(AutoResetOptions(2, 18)).value();
+  const std::vector<double> answers = MakeAnswers(40, 65);
+  std::vector<Response> out_before, out_after;
+  {
+    RequestBatcher batcher(server.get());
+    ASSERT_TRUE(batcher.Submit(0, answers, 0.0, &out_before).ok());
+    batcher.Shutdown();
+    const Result<uint64_t> rejected =
+        batcher.Submit(1, answers, 0.0, &out_after);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(batcher.stats().shed_shutdown, 1);
+    // Destructor still flushes what was admitted before the mark.
+  }
+  EXPECT_EQ(out_before.size(), answers.size());
+  EXPECT_TRUE(out_after.empty());
+}
+
+TEST(ShutdownTest, SubmittersRacingShutdownEitherDeliverOrRejectCleanly) {
+  // Hammer Submit from several threads while the main thread flips the
+  // shutdown mark: every accepted request must be delivered by the final
+  // flush, every rejection must be the named FailedPrecondition, and
+  // under the TSan CI job the race must be clean.
+  auto server = ShardedSvtServer::Create(AutoResetOptions(2, 19)).value();
+  const std::vector<double> answers = MakeAnswers(60, 66);
+  const int kThreads = 3;
+  const int kPerThread = 200;
+  std::vector<std::vector<std::vector<Response>>> outs(
+      static_cast<size_t>(kThreads));
+  std::vector<std::vector<bool>> accepted(static_cast<size_t>(kThreads));
+  auto batcher = std::make_unique<RequestBatcher>(server.get());
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    outs[static_cast<size_t>(t)].resize(kPerThread);
+    accepted[static_cast<size_t>(t)].resize(kPerThread, false);
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Result<uint64_t> result = batcher->Submit(
+            static_cast<uint64_t>(t * kPerThread + i), answers, 0.0,
+            &outs[static_cast<size_t>(t)][static_cast<size_t>(i)]);
+        if (result.ok()) {
+          accepted[static_cast<size_t>(t)][static_cast<size_t>(i)] = true;
+        } else {
+          ASSERT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  batcher->Shutdown();
+  for (std::thread& t : submitters) t.join();
+  batcher.reset();  // final flush
+
+  int64_t delivered = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto& out = outs[static_cast<size_t>(t)][static_cast<size_t>(i)];
+      if (accepted[static_cast<size_t>(t)][static_cast<size_t>(i)]) {
+        EXPECT_EQ(out.size(), answers.size());
+        ++delivered;
+      } else {
+        EXPECT_TRUE(out.empty());
+      }
+    }
+  }
+  EXPECT_EQ(server->TotalStats().queries,
+            delivered * static_cast<int64_t>(answers.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Retry with jittered backoff
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, SubmitWithRetrySucceedsAfterDrainFreesSpace) {
+  VirtualClock clock;
+  ServingOptions so = AutoResetOptions(2, 20);
+  so.clock = &clock;
+  auto server = ShardedSvtServer::Create(so).value();
+  RequestBatcher::Options bo;
+  bo.max_pending = 1;
+  RequestBatcher batcher(server.get(), bo);
+
+  const std::vector<double> answers = MakeAnswers(30, 67);
+  std::vector<Response> out_a, out_b;
+  ASSERT_TRUE(batcher.Submit(0, answers, 0.0, &out_a).ok());
+
+  Rng rng(41);
+  JitteredBackoff backoff(JitteredBackoff::Options(), &rng);
+  RequestOutcome outcome = RequestOutcome::kPending;
+  const Result<uint64_t> result = batcher.SubmitWithRetry(
+      1, answers, 0.0, &out_b, SubmitOptions(), &outcome, 3, &backoff);
+  ASSERT_TRUE(result.ok());  // first attempt shed, retry drained + admitted
+  EXPECT_EQ(batcher.stats().retries, 1);
+  EXPECT_EQ(batcher.stats().shed_overload, 1);
+  EXPECT_EQ(server->TotalStats().retries, 1);
+  EXPECT_GT(clock.NowNanos(), 0);  // the backoff sleep advanced the clock
+  batcher.Drain();
+  EXPECT_EQ(out_b.size(), answers.size());
+  EXPECT_EQ(outcome, RequestOutcome::kOk);
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnOverloaded) {
+  // An injected queue-full burst on every admission attempt: retries can
+  // never win, so the helper must give up after exactly max_attempts.
+  FaultInjector::Options fo;
+  fo.seed = 9;
+  fo.submit_shed_probability = 1.0;
+  FaultInjector injector(fo);
+  VirtualClock clock;
+  ServingOptions so = AutoResetOptions(1, 21);
+  so.clock = &clock;
+  so.fault_injector = &injector;
+  auto server = ShardedSvtServer::Create(so).value();
+  RequestBatcher batcher(server.get());
+
+  const std::vector<double> answers = MakeAnswers(10, 68);
+  std::vector<Response> out;
+  Rng rng(42);
+  JitteredBackoff backoff(JitteredBackoff::Options(), &rng);
+  const Result<uint64_t> result = batcher.SubmitWithRetry(
+      0, answers, 0.0, &out, SubmitOptions(), nullptr, 3, &backoff);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(batcher.stats().retries, 2);  // 3 attempts = 2 retries
+  EXPECT_EQ(batcher.stats().shed_overload, 3);
+  EXPECT_EQ(injector.counters().submit_sheds, 3);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JitteredBackoffTest, DeterministicGrowingAndBounded) {
+  JitteredBackoff::Options o;
+  o.initial_delay_nanos = 1'000;
+  o.max_delay_nanos = 8'000;
+  o.multiplier = 2.0;
+  o.jitter = 0.5;
+
+  Rng rng_a(77), rng_b(77);
+  JitteredBackoff a(o, &rng_a), b(o, &rng_b);
+  for (int i = 0; i < 20; ++i) {
+    const int64_t delay = a.NextDelayNanos();
+    EXPECT_EQ(delay, b.NextDelayNanos()) << "attempt " << i;
+    // Envelope: [cap * (1 - jitter), cap] for cap = min(1000 * 2^i, 8000).
+    const double cap =
+        std::min(1000.0 * std::pow(2.0, static_cast<double>(i)), 8000.0);
+    EXPECT_LE(delay, static_cast<int64_t>(cap));
+    EXPECT_GE(delay, static_cast<int64_t>(cap * 0.5) - 1);
+  }
+  EXPECT_EQ(a.attempts(), 20);
+  a.Reset();
+  EXPECT_EQ(a.attempts(), 0);
+  // After Reset the schedule restarts at the initial envelope.
+  EXPECT_LE(a.NextDelayNanos(), 1'000);
+
+  // jitter == 0 is exact and consumes no randomness differently per run.
+  JitteredBackoff::Options exact = o;
+  exact.jitter = 0.0;
+  Rng rng_c(1);
+  JitteredBackoff c(exact, &rng_c);
+  EXPECT_EQ(c.NextDelayNanos(), 1'000);
+  EXPECT_EQ(c.NextDelayNanos(), 2'000);
+  EXPECT_EQ(c.NextDelayNanos(), 4'000);
+  EXPECT_EQ(c.NextDelayNanos(), 8'000);
+  EXPECT_EQ(c.NextDelayNanos(), 8'000);  // capped
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector decision purity + stall observability
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfCoordinates) {
+  FaultInjector::Options o;
+  o.seed = 5;
+  o.shard_stall_probability = 0.3;
+  o.stall_nanos = 1'000;
+  o.shard_failure_probability = 0.3;
+  o.submit_shed_probability = 0.25;
+  o.submit_shed_burst = 4;
+  FaultInjector a(o), b(o);
+  int fired = 0;
+  for (int shard = 0; shard < 4; ++shard) {
+    for (uint64_t attempt = 0; attempt < 200; ++attempt) {
+      const FaultInjector::ShardFault fa = a.OnShardAttempt(shard, attempt);
+      const FaultInjector::ShardFault fb = b.OnShardAttempt(shard, attempt);
+      EXPECT_EQ(fa.stall_nanos, fb.stall_nanos);
+      EXPECT_EQ(fa.fail, fb.fail);
+      fired += (fa.fail || fa.stall_nanos > 0) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(fired, 0);  // the probabilities actually bite
+  // Burst semantics: decisions are constant within a burst window.
+  for (uint64_t window = 0; window < 50; ++window) {
+    const bool first = a.OnSubmitAttempt(window * 4);
+    for (uint64_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(a.OnSubmitAttempt(window * 4 + i), first);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DisabledProbabilitiesNeverFire) {
+  FaultInjector injector{FaultInjector::Options{}};
+  for (uint64_t attempt = 0; attempt < 1000; ++attempt) {
+    const FaultInjector::ShardFault f = injector.OnShardAttempt(0, attempt);
+    EXPECT_EQ(f.stall_nanos, 0);
+    EXPECT_FALSE(f.fail);
+    EXPECT_FALSE(injector.OnSubmitAttempt(attempt));
+    EXPECT_EQ(injector.SkewNanos(attempt), 0);
+  }
+}
+
+TEST(FaultInjectorTest, StallAdvancesVirtualClockAndIsCounted) {
+  FaultInjector::Options fo;
+  fo.seed = 6;
+  fo.shard_stall_probability = 1.0;  // every attempt stalls
+  fo.stall_nanos = 500;
+  FaultInjector injector(fo);
+  VirtualClock clock;
+  ServingOptions so = AutoResetOptions(1, 22);
+  so.clock = &clock;
+  so.fault_injector = &injector;
+  auto server = ShardedSvtServer::Create(so).value();
+  const std::vector<double> answers = MakeAnswers(10, 69);
+  std::vector<Response> out;
+  server->ExecuteOnShard(0, answers, 0.0, &out);
+  server->ExecuteOnShard(0, answers, 0.0, &out);
+  EXPECT_EQ(clock.NowNanos(), 1'000);  // two deterministic 500ns stalls
+  EXPECT_EQ(server->StatsForShard(0).stall_nanos, 1'000);
+  EXPECT_EQ(injector.counters().stalls, 2);
+  EXPECT_EQ(out.size(), 2 * answers.size());  // stalls never drop queries
+}
+
+// ---------------------------------------------------------------------------
+// Latency observability
+// ---------------------------------------------------------------------------
+
+TEST(LatencyStatsTest, ExecNanosTrackTheInjectedClock) {
+  // A clock that jumps a fixed amount per read gives exact expectations:
+  // ExecuteLocked reads twice (start/end), so each request observes one
+  // jump of execution latency.
+  class SteppingClock : public Clock {
+   public:
+    int64_t NowNanos() override { return now_ += 10; }
+    void SleepFor(int64_t nanos) override { now_ += nanos; }
+
+   private:
+    int64_t now_ = 0;
+  };
+  SteppingClock clock;
+  ServingOptions so = AutoResetOptions(1, 23);
+  so.clock = &clock;
+  auto server = ShardedSvtServer::Create(so).value();
+  const std::vector<double> answers = MakeAnswers(10, 70);
+  std::vector<Response> out;
+  server->ExecuteOnShard(0, answers, 0.0, &out);
+  server->ExecuteOnShard(0, answers, 0.0, &out);
+  const ServingStats stats = server->StatsForShard(0);
+  EXPECT_EQ(stats.exec_nanos, 20);  // two requests × one 10ns step each
+  EXPECT_EQ(stats.exec_nanos_max, 10);
+}
+
+}  // namespace
+}  // namespace svt
