@@ -17,6 +17,7 @@
 #include "core/exponential_mechanism.h"
 #include "core/svt.h"
 #include "core/svt_retraversal.h"
+#include "core/svt_variants.h"
 #include "data/fpgrowth.h"
 #include "data/generators.h"
 
@@ -195,6 +196,51 @@ void BM_SvtRunBatchPerQueryNearThreshold(benchmark::State& state) {
   state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
 }
 BENCHMARK(BM_SvtRunBatchPerQueryNearThreshold)->Arg(1 << 20);
+
+void BM_SvtRunBatchExpNoise(benchmark::State& state) {
+  // The near-threshold workload on the exponential-noise axis: one RNG word
+  // per ν variate (not two) and the FusedExpScan kernels in tier 2. Run
+  // next to BM_SvtRunBatchNearThreshold for the Laplace-vs-exponential A/B;
+  // the one-sided ρ pushes the effective bar up, so answers sit closer to
+  // the threshold here to keep the tier-2 path hot.
+  Rng rng(5);
+  auto mech =
+      ExpNoiseSvt::Create(0.1, 1.0, /*cutoff=*/1 << 20, &rng).value();
+  const double nu_scale = mech->spec().nu_scale;
+  std::vector<double> answers(static_cast<size_t>(state.range(0)));
+  Rng gen(7);
+  for (double& a : answers) {
+    a = (-3.0 + (gen.NextDouble() - 0.5)) * nu_scale;  // rare positives
+  }
+  std::vector<Response> out;
+  for (auto _ : state) {
+    mech->Reset();
+    out.clear();
+    mech->RunAppend(answers, 0.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
+}
+BENCHMARK(BM_SvtRunBatchExpNoise)->Arg(1 << 20);
+
+void BM_FusedExpScanSumGe(benchmark::State& state) {
+  // The fused exponential tier-2 kernel alone over a no-match stream — the
+  // single-word-per-variate counterpart of the Laplace pairwise scan below.
+  Rng rng(12);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> words(n);
+  std::vector<double> answers(n);
+  rng.FillUint64(words);
+  rng.FillDouble(answers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vec::FusedExpScanSumGe(words, 2.0, answers, 1e9).index);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
+}
+BENCHMARK(BM_FusedExpScanSumGe)->Arg(4096);
 
 void BM_FusedLaplaceScanSumGePairwise(benchmark::State& state) {
   // The fused tier-2 kernel alone (sample + transform + compare in one

@@ -1,0 +1,122 @@
+// Auditing the exponential-noise SVT variants: the closed-form quadrature
+// and the Monte-Carlo simulator are two independent evaluations of the same
+// VariantSpec — one integrates the spec's noise structure analytically
+// (with hard support clamps for the one-sided roles), the other just runs
+// the mechanism. For ExpSVT-Liu24 (arXiv 2407.20068, exponential ρ +
+// Laplace ν) and RevSVT-KMS20 (arXiv 2010.00917, all-exponential with ρ
+// resampling) this prints both answers per output pattern and checks the
+// closed form lands inside the MC confidence interval. The whole audit
+// runs twice with the same seed: every number — MC estimates included —
+// must reproduce bitwise, demonstrating the deterministic draw-order
+// contract end to end.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audit/closed_form.h"
+#include "audit/monte_carlo.h"
+#include "common/rng.h"
+#include "core/variant_spec.h"
+#include "eval/reporting.h"
+
+namespace {
+
+struct AuditCase {
+  svt::VariantSpec spec;
+  std::vector<double> answers;
+  double threshold;
+  std::vector<std::string> patterns;
+};
+
+struct AuditRow {
+  double closed;
+  double mc_p_hat;
+  bool agrees;
+};
+
+std::vector<AuditCase> MakeCases() {
+  std::vector<AuditCase> cases;
+  cases.push_back({svt::MakeExpNoiseSpec(1.0, 1.0, 2),
+                   {0.5, -0.5, 0.2},
+                   0.0,
+                   {"T__", "_T_", "TT", "___"}});
+  cases.push_back({svt::MakeRevisitedSpec(1.0, 1.0, 2),
+                   {0.4, -0.2, 0.1},
+                   0.0,
+                   {"T__", "_T_", "TT", "___"}});
+  return cases;
+}
+
+std::vector<AuditRow> AuditOnce(bool print) {
+  std::vector<AuditRow> rows;
+  for (const AuditCase& c : MakeCases()) {
+    if (print) {
+      std::cout << c.spec.name << " (rho "
+                << (c.spec.rho_kind == svt::NoiseKind::kExponential ? "Exp"
+                                                                    : "Lap")
+                << ", nu "
+                << (c.spec.nu_kind == svt::NoiseKind::kExponential ? "Exp"
+                                                                   : "Lap")
+                << (c.spec.resample_rho_after_positive
+                        ? ", rho resampled after every positive"
+                        : "")
+                << "):\n";
+    }
+    svt::TablePrinter table(
+        {"pattern", "closed form", "monte carlo", "95% interval", "agree"});
+    // A fresh fixed-seed RNG per spec: the MC estimate is a deterministic
+    // function of (spec, instance, seed), which run 2 below relies on.
+    svt::Rng rng(2024);
+    svt::McOptions mc;
+    mc.trials = 200000;
+    for (const std::string& pattern : c.patterns) {
+      const double closed = svt::OutputProbability(
+          c.spec, c.answers, c.threshold, svt::PatternFromString(pattern));
+      const svt::McEstimate est = svt::EstimateOutputProbability(
+          c.spec, c.answers, c.threshold, pattern, rng, mc);
+      const bool agrees = closed >= est.lower - 1e-3 &&
+                          closed <= est.upper + 1e-3;
+      rows.push_back({closed, est.p_hat, agrees});
+      std::string interval = "[";
+      interval += svt::FormatDouble(est.lower, 4);
+      interval += ", ";
+      interval += svt::FormatDouble(est.upper, 4);
+      interval += "]";
+      table.AddRow({pattern, svt::FormatDouble(closed, 6),
+                    svt::FormatDouble(est.p_hat, 6), interval,
+                    agrees ? "yes" : "NO"});
+    }
+    if (print) {
+      table.Print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "--- run 1 ---\n";
+  const std::vector<AuditRow> first = AuditOnce(/*print=*/true);
+
+  bool all_agree = true;
+  for (const AuditRow& r : first) all_agree &= r.agrees;
+  std::cout << (all_agree
+                    ? "closed form and Monte Carlo agree on every pattern\n"
+                    : "ERROR: closed form escaped an MC interval\n");
+
+  std::cout << "--- run 2 (same seeds) ---\n";
+  const std::vector<AuditRow> second = AuditOnce(/*print=*/false);
+  bool bitwise = first.size() == second.size();
+  for (size_t i = 0; bitwise && i < first.size(); ++i) {
+    bitwise = first[i].closed == second[i].closed &&
+              first[i].mc_p_hat == second[i].mc_p_hat;
+  }
+  std::cout << (bitwise ? "run 2 reproduced every number bitwise: the audit "
+                          "is deterministic given the seed\n"
+                        : "ERROR: runs differ\n");
+  return all_agree && bitwise ? 0 : 1;
+}

@@ -23,6 +23,35 @@ struct Segment {
   double rho_scale = 0.0;
 };
 
+// Per-role audit-side distribution, dispatching the density/CDF calls on
+// the spec's NoiseKind. Exponential support is one-sided [0, ∞): its
+// LogPdf/LogCdf are -inf below 0, and SegmentLogProbability additionally
+// clamps the integration window to the support — exact (the excluded
+// region carries zero mass) and it keeps the integrator's peak search
+// inside the non-degenerate part of the integrand.
+class NoiseDist {
+ public:
+  NoiseDist(NoiseKind kind, double scale)
+      : kind_(kind),
+        lap_(Laplace::Centered(scale)),
+        exp_(Exponential::FromScale(scale)) {}
+
+  double LogPdf(double x) const {
+    return kind_ == NoiseKind::kLaplace ? lap_.LogPdf(x) : exp_.LogPdf(x);
+  }
+  double LogCdf(double x) const {
+    return kind_ == NoiseKind::kLaplace ? lap_.LogCdf(x) : exp_.LogCdf(x);
+  }
+  double LogSf(double x) const {
+    return kind_ == NoiseKind::kLaplace ? lap_.LogSf(x) : exp_.LogSf(x);
+  }
+
+ private:
+  NoiseKind kind_;
+  Laplace lap_;
+  Exponential exp_;
+};
+
 // log Pr[events in segment | its ρ ~ Lap(rho_scale)], integrating over ρ.
 double SegmentLogProbability(const VariantSpec& spec, const Segment& seg,
                              std::span<const double> q,
@@ -30,11 +59,17 @@ double SegmentLogProbability(const VariantSpec& spec, const Segment& seg,
                              std::span<const OutputEvent> pattern,
                              const IntegrationOptions& options) {
   const double nu_scale = spec.nu_scale;
-  const Laplace rho_dist = Laplace::Centered(seg.rho_scale);
+  const NoiseDist rho_dist(spec.rho_kind, seg.rho_scale);
+  const NoiseDist nu_dist(spec.nu_kind, nu_scale > 0.0 ? nu_scale : 1.0);
 
   double z_lo = -kInf;       // hard constraints from indicator factors
   double z_hi = kInf;
   double log_const = 0.0;    // z-independent log factors (numeric densities)
+  if (spec.rho_kind == NoiseKind::kExponential) {
+    // One-sided ρ: p_ρ(z) = 0 for z < 0, so the support boundary is a hard
+    // integration limit, exactly like an indicator constraint.
+    z_lo = std::max(z_lo, 0.0);
+  }
 
   // Smooth per-event factors: sign = +1 for a CDF term (⊥), -1 for a
   // survival term (⊤); each kinks at z = q_i − t_i.
@@ -56,6 +91,13 @@ double SegmentLogProbability(const VariantSpec& spec, const Segment& seg,
         } else {
           factors.push_back({center, /*is_cdf=*/true});
           knots.push_back(center);
+          if (spec.nu_kind == NoiseKind::kExponential) {
+            // ν_i ≥ 0 makes the CDF factor F_ν(z − center) identically 0
+            // for z ≤ center — a hard support bound on top of the smooth
+            // factor. Clamping is exact (zero mass excluded; the boundary
+            // point itself has measure zero).
+            z_lo = std::max(z_lo, center);
+          }
         }
         break;
       case OutputEvent::Kind::kAbove:
@@ -78,7 +120,11 @@ double SegmentLogProbability(const VariantSpec& spec, const Segment& seg,
             if (ev.value != q[i]) return -kInf;
             z_hi = std::min(z_hi, center);
           } else {
-            log_const += Laplace::Centered(nu_scale).LogPdf(ev.value - q[i]);
+            // Under exponential ν a value below q_i is outside the noise
+            // support: LogPdf is -inf and the pattern is impossible.
+            const double log_nu_pdf = nu_dist.LogPdf(ev.value - q[i]);
+            if (log_nu_pdf == -kInf) return -kInf;
+            log_const += log_nu_pdf;
             z_hi = std::min(z_hi, ev.value - t[i]);
           }
         } else if (spec.numeric_scale > 0.0) {
@@ -115,13 +161,15 @@ double SegmentLogProbability(const VariantSpec& spec, const Segment& seg,
   const double hi = std::min(z_hi, knot_hi + spread);
   if (lo >= hi) return -kInf;
 
-  const Laplace nu_dist =
-      nu_scale > 0.0 ? Laplace::Centered(nu_scale) : Laplace::Centered(1.0);
   const auto log_integrand = [&](double z) {
     double acc = rho_dist.LogPdf(z);
     for (const SmoothFactor& f : factors) {
       // ⊥: Pr[q+ν < t+z] = F_ν(z − center); ⊤: Pr[q+ν ≥ t+z] = Sf strictly,
-      // but Laplace is atomless so Cdf/Sf at the point coincide a.e.
+      // but both noise kinds are atomless so Cdf/Sf at the point coincide
+      // a.e. Every term stays concave in z on the (clamped) window —
+      // Laplace log-pdf/log-CDF/log-SF are concave, exponential log-pdf and
+      // log-SF are linear on the support and its log-CDF is concave — which
+      // is what LogIntegratePiecewise's peak search requires.
       acc += f.is_cdf ? nu_dist.LogCdf(z - f.center)
                       : nu_dist.LogSf(z - f.center);
     }

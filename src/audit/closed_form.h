@@ -10,6 +10,12 @@
 // directly from a VariantSpec, handling all the structural quirks the
 // variants introduce:
 //
+//   * noise kinds     — ρ and ν each follow their role's NoiseKind
+//                       (Laplace or one-sided exponential, per the spec's
+//                       rho_kind/nu_kind); exponential roles contribute
+//                       hard support bounds on top of their smooth
+//                       factors (p_ρ(z) = 0 for z < 0; a ⊥ factor under
+//                       exponential ν is identically 0 for z ≤ q_i − T_i);
 //   * cutoff c        — patterns with more output after the c-th positive
 //                       are impossible (probability 0);
 //   * ν = 0 (Alg. 5)  — the CDF factors degenerate to indicators, which

@@ -85,8 +85,9 @@ double LogIntegratePiecewise(const std::function<double(double)>& log_f,
                              const IntegrationOptions& options) {
   if (lo >= hi) return -kInf;
 
-  // The SVT-audit integrands are log-concave (Laplace log-pdf plus sums of
-  // Laplace log-CDF/log-SF terms, all concave in z), so the maximum is
+  // The SVT-audit integrands are log-concave (a Laplace or exponential
+  // log-pdf plus sums of noise log-CDF/log-SF terms, all concave in z on
+  // the caller's integration window), so the maximum is
   // found reliably by coarse probing refined with ternary search, and the
   // integration window can be clipped where log_f falls `kMarginNats`
   // below the peak — contributions there are beneath any tolerance.

@@ -1,11 +1,12 @@
 // Adaptive numerical integration with knot handling.
 //
 // The audit module evaluates Pr[A(D) = a] = ∫ p_ρ(z) Π_i factor_i(z) dz
-// where p_ρ is a Laplace density (kinked at its center) and the factors are
-// Laplace CDFs/survival functions (kinked at q_i − T_i). The integrand is
-// therefore piecewise-smooth with known breakpoints; we integrate each
-// smooth piece with adaptive Simpson and expose a log-space variant for
-// patterns long enough that the product underflows.
+// where p_ρ is a Laplace or exponential density (kinked at its center /
+// support edge) and the factors are noise CDFs/survival functions (kinked
+// at q_i − T_i). The integrand is therefore piecewise-smooth with known
+// breakpoints; we integrate each smooth piece with adaptive Simpson and
+// expose a log-space variant for patterns long enough that the product
+// underflows.
 
 #ifndef SPARSEVEC_AUDIT_INTEGRATOR_H_
 #define SPARSEVEC_AUDIT_INTEGRATOR_H_
@@ -46,9 +47,9 @@ double IntegratePiecewise(const std::function<double(double)>& f, double lo,
 /// Returns -inf when the integrand is 0 a.e.
 ///
 /// Requires log_f to be (quasi-)concave on [lo, hi] — true for every SVT
-/// output-probability integrand (Laplace log-pdf plus Laplace log-CDF/SF
-/// terms, all concave), and the reason the peak search and tail clipping
-/// are sound.
+/// output-probability integrand (Laplace or exponential log-pdf plus noise
+/// log-CDF/SF terms, all concave on the support the caller integrates
+/// over), and the reason the peak search and tail clipping are sound.
 double LogIntegratePiecewise(const std::function<double(double)>& log_f,
                              double lo, double hi, std::vector<double> knots,
                              const IntegrationOptions& options = {});

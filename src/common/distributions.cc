@@ -1,6 +1,7 @@
 #include "common/distributions.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -94,16 +95,43 @@ void SampleLaplaceBlock(Rng& rng, double scale, std::span<double> out) {
   Laplace::Centered(scale).SampleBlock(rng, out);
 }
 
-Exponential::Exponential(double rate) : rate_(rate) {
+Exponential::Exponential(double rate) : rate_(rate), scale_(1.0 / rate) {
   SVT_CHECK(rate > 0.0) << "Exponential rate must be positive, got " << rate;
+}
+
+Exponential Exponential::FromScale(double scale) {
+  SVT_CHECK(scale > 0.0) << "Exponential scale must be positive, got "
+                         << scale;
+  return Exponential(1.0 / scale, scale);
 }
 
 double Exponential::Pdf(double x) const {
   return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
 }
 
+double Exponential::LogPdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(rate_) - rate_ * x;
+}
+
 double Exponential::Cdf(double x) const {
   return x < 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+}
+
+double Exponential::LogCdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  // log(1 - e^-z), stable for both tails of z = x/b.
+  const double z = rate_ * x;
+  if (z > 1.0) return std::log1p(-std::exp(-z));
+  return std::log(-std::expm1(-z));
+}
+
+double Exponential::Sf(double x) const {
+  return x < 0.0 ? 1.0 : std::exp(-rate_ * x);
+}
+
+double Exponential::LogSf(double x) const {
+  return x < 0.0 ? 0.0 : -rate_ * x;
 }
 
 double Exponential::Quantile(double p) const {
@@ -112,7 +140,38 @@ double Exponential::Quantile(double p) const {
 }
 
 double Exponential::Sample(Rng& rng) const {
-  return -vec::Log(rng.NextDoublePositive()) / rate_;
+  // One draw per variate, evaluated as b * e with e = -log(u) through the
+  // shared vecmath lattice map — the exact scalar body of
+  // ExponentialTransformBlock, so a Sample() loop is bit-for-bit
+  // SampleBlock() for the same rng state (dividing by rate_ would not be:
+  // e/r and (1/r)*e differ in the last ulp for general r).
+  return scale_ * vec::NegLogUnitPositive(rng.NextUint64());
+}
+
+void Exponential::TransformBlock(std::span<const uint64_t> words,
+                                 std::span<double> out) const {
+  SVT_CHECK(words.size() == out.size());
+  vec::ExponentialTransformBlock(words, scale_, out);
+}
+
+void Exponential::SampleBlock(Rng& rng, std::span<double> out) const {
+  constexpr size_t kBlock = 512;
+  uint64_t words[kBlock];
+  size_t done = 0;
+  while (done < out.size()) {
+    const size_t n = std::min(kBlock, out.size() - done);
+    rng.FillUint64({words, n});
+    TransformBlock({words, n}, out.subspan(done, n));
+    done += n;
+  }
+}
+
+double SampleExponential(Rng& rng, double scale) {
+  return Exponential::FromScale(scale).Sample(rng);
+}
+
+void SampleExponentialBlock(Rng& rng, double scale, std::span<double> out) {
+  Exponential::FromScale(scale).SampleBlock(rng, out);
 }
 
 double Gumbel::Pdf(double x) const {

@@ -101,19 +101,70 @@ double SampleLaplace(Rng& rng, double scale);
 void SampleLaplaceBlock(Rng& rng, double scale, std::span<double> out);
 
 /// Exponential(rate): density rate * exp(-rate x) on x >= 0.
+///
+/// In DP terms the scale parameterization b = 1/rate mirrors Lap(b): an
+/// Exp(b) threshold perturbation with b = sensitivity/epsilon satisfies the
+/// same epsilon-indistinguishability bound the SVT proof needs from the ρ
+/// density (the proof only uses p(z + Δ) >= e^-ε p(z), which the one-sided
+/// density e^{-x/b}/b satisfies for b = Δ/ε) at half the standard
+/// deviation — the accuracy win of the exponential-noise SVT variants.
 class Exponential {
  public:
   explicit Exponential(double rate);
 
+  /// Scale parameterization: Exp(b) with density (1/b) e^{-x/b} on x >= 0.
+  /// The noise-kind axis of VariantSpec is specified in scales, and the
+  /// draw contract below multiplies by the scale — so engine code must use
+  /// this factory (1/(1/b) is not always b in IEEE arithmetic).
+  static Exponential FromScale(double scale);
+
   double rate() const { return rate_; }
+  double scale() const { return scale_; }
   double Pdf(double x) const;
+  /// Natural log of the density at x (-inf for x < 0). Audit-side libm.
+  double LogPdf(double x) const;
   double Cdf(double x) const;
+  /// log P(X <= x), stable in the deep lower tail.
+  double LogCdf(double x) const;
+  /// P(X > x) = e^{-x/b} for x >= 0, 1 below the support.
+  double Sf(double x) const;
+  /// log P(X > x), exact (= -x/b) on the support.
+  double LogSf(double x) const;
   double Quantile(double p) const;
+
+  /// Draws a sample as scale * -log(u), with u on Rng's (0, 1] 53-bit
+  /// lattice via vec::NegLogUnitPositive — one 64-bit draw per variate, and
+  /// the product evaluated as b * e so scalar and block draws are
+  /// draw-for-draw bit-identical (the guarantee SampleBlock documents).
   double Sample(Rng& rng) const;
 
+  /// Fills `out` with out.size() i.i.d. draws, consuming one 64-bit draw
+  /// per variate in exactly Sample()'s order: for a given rng state the
+  /// k-th element is bit-for-bit the k-th scalar Sample() result at every
+  /// dispatch level.
+  void SampleBlock(Rng& rng, std::span<double> out) const;
+
+  /// The pure transform behind SampleBlock: out[i] is computed from
+  /// words[i] with the exact expressions of Sample(). words.size() must
+  /// equal out.size(). Exposed for the batch engine, like
+  /// Laplace::TransformBlock.
+  void TransformBlock(std::span<const uint64_t> words,
+                      std::span<double> out) const;
+
  private:
+  Exponential(double rate, double scale) : rate_(rate), scale_(scale) {}
+
   double rate_;
+  double scale_;
 };
+
+/// Samples Exp(scale) — one-sided, scale parameterization, zero draws of
+/// sign words. Mirrors SampleLaplace.
+double SampleExponential(Rng& rng, double scale);
+
+/// Bulk version of SampleExponential; same draw-for-draw equivalence
+/// guarantee as Exponential::SampleBlock.
+void SampleExponentialBlock(Rng& rng, double scale, std::span<double> out);
 
 /// Standard Gumbel(0, 1): density exp(-(x + exp(-x))).
 ///

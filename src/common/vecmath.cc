@@ -270,6 +270,10 @@ double Exp(double x) {
   return y * Pow2(k1) * Pow2(k2);
 }
 
+double NegLogUnitPositive(uint64_t word) {
+  return -Log(Rng::ToUnitDoublePositive(word));
+}
+
 namespace {
 
 // The word-pair → Laplace(mu, b) transform of one element, shared by the
@@ -282,6 +286,14 @@ inline double LaplaceNuScalar(uint64_t w_mag, uint64_t w_sign, double mu,
   const double be = b * e;
   const uint64_t flip = ~w_sign & 0x8000'0000'0000'0000ull;
   return mu + std::bit_cast<double>(std::bit_cast<uint64_t>(be) ^ flip);
+}
+
+// The word → Exponential(b) transform of one element: one raw word per
+// variate (no sign word; support [0, +inf)). Operation for operation the
+// scalar body of ExponentialTransformBlock — the fused exponential scans
+// are *defined* by this composition.
+inline double ExpNuScalar(uint64_t word, double b) {
+  return b * NegLogUnitPositive(word);
 }
 
 // Scalar reference lanes of the four fused sample-and-scan kernels. Each
@@ -325,6 +337,49 @@ FusedScanHit FusedScanSumGePairwiseScalar(const uint64_t* words, double mu,
                                           size_t n, size_t from) {
   for (size_t i = from; i < n; ++i) {
     const double nu = LaplaceNuScalar(words[2 * i], words[2 * i + 1], mu, b);
+    if (a[i] + nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+// Scalar reference lanes of the exponential-noise fused scans: identical
+// structure to the Laplace family above, but one word per variate.
+
+FusedScanHit FusedExpScanGeScalar(const uint64_t* words, double b, double bar,
+                                  size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = ExpNuScalar(words[i], b);
+    if (nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit FusedExpScanSumGeScalar(const uint64_t* words, double b,
+                                     const double* a, double bar, size_t n,
+                                     size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = ExpNuScalar(words[i], b);
+    if (a[i] + nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit FusedExpScanGePairwiseScalar(const uint64_t* words, double b,
+                                          const double* bars, double rho,
+                                          size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = ExpNuScalar(words[i], b);
+    if (nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit FusedExpScanSumGePairwiseScalar(const uint64_t* words, double b,
+                                             const double* a,
+                                             const double* bars, double rho,
+                                             size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = ExpNuScalar(words[i], b);
     if (a[i] + nu >= bars[i] + rho) return {i, nu};
   }
   return {n, 0.0};
@@ -732,6 +787,91 @@ __attribute__((target("avx2"))) FusedScanHit FusedLaplaceScanSumGePairwiseAvx2(
     if (mask != 0) return FusedHitAvx2(i, mask, nu);
   }
   return FusedScanSumGePairwiseScalar(words, mu, b, a, bars, rho, n, i);
+}
+
+// One fused exponential transform step: 4 consecutive raw words → 4 ν
+// values, ν = b·(-log u). `vnb` carries -b so the body computes
+// (-b)·log(u), bit-identical to the reference's b·(-log(u)) for the same
+// reason as LaplaceNu4Avx2 (IEEE multiply: sign = xor of operand signs,
+// magnitude independent of them). One word per variate, so the load is a
+// plain stride-1 vector load — no unpack/permute.
+__attribute__((target("avx2"))) inline __m256d ExpNu4Avx2(
+    const uint64_t* words, __m256d vnb) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d lattice = _mm256_set1_pd(0x1p-53);
+  const __m256i w =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
+  const __m256d d = U53ToDouble(_mm256_srli_epi64(w, 11));
+  const __m256d u = _mm256_mul_pd(_mm256_add_pd(d, one), lattice);
+  return _mm256_mul_pd(vnb, Log4Normal(u));
+}
+
+__attribute__((target("avx2"))) void ExponentialTransformAvx2(
+    const uint64_t* words, double b, double* out, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, ExpNu4Avx2(words + i, vnb));
+  }
+  for (; i < n; ++i) out[i] = ExpNuScalar(words[i], b);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedExpScanGeAvx2(
+    const uint64_t* words, double b, double bar, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = ExpNu4Avx2(words + i, vnb);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(nu, vbar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedExpScanGeScalar(words, b, bar, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedExpScanSumGeAvx2(
+    const uint64_t* words, double b, const double* a, double bar, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = ExpNu4Avx2(words + i, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedExpScanSumGeScalar(words, b, a, bar, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedExpScanGePairwiseAvx2(
+    const uint64_t* words, double b, const double* bars, double rho,
+    size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = ExpNu4Avx2(words + i, vnb);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(nu, bar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedExpScanGePairwiseScalar(words, b, bars, rho, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit FusedExpScanSumGePairwiseAvx2(
+    const uint64_t* words, double b, const double* a, const double* bars,
+    double rho, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nu = ExpNu4Avx2(words + i, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) return FusedHitAvx2(i, mask, nu);
+  }
+  return FusedExpScanSumGePairwiseScalar(words, b, a, bars, rho, n, i);
 }
 
 __attribute__((target("avx2"))) void ExpBlockAvx2(const double* in,
@@ -1196,6 +1336,90 @@ FusedLaplaceScanSumGePairwiseAvx512(const uint64_t* words, double mu,
   return FusedScanSumGePairwiseScalar(words, mu, b, a, bars, rho, n, i);
 }
 
+// 8-wide fused exponential transform step, mirroring ExpNu4Avx2 (see there
+// for the bit-identical (-b)·log(u) fold). Stride-1 word load.
+__attribute__((target("avx512f,avx512dq"))) inline __m512d ExpNu8Avx512(
+    const uint64_t* words, __m512d vnb) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d lattice = _mm512_set1_pd(0x1p-53);
+  const __m512i w = _mm512_loadu_si512(words);
+  const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(w, 11));
+  const __m512d u = _mm512_mul_pd(_mm512_add_pd(d, one), lattice);
+  return _mm512_mul_pd(vnb, Log8Normal(u));
+}
+
+__attribute__((target("avx512f,avx512dq"))) void ExponentialTransformAvx512(
+    const uint64_t* words, double b, double* out, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(out + i, ExpNu8Avx512(words + i, vnb));
+  }
+  for (; i < n; ++i) out[i] = ExpNuScalar(words[i], b);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit FusedExpScanGeAvx512(
+    const uint64_t* words, double b, double bar, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = ExpNu8Avx512(words + i, vnb);
+    const __mmask8 mask = _mm512_cmp_pd_mask(nu, vbar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedExpScanGeScalar(words, b, bar, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedExpScanSumGeAvx512(const uint64_t* words, double b, const double* a,
+                        double bar, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  size_t i = 0;
+  // Not unrolled — see FusedLaplaceScanSumGeAvx512 (register pressure).
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = ExpNu8Avx512(words + i, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedExpScanSumGeScalar(words, b, a, bar, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedExpScanGePairwiseAvx512(const uint64_t* words, double b,
+                             const double* bars, double rho, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = ExpNu8Avx512(words + i, vnb);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(nu, bar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedExpScanGePairwiseScalar(words, b, bars, rho, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) FusedScanHit
+FusedExpScanSumGePairwiseAvx512(const uint64_t* words, double b,
+                                const double* a, const double* bars,
+                                double rho, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  size_t i = 0;
+  // Not unrolled — see FusedLaplaceScanSumGeAvx512 (register pressure).
+  for (; i + 8 <= n; i += 8) {
+    const __m512d nu = ExpNu8Avx512(words + i, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) return FusedHitAvx512(i, mask, nu);
+  }
+  return FusedExpScanSumGePairwiseScalar(words, b, a, bars, rho, n, i);
+}
+
 __attribute__((target("avx512f,avx512dq"))) void ExpBlockAvx512(
     const double* in, double* out, size_t n) {
   const __m512d abs_mask =
@@ -1574,6 +1798,107 @@ FusedScanHit FusedLaplaceScanSumGePairwise(std::span<const uint64_t> words,
 #endif
   return FusedScanSumGePairwiseScalar(words.data(), mu, b, a.data(),
                                       bars.data(), rho, a.size(), 0);
+}
+
+void ExponentialTransformBlock(std::span<const uint64_t> words, double b,
+                               std::span<double> out) {
+  SVT_CHECK(words.size() == out.size())
+      << "ExponentialTransformBlock size mismatch: " << words.size()
+      << " words for " << out.size() << " outputs";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    ExponentialTransformAvx512(words.data(), b, out.data(), out.size());
+    return;
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    ExponentialTransformAvx2(words.data(), b, out.data(), out.size());
+    return;
+  }
+#endif
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = ExpNuScalar(words[i], b);
+  }
+}
+
+FusedScanHit FusedExpScanGe(std::span<const uint64_t> words, double b,
+                            double bar) {
+  const size_t n = words.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedExpScanGeAvx512(words.data(), b, bar, n);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedExpScanGeAvx2(words.data(), b, bar, n);
+  }
+#endif
+  return FusedExpScanGeScalar(words.data(), b, bar, n, 0);
+}
+
+FusedScanHit FusedExpScanSumGe(std::span<const uint64_t> words, double b,
+                               std::span<const double> a, double bar) {
+  SVT_CHECK(words.size() == a.size())
+      << "FusedExpScanSumGe size mismatch: " << words.size() << " words for "
+      << a.size() << " answers";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedExpScanSumGeAvx512(words.data(), b, a.data(), bar, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedExpScanSumGeAvx2(words.data(), b, a.data(), bar, a.size());
+  }
+#endif
+  return FusedExpScanSumGeScalar(words.data(), b, a.data(), bar, a.size(), 0);
+}
+
+FusedScanHit FusedExpScanGePairwise(std::span<const uint64_t> words, double b,
+                                    std::span<const double> bars, double rho) {
+  SVT_CHECK(words.size() == bars.size())
+      << "FusedExpScanGePairwise size mismatch: " << words.size()
+      << " words for " << bars.size() << " bars";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedExpScanGePairwiseAvx512(words.data(), b, bars.data(), rho,
+                                        bars.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedExpScanGePairwiseAvx2(words.data(), b, bars.data(), rho,
+                                      bars.size());
+  }
+#endif
+  return FusedExpScanGePairwiseScalar(words.data(), b, bars.data(), rho,
+                                      bars.size(), 0);
+}
+
+FusedScanHit FusedExpScanSumGePairwise(std::span<const uint64_t> words,
+                                       double b, std::span<const double> a,
+                                       std::span<const double> bars,
+                                       double rho) {
+  SVT_CHECK(words.size() == a.size() && a.size() == bars.size())
+      << "FusedExpScanSumGePairwise size mismatch: " << words.size()
+      << " words for " << a.size() << " answers and " << bars.size()
+      << " bars";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return FusedExpScanSumGePairwiseAvx512(words.data(), b, a.data(),
+                                           bars.data(), rho, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return FusedExpScanSumGePairwiseAvx2(words.data(), b, a.data(),
+                                         bars.data(), rho, a.size());
+  }
+#endif
+  return FusedExpScanSumGePairwiseScalar(words.data(), b, a.data(),
+                                         bars.data(), rho, a.size(), 0);
 }
 
 }  // namespace vec

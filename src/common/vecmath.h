@@ -102,6 +102,13 @@ double Log(double x);
 /// +inf, underflows through the subnormal range to 0, NaN → NaN.
 double Exp(double x);
 
+/// The scalar word→exponential-magnitude map behind every draw in the
+/// library: -Log(u) where u is `word` on the (0, 1] 53-bit lattice exactly
+/// as Rng::ToUnitDoublePositive. This is the single-element form of
+/// NegLogUnitPositiveBlock — streaming samplers call it so that scalar and
+/// block draws are draw-for-draw bit-identical (same word, same double).
+double NegLogUnitPositive(std::uint64_t word);
+
 /// out[i] = Log(in[i]) at the active dispatch level. Bit-identical to a
 /// scalar Log() loop at every level. In-place operation (out == in) is
 /// allowed; other overlap is not. in.size() must equal out.size().
@@ -134,6 +141,19 @@ void NegLogUnitPositiveBlock(std::span<const std::uint64_t> words,
 /// kernel in the system: the batch engine's tier-2 ν materialization.
 void LaplaceTransformBlock(std::span<const std::uint64_t> words, double mu,
                            double b, std::span<double> out);
+
+/// The complete one-sided Exponential(b) inverse-CDF transform, fused into
+/// one dispatched pass over raw words:
+///   out[i] = b * -Log(ToUnitDoublePositive(words[i])).
+/// One word per variate (exponential noise carries no sign word), support
+/// [0, +inf). Defined as the composition b * NegLogUnitPositiveBlock(words,
+/// /*stride=*/1) and bit-identical to it at every dispatch level; the
+/// scalar form is NegLogUnitPositive(word) * b with the product computed as
+/// b * e in that operand order (one correctly-rounded multiply — the order
+/// is pinned so streaming and batch agree bitwise). words.size() must equal
+/// out.size().
+void ExponentialTransformBlock(std::span<const std::uint64_t> words, double b,
+                               std::span<double> out);
 
 /// Reduction: max over in (in.size() >= 1), dispatched. Exact and
 /// association-independent when no element is NaN (the tier-1 bound's
@@ -234,6 +254,43 @@ FusedScanHit FusedLaplaceScanGePairwise(std::span<const std::uint64_t> words,
 FusedScanHit FusedLaplaceScanSumGePairwise(
     std::span<const std::uint64_t> words, double mu, double b,
     std::span<const double> a, std::span<const double> bars, double rho);
+
+// --- Fused exponential-noise sample-and-scan kernels ----------------------
+//
+// The exponential-noise counterparts of the FusedLaplaceScan* family, for
+// variants whose query noise ν is one-sided Exponential(b) rather than
+// Laplace. One raw word per variate (no sign word), so words.size() equals
+// the element count — not twice it. Each kernel is *defined* as the
+// composition ExponentialTransformBlock + FindFirst* (the tests diff fused
+// against unfused at every dispatch level), so hit index, returned ν, and
+// the word→ν lattice are bit-identical to the unfused sequence. Tails
+// shorter than one SIMD width delegate to the scalar lane.
+
+/// Pure-noise scan: smallest i with ν_i >= bar, where
+/// ν_i = b * -Log(ToUnitDoublePositive(words[i])). The element count is
+/// words.size().
+FusedScanHit FusedExpScanGe(std::span<const std::uint64_t> words, double b,
+                            double bar);
+
+/// The common-threshold tier-2 positive test, fused: smallest i with
+/// a[i] + ν_i >= bar (one rounded add, ordered >=, exactly the streaming
+/// test). words.size() must equal a.size().
+FusedScanHit FusedExpScanSumGe(std::span<const std::uint64_t> words, double b,
+                               std::span<const double> a, double bar);
+
+/// Per-query-bar pure-noise scan: smallest i with ν_i >= bars[i] + rho.
+/// words.size() must equal bars.size().
+FusedScanHit FusedExpScanGePairwise(std::span<const std::uint64_t> words,
+                                    double b, std::span<const double> bars,
+                                    double rho);
+
+/// The per-query-threshold tier-2 positive test, fused: smallest i with
+/// a[i] + ν_i >= bars[i] + rho (each side one rounded add, ordered >=).
+/// words.size() must equal a.size(); a.size() must equal bars.size().
+FusedScanHit FusedExpScanSumGePairwise(std::span<const std::uint64_t> words,
+                                       double b, std::span<const double> a,
+                                       std::span<const double> bars,
+                                       double rho);
 
 }  // namespace vec
 }  // namespace svt

@@ -23,6 +23,28 @@ static_assert(Response{}.outcome == Outcome::kBelow,
               "value-initialized Response must be ⊥: the batch engine emits "
               "⊥ runs via zero-initializing resize");
 
+// Streaming-identical single draw of a role's noise kind (the batch slow
+// path at positives must consume the base stream exactly as Process()
+// would — core/svt.h contract step 3).
+double SampleNoise(Rng& rng, NoiseKind kind, double scale) {
+  switch (kind) {
+    case NoiseKind::kLaplace:
+      return SampleLaplace(rng, scale);
+    case NoiseKind::kExponential:
+      return SampleExponential(rng, scale);
+  }
+  SVT_CHECK(false) << "unknown NoiseKind";
+  return 0.0;
+}
+
+// Raw 64-bit words one ν variate consumes — the distribution-traits knob
+// that threads the noise axis through the fill sizes, the tier-1 word
+// reduction stride, and the fused-kernel spans below. Laplace: 2 (magnitude
+// word + sign word). Exponential: 1 (one-sided, no sign word).
+size_t WordsPerVariate(NoiseKind kind) {
+  return kind == NoiseKind::kExponential ? 1 : 2;
+}
+
 }  // namespace
 
 BatchRunner::BatchRunner(const VariantSpec& spec, Rng* base_rng,
@@ -42,7 +64,8 @@ Response BatchRunner::MakePositiveResponse(double answer, double nu_j) {
     state_->exhausted = true;
   }
   if (spec_.resample_rho_after_positive) {
-    state_->rho = SampleLaplace(*base_rng_, spec_.rho_resample_scale);
+    state_->rho =
+        SampleNoise(*base_rng_, spec_.rho_kind, spec_.rho_resample_scale);
   }
   if (spec_.output_query_value_on_positive) {
     return Response::AboveValue(answer + nu_j);
@@ -108,12 +131,20 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       chunk_processed = ScanChunk(a, n, find_next, res + done);
     } else {
       // Pre-fetch the chunk's raw ν words — the substream advances exactly
-      // as if each ν_i had been drawn scalar-style.
-      state_->nu_rng.FillUint64({words, 2 * n});
+      // as if each ν_i had been drawn scalar-style. Word count and layout
+      // follow the spec's ν kind: Laplace variates are (magnitude, sign)
+      // pairs, exponential variates a single magnitude word each.
+      const size_t wpv = WordsPerVariate(spec_.nu_kind);
+      const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
+      state_->nu_rng.FillUint64({words, wpv * n});
 
-      // Tier-1 shortcut: bound every |ν_i| in the chunk by b·(-log(u_min)),
+      // Tier-1 shortcut: bound every ν_i in the chunk by b·(-log(u_min)),
       // where u_min is the smallest magnitude uniform — an integer min over
-      // the even words, no log per element. If even the largest answer
+      // the magnitude words, no log per element. For Laplace ν this bounds
+      // |ν_i| (the sign words are skipped by the stride); for exponential ν
+      // it is the exact one-sided envelope: ν_i = b·(-log u_i) ≥ 0 and
+      // u_min ≤ u_i implies ν_i ≤ b·(-log u_min), so the same chain bounds
+      // the only side that can fire a positive. If even the largest answer
       // cannot cross the noisy threshold under that bound, the whole chunk
       // is provably ⊥ and the transform is skipped entirely. Every step of
       // the bound chain is a monotone rounded operation, so the shortcut
@@ -121,7 +152,7 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       // the same vecmath log kernel that the fused scan applies per word,
       // so kBoundSlack only has to absorb the kernel's own sub-ulp rounding
       // wiggle, never a libm-vs-polynomial discrepancy.
-      const uint64_t w_min = vec::MinWordBlock({words, 2 * n}, 2);
+      const uint64_t w_min = vec::MinWordBlock({words, wpv * n}, wpv);
       const double a_max = vec::MaxBlock({a, n});
       const double u_min = Rng::ToUnitDoublePositive(w_min);
       const double nu_bound =
@@ -146,17 +177,20 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
         const double nu_scale = spec_.nu_scale;
         const uint64_t* const w = words;
         BatchRunStats* const stats = &state_->batch;
-        const auto find_next = [a, w, n, threshold, nu_scale, stats](
-                                   size_t from, double rho) -> vec::FusedScanHit {
+        const auto find_next = [a, w, n, threshold, nu_scale, stats, wpv,
+                                exp_nu](size_t from,
+                                        double rho) -> vec::FusedScanHit {
           const double bar = threshold + rho;
           size_t s = from;
           while (s < n) {
             const size_t m = std::min(kBoundSpan, n - s);
             // Sub-span bound: the tier-1 chain over [s, s+m). Monotone
             // rounded ops + kBoundSlack make the skip strictly
-            // conservative, and every input is dispatch-independent, so
+            // conservative (one-sided envelope for exponential ν — see the
+            // tier-1 comment), and every input is dispatch-independent, so
             // the skip decisions (and counters) are too.
-            const uint64_t w_min = vec::MinWordBlock({w + 2 * s, 2 * m}, 2);
+            const uint64_t w_min =
+                vec::MinWordBlock({w + wpv * s, wpv * m}, wpv);
             const double a_max = vec::MaxBlock({a + s, m});
             const double nu_bound =
                 nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min))) *
@@ -167,8 +201,11 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
               continue;
             }
             ++stats->tier2_fused_segments;
-            const vec::FusedScanHit hit = vec::FusedLaplaceScanSumGe(
-                {w + 2 * s, 2 * m}, 0.0, nu_scale, {a + s, m}, bar);
+            const vec::FusedScanHit hit =
+                exp_nu ? vec::FusedExpScanSumGe({w + s, m}, nu_scale,
+                                                {a + s, m}, bar)
+                       : vec::FusedLaplaceScanSumGe({w + 2 * s, 2 * m}, 0.0,
+                                                    nu_scale, {a + s, m}, bar);
             if (hit.index < m) return {s + hit.index, hit.nu};
             s += m;
           }
@@ -232,25 +269,33 @@ size_t BatchRunner::Run(std::span<const double> answers,
       // a completed chunk leaves the substream at the identical position.
       ++state_->batch.tier2_chunks_scanned;
       const double nu_scale = spec_.nu_scale;
+      const size_t wpv = WordsPerVariate(spec_.nu_kind);
+      const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
       BatchRunStats* const stats = &state_->batch;
       size_t sub = 0;
       while (sub < n) {
         const size_t m = std::min(kFusedSubBlock, n - sub);
         size_t filled = 0;
-        while (filled < 2 * m) {
+        while (filled < wpv * m) {
           filled += state_->nu_rng.FillUint64Bounded(
-              {words + filled, 2 * m - filled});
+              {words + filled, wpv * m - filled});
         }
         ++stats->tier2_fused_subblocks;
         const double* const a_sub = a + sub;
         const double* const t_sub = t + sub;
         const uint64_t* const w = words;
-        const auto find_next = [a_sub, t_sub, w, m, nu_scale, stats](
+        const auto find_next = [a_sub, t_sub, w, m, nu_scale, stats, exp_nu](
                                    size_t from, double rho) {
           ++stats->tier2_fused_segments;
-          const vec::FusedScanHit hit = vec::FusedLaplaceScanSumGePairwise(
-              {w + 2 * from, 2 * (m - from)}, 0.0, nu_scale,
-              {a_sub + from, m - from}, {t_sub + from, m - from}, rho);
+          const vec::FusedScanHit hit =
+              exp_nu ? vec::FusedExpScanSumGePairwise(
+                           {w + from, m - from}, nu_scale,
+                           {a_sub + from, m - from}, {t_sub + from, m - from},
+                           rho)
+                     : vec::FusedLaplaceScanSumGePairwise(
+                           {w + 2 * from, 2 * (m - from)}, 0.0, nu_scale,
+                           {a_sub + from, m - from}, {t_sub + from, m - from},
+                           rho);
           return vec::FusedScanHit{from + hit.index, hit.nu};
         };
         const size_t sub_processed =

@@ -9,6 +9,25 @@
 
 namespace svt {
 
+namespace {
+
+// One noise variate of the given kind from `rng` — the streaming side of
+// the pluggable distribution axis. The draw cost is part of the draw-order
+// contract (core/svt.h step 1/2): two 64-bit draws for a Laplace variate,
+// one for an exponential variate.
+double SampleNoise(Rng& rng, NoiseKind kind, double scale) {
+  switch (kind) {
+    case NoiseKind::kLaplace:
+      return SampleLaplace(rng, scale);
+    case NoiseKind::kExponential:
+      return SampleExponential(rng, scale);
+  }
+  SVT_CHECK(false) << "unknown NoiseKind";
+  return 0.0;
+}
+
+}  // namespace
+
 std::vector<Response> SvtMechanism::Run(std::span<const double> answers,
                                         std::span<const double> thresholds) {
   std::vector<Response> out;
@@ -60,7 +79,7 @@ void SpecDrivenSvt::InitRun() {
   // draw seeds the ν substream. The seeding always happens — even for
   // specs without query noise — so the base stream position is a function
   // of Reset() count alone.
-  state_.rho = SampleLaplace(*rng_, spec_.rho_scale);
+  state_.rho = SampleNoise(*rng_, spec_.rho_kind, spec_.rho_scale);
   state_.nu_rng = Rng(rng_->NextUint64());
 }
 
@@ -70,16 +89,18 @@ Response SpecDrivenSvt::Process(double query_answer, double threshold) {
       << "::Process called after the cutoff exhausted the run; check "
          "exhausted() or call Reset()";
   ++state_.processed;
-  const double nu = spec_.nu_scale > 0.0
-                        ? SampleLaplace(state_.nu_rng, spec_.nu_scale)
-                        : 0.0;
+  const double nu =
+      spec_.nu_scale > 0.0
+          ? SampleNoise(state_.nu_rng, spec_.nu_kind, spec_.nu_scale)
+          : 0.0;
   if (query_answer + nu >= threshold + state_.rho) {
     ++state_.positives;
     if (spec_.cutoff.has_value() && state_.positives >= *spec_.cutoff) {
       state_.exhausted = true;
     }
     if (spec_.resample_rho_after_positive) {
-      state_.rho = SampleLaplace(*rng_, spec_.rho_resample_scale);
+      state_.rho =
+          SampleNoise(*rng_, spec_.rho_kind, spec_.rho_resample_scale);
     }
     if (spec_.output_query_value_on_positive) {
       // Alg. 3: emits the very noise used in the comparison — this is the
@@ -144,6 +165,12 @@ Result<std::unique_ptr<SparseVector>> SparseVector::Create(
       options.allocation.Split(options.epsilon, options.numeric_output_fraction);
   VariantSpec spec = MakeStandardSpec(split, options.sensitivity,
                                       options.cutoff, options.monotonic);
+  spec.rho_kind = options.rho_kind;
+  spec.nu_kind = options.nu_kind;
+  if (options.resample_threshold_noise) {
+    spec.resample_rho_after_positive = true;
+    spec.rho_resample_scale = spec.rho_scale;
+  }
   return std::unique_ptr<SparseVector>(
       new SparseVector(std::move(spec), rng));
 }

@@ -134,22 +134,29 @@ struct SvtRunState {
 /// Noise draw-order contract (pinned — batch/streaming equivalence and the
 /// equivalence tests depend on it):
 ///   1. Construction and Reset() consume, from the base stream in order:
-///      the threshold noise ρ (one Laplace variate = two 64-bit draws),
-///      then ONE 64-bit draw that seeds — via SplitMix64 — the dedicated
-///      ν substream.
-///   2. ν_i is the i-th Laplace variate of the ν substream (two 64-bit
-///      substream draws each). Nothing else consumes the substream, and
+///      the threshold noise ρ — one variate of the spec's rho_kind: a
+///      Laplace variate is two 64-bit draws (magnitude, then sign), an
+///      exponential variate is ONE 64-bit draw — then ONE 64-bit draw that
+///      seeds, via SplitMix64, the dedicated ν substream.
+///   2. ν_i is the i-th variate of the spec's nu_kind drawn from the ν
+///      substream (two 64-bit substream draws per Laplace variate, one per
+///      exponential variate). Nothing else consumes the substream, and
 ///      specs with nu_scale == 0 never touch it.
-///   3. Numeric answers to positives (ε₃, Alg. 7) and Alg. 2's ρ
-///      resampling draw from the base stream at the positive, in emission
-///      order.
-///   4. The word→variate transform is part of the contract: every Laplace
-///      (and Gumbel) variate is produced by the vecmath kernel family
-///      (common/vecmath.h) — the scalar Process() path through vec::Log,
-///      the batch engine through the dispatched block kernels — which are
-///      bit-identical across dispatch levels by construction. Swapping
-///      libm (or any other log) into only one of the paths breaks the
-///      equivalence; changing the polynomial is a golden re-record.
+///   3. Numeric answers to positives (ε₃, Alg. 7; always Laplace) and ρ
+///      resampling (Alg. 2, RevSVT; the spec's rho_kind) draw from the
+///      base stream at the positive, in emission order.
+///   4. The word→variate transform is part of the contract: every variate
+///      is produced by the vecmath kernel family (common/vecmath.h) — the
+///      scalar Process() path through vec::Log /
+///      vec::NegLogUnitPositive, the batch engine through the dispatched
+///      block kernels — which are bit-identical across dispatch levels by
+///      construction. A Laplace variate maps its magnitude word w through
+///      b·(−Log(ToUnitDoublePositive(w))) and applies the sign word; an
+///      exponential variate is the one-word transform
+///      b·(−Log(ToUnitDoublePositive(w))) = b·NegLogUnitPositive(w), no
+///      sign word (ExponentialTransformBlock in bulk). Swapping libm (or
+///      any other log) into only one of the paths breaks the equivalence;
+///      changing the polynomial is a golden re-record.
 ///   5. The raw 64-bit word stream underneath every draw is BlockRng's
 ///      four-lane interleave (common/rng.h): word k of a stream is lane
 ///      (k mod 4)'s xoshiro256++ output at step ⌊k/4⌋, with the four
@@ -224,6 +231,21 @@ struct SvtOptions {
   /// between neighboring datasets, e.g. counting queries. Halves the query
   /// noise (Lap(cΔ/ε₂) instead of Lap(2cΔ/ε₂), Theorem 5).
   bool monotonic = false;
+
+  /// Noise-distribution axis: the distribution each noise role draws from,
+  /// at the standard parameterization's scales. With the default Halves
+  /// allocation, rho_kind = kExponential reproduces the exponential-noise
+  /// SVT of arXiv 2407.20068 exactly (ρ ~ Exp(Δ/ε₁), ν ~ Lap(2cΔ/ε₂));
+  /// additionally setting nu_kind = kExponential and
+  /// resample_threshold_noise gives the ThresholdMonitor shape of arXiv
+  /// 2010.00917. Numeric answers (ε₃) always use Laplace. This is how the
+  /// session and serving layers, which template on SvtOptions, run the
+  /// exponential-noise variants.
+  NoiseKind rho_kind = NoiseKind::kLaplace;
+  NoiseKind nu_kind = NoiseKind::kLaplace;
+  /// Redraw ρ after every positive (Alg. 2 / ThresholdMonitor style), at
+  /// the same scale as the initial draw.
+  bool resample_threshold_noise = false;
 
   /// Validates ranges; returned Status explains the first violation.
   Status Validate() const;

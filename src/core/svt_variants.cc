@@ -76,6 +76,26 @@ Result<std::unique_ptr<Gptt>> Gptt::Create(double epsilon1, double epsilon2,
       new Gptt(MakeGpttSpec(epsilon1, epsilon2, sensitivity), rng));
 }
 
+Result<std::unique_ptr<ExpNoiseSvt>> ExpNoiseSvt::Create(double epsilon,
+                                                         double sensitivity,
+                                                         int cutoff,
+                                                         Rng* rng) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  if (cutoff < 1) return Status::InvalidArgument("cutoff must be >= 1");
+  return std::unique_ptr<ExpNoiseSvt>(
+      new ExpNoiseSvt(MakeExpNoiseSpec(epsilon, sensitivity, cutoff), rng));
+}
+
+Result<std::unique_ptr<RevisitedSvt>> RevisitedSvt::Create(double epsilon,
+                                                           double sensitivity,
+                                                           int cutoff,
+                                                           Rng* rng) {
+  SVT_RETURN_NOT_OK(CheckArgs(epsilon, sensitivity, rng));
+  if (cutoff < 1) return Status::InvalidArgument("cutoff must be >= 1");
+  return std::unique_ptr<RevisitedSvt>(
+      new RevisitedSvt(MakeRevisitedSpec(epsilon, sensitivity, cutoff), rng));
+}
+
 Result<std::unique_ptr<SvtMechanism>> MakeVariantMechanism(
     VariantId id, double epsilon, double sensitivity, int cutoff, Rng* rng) {
   switch (id) {
@@ -122,6 +142,18 @@ Result<std::unique_ptr<SvtMechanism>> MakeVariantMechanism(
       SVT_ASSIGN_OR_RETURN(
           std::unique_ptr<Gptt> m,
           Gptt::Create(epsilon / 2.0, epsilon / 2.0, sensitivity, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kExpNoise: {
+      SVT_ASSIGN_OR_RETURN(
+          std::unique_ptr<ExpNoiseSvt> m,
+          ExpNoiseSvt::Create(epsilon, sensitivity, cutoff, rng));
+      return std::unique_ptr<SvtMechanism>(std::move(m));
+    }
+    case VariantId::kRevisited: {
+      SVT_ASSIGN_OR_RETURN(
+          std::unique_ptr<RevisitedSvt> m,
+          RevisitedSvt::Create(epsilon, sensitivity, cutoff, rng));
       return std::unique_ptr<SvtMechanism>(std::move(m));
     }
   }

@@ -16,6 +16,16 @@
 // │ ChenSvt       (Alg6) │ ε/2    │ Δ/ε₁          │ Δ/ε₂         │ ∞-DP   │
 // │ Gptt                 │ ε₁     │ Δ/ε₁          │ Δ/ε₂         │ ∞-DP   │
 // └──────────────────────┴────────┴───────────────┴──────────────┴────────┘
+//
+// Post-paper variants on the exponential-noise axis (ROADMAP item 5(b);
+// "E" marks a one-sided Exp(b) role, everything above is Laplace):
+//
+// ┌──────────────────────┬────────┬────────────────┬──────────────┬───────┐
+// │ class                │ ε₁     │ ρ scale        │ ν scale      │ DP?   │
+// ├──────────────────────┼────────┼────────────────┼──────────────┼───────┤
+// │ ExpNoiseSvt          │ ε/2    │ Δ/ε₁ (E)       │ 2cΔ/ε₂       │ ε-DP  │
+// │ RevisitedSvt         │ ε/2    │ cΔ/ε₁ (E,rsmpl)│ 2cΔ/ε₂ (E)   │ ε-DP  │
+// └──────────────────────┴────────┴────────────────┴──────────────┴───────┘
 
 #ifndef SPARSEVEC_CORE_SVT_VARIANTS_H_
 #define SPARSEVEC_CORE_SVT_VARIANTS_H_
@@ -118,6 +128,35 @@ class Gptt final : public SpecDrivenSvt {
 
  private:
   Gptt(VariantSpec spec, Rng* rng) : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Exponential-noise SVT (Liu et al., arXiv 2407.20068): Alg. 1's budget
+/// split with the threshold noise swapped for one-sided Exp(Δ/ε₁) — same
+/// ε-DP guarantee, half the threshold-noise standard deviation. ε-DP.
+class ExpNoiseSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<ExpNoiseSvt>> Create(double epsilon,
+                                                     double sensitivity,
+                                                     int cutoff, Rng* rng);
+
+ private:
+  ExpNoiseSvt(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
+};
+
+/// Revisited SVT (Kaplan, Mansour & Stemmer, arXiv 2010.00917), the
+/// ThresholdMonitor shape on the exponential axis: ρ ~ Exp(cΔ/ε₁) re-drawn
+/// after every ⊤, ν ~ Exp(2cΔ/ε₂), cutoff c. ε-DP in the library's pure-ε
+/// parameterization (see MakeRevisitedSpec for the accounting).
+class RevisitedSvt final : public SpecDrivenSvt {
+ public:
+  static Result<std::unique_ptr<RevisitedSvt>> Create(double epsilon,
+                                                      double sensitivity,
+                                                      int cutoff, Rng* rng);
+
+ private:
+  RevisitedSvt(VariantSpec spec, Rng* rng)
+      : SpecDrivenSvt(std::move(spec), rng) {}
 };
 
 /// Runs an arbitrary VariantSpec directly. This is how the audit module's

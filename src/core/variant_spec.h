@@ -44,12 +44,32 @@ enum class VariantId {
   kAlg6,      ///< Chen et al. 2015 (∞-DP)
   kStandard,  ///< Alg. 7, the paper's generalized standard SVT (ε-DP)
   kGptt,      ///< generalized private threshold testing ([2], §3.3)
+  kExpNoise,  ///< exponential-noise SVT (Liu et al., arXiv 2407.20068)
+  kRevisited, ///< revisited SVT monitor (Kaplan et al., arXiv 2010.00917)
 };
 
 std::string_view VariantIdToString(VariantId id);
 
-/// Noise structure of one SVT variant. All scales are Laplace scale
-/// parameters (b in Lap(b)).
+/// Which family a noise role draws from. This is the pluggable
+/// distribution axis of the engine: the spec names a kind per role, the
+/// streaming/batch engines pick the matching vecmath kernels, and the
+/// auditor picks the matching densities/CDFs — no layer hard-codes
+/// Laplace.
+enum class NoiseKind {
+  /// Two-sided Lap(b), density (1/2b) e^{-|x|/b}; two 64-bit draws per
+  /// variate (magnitude word + sign word).
+  kLaplace,
+  /// One-sided Exp(b), density (1/b) e^{-x/b} on [0, +inf); one 64-bit
+  /// draw per variate.
+  kExponential,
+};
+
+std::string_view NoiseKindToString(NoiseKind k);
+
+/// Noise structure of one SVT variant. Each scale is interpreted under its
+/// role's NoiseKind: b in Lap(b) for kLaplace, b in Exp(b) (the mean) for
+/// kExponential. The numeric-answer noise (numeric_scale) is always
+/// Laplace — a one-sided numeric answer would bias the emitted values.
 struct VariantSpec {
   std::string name;
 
@@ -57,6 +77,11 @@ struct VariantSpec {
   double epsilon = 1.0;
   /// Query sensitivity Δ.
   double sensitivity = 1.0;
+
+  /// Distribution family of the threshold noise ρ (and of its resamples).
+  NoiseKind rho_kind = NoiseKind::kLaplace;
+  /// Distribution family of the per-query noise ν_i.
+  NoiseKind nu_kind = NoiseKind::kLaplace;
 
   /// Scale of the threshold noise ρ.
   double rho_scale = 0.0;
@@ -131,6 +156,23 @@ VariantSpec MakeStandardSpec(const BudgetSplit& split, double sensitivity,
 /// ε₁ = ε₂ = ε/2. ∞-DP.
 VariantSpec MakeGpttSpec(double epsilon1, double epsilon2,
                          double sensitivity);
+
+/// Exponential-noise SVT (Liu et al., arXiv 2407.20068): ε₁ = ε₂ = ε/2,
+/// ρ ~ Exp(Δ/ε₁) one-sided, ν ~ Lap(2cΔ/ε₂); cutoff c. ε-DP — the SVT
+/// privacy proof constrains the ρ density only through
+/// p(z + Δ) >= e^{-ε₁} p(z), which Exp(Δ/ε₁) satisfies on its support
+/// exactly like Lap(Δ/ε₁), at half the standard deviation (the accuracy
+/// enhancement).
+VariantSpec MakeExpNoiseSpec(double epsilon, double sensitivity, int cutoff);
+
+/// Revisited SVT (Kaplan, Mansour & Stemmer, arXiv 2010.00917) — the
+/// ThresholdMonitor shape on the exponential axis: cutoff c, ρ ~ Exp(cΔ/ε₁)
+/// re-drawn (same kind and scale) after every ⊤, ν ~ Exp(2cΔ/ε₂) one-sided,
+/// ε₁ = ε₂ = ε/2. ε-DP in this pure-ε parameterization via adaptive
+/// composition of at most c unit-cutoff AboveThreshold segments, each
+/// funded ε/c; the paper's tighter ~√c analysis needs (ε, δ) accounting,
+/// outside this library's pure-ε auditor.
+VariantSpec MakeRevisitedSpec(double epsilon, double sensitivity, int cutoff);
 
 /// Spec for a variant id with the default paper parameterization.
 VariantSpec MakeSpec(VariantId id, double epsilon, double sensitivity,

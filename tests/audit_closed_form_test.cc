@@ -83,6 +83,95 @@ TEST(ClosedFormTest, TotalProbabilityIsOneAcrossVariants) {
   }
 }
 
+TEST(ClosedFormTest, TotalProbabilityIsOneForExponentialVariants) {
+  // The support clamps must not lose mass: summing over every pattern of
+  // the new exponential-noise variants still gives exactly 1.
+  const std::vector<double> answers = {0.5, -1.0, 2.0, 0.0};
+  for (const VariantSpec& spec :
+       {MakeExpNoiseSpec(1.0, 1.0, 2), MakeRevisitedSpec(1.0, 1.0, 2)}) {
+    EXPECT_NEAR(TotalProbabilityOverPatterns(spec, answers, 0.4), 1.0, 1e-7)
+        << spec.name;
+  }
+}
+
+TEST(ClosedFormTest, ExpNoiseBorderlineIsAnalytic) {
+  // One query at the threshold: P[⊤] = P[ν ≥ ρ]. With ρ ~ Exp(b_ρ) and
+  // ν ~ Lap(b_ν), conditioning on z = ρ ≥ 0 gives
+  //   P = ∫₀^∞ (1/b_ρ)e^(−z/b_ρ) · ½e^(−z/b_ν) dz = ½·b_ν/(b_ν + b_ρ) —
+  // NOT one half: the one-sided threshold noise breaks the symmetry every
+  // Laplace variant has (BorderlineSingleQueryIsHalf above).
+  const VariantSpec spec = MakeExpNoiseSpec(1.0, 1.0, 1);  // b_ρ=2, b_ν=4
+  const std::vector<double> q = {0.0};
+  EXPECT_NEAR(OutputProbability(spec, q, 0.0, PatternFromString("T")),
+              0.5 * 4.0 / 6.0, 1e-8);
+  EXPECT_NEAR(OutputProbability(spec, q, 0.0, PatternFromString("_")),
+              1.0 - 0.5 * 4.0 / 6.0, 1e-8);
+}
+
+TEST(ClosedFormTest, RevisitedBorderlineIsAnalytic) {
+  // All-exponential: P[ν ≥ ρ] = ∫₀^∞ (1/b_ρ)e^(−z/b_ρ)·e^(−z/b_ν) dz
+  //                           = b_ν/(b_ν + b_ρ).
+  const VariantSpec spec = MakeRevisitedSpec(2.0, 1.0, 1);  // b_ρ=1, b_ν=2
+  const std::vector<double> q = {0.0};
+  EXPECT_NEAR(OutputProbability(spec, q, 0.0, PatternFromString("T")),
+              2.0 / 3.0, 1e-8);
+  EXPECT_NEAR(OutputProbability(spec, q, 0.0, PatternFromString("_")),
+              1.0 / 3.0, 1e-8);
+}
+
+// ν = 0 with one-sided ρ: probabilities reduce to exact exponential-CDF
+// differences, and events requiring ρ ≤ 0 are hard (not just numeric)
+// zeros — the support clamp at z = 0 in action.
+TEST(ClosedFormTest, ExpRhoIndicatorProbabilitiesExact) {
+  VariantSpec spec;
+  spec.name = "exp-rho-nu0";
+  spec.rho_kind = NoiseKind::kExponential;
+  spec.rho_scale = 2.0;
+  spec.nu_scale = 0.0;
+  const Exponential rho = Exponential::FromScale(2.0);
+  const std::vector<double> q = {0.0, 1.0};
+  // ⊥⊤ with T = 0: z > 0 (first ⊥) and z ≤ 1 (second ⊤): P = F(1) − F(0)
+  // = F(1).
+  EXPECT_NEAR(OutputProbability(spec, q, 0.0, PatternFromString("_T")),
+              rho.Cdf(1.0), 1e-10);
+  // ⊤⊤ needs z ≤ 0, but ρ ≥ 0 almost surely puts zero mass there.
+  EXPECT_EQ(LogOutputProbability(spec, q, 0.0, PatternFromString("TT")),
+            -kInf);
+  // ⊥⊥: z > 1: P = Sf(1).
+  EXPECT_NEAR(OutputProbability(spec, q, 0.0, PatternFromString("__")),
+              rho.Sf(1.0), 1e-10);
+}
+
+TEST(ClosedFormTest, RevisitedSegmentsMultiply) {
+  // The resample-ρ factorization carries over to the exponential axis:
+  // Pr[⊤ then ⊥] = Pr[⊤] · Pr[⊥ under a fresh one-sided ρ].
+  const VariantSpec rev = MakeRevisitedSpec(1.0, 1.0, 2);
+  const std::vector<double> q = {0.5, -0.4};
+  const double joint =
+      LogOutputProbability(rev, q, 0.0, PatternFromString("T_"));
+
+  const std::vector<double> q1 = {0.5};
+  const std::vector<double> q2 = {-0.4};
+  const double first =
+      LogOutputProbability(rev, q1, 0.0, PatternFromString("T"));
+  VariantSpec fresh = rev;
+  fresh.rho_scale = rev.rho_resample_scale;
+  const double second =
+      LogOutputProbability(fresh, q2, 0.0, PatternFromString("_"));
+  EXPECT_NEAR(joint, first + second, 1e-8);
+}
+
+TEST(ClosedFormTest, ExpNoiseProbabilityMonotoneInAnswer) {
+  const VariantSpec spec = MakeExpNoiseSpec(0.5, 1.0, 1);
+  double prev = 0.0;
+  for (double answer : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    const std::vector<double> q = {answer};
+    const double p = OutputProbability(spec, q, 0.0, PatternFromString("T"));
+    EXPECT_GT(p, prev) << "answer=" << answer;
+    prev = p;
+  }
+}
+
 TEST(ClosedFormTest, PerQueryThresholdsShiftEquivalence) {
   // Figure 1 footnote: (q_i, T_i) ≡ (q_i − T_i, 0).
   const VariantSpec spec = MakeAlg1Spec(1.0, 1.0, 2);

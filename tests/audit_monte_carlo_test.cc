@@ -105,6 +105,47 @@ TEST(McCrossCheckTest, StandardMonotone) {
   ExpectAgreement(spec, {0.3, 0.6, -0.3}, 0.0, "_T_", rng);
 }
 
+TEST(McCrossCheckTest, ExpNoiseLiu) {
+  // Exponential threshold noise, Laplace query noise: both auditor paths
+  // must track the one-sided ρ support (the MC estimator from raw
+  // sampling, the closed form from the clamped integration window).
+  Rng rng(13);
+  const VariantSpec spec = MakeExpNoiseSpec(1.0, 1.0, 2);
+  ExpectAgreement(spec, {0.0}, 0.0, "T", rng);
+  ExpectAgreement(spec, {0.0}, 0.0, "_", rng);
+  ExpectAgreement(spec, {0.5, -0.5}, 0.0, "_T", rng);
+  ExpectAgreement(spec, {1.0, 0.0, -1.0}, 0.0, "T_T", rng);
+  ExpectAgreement(spec, {1.0, 0.0, -1.0}, 0.0, "___", rng);
+  ExpectAgreement(spec, {2.0, 1.0}, 1.5, "T", rng);
+}
+
+TEST(McCrossCheckTest, RevisitedKaplan) {
+  // All-exponential monitor with ρ resampling after each ⊤: the pattern
+  // factorizes into per-segment integrals over one-sided ρ, each ⊥ factor
+  // contributing an extra support clamp.
+  Rng rng(14);
+  const VariantSpec spec = MakeRevisitedSpec(2.0, 1.0, 2);
+  ExpectAgreement(spec, {0.4, -0.2, 0.1}, 0.0, "T__", rng);
+  ExpectAgreement(spec, {0.4, -0.2}, 0.0, "TT", rng);
+  ExpectAgreement(spec, {0.4, -0.2, 0.3}, 0.0, "_T_", rng);
+  ExpectAgreement(spec, {1.0, 0.5, -1.0}, 0.5, "___", rng);
+}
+
+TEST(McCrossCheckTest, ExpNoiseOneSidedImpossibleEvent) {
+  // Under exponential ν with threshold far above the answer, a ⊤ needs
+  // ν ≥ gap + ρ ≥ gap: at gap = 50 on scale 8 that is ~e^-6 ≈ 0.2% — but at
+  // a gap of 500 it is below 6e-28: MC must see zero hits and the closed
+  // form must agree it is (numerically) impossible.
+  Rng rng(15);
+  const VariantSpec spec = MakeRevisitedSpec(2.0, 1.0, 1);
+  const std::vector<double> answers = {-500.0};
+  const McEstimate mc =
+      EstimateOutputProbability(spec, answers, 0.0, "T", rng, FastMc());
+  EXPECT_EQ(mc.hits, 0);
+  EXPECT_LT(OutputProbability(spec, answers, 0.0, PatternFromString("T")),
+            1e-20);
+}
+
 TEST(McEstimateTest, BoundsBracketPointEstimate) {
   Rng rng(9);
   const VariantSpec spec = MakeAlg1Spec(1.0, 1.0, 1);

@@ -310,6 +310,26 @@ TEST(PrivacyTest, GpttSkewedBudgetsStillNonPrivate) {
 // Figure 2's full privacy row in one test.
 // ---------------------------------------------------------------------------
 
+TEST(PrivacyTest, ExponentialVariantsWithinClaimedEpsilon) {
+  // The exponential-noise variants claim pure ε-DP. The classic SVT proof's
+  // z → z + Δ substitution stays inside the one-sided ρ support (shifting
+  // [0, ∞) upward), so the density ratio stays e^(Δ/b) — the audit must
+  // measure at most ε on worst-case shift instances.
+  const double epsilon = 1.0;
+  const std::vector<double> qd = {0.0, 0.2, -0.5, 0.8};
+  const std::vector<double> up = {1.0, 1.2, 0.5, 1.8};
+  const std::vector<double> mixed = {1.0, -0.8, 0.5, 1.8};
+  for (VariantId id : {VariantId::kExpNoise, VariantId::kRevisited}) {
+    const VariantSpec spec = MakeSpec(id, epsilon, 1.0, 2);
+    EXPECT_EQ(spec.actual_privacy, PrivacyClass::kPureDp) << spec.name;
+    for (const auto& qdp : {up, mixed}) {
+      const auto r = MaxAbsLogRatioOverPatterns(spec, qd, qdp, 0.1);
+      EXPECT_LE(r.max_abs_log_ratio, epsilon + kTol)
+          << spec.name << " worst=" << r.argmax_pattern;
+    }
+  }
+}
+
 TEST(PrivacyTest, FigureTwoPrivacyRowNumerically) {
   const double epsilon = 1.0;
   const int c = 2;

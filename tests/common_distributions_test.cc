@@ -1,6 +1,7 @@
 #include "common/distributions.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -118,6 +119,33 @@ TEST(ExponentialTest, PdfZeroBelowOrigin) {
   Exponential d(1.0);
   EXPECT_EQ(d.Pdf(-0.5), 0.0);
   EXPECT_EQ(d.Cdf(-0.5), 0.0);
+}
+
+TEST(ExponentialTest, FromScaleRoundTripsTheScale) {
+  // FromScale stores the scale exactly — no 1/(1/b) reciprocal round-trip —
+  // so the engine's "multiply by the stored scale" sampling is exact in b.
+  for (double b : {1.0, 2.5, 0.3, 1e-3, 7.0}) {
+    EXPECT_EQ(Exponential::FromScale(b).scale(), b);
+  }
+}
+
+TEST(ExponentialTest, LogFunctionsMatchAnalyticForms) {
+  const Exponential d = Exponential::FromScale(2.0);  // rate 0.5
+  // Support boundary and interior, vs the analytic pdf/cdf/sf in log space.
+  EXPECT_EQ(d.LogPdf(-1.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(d.LogCdf(-1.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(d.Sf(-1.0), 1.0);
+  EXPECT_EQ(d.LogSf(-1.0), 0.0);
+  for (double x : {0.0, 0.01, 0.5, 1.0, 3.0, 50.0, 800.0}) {
+    EXPECT_NEAR(d.LogPdf(x), std::log(0.5) - 0.5 * x, 1e-12) << x;
+    EXPECT_EQ(d.LogSf(x), -0.5 * x) << x;
+    if (x > 0.0) {
+      EXPECT_NEAR(d.LogCdf(x), std::log1p(-std::exp(-0.5 * x)), 1e-12) << x;
+    }
+  }
+  // Deep tail: LogCdf of a large x is ~ -exp(-rate·x), not 0 or -inf.
+  EXPECT_LT(d.LogCdf(100.0), 0.0);
+  EXPECT_GT(d.LogCdf(100.0), -1e-20);
 }
 
 TEST(ExponentialTest, SampleMeanIsInverseRate) {

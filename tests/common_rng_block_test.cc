@@ -8,6 +8,7 @@
 // implementation must reproduce them exactly — the SplitMix64 seed-0
 // values also match the published reference outputs).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <utility>
@@ -255,6 +256,80 @@ TEST(RngGoldenTest, LaplaceBlockSeed9) {
   EXPECT_DOUBLE_EQ(block[1], -0x1.99d69309c3b56p-3);
   EXPECT_DOUBLE_EQ(block[2], -0x1.21daf01165948p+0);
   EXPECT_DOUBLE_EQ(block[3], 0x1.383b747bf6f2p+1);
+}
+
+TEST(SampleBlockTest, ExponentialBlockMatchesScalarSampleLoop) {
+  // One 64-bit word per variate — half the stream of the Laplace path —
+  // and still draw-for-draw bit-identical between scalar and block.
+  ScopedDispatchLevel restore;
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    for (size_t size : kSizes) {
+      for (double b : {1.0, 2.5, 0.25}) {
+        const Exponential d = Exponential::FromScale(b);
+        Rng block_rng(104), scalar_rng(104);
+        std::vector<double> block(size);
+        d.SampleBlock(block_rng, block);
+        for (size_t i = 0; i < size; ++i) {
+          ASSERT_EQ(block[i], d.Sample(scalar_rng))
+              << vec::DispatchLevelName(level) << " size=" << size
+              << " b=" << b << " i=" << i;
+          ASSERT_FALSE(block[i] < 0.0) << "one-sided support";
+        }
+        // Interleaving block and scalar draws is seamless.
+        ASSERT_EQ(block_rng.NextUint64(), scalar_rng.NextUint64());
+      }
+    }
+  }
+}
+
+TEST(SampleBlockTest, SampleExponentialBlockMatchesSampleExponential) {
+  Rng block_rng(105), scalar_rng(105);
+  std::vector<double> block(777);
+  SampleExponentialBlock(block_rng, 2.0, block);
+  for (double v : block) ASSERT_EQ(v, SampleExponential(scalar_rng, 2.0));
+}
+
+TEST(SampleBlockTest, ExponentialTransformBlockIsThePureTransform) {
+  // SampleBlock == FillUint64 + TransformBlock, by definition — with one
+  // word per variate, not two.
+  const Exponential d = Exponential::FromScale(1.5);
+  Rng rng_a(106), rng_b(106);
+  std::vector<double> via_sample(300);
+  d.SampleBlock(rng_a, via_sample);
+  std::vector<uint64_t> words(300);
+  rng_b.FillUint64(words);
+  std::vector<double> via_transform(300);
+  d.TransformBlock(words, via_transform);
+  EXPECT_EQ(via_sample, via_transform);
+}
+
+// Golden exponential block (same portability note as LaplaceBlockSeed9).
+// block[0] is the Laplace golden's |block[0]|: the magnitude word is the
+// same seed-9 word 0, and the exponential transform consumes no sign word.
+TEST(RngGoldenTest, ExponentialBlockSeed9) {
+  Rng rng(9);
+  double block[4];
+  SampleExponentialBlock(rng, 2.0, block);
+  EXPECT_DOUBLE_EQ(block[0], 0x1.19015f68823bdp+2);
+  EXPECT_DOUBLE_EQ(block[1], 0x1.acf03f12473abp+1);
+  EXPECT_DOUBLE_EQ(block[2], 0x1.99d69309c3b56p-3);
+  EXPECT_DOUBLE_EQ(block[3], 0x1.4f4d34c2371dap+1);
+}
+
+TEST(SampleBlockTest, BlockStatisticsAreExponential) {
+  // Mean ~ b, all non-negative for Exp(b).
+  Rng rng(108);
+  std::vector<double> block(200000);
+  SampleExponentialBlock(rng, 2.0, block);
+  double sum = 0.0;
+  double min = block[0];
+  for (double v : block) {
+    sum += v;
+    min = std::min(min, v);
+  }
+  EXPECT_NEAR(sum / block.size(), 2.0, 0.05);
+  EXPECT_GE(min, 0.0);
 }
 
 TEST(SampleBlockTest, BlockStatisticsAreLaplace) {

@@ -612,6 +612,271 @@ TEST(VecmathFusedScanTest, OddTailsAndEmptySpans) {
   }
 }
 
+TEST(VecmathExpNoiseTest, NegLogUnitPositiveScalarMatchesBlock) {
+  // The scalar form is the single-element contract of the block kernel —
+  // this is what makes streaming exponential draws and block transforms
+  // draw-for-draw bit-identical.
+  Rng rng(4242);
+  std::vector<uint64_t> words(257);
+  rng.FillUint64(words);
+  words[0] = 0;        // largest −log on the lattice
+  words[1] = ~0ull;    // u == 1 → −log == -0.0
+  ScopedDispatchLevel restore;
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    std::vector<double> block(words.size());
+    NegLogUnitPositiveBlock(words, 1, block);
+    for (size_t i = 0; i < words.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(NegLogUnitPositive(words[i])),
+                std::bit_cast<uint64_t>(block[i]))
+          << DispatchLevelName(level) << " i=" << i;
+      ASSERT_EQ(
+          std::bit_cast<uint64_t>(NegLogUnitPositive(words[i])),
+          std::bit_cast<uint64_t>(-Log(Rng::ToUnitDoublePositive(words[i]))))
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(VecmathExpNoiseTest, ExponentialTransformUlpBoundVsLibm) {
+  // The one-word exponential transform tracks the libm composition
+  // b·(−std::log(u)) within the documented kernel bound over a dense random
+  // sweep plus the lattice edges.
+  Rng rng(17);
+  std::vector<uint64_t> words(65536);
+  rng.FillUint64(words);
+  words[0] = 0;
+  words[1] = ~0ull;
+  words[2] = 1;
+  const double b = 1.75;
+  std::vector<double> out(words.size());
+  ExponentialTransformBlock(words, b, out);
+  int64_t max_ulp = 0;
+  for (size_t i = 0; i < words.size(); ++i) {
+    const double u = Rng::ToUnitDoublePositive(words[i]);
+    max_ulp = std::max(max_ulp, UlpDiff(out[i], b * (-std::log(u))));
+  }
+  EXPECT_LE(max_ulp, kMaxUlp);
+  // One-sided support: every variate is ≥ 0 (u == 1 gives -0.0, which the
+  // IEEE product with b keeps as -0.0 — still "not a negative noise").
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_FALSE(out[i] < 0.0) << "i=" << i;
+  }
+}
+
+TEST(VecmathExpNoiseTest, TransformBitIdenticalAcrossLevels) {
+  // ExponentialTransformBlock is defined as the b·NegLogUnitPositiveBlock
+  // composition at stride 1; pin the definition at the scalar level and the
+  // bit-identity of every SIMD lane against it.
+  ScopedDispatchLevel restore;
+  Rng rng(123);
+  std::vector<uint64_t> words(4099);  // odd: exercises every lane tail
+  rng.FillUint64(words);
+  words[17] = ~0ull;
+  words[33] = 0;
+  const double b = 0.625;
+
+  SetDispatchLevel(DispatchLevel::kScalar);
+  std::vector<double> ref(words.size());
+  ExponentialTransformBlock(words, b, ref);
+  for (size_t i = 0; i < words.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(ref[i]),
+              std::bit_cast<uint64_t>(b * NegLogUnitPositive(words[i])))
+        << "composition definition diverges at i=" << i;
+  }
+
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!SetDispatchLevel(level)) continue;
+    std::vector<double> out(words.size());
+    ExponentialTransformBlock(words, b, out);
+    ExpectBitEqual(out, ref, DispatchLevelName(level));
+  }
+}
+
+TEST(VecmathFusedExpScanTest, MatchesUnfusedCompositionAtEveryLevel) {
+  // Exponential mirror of the Laplace fused-vs-composition walk: the fused
+  // kernels must reproduce TransformBlock + FindFirst* exactly — indices
+  // and ν payload bits — at every dispatch level. One word per variate.
+  ScopedDispatchLevel restore;
+  Rng rng(321);
+  const size_t n = 1003;  // odd: exercises every lane tail
+  std::vector<uint64_t> words(n);
+  rng.FillUint64(words);
+  words[0] = ~0ull;   // u == 1 lattice edge: ν == -0.0
+  words[500] = 0;     // largest draw
+  const double b = 1.75;
+  std::vector<double> a(n), bars(n);
+  rng.FillDouble(a);
+  rng.FillDouble(bars);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = (a[i] - 0.5) * 8.0;     // straddle the ν scale
+    bars[i] = bars[i] * 4.0;       // one-sided ν: keep bars in reach
+  }
+  const double rho = 0.125;
+
+  const Exponential dist = Exponential::FromScale(b);
+  std::vector<double> nu(n);
+
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    const std::string ctx = DispatchLevelName(level);
+    dist.TransformBlock(words, nu);  // the oracle's ν block, same level
+
+    const auto walk = [&](auto fused, auto oracle) {
+      size_t from = 0;
+      while (from <= n) {
+        const std::span<const uint64_t> w{words.data() + from, n - from};
+        const FusedScanHit hit = fused(w, from);
+        const size_t expect = oracle(from);
+        ASSERT_EQ(from + hit.index, expect) << ctx << " from=" << from;
+        if (expect >= n) {
+          ASSERT_EQ(hit.index, n - from);
+          ASSERT_EQ(hit.nu, 0.0) << ctx << " no-hit nu must be 0";
+          break;
+        }
+        ASSERT_EQ(std::bit_cast<uint64_t>(hit.nu),
+                  std::bit_cast<uint64_t>(nu[expect]))
+            << ctx << " nu diverges at " << expect;
+        from = expect + 1;
+      }
+    };
+
+    const double bar = b;  // plenty of hits, plenty of gaps
+    walk(
+        [&](std::span<const uint64_t> w, size_t) {
+          return FusedExpScanGe(w, b, bar);
+        },
+        [&](size_t from) {
+          size_t j = from;
+          while (j < n && !(nu[j] >= bar)) ++j;
+          return j;
+        });
+    walk(
+        [&](std::span<const uint64_t> w, size_t from) {
+          return FusedExpScanSumGe(w, b, {a.data() + from, n - from}, bar);
+        },
+        [&](size_t from) {
+          return from + FindFirstSumGe({a.data() + from, n - from},
+                                       {nu.data() + from, n - from}, bar);
+        });
+    walk(
+        [&](std::span<const uint64_t> w, size_t from) {
+          return FusedExpScanGePairwise(w, b, {bars.data() + from, n - from},
+                                        rho);
+        },
+        [&](size_t from) {
+          size_t j = from;
+          while (j < n && !(nu[j] >= bars[j] + rho)) ++j;
+          return j;
+        });
+    walk(
+        [&](std::span<const uint64_t> w, size_t from) {
+          return FusedExpScanSumGePairwise(
+              w, b, {a.data() + from, n - from},
+              {bars.data() + from, n - from}, rho);
+        },
+        [&](size_t from) {
+          return from + FindFirstSumGePairwise({a.data() + from, n - from},
+                                               {nu.data() + from, n - from},
+                                               {bars.data() + from, n - from},
+                                               rho);
+        });
+  }
+}
+
+TEST(VecmathFusedExpScanTest, BitIdenticalAcrossDispatchLevels) {
+  // Fused exponential results (index AND ν payload) must not depend on the
+  // lane, for hit positions at every lane offset.
+  ScopedDispatchLevel restore;
+  Rng rng(99);
+  const size_t n = 531;
+  std::vector<uint64_t> words(n);
+  rng.FillUint64(words);
+  std::vector<double> a(n), bars(n);
+  rng.FillDouble(a);
+  rng.FillDouble(bars);
+
+  ASSERT_TRUE(SetDispatchLevel(DispatchLevel::kScalar));
+  std::vector<FusedScanHit> ref;
+  for (size_t from = 0; from <= n;) {
+    const FusedScanHit hit = FusedExpScanSumGePairwise(
+        {words.data() + from, n - from}, 2.0, {a.data() + from, n - from},
+        {bars.data() + from, n - from}, 0.5);
+    ref.push_back(hit);
+    if (from + hit.index >= n) break;
+    from += hit.index + 1;
+  }
+  ASSERT_GT(ref.size(), 2u) << "workload must contain several hits";
+
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!SetDispatchLevel(level)) continue;
+    size_t k = 0;
+    for (size_t from = 0; from <= n;) {
+      const FusedScanHit hit = FusedExpScanSumGePairwise(
+          {words.data() + from, n - from}, 2.0, {a.data() + from, n - from},
+          {bars.data() + from, n - from}, 0.5);
+      ASSERT_LT(k, ref.size());
+      ASSERT_EQ(hit.index, ref[k].index) << DispatchLevelName(level);
+      ASSERT_EQ(std::bit_cast<uint64_t>(hit.nu),
+                std::bit_cast<uint64_t>(ref[k].nu))
+          << DispatchLevelName(level);
+      ++k;
+      if (from + hit.index >= n) break;
+      from += hit.index + 1;
+    }
+    EXPECT_EQ(k, ref.size()) << DispatchLevelName(level);
+  }
+}
+
+TEST(VecmathFusedExpScanTest, OddTailsAndEmptySpans) {
+  // Same tail rule as the Laplace kernels: sub-SIMD-width tails delegate to
+  // the scalar lane. One word per element here.
+  ScopedDispatchLevel restore;
+  Rng rng(7);
+  std::vector<uint64_t> words(32);
+  rng.FillUint64(words);
+  std::vector<double> a(32, -1.0), bars(32, 1e9);
+  const Exponential dist = Exponential::FromScale(1.0);
+  std::vector<double> nu(32);
+
+  for (DispatchLevel level : kAllDispatchLevels) {
+    if (!SetDispatchLevel(level)) continue;
+    dist.TransformBlock(words, nu);
+    for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                       size_t{7}, size_t{9}, size_t{11}, size_t{15},
+                       size_t{17}, size_t{31}}) {
+      // No-hit scans return {len, 0.0} for every variant.
+      EXPECT_EQ(FusedExpScanGe({words.data(), len}, 1.0, 1e9).index, len)
+          << DispatchLevelName(level) << " len=" << len;
+      EXPECT_EQ(
+          FusedExpScanSumGe({words.data(), len}, 1.0, {a.data(), len}, 1e9)
+              .index,
+          len);
+      EXPECT_EQ(FusedExpScanGePairwise({words.data(), len}, 1.0,
+                                       {bars.data(), len}, 0.0)
+                    .index,
+                len);
+      EXPECT_EQ(FusedExpScanSumGePairwise({words.data(), len}, 1.0,
+                                          {a.data(), len}, {bars.data(), len},
+                                          0.0)
+                    .index,
+                len);
+      if (len == 0) continue;
+      // A hit in the very last element of an odd tail is found with the
+      // oracle's ν.
+      const size_t last = len - 1;
+      const double bar = nu[last];  // ties fire the ordered >=
+      const FusedScanHit hit = FusedExpScanGe({words.data(), len}, 1.0, bar);
+      ASSERT_LE(hit.index, last);
+      ASSERT_EQ(std::bit_cast<uint64_t>(hit.nu),
+                std::bit_cast<uint64_t>(nu[hit.index]))
+          << DispatchLevelName(level) << " len=" << len;
+    }
+  }
+}
+
 TEST(VecmathDispatchTest, ScalarKernelMatchesComposedDefinition) {
   // The fused sampling kernels are *defined* by composition of Log and the
   // lattice map; pin that definition at the scalar level.

@@ -106,7 +106,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllVariants, VariantEquivalence,
     ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
                       VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
-                      VariantId::kGptt, VariantId::kStandard));
+                      VariantId::kGptt, VariantId::kStandard,
+                      VariantId::kExpNoise, VariantId::kRevisited));
 
 TEST_P(VariantEquivalence, BatchOutputIdenticalAcrossDispatchLevels) {
   // Scalar vs SIMD dispatch for every variant's noise structure: same
@@ -582,6 +583,112 @@ TEST(BatchRunnerTest, HierarchicalBoundSkipsSpansInsideTier2Chunks) {
   EXPECT_GE(st.tier2_spans_skipped,
             static_cast<int64_t>(n / BatchRunner::kBoundSpan) - 1);
   EXPECT_GT(st.tier2_fused_segments, 0);
+}
+
+// An all-exponential spec with moderate scales, long-running (huge cutoff)
+// so tier counters accumulate over many chunks.
+VariantSpec AllExponentialSpec() {
+  VariantSpec spec;
+  spec.name = "exp-nu-batch-test";
+  spec.rho_kind = NoiseKind::kExponential;
+  spec.rho_scale = 1.0;
+  spec.nu_kind = NoiseKind::kExponential;
+  spec.nu_scale = 1.0;
+  spec.cutoff = 1 << 20;
+  return spec;
+}
+
+TEST(BatchRunnerTest, ExpNuOneSidedEnvelopeTierBehavior) {
+  // The chunk bound under exponential ν is the one-sided envelope
+  // b·(-log u_min): ν_i ∈ [0, b·(-log u_min)], one word per variate. This
+  // test pins both halves of its contract: far-below chunks skip at tier 1
+  // (the envelope is tight enough to prove ⊥), and a near-threshold
+  // workload — answers within the envelope of the bar — runs tier 2 and
+  // stays bit-identical to streaming (the envelope never skips a chunk
+  // that could fire, or streaming would emit a ⊤ the batch path dropped).
+  const size_t n = 2 * BatchRunner::kChunkSize;
+
+  {
+    // ρ ≥ 0 and ν ≤ envelope: answers at -1e9 are unreachable.
+    Rng rng_batch(3), rng_stream(3);
+    CustomSvt batch(AllExponentialSpec(), &rng_batch);
+    CustomSvt stream(AllExponentialSpec(), &rng_stream);
+    const std::vector<double> answers(n, -1e9);
+    CheckEquivalence(&batch, &stream, answers, 0.0, "exp-nu far-below");
+    batch.Reset();
+    batch.Run(answers, 0.0);
+    EXPECT_EQ(batch.batch_stats().tier1_chunks_skipped, 2);
+    EXPECT_EQ(batch.batch_stats().tier2_chunks_scanned, 0);
+  }
+
+  {
+    // Near-threshold on the one-sided axis: answers a few ν scales under
+    // the bar (ρ ≥ 0 pushes the bar up, so stay close), where only the
+    // upper envelope decides skips. Positives need ν ≥ |a| + ρ (≈ e^-3
+    // each), so they occur but stay rare.
+    std::vector<double> answers(n);
+    Rng gen(99);
+    for (double& a : answers) a = -3.0 + (gen.NextDouble() - 0.5);
+    Rng rng_batch(5), rng_stream(5);
+    CustomSvt batch(AllExponentialSpec(), &rng_batch);
+    CustomSvt stream(AllExponentialSpec(), &rng_stream);
+    CheckEquivalence(&batch, &stream, answers, 0.0, "exp-nu near-threshold");
+    batch.Reset();
+    batch.Run(answers, 0.0);
+    EXPECT_EQ(batch.batch_stats().tier1_chunks_skipped, 0);
+    EXPECT_EQ(batch.batch_stats().tier2_chunks_scanned, 2);
+    EXPECT_GT(batch.positives_emitted(), 0);
+  }
+
+  {
+    // Hierarchical spans under exponential ν: one near element defeats the
+    // chunk bound, every other kBoundSpan span still proves all-⊥ from the
+    // span-local envelope and skips its transform.
+    std::vector<double> answers(BatchRunner::kChunkSize, -1e9);
+    answers[BatchRunner::kChunkSize - 1] = -0.5;
+    Rng rng_batch(7), rng_stream(7);
+    CustomSvt batch(AllExponentialSpec(), &rng_batch);
+    CustomSvt stream(AllExponentialSpec(), &rng_stream);
+    CheckEquivalence(&batch, &stream, answers, 0.0, "exp-nu hierarchical");
+    batch.Reset();
+    batch.Run(answers, 0.0);
+    const BatchRunStats& st = batch.batch_stats();
+    EXPECT_EQ(st.tier1_chunks_skipped, 0);
+    EXPECT_EQ(st.tier2_chunks_scanned, 1);
+    EXPECT_GE(st.tier2_spans_skipped,
+              static_cast<int64_t>(BatchRunner::kChunkSize /
+                                   BatchRunner::kBoundSpan) -
+                  1);
+  }
+
+  // Per-query-threshold overload with exponential ν, across dispatch
+  // levels: one word per variate through the bounded fills too.
+  {
+    ScopedDispatchLevel restore;
+    const size_t pn = BatchRunner::kChunkSize + 613;
+    std::vector<double> answers(pn), bars(pn);
+    Rng gen(17);
+    for (size_t i = 0; i < pn; ++i) {
+      answers[i] = -6.0 + (gen.NextDouble() - 0.5);
+      bars[i] = gen.NextDouble() - 0.5;
+    }
+    ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+    Rng rng_stream(23);
+    CustomSvt stream(AllExponentialSpec(), &rng_stream);
+    std::vector<Response> ref;
+    for (size_t i = 0; i < pn; ++i) {
+      if (stream.exhausted()) break;
+      ref.push_back(stream.Process(answers[i], bars[i]));
+    }
+    for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+      if (!vec::SetDispatchLevel(level)) continue;
+      Rng rng_batch(23);
+      CustomSvt batch(AllExponentialSpec(), &rng_batch);
+      ExpectSameResponses(batch.Run(answers, bars), ref,
+                          std::string("exp-nu per-query ") +
+                              vec::DispatchLevelName(level));
+    }
+  }
 }
 
 TEST(BatchRunnerTest, TinyAndOddSizedBatchesMatchStreaming) {

@@ -331,7 +331,8 @@ TEST(VariantSpecTest, GpttEqualsAlg6AtHalfSplit) {
 TEST(VariantSpecTest, MakeSpecDispatches) {
   for (VariantId id : {VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
                        VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
-                       VariantId::kStandard, VariantId::kGptt}) {
+                       VariantId::kStandard, VariantId::kGptt,
+                       VariantId::kExpNoise, VariantId::kRevisited}) {
     const VariantSpec s = MakeSpec(id, 1.0, 1.0, 3);
     EXPECT_GT(s.rho_scale, 0.0) << VariantIdToString(id);
     EXPECT_FALSE(s.name.empty());

@@ -151,7 +151,8 @@ TEST(VariantFactoryTest, AllIdsConstruct) {
   Rng rng(10);
   for (VariantId id : {VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
                        VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
-                       VariantId::kStandard, VariantId::kGptt}) {
+                       VariantId::kStandard, VariantId::kGptt,
+                       VariantId::kExpNoise, VariantId::kRevisited}) {
     auto mech = MakeVariantMechanism(id, 1.0, 1.0, 3, &rng);
     ASSERT_TRUE(mech.ok()) << VariantIdToString(id);
     // Every mechanism can process a query.
@@ -222,7 +223,61 @@ INSTANTIATE_TEST_SUITE_P(
     Variants, AllVariantsSweep,
     ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
                       VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
-                      VariantId::kStandard, VariantId::kGptt));
+                      VariantId::kStandard, VariantId::kGptt,
+                      VariantId::kExpNoise, VariantId::kRevisited));
+
+TEST(ExpNoiseSvtTest, SpecMatchesLiuParameterization) {
+  Rng rng(14);
+  auto mech = ExpNoiseSvt::Create(1.0, 1.0, 4, &rng).value();
+  const VariantSpec& spec = mech->spec();
+  EXPECT_EQ(spec.rho_kind, NoiseKind::kExponential);
+  EXPECT_EQ(spec.nu_kind, NoiseKind::kLaplace);
+  EXPECT_DOUBLE_EQ(spec.rho_scale, 2.0);       // Δ/ε₁ = 1/(ε/2)
+  EXPECT_DOUBLE_EQ(spec.nu_scale, 16.0);       // 2cΔ/ε₂ = 8/(ε/2)
+  EXPECT_FALSE(spec.resample_rho_after_positive);
+  ASSERT_TRUE(spec.cutoff.has_value());
+  EXPECT_EQ(*spec.cutoff, 4);
+  EXPECT_EQ(spec.actual_privacy, PrivacyClass::kPureDp);
+}
+
+TEST(ExpNoiseSvtTest, RespectsCutoff) {
+  Rng rng(15);
+  auto mech = ExpNoiseSvt::Create(10.0, 1.0, 3, &rng).value();
+  int positives = 0;
+  for (int i = 0; i < 500 && !mech->exhausted(); ++i) {
+    if (mech->Process(1e9, 0.0).is_positive()) ++positives;
+  }
+  EXPECT_EQ(positives, 3);
+}
+
+TEST(RevisitedSvtTest, SpecMatchesMonitorParameterization) {
+  Rng rng(16);
+  auto mech = RevisitedSvt::Create(1.0, 1.0, 4, &rng).value();
+  const VariantSpec& spec = mech->spec();
+  EXPECT_EQ(spec.rho_kind, NoiseKind::kExponential);
+  EXPECT_EQ(spec.nu_kind, NoiseKind::kExponential);
+  EXPECT_DOUBLE_EQ(spec.rho_scale, 8.0);       // cΔ/ε₁ = 4/(ε/2)
+  EXPECT_DOUBLE_EQ(spec.nu_scale, 16.0);       // 2cΔ/ε₂
+  EXPECT_TRUE(spec.resample_rho_after_positive);
+  EXPECT_DOUBLE_EQ(spec.rho_resample_scale, spec.rho_scale);
+  EXPECT_EQ(spec.actual_privacy, PrivacyClass::kPureDp);
+}
+
+TEST(ExpNoiseSvtTest, ThresholdNoiseIsOneSided) {
+  // ρ ~ Exp(b) ≥ 0 means an answer exactly at the threshold can only fire
+  // when ν ≥ ρ — unlike the Laplace variants, where ρ < 0 half the time.
+  // Observable consequence: with ν's scale tiny relative to ρ's, answers
+  // slightly below the threshold essentially never fire.
+  int fired = 0;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed);
+    // ε large → tiny ν scale relative to the probe offset below.
+    auto mech = ExpNoiseSvt::Create(20.0, 1.0, 1, &rng).value();
+    if (mech->Process(-5.0, 0.0).is_positive()) ++fired;
+  }
+  // Pr[ν − ρ ≥ 5] with ν ~ Lap(0.2), ρ ~ Exp(0.1): ~e^{-25}, never fires.
+  EXPECT_EQ(fired, 0);
+}
 
 }  // namespace
 }  // namespace svt

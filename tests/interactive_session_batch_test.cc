@@ -172,6 +172,66 @@ TEST(SessionBatchTest, NearThresholdRolloverStaysFusedAndBitEqual) {
   }
 }
 
+TEST(SessionBatchTest, ExponentialNoiseRolloverBitEqualAtEveryLevel) {
+  // The exponential-noise axis through sessions: the same rollover +
+  // dispatch-level walk as above, for the arXiv 2407.20068 shape (one-sided
+  // ρ, Laplace ν) and the arXiv 2010.00917 ThresholdMonitor shape (both
+  // exponential, ρ redrawn after every ⊤). One RNG word per exponential
+  // variate changes the draw-order accounting, so round rollover replaying
+  // draw-order step 1 with a single-word ρ is exactly what this pins.
+  ScopedDispatchLevel restore;
+  struct Shape {
+    const char* name;
+    NoiseKind rho, nu;
+    bool resample;
+  };
+  for (const Shape& shape :
+       {Shape{"exp-rho", NoiseKind::kExponential, NoiseKind::kLaplace, false},
+        Shape{"monitor", NoiseKind::kExponential, NoiseKind::kExponential,
+              true}}) {
+    SessionOptions o = Options(1.0, 0.2);
+    o.round.cutoff = 4;
+    o.round.rho_kind = shape.rho;
+    o.round.nu_kind = shape.nu;
+    o.round.resample_threshold_noise = shape.resample;
+    Rng rng_probe(91);
+    const double nu_scale =
+        SparseVector::Create(
+            [&] {
+              SvtOptions r = o.round;
+              r.epsilon = o.epsilon_per_round;
+              return r;
+            }(),
+            &rng_probe)
+            .value()
+            ->query_noise_scale();
+    // One-sided ρ raises the effective bar, so park answers closer to the
+    // threshold than the Laplace rollover test does to keep positives
+    // (and therefore rollovers) flowing.
+    std::vector<double> answers(3000);
+    Rng gen(558);
+    for (double& a : answers) {
+      a = (-1.0 + (gen.NextDouble() - 0.5)) * nu_scale;
+    }
+
+    ASSERT_TRUE(vec::SetDispatchLevel(vec::DispatchLevel::kScalar));
+    const std::vector<Response> expect = StreamAll(o, 41, answers, 0.0);
+    ASSERT_FALSE(expect.empty()) << shape.name;
+
+    for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+      if (!vec::SetDispatchLevel(level)) continue;
+      Rng rng(41);
+      auto session = AboveThresholdSession::Create(o, &rng).value();
+      std::vector<Response> got;
+      session->RunAppend(answers, 0.0, &got);
+      EXPECT_EQ(got, expect)
+          << shape.name << " at " << vec::DispatchLevelName(level);
+      EXPECT_GT(session->rounds_started(), 1)
+          << shape.name << ": workload must roll over";
+    }
+  }
+}
+
 TEST(SessionBatchTest, RunAppendOnlyAppends) {
   // Buffer-reuse contract: pre-existing elements survive untouched.
   const std::vector<double> answers = MakeAnswers(100);

@@ -61,7 +61,9 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ProbabilityClosureSweep,
     ::testing::Combine(::testing::Values(VariantId::kAlg1, VariantId::kAlg2,
                                          VariantId::kAlg4, VariantId::kAlg5,
-                                         VariantId::kAlg6, VariantId::kGptt),
+                                         VariantId::kAlg6, VariantId::kGptt,
+                                         VariantId::kExpNoise,
+                                         VariantId::kRevisited),
                        ::testing::Values(0, 1, 2, 3)));
 
 // ---------------------------------------------------------------------------
@@ -132,7 +134,8 @@ INSTANTIATE_TEST_SUITE_P(
     Variants, McAgreementSweep,
     ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg4,
                       VariantId::kAlg5, VariantId::kAlg6, VariantId::kGptt,
-                      VariantId::kStandard));
+                      VariantId::kStandard, VariantId::kExpNoise,
+                      VariantId::kRevisited));
 
 // ---------------------------------------------------------------------------
 // Metric algebra on randomized selections.
@@ -273,7 +276,8 @@ INSTANTIATE_TEST_SUITE_P(
     Variants, StreamBatchSweep,
     ::testing::Values(VariantId::kAlg1, VariantId::kAlg2, VariantId::kAlg3,
                       VariantId::kAlg4, VariantId::kAlg5, VariantId::kAlg6,
-                      VariantId::kGptt));
+                      VariantId::kGptt, VariantId::kExpNoise,
+                      VariantId::kRevisited));
 
 }  // namespace
 }  // namespace svt

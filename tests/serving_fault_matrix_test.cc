@@ -54,6 +54,11 @@ struct FaultLeg {
   int64_t deadline_nanos;
   FaultInjector::Options faults;  // seed 0 + all-zero probabilities = none
   bool inject = false;            ///< pass an injector at all?
+  /// Run the shards on the exponential-noise axis (one-sided ρ, exponential
+  /// ν, ρ redrawn after positives): the contract — faults pick the accepted
+  /// set, never the noise stream — must hold for one-word-per-variate draws
+  /// exactly as for Laplace's two.
+  bool exponential_noise = false;
 };
 
 std::vector<FaultLeg> MakeLegs() {
@@ -90,6 +95,15 @@ std::vector<FaultLeg> MakeLegs() {
     legs.push_back(leg);
   }
   {
+    // Shard failures against exponential-noise shards: same fault shape as
+    // "shard-failure", different noise axis.
+    FaultLeg leg{"exp-noise-failure", 4, 0, {}, true};
+    leg.faults.seed = 106;
+    leg.faults.shard_failure_probability = 0.2;
+    leg.exponential_noise = true;
+    legs.push_back(leg);
+  }
+  {
     // Everything at once, single shard for schedule independence.
     FaultLeg leg{"combined", 1, 60'000, {}, true};
     leg.faults.seed = 105;
@@ -108,6 +122,16 @@ std::vector<FaultLeg> MakeLegs() {
 constexpr int kRequests = 48;
 constexpr size_t kQueriesPerRequest = 64;
 constexpr uint64_t kServerSeed = 7;
+
+ServingOptions LegOptions(const FaultLeg& leg) {
+  ServingOptions o = BaseOptions(leg.num_shards, kServerSeed);
+  if (leg.exponential_noise) {
+    o.svt.rho_kind = NoiseKind::kExponential;
+    o.svt.nu_kind = NoiseKind::kExponential;
+    o.svt.resample_threshold_noise = true;
+  }
+  return o;
+}
 
 struct Transcript {
   std::vector<RequestOutcome> outcomes;          // per request
@@ -145,7 +169,7 @@ Transcript RunLeg(const FaultLeg& leg) {
   std::optional<FaultInjector> injector;
   if (leg.inject) injector.emplace(leg.faults);
   VirtualClock clock;
-  ServingOptions so = BaseOptions(leg.num_shards, kServerSeed);
+  ServingOptions so = LegOptions(leg);
   so.clock = &clock;
   so.fault_injector = leg.inject ? &*injector : nullptr;
   auto server = ShardedSvtServer::Create(so).value();
@@ -187,9 +211,7 @@ Transcript RunLeg(const FaultLeg& leg) {
 /// faulted run accepted (outcome kOk), in their original order.
 std::vector<std::vector<Response>> RunRestrictedReference(
     const FaultLeg& leg, const std::vector<RequestOutcome>& outcomes) {
-  auto server =
-      ShardedSvtServer::Create(BaseOptions(leg.num_shards, kServerSeed))
-          .value();
+  auto server = ShardedSvtServer::Create(LegOptions(leg)).value();
   RequestBatcher batcher(server.get());
   std::vector<std::vector<Response>> responses(kRequests);
   std::vector<std::vector<double>> answers(kRequests);

@@ -142,6 +142,37 @@ TEST(ShardedSvtServerTest, ShardMatchesStandaloneMechanismOnForkedStream) {
   EXPECT_EQ(got, expect);
 }
 
+TEST(ShardedSvtServerTest, ExponentialNoiseShardMatchesStreaming) {
+  // The exponential-noise axis through sharded serving: a shard running
+  // one-sided ρ + exponential ν (ρ redrawn after positives) through the
+  // batch engine must equal the hand-rolled streaming SparseVector on the
+  // same forked stream — the serving layer takes the new variants without
+  // any serving-side code.
+  ServingOptions o = AutoResetOptions(3, 99);
+  o.svt.rho_kind = NoiseKind::kExponential;
+  o.svt.nu_kind = NoiseKind::kExponential;
+  o.svt.resample_threshold_noise = true;
+  const std::vector<double> answers = MakeAnswers(800, 44);
+
+  Rng master(o.seed);
+  master.Fork();
+  Rng stream1 = master.Fork();
+  auto reference = SparseVector::Create(o.svt, &stream1).value();
+  std::vector<Response> expect;
+  int positives = 0;
+  for (double a : answers) {
+    if (reference->exhausted()) reference->Reset();
+    expect.push_back(reference->Process(a, 0.0));
+    positives += expect.back().is_positive();
+  }
+  ASSERT_GT(positives, 0) << "workload must exercise resampled one-sided rho";
+
+  auto server = ShardedSvtServer::Create(o).value();
+  std::vector<Response> got;
+  EXPECT_EQ(server->ExecuteOnShard(1, answers, 0.0, &got), answers.size());
+  EXPECT_EQ(got, expect);
+}
+
 TEST(ShardedSvtServerTest, MeteredShardMatchesStandaloneSession) {
   const ServingOptions o = MeteredOptions(2, 31);
   const std::vector<double> answers = MakeAnswers(4000, 45);
