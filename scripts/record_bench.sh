@@ -7,31 +7,45 @@
 # Usage:
 #   scripts/record_bench.sh                 # default filter, 5 reps
 #   scripts/record_bench.sh 'BM_SvtRun.*'   # custom filter regex
+#   scripts/record_bench.sh 'BM_A' 'BM_B'   # paired A/B: interleaved reps
+#
+# Paired mode (two positional args): each rep runs arm A then arm B
+# back-to-back, so thermal / frequency / noisy-neighbor drift lands on
+# both arms equally instead of biasing whichever ran last. Both arms'
+# ranges are emitted in ONE JSON block; with BENCH_B set the arms run
+# different binaries (arm-B keys get a "__B" suffix so same-named
+# benchmarks from the two builds stay distinct).
 #
 # Environment:
 #   BENCH     bench binary          (default build/bench_micro)
+#   BENCH_B   arm-B binary          (default $BENCH; paired mode only)
 #   REPS      repetitions           (default 5)
 #   MIN_TIME  --benchmark_min_time  (default 0.25)
 set -euo pipefail
 
 BENCH="${BENCH:-build/bench_micro}"
+BENCH_B="${BENCH_B:-$BENCH}"
 REPS="${REPS:-5}"
 MIN_TIME="${MIN_TIME:-0.25}"
 FILTER="${1:-BM_SvtRunBatch/|BM_SvtRunBatchNearThreshold|BM_SvtRunBatchPerQueryNearThreshold|BM_FusedLaplaceScanSumGePairwise|BM_RngFillUint64|BM_LaplaceSampleBlock}"
+FILTER_B="${2:-}"
 
-if [ ! -x "$BENCH" ]; then
-  echo "error: $BENCH not found or not executable (build with benchmarks on)" >&2
-  exit 1
-fi
+for bin in "$BENCH" "$BENCH_B"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable (build with benchmarks on)" >&2
+    exit 1
+  fi
+done
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-for i in $(seq "$REPS"); do
-  echo "== rep $i/$REPS: $BENCH --benchmark_filter=$FILTER" >&2
-  "$BENCH" --benchmark_filter="$FILTER" --benchmark_min_time="$MIN_TIME" \
+# run_arm <binary> <filter> <name-suffix>: one bench invocation, appending
+# "name value" lines (items/sec, unit-expanded) to $tmp.
+run_arm() {
+  "$1" --benchmark_filter="$2" --benchmark_min_time="$MIN_TIME" \
     2>/dev/null |
-    awk '/items_per_second=/ {
+    awk -v suffix="$3" '/items_per_second=/ {
       v = ""
       for (f = 1; f <= NF; ++f) if ($f ~ /items_per_second=/) v = $f
       sub(/.*items_per_second=/, "", v)
@@ -40,8 +54,22 @@ for i in $(seq "$REPS"); do
       else if (v ~ /M\/s$/) mult = 1e6
       else if (v ~ /k\/s$/) mult = 1e3
       sub(/[GMk]?\/s$/, "", v)
-      printf "%s %.6e\n", $1, v * mult
+      printf "%s%s %.6e\n", $1, suffix, v * mult
     }' >>"$tmp"
+}
+
+suffix_b=""
+if [ -n "$FILTER_B" ] && [ "$BENCH_B" != "$BENCH" ]; then
+  suffix_b="__B"
+fi
+
+for i in $(seq "$REPS"); do
+  echo "== rep $i/$REPS (A): $BENCH --benchmark_filter=$FILTER" >&2
+  run_arm "$BENCH" "$FILTER" ""
+  if [ -n "$FILTER_B" ]; then
+    echo "== rep $i/$REPS (B): $BENCH_B --benchmark_filter=$FILTER_B" >&2
+    run_arm "$BENCH_B" "$FILTER_B" "$suffix_b"
+  fi
 done
 
 if ! [ -s "$tmp" ]; then
@@ -49,7 +77,12 @@ if ! [ -s "$tmp" ]; then
   exit 1
 fi
 
-awk -v reps="$REPS" -v mt="$MIN_TIME" '
+proto="min-max items/sec over $REPS reps of --benchmark_min_time=$MIN_TIME (scripts/record_bench.sh)"
+if [ -n "$FILTER_B" ]; then
+  proto="min-max items/sec over $REPS interleaved A/B reps of --benchmark_min_time=$MIN_TIME (scripts/record_bench.sh paired mode)"
+fi
+
+awk -v proto="$proto" '
 {
   n = $1; v = $2 + 0
   if (!(n in min) || v < min[n]) min[n] = v
@@ -58,7 +91,7 @@ awk -v reps="$REPS" -v mt="$MIN_TIME" '
 }
 END {
   printf "{\n"
-  printf "  \"noise_protocol\": \"min-max items/sec over %d reps of --benchmark_min_time=%s (scripts/record_bench.sh)\"", reps, mt
+  printf "  \"noise_protocol\": \"%s\"", proto
   for (i = 1; i <= k; ++i) {
     n = order[i]
     printf ",\n  \"%s_items_per_second\": [%.4e, %.4e]", n, min[n], max[n]

@@ -3,36 +3,21 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/rng_lockstep.h"
 #include "common/vecmath.h"
-
-#if (defined(__x86_64__) || defined(_M_X64)) && !defined(SVT_DISABLE_AVX2) && \
-    (defined(__GNUC__) || defined(__clang__))
-#define SVT_RNG_HAVE_AVX2 1
-#include <immintrin.h>
-#else
-#define SVT_RNG_HAVE_AVX2 0
-#endif
-
-#if SVT_RNG_HAVE_AVX2 && !defined(SVT_DISABLE_AVX512)
-#define SVT_RNG_HAVE_AVX512 1
-#else
-#define SVT_RNG_HAVE_AVX512 0
-#endif
 
 namespace svt {
 
 namespace {
 
-inline uint64_t Rotl(uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 // One lockstep step of all four lanes is pure integer arithmetic, so the
 // scalar loop and the SIMD kernels below are bit-identical by construction
 // (no rounding anywhere); the kernels differ only in how many lanes one
-// instruction advances. `s` points at the SoA state block: s[w * 4 + lane]
-// is state word w of lane `lane`, so one 256-bit load covers one word of
-// all four lanes.
+// instruction advances. The step primitives themselves live in
+// common/rng_lockstep.h, shared with the lane-resident megakernels in
+// vecmath.cc — one implementation of the stream to audit. `s` points at
+// the SoA state block: s[w * 4 + lane] is state word w of lane `lane`, so
+// one 256-bit load covers one word of all four lanes.
 
 void FillLockstepScalar(uint64_t* s, uint64_t* p, size_t steps) {
   // Register-resident reference lane: lift the 16 state words out of
@@ -46,14 +31,14 @@ void FillLockstepScalar(uint64_t* s, uint64_t* p, size_t steps) {
   }
   for (size_t step = 0; step < steps; ++step) {
     for (int j = 0; j < 4; ++j) {
-      p[j] = Rotl(s0[j] + s3[j], 23) + s0[j];
+      p[j] = lockstep::Rotl(s0[j] + s3[j], 23) + s0[j];
       const uint64_t t = s1[j] << 17;
       s2[j] ^= s0[j];
       s3[j] ^= s1[j];
       s1[j] ^= s2[j];
       s0[j] ^= s3[j];
       s2[j] ^= t;
-      s3[j] = Rotl(s3[j], 45);
+      s3[j] = lockstep::Rotl(s3[j], 45);
     }
     p += 4;
   }
@@ -65,12 +50,7 @@ void FillLockstepScalar(uint64_t* s, uint64_t* p, size_t steps) {
   }
 }
 
-#if SVT_RNG_HAVE_AVX2
-
-__attribute__((target("avx2"))) inline __m256i Rotl4Avx2(__m256i x, int k) {
-  return _mm256_or_si256(_mm256_slli_epi64(x, k),
-                         _mm256_srli_epi64(x, 64 - k));
-}
+#if SVT_LOCKSTEP_HAVE_AVX2
 
 __attribute__((target("avx2"))) void FillLockstepAvx2(uint64_t* s,
                                                       uint64_t* p,
@@ -80,17 +60,9 @@ __attribute__((target("avx2"))) void FillLockstepAvx2(uint64_t* s,
   __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 8));
   __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 12));
   for (size_t step = 0; step < steps; ++step) {
-    const __m256i result =
-        _mm256_add_epi64(Rotl4Avx2(_mm256_add_epi64(s0, s3), 23), s0);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), result);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                        lockstep::Step4Avx2(s0, s1, s2, s3));
     p += 4;
-    const __m256i t = _mm256_slli_epi64(s1, 17);
-    s2 = _mm256_xor_si256(s2, s0);
-    s3 = _mm256_xor_si256(s3, s1);
-    s1 = _mm256_xor_si256(s1, s2);
-    s0 = _mm256_xor_si256(s0, s3);
-    s2 = _mm256_xor_si256(s2, t);
-    s3 = Rotl4Avx2(s3, 45);
   }
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(s), s0);
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 4), s1);
@@ -98,13 +70,14 @@ __attribute__((target("avx2"))) void FillLockstepAvx2(uint64_t* s,
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 12), s3);
 }
 
-#endif  // SVT_RNG_HAVE_AVX2
+#endif  // SVT_LOCKSTEP_HAVE_AVX2
 
-#if SVT_RNG_HAVE_AVX512
+#if SVT_LOCKSTEP_HAVE_AVX512
 
-// AVX-512VL variant: same four 256-bit lanes, but the two rotates use the
-// native 64-bit rotate instruction (vprolq) instead of shift+shift+or —
-// the rotation is exact either way, so outputs are bit-identical.
+// AVX-512VL variant: same four 256-bit lanes, but the two rotates in the
+// shared step use the native 64-bit rotate instruction (vprolq) instead
+// of shift+shift+or — the rotation is exact either way, so outputs are
+// bit-identical.
 __attribute__((target("avx512f,avx512vl"))) void FillLockstepAvx512(
     uint64_t* s, uint64_t* p, size_t steps) {
   __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
@@ -112,17 +85,9 @@ __attribute__((target("avx512f,avx512vl"))) void FillLockstepAvx512(
   __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 8));
   __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 12));
   for (size_t step = 0; step < steps; ++step) {
-    const __m256i result = _mm256_add_epi64(
-        _mm256_rol_epi64(_mm256_add_epi64(s0, s3), 23), s0);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), result);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                        lockstep::Step4Avx512(s0, s1, s2, s3));
     p += 4;
-    const __m256i t = _mm256_slli_epi64(s1, 17);
-    s2 = _mm256_xor_si256(s2, s0);
-    s3 = _mm256_xor_si256(s3, s1);
-    s1 = _mm256_xor_si256(s1, s2);
-    s0 = _mm256_xor_si256(s0, s3);
-    s2 = _mm256_xor_si256(s2, t);
-    s3 = _mm256_rol_epi64(s3, 45);
   }
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(s), s0);
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 4), s1);
@@ -130,16 +95,16 @@ __attribute__((target("avx512f,avx512vl"))) void FillLockstepAvx512(
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 12), s3);
 }
 
-#endif  // SVT_RNG_HAVE_AVX512
+#endif  // SVT_LOCKSTEP_HAVE_AVX512
 
 void FillLockstep(uint64_t* s, uint64_t* p, size_t steps) {
-#if SVT_RNG_HAVE_AVX512
+#if SVT_LOCKSTEP_HAVE_AVX512
   if (vec::ActiveDispatchLevel() >= vec::DispatchLevel::kAvx512) {
     FillLockstepAvx512(s, p, steps);
     return;
   }
 #endif
-#if SVT_RNG_HAVE_AVX2
+#if SVT_LOCKSTEP_HAVE_AVX2
   if (vec::ActiveDispatchLevel() >= vec::DispatchLevel::kAvx2) {
     FillLockstepAvx2(s, p, steps);
     return;
@@ -174,9 +139,12 @@ BlockRng::BlockRng(uint64_t seed) {
   }
 }
 
-BlockRng::BlockRng(const State& state) : phase_(state.phase) {
+BlockRng::BlockRng(const State& state) { Restore(state); }
+
+void BlockRng::Restore(const State& state) {
   SVT_CHECK(state.phase < kLanes)
       << "BlockRng state phase out of range: " << state.phase;
+  phase_ = state.phase;
   for (size_t lane = 0; lane < kLanes; ++lane) {
     for (int w = 0; w < 4; ++w) s_[w][lane] = state.words[w * kLanes + lane];
     SVT_CHECK(s_[0][lane] != 0 || s_[1][lane] != 0 || s_[2][lane] != 0 ||
@@ -186,23 +154,7 @@ BlockRng::BlockRng(const State& state) : phase_(state.phase) {
 }
 
 uint64_t BlockRng::StepLane(size_t lane) {
-  uint64_t s0 = s_[0][lane];
-  uint64_t s1 = s_[1][lane];
-  uint64_t s2 = s_[2][lane];
-  uint64_t s3 = s_[3][lane];
-  const uint64_t result = Rotl(s0 + s3, 23) + s0;
-  const uint64_t t = s1 << 17;
-  s2 ^= s0;
-  s3 ^= s1;
-  s1 ^= s2;
-  s0 ^= s3;
-  s2 ^= t;
-  s3 = Rotl(s3, 45);
-  s_[0][lane] = s0;
-  s_[1][lane] = s1;
-  s_[2][lane] = s2;
-  s_[3][lane] = s3;
-  return result;
+  return lockstep::StepLaneSoA(&s_[0][0], lane);
 }
 
 uint64_t BlockRng::Next() {

@@ -92,8 +92,18 @@ class BlockRng {
   /// scalar instead, so callers looping to a byte budget always progress.
   size_t FillBounded(std::span<uint64_t> out);
 
-  /// Snapshot for serialization and tests.
+  /// Snapshot for serialization and tests. Together with Restore() this is
+  /// the checkpoint seam the lane-resident megakernels (vecmath's Mega*
+  /// family) use: State::words is the SoA state flattened in the same
+  /// order, so a kernel can load the lanes into registers, advance them
+  /// in-kernel, and hand back a State that Restore() accepts — leaving
+  /// this generator exactly where a FillUint64 of the consumed words
+  /// would have.
   State state() const;
+
+  /// Restores a snapshot in place (same validation as the State
+  /// constructor: phase < kLanes, every lane nonzero; checked).
+  void Restore(const State& state);
 
  private:
   uint64_t StepLane(size_t lane);
@@ -210,6 +220,13 @@ class Rng {
 
   /// Internal state snapshot (for tests and serialization).
   State state() const { return core_.state(); }
+
+  /// Restores a snapshot in place (BlockRng::Restore) — the return half of
+  /// the megakernel checkpoint seam: the batch engine snapshots state(),
+  /// lets an in-register kernel consume stream words, and restores the
+  /// kernel's final state here so subsequent draws continue the one
+  /// stream exactly.
+  void RestoreState(const State& state) { core_.Restore(state); }
 
  private:
   BlockRng core_;

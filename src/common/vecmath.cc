@@ -42,6 +42,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/rng_lockstep.h"
 
 #if (defined(__x86_64__) || defined(_M_X64)) && !defined(SVT_DISABLE_AVX2) && \
     (defined(__GNUC__) || defined(__clang__))
@@ -70,14 +71,38 @@ namespace {
 constexpr double kLn2Hi = 0x1.62e42fee00000p-1;   // 6.93147180369123816490e-01
 constexpr double kLn2Lo = 0x1.a39ef35793c76p-33;  // 1.90821492927058770002e-10
 
-// log: R(z) ~= z*Lg1 + z^2*Lg2 + ... + z^7*Lg7 on z = s^2, |s| <= 0.1716.
-constexpr double kLg1 = 0x1.5555555555593p-1;
-constexpr double kLg2 = 0x1.999999997fa04p-2;
-constexpr double kLg3 = 0x1.2492494229359p-2;
-constexpr double kLg4 = 0x1.c71c51d8e78afp-3;
-constexpr double kLg5 = 0x1.7466496cb03dep-3;
-constexpr double kLg6 = 0x1.39a09d078c69fp-3;
-constexpr double kLg7 = 0x1.2f112df3e5244p-3;
+// log: reciprocal-free correction polynomial. fdlibm evaluates the
+// compensated recombination around X = log(1+f) - f + f^2/2 but reaches X
+// through s = f/(2+f) — a divider-latency chain that caps the vector
+// lanes' throughput. We instead expand X = f^3 * R(f) directly, with R a
+// degree-20 minimax fit (Chebyshev nodes, long-double fit) of
+// (log(1+f) - f + f^2/2) / f^3 on f in [sqrt(1/2)-1, sqrt(2)-1]. Max
+// absolute fit error ~9.7e-18 over the interval (R itself is ~0.26-0.43),
+// i.e. far below one ulp of X's contribution; the measured end-to-end
+// error of the full kernel stays under 1 ulp vs the infinitely precise
+// log. Evaluated as an even/odd Horner split in w = f^2 (two independent
+// chains, no division). Coefficient k is the f^k term of R.
+constexpr double kQ0 = 0x1.5555555555555p-2;
+constexpr double kQ1 = -0x1.0000000000007p-2;
+constexpr double kQ2 = 0x1.99999999998d7p-3;
+constexpr double kQ3 = -0x1.5555555553457p-3;
+constexpr double kQ4 = 0x1.249249249e4a9p-3;
+constexpr double kQ5 = -0x1.000000017c4eap-3;
+constexpr double kQ6 = 0x1.c71c71bf5db12p-4;
+constexpr double kQ7 = -0x1.9999989e9f8b5p-4;
+constexpr double kQ8 = 0x1.745d1806bdea4p-4;
+constexpr double kQ9 = -0x1.555582293998ep-4;
+constexpr double kQ10 = 0x1.3b13c73c82083p-4;
+constexpr double kQ11 = -0x1.248da6617d7e1p-4;
+constexpr double kQ12 = 0x1.110a3cb814e7cp-4;
+constexpr double kQ13 = -0x1.00471d25a052ap-4;
+constexpr double kQ14 = 0x1.e3351b0b8a06ap-5;
+constexpr double kQ15 = -0x1.c29e22cde6a1cp-5;
+constexpr double kQ16 = 0x1.9ef55712af986p-5;
+constexpr double kQ17 = -0x1.a4f2cb642aed7p-5;
+constexpr double kQ18 = 0x1.e4de09bbb15acp-5;
+constexpr double kQ19 = -0x1.ba0db7c5ec460p-5;
+constexpr double kQ20 = 0x1.7d29370356709p-6;
 
 // exp: c = r - r^2*(P1 + r^2*(P2 + ...)), |r| <= ln2/2.
 constexpr double kP1 = 0x1.5555555555553p-3;
@@ -233,16 +258,40 @@ double Log(double x) {
       (adj & 0x000F'FFFF'FFFF'FFFFull) + 0x3FE6'A09E'0000'0000ull;
   const double m = std::bit_cast<double>(mbits);
 
+  // Reciprocal-free tail (see the kQ* block): X = f^3 * R(f) replaces
+  // fdlibm's s = f/(2+f) chain; the compensated recombination around X is
+  // unchanged. Even/odd Horner split in w = f^2 — the operation order
+  // below is the pinned cross-lane contract (the SIMD lanes replay it
+  // lane-wise with non-fused intrinsics; vecmath.cc builds with
+  // -ffp-contract=off so no FMA contraction can split the lanes).
   const double f = m - 1.0;
-  const double s = f / (2.0 + f);
-  const double z = s * s;
-  const double w = z * z;
-  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
-  const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
-  const double r = t2 + t1;
+  const double w = f * f;
+  double re = kQ20;
+  re = re * w + kQ18;
+  re = re * w + kQ16;
+  re = re * w + kQ14;
+  re = re * w + kQ12;
+  re = re * w + kQ10;
+  re = re * w + kQ8;
+  re = re * w + kQ6;
+  re = re * w + kQ4;
+  re = re * w + kQ2;
+  re = re * w + kQ0;
+  double ro = kQ19;
+  ro = ro * w + kQ17;
+  ro = ro * w + kQ15;
+  ro = ro * w + kQ13;
+  ro = ro * w + kQ11;
+  ro = ro * w + kQ9;
+  ro = ro * w + kQ7;
+  ro = ro * w + kQ5;
+  ro = ro * w + kQ3;
+  ro = ro * w + kQ1;
+  const double q = re + f * ro;
+  const double x3r = (w * f) * q;
   const double hfsq = (0.5 * f) * f;
   const double dk = static_cast<double>(k);
-  return dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+  return dk * kLn2Hi - ((hfsq - (x3r + dk * kLn2Lo)) - f);
 }
 
 double Exp(double x) {
@@ -385,6 +434,205 @@ FusedScanHit FusedExpScanSumGePairwiseScalar(const uint64_t* words, double b,
   return {n, 0.0};
 }
 
+// --- megakernels: scalar lanes --------------------------------------------
+//
+// The megakernels generate their words in-kernel from a BlockRng::State.
+// State::words is the generator's SoA state flattened (words[w * 4 + lane]
+// is state word w of lane `lane`), so the shared lockstep step primitives
+// walk it directly. MegaNextWord is the scalar stream walker — operation
+// for operation BlockRng::Next() on the snapshot, which is what makes the
+// in-kernel stream bit-identical to FillUint64 (stream-neutrality).
+
+inline uint64_t MegaNextWord(BlockRng::State* st) {
+  const uint64_t r = lockstep::StepLaneSoA(st->words.data(), st->phase);
+  st->phase = (st->phase + 1) & (BlockRng::kLanes - 1);
+  return r;
+}
+
+// Scalar reference lanes of the four megakernel scans. Each starts at
+// element `from` with `st` positioned at that element's first word (0 for
+// the dispatch entry points; the SIMD lanes delegate their sub-width
+// tails here after spilling their registers). The transform and the
+// positive test are the same LaplaceNuScalar / ExpNuScalar compositions
+// the fused kernels run, so hit indices and ν payloads are bit-identical
+// to FillUint64 + fused scan.
+
+FusedScanHit MegaScanSumGeScalar(BlockRng::State* st, double mu, double b,
+                                 const double* a, double bar, size_t n,
+                                 size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const uint64_t w_mag = MegaNextWord(st);
+    const uint64_t w_sign = MegaNextWord(st);
+    const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+    if (a[i] + nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit MegaScanSumGePairwiseScalar(BlockRng::State* st, double mu,
+                                         double b, const double* a,
+                                         const double* bars, double rho,
+                                         size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const uint64_t w_mag = MegaNextWord(st);
+    const uint64_t w_sign = MegaNextWord(st);
+    const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+    if (a[i] + nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit MegaExpScanSumGeScalar(BlockRng::State* st, double b,
+                                    const double* a, double bar, size_t n,
+                                    size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = ExpNuScalar(MegaNextWord(st), b);
+    if (a[i] + nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit MegaExpScanSumGePairwiseScalar(BlockRng::State* st, double b,
+                                            const double* a,
+                                            const double* bars, double rho,
+                                            size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const double nu = ExpNuScalar(MegaNextWord(st), b);
+    if (a[i] + nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+// Scalar reference lanes of the bounded megakernel scans. An element
+// whose magnitude word's top 53 bits reach skip_word is provably unable
+// to fire the computed positive test (MegaSkipWordThreshold contract),
+// so its transform is skipped; the stream advance is unchanged, and
+// since skipped elements cannot hit, results and end states are
+// bit-identical to the unbounded walkers above.
+
+FusedScanHit MegaScanSumGeBoundedScalar(BlockRng::State* st, double mu,
+                                        double b, const double* a, double bar,
+                                        uint64_t skip_word, size_t n,
+                                        size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const uint64_t w_mag = MegaNextWord(st);
+    const uint64_t w_sign = MegaNextWord(st);
+    if ((w_mag >> 11) >= skip_word) continue;
+    const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+    if (a[i] + nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit MegaExpScanSumGeBoundedScalar(BlockRng::State* st, double b,
+                                           const double* a, double bar,
+                                           uint64_t skip_word, size_t n,
+                                           size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const uint64_t word = MegaNextWord(st);
+    if ((word >> 11) >= skip_word) continue;
+    const double nu = ExpNuScalar(word, b);
+    if (a[i] + nu >= bar) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+// Scalar lane of the generate-and-bound pass.
+uint64_t MegaFillMinSpansScalar(BlockRng::State* st, size_t count, size_t wpv,
+                                size_t span_elems, uint64_t* span_min,
+                                BlockRng::State* span_states) {
+  uint64_t total = UINT64_MAX;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) span_states[span] = *st;
+    uint64_t m = UINT64_MAX;
+    for (; e < span_end; ++e) {
+      const uint64_t mag = MegaNextWord(st);
+      for (size_t w = 1; w < wpv; ++w) MegaNextWord(st);
+      m = std::min(m, mag);
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  return total;
+}
+
+// Scalar lanes of the fused generate-bound-and-scan pass: the
+// generate-and-bound walk above plus the bounded positive test inline,
+// recording every firing element instead of stopping at the first.
+// Consumes the full count regardless of hits, so the end state is the
+// generate-and-bound end state.
+
+size_t MegaLaplaceFillMinScanSpansScalar(BlockRng::State* st, double mu,
+                                         double b, const double* a, double bar,
+                                         uint64_t skip_word, size_t count,
+                                         size_t span_elems, uint64_t* span_min,
+                                         BlockRng::State* span_states,
+                                         FusedScanHit* hits, size_t max_hits,
+                                         uint64_t* min_out) {
+  uint64_t total = UINT64_MAX;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) span_states[span] = *st;
+    uint64_t m = UINT64_MAX;
+    for (; e < span_end; ++e) {
+      const uint64_t w_mag = MegaNextWord(st);
+      const uint64_t w_sign = MegaNextWord(st);
+      m = std::min(m, w_mag);
+      if ((w_mag >> 11) >= skip_word) continue;
+      const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+      if (a[e] + nu >= bar) {
+        if (found < max_hits) hits[found] = {e, nu};
+        ++found;
+      }
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  *min_out = total;
+  return found;
+}
+
+size_t MegaExpFillMinScanSpansScalar(BlockRng::State* st, double b,
+                                     const double* a, double bar,
+                                     uint64_t skip_word, size_t count,
+                                     size_t span_elems, uint64_t* span_min,
+                                     BlockRng::State* span_states,
+                                     FusedScanHit* hits, size_t max_hits,
+                                     uint64_t* min_out) {
+  uint64_t total = UINT64_MAX;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) span_states[span] = *st;
+    uint64_t m = UINT64_MAX;
+    for (; e < span_end; ++e) {
+      const uint64_t word = MegaNextWord(st);
+      m = std::min(m, word);
+      if ((word >> 11) >= skip_word) continue;
+      const double nu = ExpNuScalar(word, b);
+      if (a[e] + nu >= bar) {
+        if (found < max_hits) hits[found] = {e, nu};
+        ++found;
+      }
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  *min_out = total;
+  return found;
+}
+
 }  // namespace
 
 #if SVT_VECMATH_HAVE_AVX2
@@ -400,12 +648,7 @@ namespace {
 // always normal by construction). Inlined into same-target callers.
 __attribute__((target("avx2"))) inline __m256d Log4Normal(__m256d x) {
   const __m256d one = _mm256_set1_pd(1.0);
-  const __m256d two = _mm256_set1_pd(2.0);
   const __m256d half = _mm256_set1_pd(0.5);
-  const __m256d lg1 = _mm256_set1_pd(kLg1), lg2 = _mm256_set1_pd(kLg2),
-                lg3 = _mm256_set1_pd(kLg3), lg4 = _mm256_set1_pd(kLg4),
-                lg5 = _mm256_set1_pd(kLg5), lg6 = _mm256_set1_pd(kLg6),
-                lg7 = _mm256_set1_pd(kLg7);
   const __m256d ln2hi = _mm256_set1_pd(kLn2Hi), ln2lo = _mm256_set1_pd(kLn2Lo);
 
   const __m256i bits = _mm256_castpd_si256(x);
@@ -418,22 +661,35 @@ __attribute__((target("avx2"))) inline __m256d Log4Normal(__m256d x) {
       _mm256_set1_epi64x(0x3FE6'A09E'0000'0000ll));
   const __m256d m = _mm256_castsi256_pd(mbits);
 
+  // Reciprocal-free tail: the scalar lane's even/odd Horner split in
+  // w = f^2, replayed operation for operation (see Log() and the kQ*
+  // block). No division anywhere — the two Horner chains are mul/add only
+  // and run in parallel.
   const __m256d f = _mm256_sub_pd(m, one);
-  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(two, f));
-  const __m256d z = _mm256_mul_pd(s, s);
-  const __m256d w = _mm256_mul_pd(z, z);
-  const __m256d t1 = _mm256_mul_pd(
-      w, _mm256_add_pd(
-             lg2, _mm256_mul_pd(w, _mm256_add_pd(lg4, _mm256_mul_pd(w, lg6)))));
-  const __m256d t2 = _mm256_mul_pd(
-      z, _mm256_add_pd(
-             lg1,
-             _mm256_mul_pd(
-                 w, _mm256_add_pd(
-                        lg3, _mm256_mul_pd(
-                                 w, _mm256_add_pd(
-                                        lg5, _mm256_mul_pd(w, lg7)))))));
-  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d w = _mm256_mul_pd(f, f);
+  __m256d re = _mm256_set1_pd(kQ20);
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ18));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ16));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ14));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ12));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ10));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ8));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ6));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ4));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ2));
+  re = _mm256_add_pd(_mm256_mul_pd(re, w), _mm256_set1_pd(kQ0));
+  __m256d ro = _mm256_set1_pd(kQ19);
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ17));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ15));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ13));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ11));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ9));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ7));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ5));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ3));
+  ro = _mm256_add_pd(_mm256_mul_pd(ro, w), _mm256_set1_pd(kQ1));
+  const __m256d q = _mm256_add_pd(re, _mm256_mul_pd(f, ro));
+  const __m256d x3r = _mm256_mul_pd(_mm256_mul_pd(w, f), q);
   const __m256d hfsq = _mm256_mul_pd(_mm256_mul_pd(half, f), f);
 
   // k64 -> packed int32 -> double (k fits in 32 bits).
@@ -442,9 +698,8 @@ __attribute__((target("avx2"))) inline __m256d Log4Normal(__m256d x) {
       _mm256_castsi256_si128(_mm256_permute4x64_epi64(klo, 0x08));
   const __m256d dk = _mm256_cvtepi32_pd(k32);
 
-  // dk*ln2hi - ((hfsq - (s*(hfsq+r) + dk*ln2lo)) - f)
-  const __m256d inner = _mm256_add_pd(
-      _mm256_mul_pd(s, _mm256_add_pd(hfsq, r)), _mm256_mul_pd(dk, ln2lo));
+  // dk*ln2hi - ((hfsq - (x3r + dk*ln2lo)) - f)
+  const __m256d inner = _mm256_add_pd(x3r, _mm256_mul_pd(dk, ln2lo));
   return _mm256_sub_pd(_mm256_mul_pd(dk, ln2hi),
                        _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
 }
@@ -696,16 +951,12 @@ __attribute__((target("avx2"))) size_t FindFirstSumGePairwiseAvx2(
 // multiplication computes the sign as the XOR of the operand signs and
 // the magnitude independently, so the product is bit-identical while the
 // -0.0 constant and its xor drop out of the loop.
-__attribute__((target("avx2"))) inline __m256d LaplaceNu4Avx2(
-    const uint64_t* word_pairs, __m256d vmu, __m256d vnb) {
+__attribute__((target("avx2"))) inline __m256d LaplaceNu4Avx2Reg(
+    __m256i v0, __m256i v1, __m256d vmu, __m256d vnb) {
   const __m256d one = _mm256_set1_pd(1.0);
   const __m256d lattice = _mm256_set1_pd(0x1p-53);
   const __m256i sign_bit = _mm256_set1_epi64x(
       static_cast<int64_t>(0x8000'0000'0000'0000ull));
-  const __m256i v0 =
-      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(word_pairs));
-  const __m256i v1 =
-      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(word_pairs + 4));
   const __m256i even =
       _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(v0, v1), 0xD8);
   const __m256i odd =
@@ -715,6 +966,18 @@ __attribute__((target("avx2"))) inline __m256d LaplaceNu4Avx2(
   const __m256d be = _mm256_mul_pd(vnb, Log4Normal(u));
   const __m256d flip = _mm256_castsi256_pd(_mm256_andnot_si256(odd, sign_bit));
   return _mm256_add_pd(vmu, _mm256_xor_pd(be, flip));
+}
+
+__attribute__((target("avx2"))) inline __m256d LaplaceNu4Avx2(
+    const uint64_t* word_pairs, __m256d vmu, __m256d vnb) {
+  // The transform body lives in the Reg variant so the megakernels can
+  // feed it words straight from the lockstep step registers; this loading
+  // form is what the scratch-buffer fused scans use.
+  const __m256i v0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(word_pairs));
+  const __m256i v1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(word_pairs + 4));
+  return LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
 }
 
 // Extracts the hit from a nonzero compare mask: lane index + that lane's ν.
@@ -795,15 +1058,19 @@ __attribute__((target("avx2"))) FusedScanHit FusedLaplaceScanSumGePairwiseAvx2(
 // reason as LaplaceNu4Avx2 (IEEE multiply: sign = xor of operand signs,
 // magnitude independent of them). One word per variate, so the load is a
 // plain stride-1 vector load — no unpack/permute.
-__attribute__((target("avx2"))) inline __m256d ExpNu4Avx2(
-    const uint64_t* words, __m256d vnb) {
+__attribute__((target("avx2"))) inline __m256d ExpNu4Avx2Reg(__m256i w,
+                                                             __m256d vnb) {
   const __m256d one = _mm256_set1_pd(1.0);
   const __m256d lattice = _mm256_set1_pd(0x1p-53);
-  const __m256i w =
-      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
   const __m256d d = U53ToDouble(_mm256_srli_epi64(w, 11));
   const __m256d u = _mm256_mul_pd(_mm256_add_pd(d, one), lattice);
   return _mm256_mul_pd(vnb, Log4Normal(u));
+}
+
+__attribute__((target("avx2"))) inline __m256d ExpNu4Avx2(
+    const uint64_t* words, __m256d vnb) {
+  return ExpNu4Avx2Reg(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words)), vnb);
 }
 
 __attribute__((target("avx2"))) void ExponentialTransformAvx2(
@@ -957,6 +1224,432 @@ __attribute__((target("avx2"))) void ExpBlockAvx2(const double* in,
   for (; i < n; ++i) out[i] = Exp(in[i]);
 }
 
+// --- megakernels: AVX2 lanes ----------------------------------------------
+//
+// Structure shared by all four scans: the four xoshiro lanes live in
+// registers (one lockstep::Step4Avx2 call advances all four and yields the
+// next four stream words), each group of 4 elements consumes wpv steps,
+// and the freshly stepped words feed the same Reg transform bodies the
+// scratch-buffer fused scans use — words never touch memory. Entry
+// requires a lane-aligned stream position (phase == 0; the dispatch entry
+// points delegate the whole call to the scalar lane otherwise). On a
+// group hit the state must end at (index + 1) * wpv consumed words, not
+// the full group the registers already stepped past: the kernel rewinds
+// to the group-entry checkpoint and re-consumes the exact word count with
+// the scalar walker — bit-identical by construction, and hits are rare.
+
+__attribute__((target("avx2"))) inline void MegaStoreAvx2(
+    BlockRng::State* st, __m256i s0, __m256i s1, __m256i s2, __m256i s3) {
+  uint64_t* w = st->words.data();
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(w), s0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + 4), s1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + 8), s2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + 12), s3);
+  st->phase = 0;
+}
+
+__attribute__((target("avx2"))) inline FusedScanHit MegaHitAvx2(
+    BlockRng::State* st, size_t i, int mask, __m256d nu, size_t wpv,
+    __m256i c0, __m256i c1, __m256i c2, __m256i c3) {
+  const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, nu);
+  MegaStoreAvx2(st, c0, c1, c2, c3);
+  const size_t consume = (static_cast<size_t>(lane) + 1) * wpv;
+  for (size_t k = 0; k < consume; ++k) MegaNextWord(st);
+  return {i + static_cast<size_t>(lane), lanes[lane]};
+}
+
+__attribute__((target("avx2"))) FusedScanHit MegaLaplaceScanSumGeAvx2(
+    BlockRng::State* st, double mu, double b, const double* a, double bar,
+    size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256d nu = LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGeScalar(st, mu, b, a, bar, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit MegaLaplaceScanSumGePairwiseAvx2(
+    BlockRng::State* st, double mu, double b, const double* a,
+    const double* bars, double rho, size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256d nu = LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGePairwiseScalar(st, mu, b, a, bars, rho, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit MegaExpScanSumGeAvx2(
+    BlockRng::State* st, double b, const double* a, double bar, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256d nu = ExpNu4Avx2Reg(v, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGeScalar(st, b, a, bar, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit MegaExpScanSumGePairwiseAvx2(
+    BlockRng::State* st, double b, const double* a, const double* bars,
+    double rho, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256d nu = ExpNu4Avx2Reg(v, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGePairwiseScalar(st, b, a, bars, rho, n, i);
+}
+
+__attribute__((target("avx2"))) inline __m256i MinU64Avx2(__m256i a,
+                                                          __m256i b) {
+  // Unsigned 64-bit min via the sign-flip trick over cmpgt_epi64, as in
+  // MinWordBlockAvx2.
+  const __m256i flip = _mm256_set1_epi64x(
+      static_cast<int64_t>(0x8000'0000'0000'0000ull));
+  const __m256i gt = _mm256_cmpgt_epi64(_mm256_xor_si256(a, flip),
+                                        _mm256_xor_si256(b, flip));
+  return _mm256_blendv_epi8(a, b, gt);
+}
+
+__attribute__((target("avx2"))) uint64_t MegaFillMinSpansAvx2(
+    BlockRng::State* st, size_t count, size_t wpv, size_t span_elems,
+    uint64_t* span_min, BlockRng::State* span_states) {
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t total = UINT64_MAX;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (; e + 4 <= span_end; e += 4) {
+      if (wpv == 2) {
+        const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+        const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+        // The magnitude words are the even-indexed stream words; min is
+        // order-free, so the unpack need not restore index order.
+        acc = MinU64Avx2(acc, _mm256_unpacklo_epi64(v0, v1));
+      } else {
+        acc = MinU64Avx2(acc, lockstep::Step4Avx2(s0, s1, s2, s3));
+      }
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    uint64_t m = std::min(std::min(lanes[0], lanes[1]),
+                          std::min(lanes[2], lanes[3]));
+    if (e < span_end) {
+      // Sub-group span tail: only the final span can be short (the
+      // dispatch entry point guarantees span_elems is a group multiple
+      // whenever there is more than one span), so spilling to the scalar
+      // walker here ends the call.
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t mag = MegaNextWord(st);
+        for (size_t k = 1; k < wpv; ++k) MegaNextWord(st);
+        m = std::min(m, mag);
+      }
+      span_min[span] = m;
+      return std::min(total, m);
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return total;
+}
+
+// Bounded scan lanes: identical to the unbounded lanes except that each
+// group's magnitude words are tested against the skip threshold first —
+// one shift, one compare, one movemask — and the whole transform-and-test
+// body is bypassed when no word is below it. The threshold never exceeds
+// 2^53 + 1 (MegaSkipWordThreshold contract) and the shifted words are at
+// most 2^53 - 1, so both sides are non-negative as signed 64-bit values
+// and cmpgt_epi64 is an unsigned compare. Mixed groups run the full
+// body: above-threshold lanes provably cannot satisfy the computed
+// positive test, so the group result matches the unbounded lane bit for
+// bit.
+
+__attribute__((target("avx2"))) FusedScanHit MegaLaplaceScanSumGeBoundedAvx2(
+    BlockRng::State* st, double mu, double b, const double* a, double bar,
+    uint64_t skip_word, size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    // Magnitude words (order-free for the any-live test), top 53 bits.
+    const __m256i mag53 = _mm256_srli_epi64(_mm256_unpacklo_epi64(v0, v1), 11);
+    const __m256i live = _mm256_cmpgt_epi64(vskip, mag53);
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(live)) == 0) continue;
+    const __m256d nu = LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGeBoundedScalar(st, mu, b, a, bar, skip_word, n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit MegaExpScanSumGeBoundedAvx2(
+    BlockRng::State* st, double b, const double* a, double bar,
+    uint64_t skip_word, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256i mag53 = _mm256_srli_epi64(v, 11);
+    const __m256i live = _mm256_cmpgt_epi64(vskip, mag53);
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(live)) == 0) continue;
+    const __m256d nu = ExpNu4Avx2Reg(v, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGeBoundedScalar(st, b, a, bar, skip_word, n, i);
+}
+
+// Fused generate-bound-and-scan lanes: MegaFillMinSpansAvx2's walk with
+// the bounded positive test riding along. No checkpoint/rewind is needed
+// — every hit lane's ν is already in the group's nu vector, and the walk
+// never stops early, so the stream advance is exactly the
+// generate-and-bound pass's.
+
+__attribute__((target("avx2"))) size_t MegaLaplaceFillMinScanSpansAvx2(
+    BlockRng::State* st, double mu, double b, const double* a, double bar,
+    uint64_t skip_word, size_t count, size_t span_elems, uint64_t* span_min,
+    BlockRng::State* span_states, FusedScanHit* hits, size_t max_hits,
+    uint64_t* min_out) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t total = UINT64_MAX;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (; e + 4 <= span_end; e += 4) {
+      const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+      const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+      // Magnitude words (order-free for min and the any-live test).
+      const __m256i mags = _mm256_unpacklo_epi64(v0, v1);
+      acc = MinU64Avx2(acc, mags);
+      const __m256i live =
+          _mm256_cmpgt_epi64(vskip, _mm256_srli_epi64(mags, 11));
+      if (_mm256_movemask_pd(_mm256_castsi256_pd(live)) == 0) continue;
+      const __m256d nu = LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
+      const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + e), nu);
+      int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+      if (mask != 0) {
+        alignas(32) double nus[4];
+        _mm256_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    uint64_t m = std::min(std::min(lanes[0], lanes[1]),
+                          std::min(lanes[2], lanes[3]));
+    if (e < span_end) {
+      // Sub-group span tail: only the final span can be short (dispatch
+      // entry point guarantee), so spilling to scalar ends the call.
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t w_mag = MegaNextWord(st);
+        const uint64_t w_sign = MegaNextWord(st);
+        m = std::min(m, w_mag);
+        if ((w_mag >> 11) >= skip_word) continue;
+        const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+        if (a[e] + nu >= bar) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *min_out = std::min(total, m);
+      return found;
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *min_out = total;
+  return found;
+}
+
+__attribute__((target("avx2"))) size_t MegaExpFillMinScanSpansAvx2(
+    BlockRng::State* st, double b, const double* a, double bar,
+    uint64_t skip_word, size_t count, size_t span_elems, uint64_t* span_min,
+    BlockRng::State* span_states, FusedScanHit* hits, size_t max_hits,
+    uint64_t* min_out) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vbar = _mm256_set1_pd(bar);
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t total = UINT64_MAX;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (; e + 4 <= span_end; e += 4) {
+      const __m256i v = lockstep::Step4Avx2(s0, s1, s2, s3);
+      acc = MinU64Avx2(acc, v);
+      const __m256i live = _mm256_cmpgt_epi64(vskip, _mm256_srli_epi64(v, 11));
+      if (_mm256_movemask_pd(_mm256_castsi256_pd(live)) == 0) continue;
+      const __m256d nu = ExpNu4Avx2Reg(v, vnb);
+      const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + e), nu);
+      int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vbar, _CMP_GE_OQ));
+      if (mask != 0) {
+        alignas(32) double nus[4];
+        _mm256_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    uint64_t m = std::min(std::min(lanes[0], lanes[1]),
+                          std::min(lanes[2], lanes[3]));
+    if (e < span_end) {
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t word = MegaNextWord(st);
+        m = std::min(m, word);
+        if ((word >> 11) >= skip_word) continue;
+        const double nu = ExpNuScalar(word, b);
+        if (a[e] + nu >= bar) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *min_out = std::min(total, m);
+      return found;
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *min_out = total;
+  return found;
+}
+
 }  // namespace
 
 #endif  // SVT_VECMATH_HAVE_AVX2
@@ -981,12 +1674,7 @@ namespace {
 __attribute__((target("avx512f,avx512dq"))) inline __m512d Log8Normal(
     __m512d x) {
   const __m512d one = _mm512_set1_pd(1.0);
-  const __m512d two = _mm512_set1_pd(2.0);
   const __m512d half = _mm512_set1_pd(0.5);
-  const __m512d lg1 = _mm512_set1_pd(kLg1), lg2 = _mm512_set1_pd(kLg2),
-                lg3 = _mm512_set1_pd(kLg3), lg4 = _mm512_set1_pd(kLg4),
-                lg5 = _mm512_set1_pd(kLg5), lg6 = _mm512_set1_pd(kLg6),
-                lg7 = _mm512_set1_pd(kLg7);
   const __m512d ln2hi = _mm512_set1_pd(kLn2Hi), ln2lo = _mm512_set1_pd(kLn2Lo);
 
   const __m512i bits = _mm512_castpd_si512(x);
@@ -999,30 +1687,43 @@ __attribute__((target("avx512f,avx512dq"))) inline __m512d Log8Normal(
       _mm512_set1_epi64(0x3FE6'A09E'0000'0000ll));
   const __m512d m = _mm512_castsi512_pd(mbits);
 
+  // Reciprocal-free tail: the scalar lane's even/odd Horner split in
+  // w = f^2, replayed operation for operation (see Log() and the kQ*
+  // block). The divider dependency this removes was the throughput cap on
+  // this lane — vdivpd on a 512-bit vector is unpipelined for most of its
+  // latency, while the two Horner chains below are pure mul/add.
   const __m512d f = _mm512_sub_pd(m, one);
-  const __m512d s = _mm512_div_pd(f, _mm512_add_pd(two, f));
-  const __m512d z = _mm512_mul_pd(s, s);
-  const __m512d w = _mm512_mul_pd(z, z);
-  const __m512d t1 = _mm512_mul_pd(
-      w, _mm512_add_pd(
-             lg2, _mm512_mul_pd(w, _mm512_add_pd(lg4, _mm512_mul_pd(w, lg6)))));
-  const __m512d t2 = _mm512_mul_pd(
-      z, _mm512_add_pd(
-             lg1,
-             _mm512_mul_pd(
-                 w, _mm512_add_pd(
-                        lg3, _mm512_mul_pd(
-                                 w, _mm512_add_pd(
-                                        lg5, _mm512_mul_pd(w, lg7)))))));
-  const __m512d r = _mm512_add_pd(t2, t1);
+  const __m512d w = _mm512_mul_pd(f, f);
+  __m512d re = _mm512_set1_pd(kQ20);
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ18));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ16));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ14));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ12));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ10));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ8));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ6));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ4));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ2));
+  re = _mm512_add_pd(_mm512_mul_pd(re, w), _mm512_set1_pd(kQ0));
+  __m512d ro = _mm512_set1_pd(kQ19);
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ17));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ15));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ13));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ11));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ9));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ7));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ5));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ3));
+  ro = _mm512_add_pd(_mm512_mul_pd(ro, w), _mm512_set1_pd(kQ1));
+  const __m512d q = _mm512_add_pd(re, _mm512_mul_pd(f, ro));
+  const __m512d x3r = _mm512_mul_pd(_mm512_mul_pd(w, f), q);
   const __m512d hfsq = _mm512_mul_pd(_mm512_mul_pd(half, f), f);
   // Exact int64 -> double (|k| <= ~1100): same value the AVX2 lane builds
   // from 32-bit halves.
   const __m512d dk = _mm512_cvtepi64_pd(k64);
 
-  // dk*ln2hi - ((hfsq - (s*(hfsq+r) + dk*ln2lo)) - f)
-  const __m512d inner = _mm512_add_pd(
-      _mm512_mul_pd(s, _mm512_add_pd(hfsq, r)), _mm512_mul_pd(dk, ln2lo));
+  // dk*ln2hi - ((hfsq - (x3r + dk*ln2lo)) - f)
+  const __m512d inner = _mm512_add_pd(x3r, _mm512_mul_pd(dk, ln2lo));
   return _mm512_sub_pd(_mm512_mul_pd(dk, ln2hi),
                        _mm512_sub_pd(_mm512_sub_pd(hfsq, inner), f));
 }
@@ -1240,14 +1941,12 @@ FindFirstSumGePairwiseAvx512(const double* a, const double* b,
 // 8-wide fused transform step, mirroring LaplaceTransformAvx512 operation
 // for operation, with the same bit-identical (-b)·log(u) fold as
 // LaplaceNu4Avx2 (see there for why both identities hold).
-__attribute__((target("avx512f,avx512dq"))) inline __m512d LaplaceNu8Avx512(
-    const uint64_t* word_pairs, __m512d vmu, __m512d vnb) {
+__attribute__((target("avx512f,avx512dq"))) inline __m512d LaplaceNu8Avx512Reg(
+    __m512i v0, __m512i v1, __m512d vmu, __m512d vnb) {
   const __m512d one = _mm512_set1_pd(1.0);
   const __m512d lattice = _mm512_set1_pd(0x1p-53);
   const __m512i sign_bit = _mm512_set1_epi64(
       static_cast<int64_t>(0x8000'0000'0000'0000ull));
-  const __m512i v0 = _mm512_loadu_si512(word_pairs);
-  const __m512i v1 = _mm512_loadu_si512(word_pairs + 8);
   const __m512i even = _mm512_permutex2var_epi64(v0, EvenIdx512(), v1);
   const __m512i odd = _mm512_permutex2var_epi64(v0, OddIdx512(), v1);
   const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(even, 11));
@@ -1255,6 +1954,14 @@ __attribute__((target("avx512f,avx512dq"))) inline __m512d LaplaceNu8Avx512(
   const __m512d be = _mm512_mul_pd(vnb, Log8Normal(u));
   const __m512d flip = _mm512_castsi512_pd(_mm512_andnot_si512(odd, sign_bit));
   return _mm512_add_pd(vmu, _mm512_xor_pd(be, flip));
+}
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512d LaplaceNu8Avx512(
+    const uint64_t* word_pairs, __m512d vmu, __m512d vnb) {
+  // The transform body lives in the Reg variant so the megakernels can
+  // feed it words straight from the lockstep step registers.
+  return LaplaceNu8Avx512Reg(_mm512_loadu_si512(word_pairs),
+                             _mm512_loadu_si512(word_pairs + 8), vmu, vnb);
 }
 
 __attribute__((target("avx512f,avx512dq"))) inline FusedScanHit FusedHitAvx512(
@@ -1338,14 +2045,18 @@ FusedLaplaceScanSumGePairwiseAvx512(const uint64_t* words, double mu,
 
 // 8-wide fused exponential transform step, mirroring ExpNu4Avx2 (see there
 // for the bit-identical (-b)·log(u) fold). Stride-1 word load.
-__attribute__((target("avx512f,avx512dq"))) inline __m512d ExpNu8Avx512(
-    const uint64_t* words, __m512d vnb) {
+__attribute__((target("avx512f,avx512dq"))) inline __m512d ExpNu8Avx512Reg(
+    __m512i w, __m512d vnb) {
   const __m512d one = _mm512_set1_pd(1.0);
   const __m512d lattice = _mm512_set1_pd(0x1p-53);
-  const __m512i w = _mm512_loadu_si512(words);
   const __m512d d = _mm512_cvtepu64_pd(_mm512_srli_epi64(w, 11));
   const __m512d u = _mm512_mul_pd(_mm512_add_pd(d, one), lattice);
   return _mm512_mul_pd(vnb, Log8Normal(u));
+}
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512d ExpNu8Avx512(
+    const uint64_t* words, __m512d vnb) {
+  return ExpNu8Avx512Reg(_mm512_loadu_si512(words), vnb);
 }
 
 __attribute__((target("avx512f,avx512dq"))) void ExponentialTransformAvx512(
@@ -1495,6 +2206,448 @@ __attribute__((target("avx512f,avx512dq"))) void ExpBlockAvx512(
     }
   }
   for (; i < n; ++i) out[i] = Exp(in[i]);
+}
+
+// --- megakernels: AVX-512 lanes -------------------------------------------
+//
+// Same structure as the AVX2 megakernel lanes: the four xoshiro lanes
+// live in 256-bit registers (lockstep::Step4Avx512 — needs AVX-512VL for
+// the native rotate, hence the extended target), each group of 8 elements
+// consumes 2*wpv steps, and two step results are concatenated into the
+// 512-bit word vectors the Reg transform bodies expect — word order
+// matches the scratch-buffer loads exactly (step k's four outputs are
+// stream words 4k..4k+3). Entry requires phase == 0; group hits rewind
+// to the checkpoint and re-consume scalar, as in the AVX2 lanes.
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) inline FusedScanHit
+MegaHitAvx512(BlockRng::State* st, size_t i, __mmask8 mask, __m512d nu,
+              size_t wpv, __m256i c0, __m256i c1, __m256i c2, __m256i c3) {
+  const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, nu);
+  MegaStoreAvx2(st, c0, c1, c2, c3);
+  const size_t consume = (static_cast<size_t>(lane) + 1) * wpv;
+  for (size_t k = 0; k < consume; ++k) MegaNextWord(st);
+  return {i + static_cast<size_t>(lane), lanes[lane]};
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaLaplaceScanSumGeAvx512(BlockRng::State* st, double mu, double b,
+                           const double* a, double bar, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  // Deliberately not unrolled, for the same constant-pressure reason as
+  // FusedLaplaceScanSumGeAvx512.
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v0 =
+        _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512i v1 =
+        _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+    const __m512d nu = LaplaceNu8Avx512Reg(v0, v1, vmu, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGeScalar(st, mu, b, a, bar, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaLaplaceScanSumGePairwiseAvx512(BlockRng::State* st, double mu, double b,
+                                   const double* a, const double* bars,
+                                   double rho, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v0 =
+        _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512i v1 =
+        _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+    const __m512d nu = LaplaceNu8Avx512Reg(v0, v1, vmu, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGePairwiseScalar(st, mu, b, a, bars, rho, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaExpScanSumGeAvx512(BlockRng::State* st, double b, const double* a,
+                       double bar, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512d nu = ExpNu8Avx512Reg(v, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGeScalar(st, b, a, bar, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaExpScanSumGePairwiseAvx512(BlockRng::State* st, double b, const double* a,
+                               const double* bars, double rho, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512d nu = ExpNu8Avx512Reg(v, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGePairwiseScalar(st, b, a, bars, rho, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) uint64_t
+MegaFillMinSpansAvx512(BlockRng::State* st, size_t count, size_t wpv,
+                       size_t span_elems, uint64_t* span_min,
+                       BlockRng::State* span_states) {
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t total = UINT64_MAX;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m512i acc = _mm512_set1_epi64(-1);
+    for (; e + 8 <= span_end; e += 8) {
+      if (wpv == 2) {
+        const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+        const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+        const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+        const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+        const __m512i v0 =
+            _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+        const __m512i v1 =
+            _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+        // The magnitude words are the even-indexed stream words; min is
+        // order-free, so the unpack need not restore index order.
+        acc = _mm512_min_epu64(acc, _mm512_unpacklo_epi64(v0, v1));
+      } else {
+        const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+        const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+        acc = _mm512_min_epu64(
+            acc, _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1));
+      }
+    }
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    uint64_t m = lanes[0];
+    for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+    if (e < span_end) {
+      // Sub-group span tail: only the final span can be short (dispatch
+      // entry point guarantee), so spilling to the scalar walker ends
+      // the call.
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t mag = MegaNextWord(st);
+        for (size_t k = 1; k < wpv; ++k) MegaNextWord(st);
+        m = std::min(m, mag);
+      }
+      span_min[span] = m;
+      return std::min(total, m);
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return total;
+}
+
+// Bounded scan lanes: the AVX2 bounded lanes' group-skip test at 8-wide —
+// top 53 bits of the group's magnitude words against the skip threshold
+// with one unsigned compare mask; a zero mask bypasses the whole
+// transform-and-test body. Mixed groups run the full body and match the
+// unbounded lane bit for bit (above-threshold lanes provably cannot
+// fire the computed positive test).
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaLaplaceScanSumGeBoundedAvx512(BlockRng::State* st, double mu, double b,
+                                  const double* a, double bar,
+                                  uint64_t skip_word, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v0 = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512i v1 = _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+    // Magnitude words (order-free for the any-live test), top 53 bits.
+    const __m512i mag53 = _mm512_srli_epi64(_mm512_unpacklo_epi64(v0, v1), 11);
+    if (_mm512_cmplt_epu64_mask(mag53, vskip) == 0) continue;
+    const __m512d nu = LaplaceNu8Avx512Reg(v0, v1, vmu, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGeBoundedScalar(st, mu, b, a, bar, skip_word, n, i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaExpScanSumGeBoundedAvx512(BlockRng::State* st, double b, const double* a,
+                              double bar, uint64_t skip_word, size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512i mag53 = _mm512_srli_epi64(v, 11);
+    if (_mm512_cmplt_epu64_mask(mag53, vskip) == 0) continue;
+    const __m512d nu = ExpNu8Avx512Reg(v, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGeBoundedScalar(st, b, a, bar, skip_word, n, i);
+}
+
+// Fused generate-bound-and-scan lanes at 8-wide: MegaFillMinSpansAvx512's
+// walk with the bounded positive test riding along; hit lanes' ν values
+// come straight out of the group's nu vector, and the walk never stops
+// early, so the stream advance is exactly the generate-and-bound pass's.
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) size_t
+MegaLaplaceFillMinScanSpansAvx512(BlockRng::State* st, double mu, double b,
+                                  const double* a, double bar,
+                                  uint64_t skip_word, size_t count,
+                                  size_t span_elems, uint64_t* span_min,
+                                  BlockRng::State* span_states,
+                                  FusedScanHit* hits, size_t max_hits,
+                                  uint64_t* min_out) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t total = UINT64_MAX;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m512i acc = _mm512_set1_epi64(-1);
+    for (; e + 8 <= span_end; e += 8) {
+      const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m512i v0 = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+      const __m512i v1 = _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+      // Magnitude words (order-free for min and the any-live test).
+      const __m512i mags = _mm512_unpacklo_epi64(v0, v1);
+      acc = _mm512_min_epu64(acc, mags);
+      if (_mm512_cmplt_epu64_mask(_mm512_srli_epi64(mags, 11), vskip) == 0) {
+        continue;
+      }
+      const __m512d nu = LaplaceNu8Avx512Reg(v0, v1, vmu, vnb);
+      const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + e), nu);
+      unsigned mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+      if (mask != 0) {
+        alignas(64) double nus[8];
+        _mm512_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(mask);
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    uint64_t m = lanes[0];
+    for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+    if (e < span_end) {
+      // Sub-group span tail: only the final span can be short (dispatch
+      // entry point guarantee), so spilling to scalar ends the call.
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t w_mag = MegaNextWord(st);
+        const uint64_t w_sign = MegaNextWord(st);
+        m = std::min(m, w_mag);
+        if ((w_mag >> 11) >= skip_word) continue;
+        const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+        if (a[e] + nu >= bar) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *min_out = std::min(total, m);
+      return found;
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *min_out = total;
+  return found;
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) size_t
+MegaExpFillMinScanSpansAvx512(BlockRng::State* st, double b, const double* a,
+                              double bar, uint64_t skip_word, size_t count,
+                              size_t span_elems, uint64_t* span_min,
+                              BlockRng::State* span_states, FusedScanHit* hits,
+                              size_t max_hits, uint64_t* min_out) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vbar = _mm512_set1_pd(bar);
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t total = UINT64_MAX;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m512i acc = _mm512_set1_epi64(-1);
+    for (; e + 8 <= span_end; e += 8) {
+      const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m512i v = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+      acc = _mm512_min_epu64(acc, v);
+      if (_mm512_cmplt_epu64_mask(_mm512_srli_epi64(v, 11), vskip) == 0) {
+        continue;
+      }
+      const __m512d nu = ExpNu8Avx512Reg(v, vnb);
+      const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + e), nu);
+      unsigned mask = _mm512_cmp_pd_mask(sum, vbar, _CMP_GE_OQ);
+      if (mask != 0) {
+        alignas(64) double nus[8];
+        _mm512_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(mask);
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    uint64_t m = lanes[0];
+    for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+    if (e < span_end) {
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t word = MegaNextWord(st);
+        m = std::min(m, word);
+        if ((word >> 11) >= skip_word) continue;
+        const double nu = ExpNuScalar(word, b);
+        if (a[e] + nu >= bar) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *min_out = std::min(total, m);
+      return found;
+    }
+    span_min[span] = m;
+    total = std::min(total, m);
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *min_out = total;
+  return found;
 }
 
 }  // namespace
@@ -1899,6 +3052,390 @@ FusedScanHit FusedExpScanSumGePairwise(std::span<const uint64_t> words,
 #endif
   return FusedExpScanSumGePairwiseScalar(words.data(), b, a.data(),
                                          bars.data(), rho, a.size(), 0);
+}
+
+// --- megakernel dispatch entry points -------------------------------------
+//
+// The SIMD megakernel lanes step whole lockstep groups in registers, so
+// they require a lane-aligned entry position (phase == 0). Unaligned
+// entries are common in resume segments — a Laplace hit at an odd span
+// offset leaves the stream two words into a lockstep step — so each
+// entry point realigns with a short scalar prologue (at most three
+// elements) and hands the rest to the SIMD lane, rather than demoting
+// the whole call to the scalar walker. A wpv == 2 stream entered at an
+// odd phase can never realign; only that corner (which no engine path
+// produces) runs fully scalar. MegaFillMinSpans additionally needs every
+// span start group-aligned to keep its span states lane-aligned; with
+// one span there is no interior boundary, so only the multi-span case is
+// gated on span_elems.
+
+namespace {
+
+// Elements the scalar lane must consume from an unaligned entry before
+// the stream returns to a lane-aligned position (phase 0); SIZE_MAX when
+// it never realigns (odd phase, two words per variate).
+inline size_t MegaRealignElems(uint32_t phase, size_t wpv) {
+  for (size_t p = 1; p < BlockRng::kLanes; ++p) {
+    if ((phase + p * wpv) % BlockRng::kLanes == 0) return p;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+uint64_t MegaFillMinSpans(BlockRng::State* state, size_t count, size_t wpv,
+                          size_t span_elems, uint64_t* span_min,
+                          BlockRng::State* span_states) {
+  SVT_CHECK(wpv == 1 || wpv == 2)
+      << "MegaFillMinSpans words-per-variate must be 1 or 2, got " << wpv;
+  SVT_CHECK(span_elems > 0) << "MegaFillMinSpans requires span_elems > 0";
+  if (state->phase != 0 && count <= span_elems &&
+      ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    // One-span unaligned entry (a post-positive shifted span): realign
+    // scalar, then bound the remainder on the SIMD lane. The span-entry
+    // state is the pre-prologue state — the span starts at element 0.
+    const size_t p = MegaRealignElems(state->phase, wpv);
+    if (p < count) {
+      if (span_states != nullptr) *span_states = *state;
+      uint64_t m = UINT64_MAX;
+      for (size_t i = 0; i < p; ++i) {
+        const uint64_t mag = MegaNextWord(state);
+        for (size_t k = 1; k < wpv; ++k) MegaNextWord(state);
+        m = std::min(m, mag);
+      }
+      uint64_t rest_min;
+      MegaFillMinSpans(state, count - p, wpv, count - p, &rest_min, nullptr);
+      span_min[0] = std::min(m, rest_min);
+      return span_min[0];
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0 &&
+      (span_elems % 8 == 0 || count <= span_elems)) {
+    return MegaFillMinSpansAvx512(state, count, wpv, span_elems, span_min,
+                                  span_states);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0 &&
+      (span_elems % 4 == 0 || count <= span_elems)) {
+    return MegaFillMinSpansAvx2(state, count, wpv, span_elems, span_min,
+                                span_states);
+  }
+#endif
+  return MegaFillMinSpansScalar(state, count, wpv, span_elems, span_min,
+                                span_states);
+}
+
+FusedScanHit MegaLaplaceScanSumGe(BlockRng::State* state, double mu, double b,
+                                  std::span<const double> a, double bar) {
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 2);
+    if (p < a.size()) {
+      const FusedScanHit pre =
+          MegaScanSumGeScalar(state, mu, b, a.data(), bar, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit =
+          MegaLaplaceScanSumGe(state, mu, b, a.subspan(p), bar);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaLaplaceScanSumGeAvx512(state, mu, b, a.data(), bar, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaLaplaceScanSumGeAvx2(state, mu, b, a.data(), bar, a.size());
+  }
+#endif
+  return MegaScanSumGeScalar(state, mu, b, a.data(), bar, a.size(), 0);
+}
+
+FusedScanHit MegaLaplaceScanSumGePairwise(BlockRng::State* state, double mu,
+                                          double b, std::span<const double> a,
+                                          std::span<const double> bars,
+                                          double rho) {
+  SVT_CHECK(a.size() == bars.size())
+      << "MegaLaplaceScanSumGePairwise size mismatch: " << a.size() << " vs "
+      << bars.size();
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 2);
+    if (p < a.size()) {
+      const FusedScanHit pre = MegaScanSumGePairwiseScalar(
+          state, mu, b, a.data(), bars.data(), rho, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit = MegaLaplaceScanSumGePairwise(
+          state, mu, b, a.subspan(p), bars.subspan(p), rho);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaLaplaceScanSumGePairwiseAvx512(state, mu, b, a.data(),
+                                              bars.data(), rho, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaLaplaceScanSumGePairwiseAvx2(state, mu, b, a.data(),
+                                            bars.data(), rho, a.size());
+  }
+#endif
+  return MegaScanSumGePairwiseScalar(state, mu, b, a.data(), bars.data(), rho,
+                                     a.size(), 0);
+}
+
+FusedScanHit MegaExpScanSumGe(BlockRng::State* state, double b,
+                              std::span<const double> a, double bar) {
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 1);
+    if (p < a.size()) {
+      const FusedScanHit pre =
+          MegaExpScanSumGeScalar(state, b, a.data(), bar, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit = MegaExpScanSumGe(state, b, a.subspan(p), bar);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaExpScanSumGeAvx512(state, b, a.data(), bar, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaExpScanSumGeAvx2(state, b, a.data(), bar, a.size());
+  }
+#endif
+  return MegaExpScanSumGeScalar(state, b, a.data(), bar, a.size(), 0);
+}
+
+FusedScanHit MegaExpScanSumGePairwise(BlockRng::State* state, double b,
+                                      std::span<const double> a,
+                                      std::span<const double> bars,
+                                      double rho) {
+  SVT_CHECK(a.size() == bars.size())
+      << "MegaExpScanSumGePairwise size mismatch: " << a.size() << " vs "
+      << bars.size();
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 1);
+    if (p < a.size()) {
+      const FusedScanHit pre = MegaExpScanSumGePairwiseScalar(
+          state, b, a.data(), bars.data(), rho, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit = MegaExpScanSumGePairwise(
+          state, b, a.subspan(p), bars.subspan(p), rho);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaExpScanSumGePairwiseAvx512(state, b, a.data(), bars.data(),
+                                          rho, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaExpScanSumGePairwiseAvx2(state, b, a.data(), bars.data(), rho,
+                                        a.size());
+  }
+#endif
+  return MegaExpScanSumGePairwiseScalar(state, b, a.data(), bars.data(), rho,
+                                        a.size(), 0);
+}
+
+namespace {
+
+// Together with the +2 below, kMegaNeverSkipWord (declared in the
+// header) caps every returned threshold at 2^53 + 1 — small enough that
+// the AVX2 lanes' signed 64-bit compare behaves unsigned.
+constexpr uint64_t kMegaNeverSkip = kMegaNeverSkipWord;
+
+// Pads for the soundness check: the absolute pad dominates the Log
+// kernel's ≤ 2-ulp error (at most ~8e-15 absolute over the unit range,
+// magnitudes capped by -log(2^-53) ≈ 36.74), making the padded value an
+// upper bound on the computed -Log(u) of *every* skipped word even
+// where the polynomial wiggles non-monotonically; the multiplicative
+// slack absorbs the roundings of the ν = fl(b · e) product chain.
+constexpr double kMegaSkipLogPad = 1e-13;
+constexpr double kMegaSkipSlack = 1.0 + 1e-12;
+
+// True when skipping every element with (w_mag >> 11) >= skip_word is
+// provably sound against the computed positive test for answers <= a_max:
+// u_W = (skip_word + 1) * 2^-53 is the smallest unit double among
+// skipped words (ToUnitDoublePositive is monotone in w >> 11), the
+// padded production-Log bound caps every skipped |ν| as a real, and
+// rounding monotonicity then caps every skipped fl(a[i] + ν) by
+// fl(a_max + bound) < bar — the same bound-chain argument the tier-1 and
+// span bounds rest on.
+bool MegaSkipSound(uint64_t skip_word, double a_max, double bar, double b) {
+  if (skip_word >= kMegaNeverSkip) return true;
+  const double u = (static_cast<double>(skip_word) + 1.0) * 0x1.0p-53;
+  const double bound = b * (-Log(u) + kMegaSkipLogPad) * kMegaSkipSlack;
+  return a_max + bound < bar;
+}
+
+}  // namespace
+
+uint64_t MegaSkipWordThreshold(double a_max, double bar, double b) {
+  const double gap = bar - a_max;
+  if (!(gap > 0.0) || !(b > 0.0) || !std::isfinite(gap)) {
+    return kMegaNeverSkip;
+  }
+  // Candidate from the exact inverse u = exp(-gap / b), nudged up ~1e-9
+  // so the first soundness check normally passes (its own pads sit two
+  // orders of magnitude below the nudge); +2 covers the floor and the
+  // half-open word-to-unit offset. The checked-then-nudged loop makes
+  // the exp inversion a pure performance guess: an unsound candidate
+  // near the boundary is pushed ~1e-6 relative past it, and a workload
+  // outside the pads' regime (e.g. |bar| astronomically larger than b)
+  // just degrades to never-skip.
+  const double u_t = std::exp(-gap / b) * (1.0 + 1e-9);
+  uint64_t w = u_t >= 1.0 ? kMegaNeverSkip
+                          : static_cast<uint64_t>(u_t * 0x1.0p53) + 2;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (w >= kMegaNeverSkip) return kMegaNeverSkip;
+    if (MegaSkipSound(w, a_max, bar, b)) return w;
+    w += (w >> 20) + 16;
+  }
+  return kMegaNeverSkip;
+}
+
+FusedScanHit MegaLaplaceScanSumGeBounded(BlockRng::State* state, double mu,
+                                         double b, std::span<const double> a,
+                                         double bar, uint64_t skip_word) {
+  SVT_DCHECK(skip_word <= kMegaNeverSkip + 1);
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 2);
+    if (p < a.size()) {
+      const FusedScanHit pre = MegaScanSumGeBoundedScalar(
+          state, mu, b, a.data(), bar, skip_word, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit =
+          MegaLaplaceScanSumGeBounded(state, mu, b, a.subspan(p), bar,
+                                      skip_word);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaLaplaceScanSumGeBoundedAvx512(state, mu, b, a.data(), bar,
+                                             skip_word, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaLaplaceScanSumGeBoundedAvx2(state, mu, b, a.data(), bar,
+                                           skip_word, a.size());
+  }
+#endif
+  return MegaScanSumGeBoundedScalar(state, mu, b, a.data(), bar, skip_word,
+                                    a.size(), 0);
+}
+
+FusedScanHit MegaExpScanSumGeBounded(BlockRng::State* state, double b,
+                                     std::span<const double> a, double bar,
+                                     uint64_t skip_word) {
+  SVT_DCHECK(skip_word <= kMegaNeverSkip + 1);
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 1);
+    if (p < a.size()) {
+      const FusedScanHit pre = MegaExpScanSumGeBoundedScalar(
+          state, b, a.data(), bar, skip_word, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit =
+          MegaExpScanSumGeBounded(state, b, a.subspan(p), bar, skip_word);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaExpScanSumGeBoundedAvx512(state, b, a.data(), bar, skip_word,
+                                         a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaExpScanSumGeBoundedAvx2(state, b, a.data(), bar, skip_word,
+                                       a.size());
+  }
+#endif
+  return MegaExpScanSumGeBoundedScalar(state, b, a.data(), bar, skip_word,
+                                       a.size(), 0);
+}
+
+// Fused generate-bound-and-scan entries. These run whole chunks from the
+// chunk-entry stream position, which is always lane-aligned (chunks
+// consume lane-multiple word counts), so an unaligned entry only needs
+// the correctness fallback, not a realignment prologue: the scalar lane
+// handles it exactly.
+
+size_t MegaLaplaceFillMinScanSpans(BlockRng::State* state, double mu, double b,
+                                   std::span<const double> a, double bar,
+                                   uint64_t skip_word, size_t span_elems,
+                                   uint64_t* span_min,
+                                   BlockRng::State* span_states,
+                                   FusedScanHit* hits, size_t max_hits,
+                                   uint64_t* min_out) {
+  SVT_CHECK(span_elems > 0)
+      << "MegaLaplaceFillMinScanSpans requires span_elems > 0";
+  SVT_DCHECK(skip_word <= kMegaNeverSkip + 1);
+  const size_t n = a.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0 &&
+      (span_elems % 8 == 0 || n <= span_elems)) {
+    return MegaLaplaceFillMinScanSpansAvx512(state, mu, b, a.data(), bar,
+                                             skip_word, n, span_elems,
+                                             span_min, span_states, hits,
+                                             max_hits, min_out);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0 &&
+      (span_elems % 4 == 0 || n <= span_elems)) {
+    return MegaLaplaceFillMinScanSpansAvx2(state, mu, b, a.data(), bar,
+                                           skip_word, n, span_elems, span_min,
+                                           span_states, hits, max_hits,
+                                           min_out);
+  }
+#endif
+  return MegaLaplaceFillMinScanSpansScalar(state, mu, b, a.data(), bar,
+                                           skip_word, n, span_elems, span_min,
+                                           span_states, hits, max_hits,
+                                           min_out);
+}
+
+size_t MegaExpFillMinScanSpans(BlockRng::State* state, double b,
+                               std::span<const double> a, double bar,
+                               uint64_t skip_word, size_t span_elems,
+                               uint64_t* span_min, BlockRng::State* span_states,
+                               FusedScanHit* hits, size_t max_hits,
+                               uint64_t* min_out) {
+  SVT_CHECK(span_elems > 0)
+      << "MegaExpFillMinScanSpans requires span_elems > 0";
+  SVT_DCHECK(skip_word <= kMegaNeverSkip + 1);
+  const size_t n = a.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0 &&
+      (span_elems % 8 == 0 || n <= span_elems)) {
+    return MegaExpFillMinScanSpansAvx512(state, b, a.data(), bar, skip_word, n,
+                                         span_elems, span_min, span_states,
+                                         hits, max_hits, min_out);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0 &&
+      (span_elems % 4 == 0 || n <= span_elems)) {
+    return MegaExpFillMinScanSpansAvx2(state, b, a.data(), bar, skip_word, n,
+                                       span_elems, span_min, span_states, hits,
+                                       max_hits, min_out);
+  }
+#endif
+  return MegaExpFillMinScanSpansScalar(state, b, a.data(), bar, skip_word, n,
+                                       span_elems, span_min, span_states, hits,
+                                       max_hits, min_out);
 }
 
 }  // namespace vec

@@ -55,6 +55,8 @@
 #include <cstdint>
 #include <span>
 
+#include "common/rng.h"
+
 namespace svt {
 namespace vec {
 
@@ -291,6 +293,164 @@ FusedScanHit FusedExpScanSumGePairwise(std::span<const std::uint64_t> words,
                                        double b, std::span<const double> a,
                                        std::span<const double> bars,
                                        double rho);
+
+// --- Lane-resident generate-and-scan megakernels --------------------------
+//
+// The fused kernels above still read their raw words from an L1 scratch
+// buffer that a FillUint64 pass wrote moments earlier — every word makes
+// one round trip through memory. The Mega* family closes that last seam:
+// it takes a BlockRng::State*, steps the four lockstep xoshiro256++ lanes
+// *inside* the kernel (common/rng_lockstep.h holds the shared step
+// primitives), and feeds the freshly generated words straight into the
+// transform-and-test pipeline — words live only in registers.
+//
+// Stream contract (pinned; equivalence-tested at every dispatch level):
+// the in-kernel generator walks exactly the BlockRng stream. A megakernel
+// consuming k words from a given State produces word for word what
+// BlockRng::Fill of k words from that State would have, and leaves the
+// State at the exact position that Fill would have — in-kernel generation
+// is stream-neutral, so megakernel and FillUint64 + fused-scan composition
+// are interchangeable mid-stream in either direction.
+//
+// State advance: a scan that returns hit.index < n has consumed exactly
+// (hit.index + 1) * wpv words (wpv = 2 for Laplace, 1 for exponential);
+// a miss (hit.index == n) has consumed n * wpv. The caller resumes a
+// mid-chunk scan by calling again with the same State — the stream
+// position carries the progress. SIMD lanes require a lane-aligned entry
+// (state->phase == 0) and delegate the whole call to the scalar lane
+// otherwise; the hot paths always enter aligned (chunk and span word
+// counts are multiples of the lane count).
+
+/// Generate-and-bound pass: consumes count * wpv words from `state`,
+/// recording for each span of `span_elems` elements the minimum of its
+/// magnitude words (the words at element positions — every wpv-th word,
+/// starting at the first) into span_min[j], and the State at the span's
+/// first word into span_states[j] (skipped when null). Returns the
+/// minimum over all magnitude words. Spans partition [0, count) in order;
+/// the last may be short; span_min must hold ceil(count / span_elems)
+/// entries. This is the megakernel replacement for FillUint64 +
+/// MinWordBlock: the tier-1/tier-2 bound hierarchy gets its per-span and
+/// per-chunk minima (bit-identical — unsigned min is association-free)
+/// while the words are generated, and the recorded span states let the
+/// scan phase regenerate exactly the spans the bound could not discharge.
+std::uint64_t MegaFillMinSpans(BlockRng::State* state, std::size_t count,
+                               std::size_t wpv, std::size_t span_elems,
+                               std::uint64_t* span_min,
+                               BlockRng::State* span_states);
+
+/// The common-threshold tier-2 positive test as a megakernel: smallest i
+/// in [0, n) with a[i] + ν_i >= bar, where ν_i is the Laplace(mu, b)
+/// transform of the word pair generated in-kernel for element i. n =
+/// a.size(); hit index, ν payload, and consumed stream position are
+/// bit-identical to FillUint64(2n words) + FusedLaplaceScanSumGe.
+FusedScanHit MegaLaplaceScanSumGe(BlockRng::State* state, double mu, double b,
+                                  std::span<const double> a, double bar);
+
+/// The per-query-threshold tier-2 positive test as a megakernel: smallest
+/// i with a[i] + ν_i >= bars[i] + rho. a.size() must equal bars.size().
+FusedScanHit MegaLaplaceScanSumGePairwise(BlockRng::State* state, double mu,
+                                          double b, std::span<const double> a,
+                                          std::span<const double> bars,
+                                          double rho);
+
+/// Exponential-noise megakernel (wpv = 1): smallest i with
+/// a[i] + ν_i >= bar, ν_i = b * -Log(ToUnitDoublePositive(word_i)).
+FusedScanHit MegaExpScanSumGe(BlockRng::State* state, double b,
+                              std::span<const double> a, double bar);
+
+/// Exponential-noise per-query megakernel: smallest i with
+/// a[i] + ν_i >= bars[i] + rho. a.size() must equal bars.size().
+FusedScanHit MegaExpScanSumGePairwise(BlockRng::State* state, double b,
+                                      std::span<const double> a,
+                                      std::span<const double> bars,
+                                      double rho);
+
+// --- bounded megakernel scans ---------------------------------------------
+//
+// A surviving tier-2 span fails its *span-max* bound, but almost all of
+// its elements would still individually pass one: in a near-threshold
+// chunk a span survives because of one or two large-|ν| candidates, and
+// the log transform for everything else is wasted work. The bounded
+// scans push the span bound down to word granularity: the caller derives
+// a conservative integer threshold on the top 53 bits of the magnitude
+// word (the bits ToUnitDoublePositive keeps — the unit double is strictly
+// monotone in them), and any element at or above it is provably unable
+// to fire the computed positive test, so the kernel skips its transform.
+// SIMD lanes test a whole group with one shift and one compare and fall
+// through to the full transform only when some lane is below the
+// threshold. The raw stream advance is unchanged — skipped elements'
+// words are still generated and consumed in registers — and skipped
+// elements cannot hit, so hit indices, ν payloads, and end states are
+// bit-identical to the unbounded megakernels (and therefore to the
+// FillUint64 + fused-scan composition).
+
+/// Conservative skip threshold for the bounded scans: the largest W such
+/// that every element whose magnitude word w has (w >> 11) >= W provably
+/// fails the computed test fl(a[i] + ν_i) >= bar whenever a[i] <= a_max.
+/// Soundness is *verified*, not assumed: the candidate (inverted from
+/// exp(-gap/b)) is accepted only if the same monotone bound chain the
+/// tier bounds use — a_max + b * (-Log(u_W) + pad) * slack < bar, with
+/// u_W the smallest unit double among skipped words — holds under the
+/// production Log kernel; otherwise the threshold is nudged up and
+/// re-verified, falling back to the never-skip sentinel (2^53, above
+/// every w >> 11). Returned values never exceed 2^53 + 1, which the AVX2
+/// lane relies on for its signed 64-bit compare.
+std::uint64_t MegaSkipWordThreshold(double a_max, double bar, double b);
+
+/// MegaLaplaceScanSumGe with transform skipping: bit-identical result
+/// and end state, evaluating the log transform only for lockstep groups
+/// holding a magnitude word below skip_word. skip_word must come from
+/// MegaSkipWordThreshold(a_max, bar, b) with a_max >= max(a[i]).
+FusedScanHit MegaLaplaceScanSumGeBounded(BlockRng::State* state, double mu,
+                                         double b, std::span<const double> a,
+                                         double bar, std::uint64_t skip_word);
+
+/// MegaExpScanSumGe with transform skipping; same contract as the
+/// Laplace variant (wpv = 1: every word is a magnitude word).
+FusedScanHit MegaExpScanSumGeBounded(BlockRng::State* state, double b,
+                                     std::span<const double> a, double bar,
+                                     std::uint64_t skip_word);
+
+/// Never-skip sentinel for the bounded scans and the fused
+/// generate-bound-and-scan pass: (w >> 11) peaks at 2^53 - 1, so no
+/// element is ever skipped at this threshold. MegaSkipWordThreshold
+/// returns it whenever no sound skipping threshold exists, which callers
+/// can use to pick a strategy (a never-skip fused pass degenerates into
+/// a full per-element transform).
+inline constexpr std::uint64_t kMegaNeverSkipWord = std::uint64_t{1} << 53;
+
+/// Single-pass generate, bound, and scan: MegaFillMinSpans and a bounded
+/// whole-chunk scan fused into one walk over the stream. Consumes
+/// exactly a.size() * wpv words (no early exit), fills span_min /
+/// span_states / the chunk minimum exactly as MegaFillMinSpans would,
+/// and additionally records every element whose computed positive test
+/// fires — fl(a[i] + ν_i) >= bar — in index order. Only lockstep groups
+/// holding a magnitude word below skip_word run the ν transform
+/// (MegaSkipWordThreshold contract: elements at or above it provably
+/// cannot fire), so for near-threshold chunks the scan rides along at
+/// ~the generate-and-bound pass's cost and surviving spans never need
+/// regenerating. Returns the total number of positives found; only the
+/// first max_hits are stored in hits (a larger return value signals the
+/// record is incomplete and the tail must be rescanned, e.g. with the
+/// bounded scans from the recorded span checkpoints). Hit indices and ν
+/// payloads are bit-identical to the unbounded scan kernels' — and so to
+/// the FillUint64 + fused-scan composition.
+std::size_t MegaLaplaceFillMinScanSpans(
+    BlockRng::State* state, double mu, double b, std::span<const double> a,
+    double bar, std::uint64_t skip_word, std::size_t span_elems,
+    std::uint64_t* span_min, BlockRng::State* span_states, FusedScanHit* hits,
+    std::size_t max_hits, std::uint64_t* min_out);
+
+/// Exponential-noise fused generate-bound-and-scan pass (wpv = 1); same
+/// contract as the Laplace variant.
+std::size_t MegaExpFillMinScanSpans(BlockRng::State* state, double b,
+                                    std::span<const double> a, double bar,
+                                    std::uint64_t skip_word,
+                                    std::size_t span_elems,
+                                    std::uint64_t* span_min,
+                                    BlockRng::State* span_states,
+                                    FusedScanHit* hits, std::size_t max_hits,
+                                    std::uint64_t* min_out);
 
 }  // namespace vec
 }  // namespace svt

@@ -1,8 +1,11 @@
 #include "core/batch_runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/check.h"
 #include "common/distributions.h"
@@ -11,6 +14,23 @@
 namespace svt {
 
 namespace {
+
+BatchKernelMode InitialKernelMode() {
+  const char* env = std::getenv("SVT_BATCH_KERNELS");
+  if (env == nullptr) return BatchKernelMode::kMegakernel;
+  const std::string_view v(env);
+  if (v == "megakernel") return BatchKernelMode::kMegakernel;
+  if (v == "composition") return BatchKernelMode::kComposition;
+  SVT_CHECK(false) << "SVT_BATCH_KERNELS must be 'megakernel' or "
+                      "'composition', got '"
+                   << env << "'";
+  return BatchKernelMode::kMegakernel;
+}
+
+std::atomic<int>& KernelModeVar() {
+  static std::atomic<int> mode{static_cast<int>(InitialKernelMode())};
+  return mode;
+}
 
 // Inflation applied to the chunk's ν magnitude bound before the all-below
 // test. IEEE rounding of the bound chain (log, multiply, add) is monotone,
@@ -46,6 +66,15 @@ size_t WordsPerVariate(NoiseKind kind) {
 }
 
 }  // namespace
+
+BatchKernelMode ActiveBatchKernelMode() {
+  return static_cast<BatchKernelMode>(
+      KernelModeVar().load(std::memory_order_relaxed));
+}
+
+void SetBatchKernelMode(BatchKernelMode mode) {
+  KernelModeVar().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
 
 BatchRunner::BatchRunner(const VariantSpec& spec, Rng* base_rng,
                          SvtRunState* state)
@@ -129,6 +158,230 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
             0.0};
       };
       chunk_processed = ScanChunk(a, n, find_next, res + done);
+    } else if (ActiveBatchKernelMode() == BatchKernelMode::kMegakernel) {
+      // Lane-resident path: one generate-bound-and-scan megakernel pass
+      // replaces the chunk prefetch — the raw ν words are produced,
+      // reduced, tested, and discarded without ever touching memory. The
+      // fused pass steps the ν substream's four xoshiro lanes in
+      // registers and returns the chunk-wide magnitude minimum (the
+      // tier-1 input), the tier-2 hierarchy's per-span minima, a
+      // BlockRng::State checkpoint at every span entry, and — when the
+      // chunk's word threshold can discharge skipping at all — every
+      // element whose positive test fires under the chunk-entry bar, in
+      // index order. The substream is then restored to the chunk-end
+      // position, exactly where the composition's whole-chunk FillUint64
+      // leaves it, positives or not. Every bound-chain input is the same
+      // word the composition reads (unsigned min is association-free)
+      // and the recorded hits are the same computed tests the
+      // composition's scans apply, so skip decisions, tier counters, and
+      // emitted responses agree between the modes bit for bit —
+      // equivalence-tested in core_batch_runner_test.cc.
+      const size_t wpv = WordsPerVariate(spec_.nu_kind);
+      const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
+      uint64_t span_min[kChunkSize / kBoundSpan];
+      BlockRng::State span_states[kChunkSize / kBoundSpan];
+      const size_t nspans = (n + kBoundSpan - 1) / kBoundSpan;
+
+      // Answer maxima in one pass: the per-span maxima feed the tier-2
+      // walk (and the bounded kernels' word thresholds) and their
+      // reduction is the tier-1 a_max — answers stream from memory once
+      // per chunk, and resume segments reuse the cached span maxima
+      // instead of re-reducing. Max is exact, so the split reduction
+      // equals the whole-chunk reduction. This pass runs before the
+      // generate pass because the fused scan's word threshold needs
+      // a_max up front.
+      double a_span_max[kChunkSize / kBoundSpan];
+      for (size_t j = 0; j < nspans; ++j) {
+        const size_t s = j * kBoundSpan;
+        a_span_max[j] = vec::MaxBlock({a + s, std::min(kBoundSpan, n - s)});
+      }
+      double a_max = a_span_max[0];
+      for (size_t j = 1; j < nspans; ++j) {
+        a_max = std::max(a_max, a_span_max[j]);
+      }
+
+      const double nu_scale = spec_.nu_scale;
+      const double bar0 = threshold + state_->rho;
+      const uint64_t chunk_skip =
+          vec::MegaSkipWordThreshold(a_max, bar0, nu_scale);
+      // When no sound chunk-wide word threshold exists (some answer is at
+      // or above the bar), the fused scan would degenerate into a full
+      // per-element transform of draws a hit-dense chunk may never need;
+      // generate-and-bound alone plus the checkpoint walk handles that
+      // regime better, so the scan only rides along when it is cheap.
+      const bool fused_scan = chunk_skip < vec::kMegaNeverSkipWord;
+      constexpr size_t kMaxChunkHits = kChunkSize / 16;
+      vec::FusedScanHit hits[kMaxChunkHits];
+      size_t found = 0;
+      uint64_t w_min;
+      BlockRng::State end_state = state_->nu_rng.state();
+      if (fused_scan) {
+        found = exp_nu ? vec::MegaExpFillMinScanSpans(
+                             &end_state, nu_scale, {a, n}, bar0, chunk_skip,
+                             kBoundSpan, span_min, span_states, hits,
+                             kMaxChunkHits, &w_min)
+                       : vec::MegaLaplaceFillMinScanSpans(
+                             &end_state, 0.0, nu_scale, {a, n}, bar0,
+                             chunk_skip, kBoundSpan, span_min, span_states,
+                             hits, kMaxChunkHits, &w_min);
+      } else {
+        w_min = vec::MegaFillMinSpans(&end_state, n, wpv, kBoundSpan,
+                                      span_min, span_states);
+      }
+      state_->nu_rng.RestoreState(end_state);
+
+      const double nu_bound =
+          nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min))) *
+          kBoundSlack;
+      if (a_max + nu_bound < bar0) {
+        // The tier-1 bound dominates every computed positive test, so a
+        // skipped chunk cannot have recorded hits.
+        SVT_DCHECK(found == 0);
+        state_->processed += static_cast<int64_t>(n);  // res already ⊥
+        ++state_->batch.tier1_chunks_skipped;
+      } else {
+        // Tier-2. When the fused pass scanned, the chunk's positives
+        // under the chunk-entry bar are already in hand and complete, so
+        // as long as the bar is unchanged — always for non-resampling
+        // variants, and up to the first positive otherwise — a resume
+        // only replays the composition's walk decisions on the cached
+        // per-span reductions (one float compare per span, no words
+        // touched) and returns the next recorded hit. Once ρ has been
+        // resampled (or the hit record overflowed), the walk falls back
+        // to the checkpoint form: a skipped span costs one float compare
+        // — its words are never regenerated — and a surviving span
+        // re-enters the bounded scan megakernel from its pass-1
+        // checkpoint, regenerating its words once, in registers, and
+        // transforming only the lockstep groups its word threshold
+        // cannot discharge. After a positive the fallback scans the
+        // firing span's remainder exactly from the stream cursor the hit
+        // left behind, then re-anchors on the pass-1 grid, so no
+        // off-grid words are ever re-bounded. The ν bounds per span are
+        // rho-free, so they are computed once per chunk and survive ρ
+        // resampling.
+        ++state_->batch.tier2_chunks_scanned;
+        BatchRunStats* const stats = &state_->batch;
+        double span_bound[kChunkSize / kBoundSpan];
+        for (size_t j = 0; j < nspans; ++j) {
+          span_bound[j] =
+              nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(span_min[j]))) *
+              kBoundSlack;
+        }
+        const bool cache_complete = fused_scan && found <= kMaxChunkHits;
+        const bool resample = spec_.resample_rho_after_positive;
+        BlockRng::State cur;       // fallback stream cursor, at element
+        size_t cur_pos = SIZE_MAX; // cur_pos once established
+        const auto find_next = [&](size_t from,
+                                   double rho) -> vec::FusedScanHit {
+          const double bar = threshold + rho;
+          if (cache_complete && (!resample || from == 0)) {
+            // Cached walk: the bar still equals the one the fused pass
+            // tested against, so the next positive is the next recorded
+            // hit; the counters replay the composition's span decisions
+            // (a span holding a hit always survives its bound — the
+            // bound chain dominates every computed test).
+            SVT_DCHECK(bar == bar0);
+            const vec::FusedScanHit* h = nullptr;
+            for (size_t k = 0; k < found; ++k) {
+              if (hits[k].index >= from) {
+                h = &hits[k];
+                break;
+              }
+            }
+            const size_t hit_at = h != nullptr ? h->index : n;
+            size_t s = from;
+            if (s % kBoundSpan != 0 && s < n) {
+              ++stats->tier2_fused_segments;
+              const size_t m = std::min(kBoundSpan - s % kBoundSpan, n - s);
+              if (hit_at < s + m) return *h;
+              s += m;
+            }
+            while (s < n) {
+              const size_t j = s / kBoundSpan;
+              const size_t m = std::min(kBoundSpan, n - s);
+              if (hit_at < s + m) {
+                ++stats->tier2_fused_segments;
+                return *h;
+              }
+              if (a_span_max[j] + span_bound[j] < bar) {
+                ++stats->tier2_spans_skipped;
+              } else {
+                ++stats->tier2_fused_segments;
+              }
+              s += m;
+            }
+            return {n, 0.0};
+          }
+          if (cur_pos != from) {
+            // First fallback resume after cached returns (or after an
+            // overflowed record): rebuild the stream cursor at `from`
+            // from the enclosing span's checkpoint.
+            const size_t j = from / kBoundSpan;
+            cur = span_states[j];
+            const size_t p = from - j * kBoundSpan;
+            if (p > 0) {
+              uint64_t scratch;
+              vec::MegaFillMinSpans(&cur, p, wpv, p, &scratch, nullptr);
+            }
+            cur_pos = from;
+          }
+          size_t s = from;
+          if (s % kBoundSpan != 0 && s < n) {
+            const size_t m = std::min(kBoundSpan - s % kBoundSpan, n - s);
+            ++stats->tier2_fused_segments;
+            const uint64_t skip_word = vec::MegaSkipWordThreshold(
+                vec::MaxBlock({a + s, m}), bar, nu_scale);
+            BlockRng::State scan_st = cur;
+            const vec::FusedScanHit hit =
+                exp_nu ? vec::MegaExpScanSumGeBounded(&scan_st, nu_scale,
+                                                      {a + s, m}, bar,
+                                                      skip_word)
+                       : vec::MegaLaplaceScanSumGeBounded(&scan_st, 0.0,
+                                                          nu_scale, {a + s, m},
+                                                          bar, skip_word);
+            if (hit.index < m) {
+              cur = scan_st;  // at element s + hit.index + 1
+              cur_pos = s + hit.index + 1;
+              return {s + hit.index, hit.nu};
+            }
+            s += m;
+          }
+          while (s < n) {
+            const size_t j = s / kBoundSpan;
+            const size_t m = std::min(kBoundSpan, n - s);
+            if (a_span_max[j] + span_bound[j] < bar) {
+              ++stats->tier2_spans_skipped;
+              s += m;
+              continue;
+            }
+            ++stats->tier2_fused_segments;
+            // Typically only one or two elements keep a surviving span
+            // alive; the bounded scan reuses the span max to skip the
+            // log transform for every lockstep group that provably
+            // cannot fire — bit-identical to the unbounded scan by the
+            // MegaSkipWordThreshold contract.
+            const uint64_t skip_word =
+                vec::MegaSkipWordThreshold(a_span_max[j], bar, nu_scale);
+            BlockRng::State scan_st = span_states[j];
+            const vec::FusedScanHit hit =
+                exp_nu ? vec::MegaExpScanSumGeBounded(&scan_st, nu_scale,
+                                                      {a + s, m}, bar,
+                                                      skip_word)
+                       : vec::MegaLaplaceScanSumGeBounded(&scan_st, 0.0,
+                                                          nu_scale, {a + s, m},
+                                                          bar, skip_word);
+            if (hit.index < m) {
+              cur = scan_st;  // at element s + hit.index + 1
+              cur_pos = s + hit.index + 1;
+              return {s + hit.index, hit.nu};
+            }
+            s += m;
+          }
+          cur_pos = n;
+          return {n, 0.0};
+        };
+        chunk_processed = ScanChunk(a, n, find_next, res + done);
+      }
     } else {
       // Pre-fetch the chunk's raw ν words — the substream advances exactly
       // as if each ν_i had been drawn scalar-style. Word count and layout
@@ -153,7 +406,20 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       // so kBoundSlack only has to absorb the kernel's own sub-ulp rounding
       // wiggle, never a libm-vs-polynomial discrepancy.
       const uint64_t w_min = vec::MinWordBlock({words, wpv * n}, wpv);
-      const double a_max = vec::MaxBlock({a, n});
+      // Split answer-maxima pass, shared shape with the megakernel arm:
+      // identical a_max (max is exact) and identical per-span maxima for
+      // the tier-2 skip decisions, so the two modes' counters stay equal
+      // bit for bit.
+      const size_t nspans = (n + kBoundSpan - 1) / kBoundSpan;
+      double a_span_max[kChunkSize / kBoundSpan];
+      for (size_t j = 0; j < nspans; ++j) {
+        const size_t s = j * kBoundSpan;
+        a_span_max[j] = vec::MaxBlock({a + s, std::min(kBoundSpan, n - s)});
+      }
+      double a_max = a_span_max[0];
+      for (size_t j = 1; j < nspans; ++j) {
+        a_max = std::max(a_max, a_span_max[j]);
+      }
       const double u_min = Rng::ToUnitDoublePositive(w_min);
       const double nu_bound =
           spec_.nu_scale * (-vec::Log(u_min)) * kBoundSlack;
@@ -169,33 +435,44 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
         // integer/float reductions and skip their transform outright.
         // Surviving sub-spans run the fused kernel, which transforms the
         // raw word pairs and tests the positive condition in the same
-        // register pass — no ν block round-trip. Resume segments re-enter
-        // past the previous positive (re-checking the remainder of its
-        // sub-span under the possibly resampled ρ), so no word pair is
-        // transformed more than a handful of times even with positives.
+        // register pass — no ν block round-trip. After a positive the
+        // walk scans the firing sub-span's remainder exactly (it survived
+        // its bound to fire at all, and ρ may have been resampled) and
+        // then re-anchors on the sub-span grid, mirroring the megakernel
+        // arm span for span so the two modes' counters stay equal.
         ++state_->batch.tier2_chunks_scanned;
         const double nu_scale = spec_.nu_scale;
         const uint64_t* const w = words;
         BatchRunStats* const stats = &state_->batch;
-        const auto find_next = [a, w, n, threshold, nu_scale, stats, wpv,
-                                exp_nu](size_t from,
-                                        double rho) -> vec::FusedScanHit {
+        const auto find_next = [&](size_t from,
+                                   double rho) -> vec::FusedScanHit {
           const double bar = threshold + rho;
           size_t s = from;
+          if (s % kBoundSpan != 0 && s < n) {
+            const size_t m = std::min(kBoundSpan - s % kBoundSpan, n - s);
+            ++stats->tier2_fused_segments;
+            const vec::FusedScanHit hit =
+                exp_nu ? vec::FusedExpScanSumGe({w + s, m}, nu_scale,
+                                                {a + s, m}, bar)
+                       : vec::FusedLaplaceScanSumGe({w + 2 * s, 2 * m}, 0.0,
+                                                    nu_scale, {a + s, m}, bar);
+            if (hit.index < m) return {s + hit.index, hit.nu};
+            s += m;
+          }
           while (s < n) {
+            const size_t j = s / kBoundSpan;
             const size_t m = std::min(kBoundSpan, n - s);
             // Sub-span bound: the tier-1 chain over [s, s+m). Monotone
             // rounded ops + kBoundSlack make the skip strictly
             // conservative (one-sided envelope for exponential ν — see the
             // tier-1 comment), and every input is dispatch-independent, so
             // the skip decisions (and counters) are too.
-            const uint64_t w_min =
+            const uint64_t w_min_span =
                 vec::MinWordBlock({w + wpv * s, wpv * m}, wpv);
-            const double a_max = vec::MaxBlock({a + s, m});
             const double nu_bound =
-                nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min))) *
+                nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min_span))) *
                 kBoundSlack;
-            if (a_max + nu_bound < bar) {
+            if (a_span_max[j] + nu_bound < bar) {
               ++stats->tier2_spans_skipped;
               s += m;
               continue;
@@ -272,34 +549,68 @@ size_t BatchRunner::Run(std::span<const double> answers,
       const size_t wpv = WordsPerVariate(spec_.nu_kind);
       const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
       BatchRunStats* const stats = &state_->batch;
+      const bool use_mega =
+          ActiveBatchKernelMode() == BatchKernelMode::kMegakernel;
       size_t sub = 0;
       while (sub < n) {
         const size_t m = std::min(kFusedSubBlock, n - sub);
-        size_t filled = 0;
-        while (filled < wpv * m) {
-          filled += state_->nu_rng.FillUint64Bounded(
-              {words + filled, wpv * m - filled});
-        }
         ++stats->tier2_fused_subblocks;
         const double* const a_sub = a + sub;
         const double* const t_sub = t + sub;
-        const uint64_t* const w = words;
-        const auto find_next = [a_sub, t_sub, w, m, nu_scale, stats, exp_nu](
-                                   size_t from, double rho) {
-          ++stats->tier2_fused_segments;
-          const vec::FusedScanHit hit =
-              exp_nu ? vec::FusedExpScanSumGePairwise(
-                           {w + from, m - from}, nu_scale,
-                           {a_sub + from, m - from}, {t_sub + from, m - from},
-                           rho)
-                     : vec::FusedLaplaceScanSumGePairwise(
-                           {w + 2 * from, 2 * (m - from)}, 0.0, nu_scale,
-                           {a_sub + from, m - from}, {t_sub + from, m - from},
-                           rho);
-          return vec::FusedScanHit{from + hit.index, hit.nu};
-        };
-        const size_t sub_processed =
-            ScanChunk(a_sub, m, find_next, res + done + sub);
+        size_t sub_processed;
+        if (use_mega) {
+          // Lane-resident sub-block: no fill at all — the pairwise scan
+          // megakernel generates each query's words in registers as it
+          // tests it, and the running State is the cursor the resume
+          // segments continue from. Afterwards the substream is restored
+          // to the sub-block end (advancing past any unscanned remainder
+          // on a cutoff exit), exactly where the composition's upfront
+          // bounded fill leaves it.
+          BlockRng::State cur = state_->nu_rng.state();
+          size_t cur_pos = 0;
+          const auto find_next = [&](size_t from, double rho) {
+            SVT_DCHECK(from == cur_pos);
+            ++stats->tier2_fused_segments;
+            const vec::FusedScanHit hit =
+                exp_nu ? vec::MegaExpScanSumGePairwise(
+                             &cur, nu_scale, {a_sub + from, m - from},
+                             {t_sub + from, m - from}, rho)
+                       : vec::MegaLaplaceScanSumGePairwise(
+                             &cur, 0.0, nu_scale, {a_sub + from, m - from},
+                             {t_sub + from, m - from}, rho);
+            cur_pos = from + hit.index + (hit.index < m - from ? 1 : 0);
+            return vec::FusedScanHit{from + hit.index, hit.nu};
+          };
+          sub_processed = ScanChunk(a_sub, m, find_next, res + done + sub);
+          if (cur_pos < m) {
+            uint64_t unused;
+            vec::MegaFillMinSpans(&cur, m - cur_pos, wpv, m - cur_pos,
+                                  &unused, nullptr);
+          }
+          state_->nu_rng.RestoreState(cur);
+        } else {
+          size_t filled = 0;
+          while (filled < wpv * m) {
+            filled += state_->nu_rng.FillUint64Bounded(
+                {words + filled, wpv * m - filled});
+          }
+          const uint64_t* const w = words;
+          const auto find_next = [a_sub, t_sub, w, m, nu_scale, stats,
+                                  exp_nu](size_t from, double rho) {
+            ++stats->tier2_fused_segments;
+            const vec::FusedScanHit hit =
+                exp_nu ? vec::FusedExpScanSumGePairwise(
+                             {w + from, m - from}, nu_scale,
+                             {a_sub + from, m - from}, {t_sub + from, m - from},
+                             rho)
+                       : vec::FusedLaplaceScanSumGePairwise(
+                             {w + 2 * from, 2 * (m - from)}, 0.0, nu_scale,
+                             {a_sub + from, m - from}, {t_sub + from, m - from},
+                             rho);
+            return vec::FusedScanHit{from + hit.index, hit.nu};
+          };
+          sub_processed = ScanChunk(a_sub, m, find_next, res + done + sub);
+        }
         if (state_->exhausted) {
           chunk_processed = sub + sub_processed;
           break;

@@ -24,6 +24,22 @@
 //   * a slow path only at positives, handling the cutoff, Alg. 2's ρ
 //     resampling, Alg. 3's q+ν output and ε₃ numeric answers.
 //
+// On top of the fused structure sits a kernel-mode axis
+// (BatchKernelMode below). In the default kMegakernel mode the raw words
+// never touch memory at all: the tier-2 paths drive vecmath's
+// lane-resident Mega* kernels, which step the four lockstep xoshiro lanes
+// inside the scan loop and checkpoint/restore the generator state through
+// BlockRng::State. The common-threshold chunk becomes one
+// generate-and-bound pass (chunk minimum for tier 1, per-span minima plus
+// span-entry state checkpoints for tier 2) and surviving spans are
+// *regenerated* from their checkpoints instead of re-read — in ⊥-heavy
+// workloads most spans are discharged from the pass-1 minima and their
+// words exist only in registers, once. kComposition keeps the
+// FillUint64-into-scratch pipeline above; both modes emit bit-identical
+// responses, statistics, and stream positions (the megakernels are
+// stream-neutral by the vecmath equivalence contract), so the toggle is
+// purely a performance axis — and the A/B seam the paired benchmarks use.
+//
 // Which tier each chunk took is counted in SvtRunState::batch (exposed as
 // SpecDrivenSvt::batch_stats()) so tests and capacity planning can verify
 // a workload actually exercises the tier they target.
@@ -46,6 +62,23 @@
 #include "core/variant_spec.h"
 
 namespace svt {
+
+/// Which tier-2 kernel family the batch engine drives. The modes emit
+/// bit-identical responses, statistics, and RNG stream positions; the
+/// toggle exists for benchmarking (paired A/B) and as a fallback seam.
+enum class BatchKernelMode {
+  /// Lane-resident generate-and-scan (vec::Mega*): raw ν words are
+  /// produced and consumed inside the kernels, never written to memory.
+  kMegakernel,
+  /// FillUint64 into an L1 scratch buffer + fused scan kernels reading it.
+  kComposition,
+};
+
+/// Process-wide kernel mode, initialized once from SVT_BATCH_KERNELS
+/// ("megakernel" | "composition"; unset means megakernel, anything else
+/// aborts) and adjustable at runtime for A/B and equivalence tests.
+BatchKernelMode ActiveBatchKernelMode();
+void SetBatchKernelMode(BatchKernelMode mode);
 
 class BatchRunner {
  public:

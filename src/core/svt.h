@@ -173,6 +173,20 @@ struct SvtRunState {
 /// compare. Steps 1–5 are unchanged and no golden re-record accompanied
 /// fusion; the fused/unfused cross-checks in tests/common_vecmath_test.cc
 /// and the batch/streaming suites enforce this bitwise.
+///
+/// In-kernel generation is stream-neutral: the batch engine's megakernels
+/// (vec::Mega* — generate, generate-and-bound, generate-bound-and-scan)
+/// step the SAME four lockstep xoshiro256++ lanes of step (5) in
+/// registers instead of materializing FillUint64 blocks, and push each
+/// word through the identical word→variate lattice of step (4). A chunk
+/// consumes exactly n · words-per-variate words whether it scans, skips,
+/// or records hits, so the stream position after any chunk is the same as
+/// the composition's — checkpoint/restore of BlockRng::State moves the
+/// cursor, never the stream. SVT_BATCH_KERNELS=composition forces the
+/// FillUint64 + fused-scan composition path; both modes emit identical
+/// Responses (tests/core_batch_runner_test.cc diffs them per dispatch
+/// level) and no golden re-record accompanied the megakernels.
+///
 /// Hence the k-th emitted Response is the same whether queries arrive one
 /// at a time through Process() or in bulk through Run() — and, by (4) and
 /// (5), whether the host dispatches scalar, AVX2 or AVX-512 kernels: the

@@ -407,5 +407,67 @@ TEST(FillBoundedTest, LoopingToATargetEqualsOneFill) {
   }
 }
 
+TEST(RestoreTest, RoundTripsTheStreamAtEveryPhase) {
+  // Restore is the return half of the megakernel checkpoint seam: a
+  // snapshot taken at any phase, restored after arbitrary further draws,
+  // replays the stream exactly.
+  Rng rng(123);
+  for (int pre = 0; pre < 6; ++pre) {
+    rng.NextUint64();  // walk through phases 1, 2, 3, 0, 1, ...
+    const Rng::State snap = rng.state();
+    std::vector<uint64_t> first(37), again(37);
+    rng.FillUint64(first);
+    rng.RestoreState(snap);
+    rng.FillUint64(again);
+    EXPECT_EQ(first, again) << "pre=" << pre;
+  }
+}
+
+TEST(RestoreDeathTest, RejectsAnAllZeroLane) {
+  Rng rng(1);
+  Rng::State bad = rng.state();
+  for (int w = 0; w < 4; ++w) bad.words[w * BlockRng::kLanes + 2] = 0;
+  EXPECT_DEATH(rng.RestoreState(bad), "all-zero");
+}
+
+TEST(MegakernelStreamTest, MegaScanLeavesRngAtTheFillPosition) {
+  // The engine-side contract of the megakernel seam: snapshot state(),
+  // let the in-register kernel consume k words, RestoreState the kernel's
+  // final State — the Rng must sit exactly where FillUint64 of k words
+  // would have left it, so subsequent draws (ρ resamples, the next chunk)
+  // continue the one stream. Walk a multi-hit scan and compare against a
+  // FillUint64-driven twin after every resume.
+  ScopedDispatchLevel restore;
+  const size_t n = 517;
+  std::vector<double> a(n, 0.0);
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    Rng mega(2024), twin(2024);
+    std::vector<uint64_t> scratch;
+    size_t from = 0;
+    while (from <= n) {
+      BlockRng::State st = mega.state();
+      const vec::FusedScanHit hit =
+          vec::MegaLaplaceScanSumGe(&st, 0.0, 1.0, {a.data() + from, n - from},
+                                    0.5);
+      mega.RestoreState(st);
+      const size_t rem = n - from;
+      const size_t consumed = 2 * (hit.index < rem ? hit.index + 1 : rem);
+      scratch.resize(consumed);
+      twin.FillUint64(scratch);
+      const Rng::State sm = mega.state(), st2 = twin.state();
+      ASSERT_EQ(sm.phase, st2.phase)
+          << vec::DispatchLevelName(level) << " from=" << from;
+      ASSERT_EQ(sm.words, st2.words)
+          << vec::DispatchLevelName(level) << " from=" << from;
+      // Interleave a scalar draw on both streams, as the engine does for
+      // a positive's resample, then keep scanning.
+      ASSERT_EQ(mega.NextUint64(), twin.NextUint64());
+      if (hit.index >= rem) break;
+      from += hit.index + 1;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace svt

@@ -691,6 +691,170 @@ TEST(BatchRunnerTest, ExpNuOneSidedEnvelopeTierBehavior) {
   }
 }
 
+class ScopedBatchKernelMode {
+ public:
+  explicit ScopedBatchKernelMode(BatchKernelMode mode)
+      : saved_(ActiveBatchKernelMode()) {
+    SetBatchKernelMode(mode);
+  }
+  ~ScopedBatchKernelMode() { SetBatchKernelMode(saved_); }
+
+  ScopedBatchKernelMode(const ScopedBatchKernelMode&) = delete;
+  ScopedBatchKernelMode& operator=(const ScopedBatchKernelMode&) = delete;
+
+ private:
+  BatchKernelMode saved_;
+};
+
+TEST(BatchRunnerTest, MegakernelAndCompositionModesAgreeExactly) {
+  // The kernel-mode axis is purely a performance toggle: responses, run
+  // counters, every batch statistic, and the RNG stream positions must be
+  // identical between modes — for Laplace and exponential ν, common and
+  // per-query thresholds, near-threshold (tier-2 + positives + resumes)
+  // and far-below (tier-1) chunks, at every dispatch level. The stream
+  // positions are pinned by the back-to-back runs: any divergence in
+  // words consumed by run 1 would shift every draw of run 2.
+  ScopedDispatchLevel restore_level;
+  ScopedBatchKernelMode restore_mode(ActiveBatchKernelMode());
+
+  const size_t n = 2 * BatchRunner::kChunkSize + 123;
+  std::vector<double> near(n), bars(n);
+  Rng gen(2718);
+  for (size_t i = 0; i < n; ++i) {
+    // Near-threshold (tier-2, rare positives), with every third bound
+    // span far below so the hierarchical span-skip path runs too.
+    const bool far_span = (i / BatchRunner::kBoundSpan) % 3 == 0;
+    near[i] = far_span ? -1e9 : -3.0 + (gen.NextDouble() - 0.5);
+    bars[i] = gen.NextDouble() - 0.5;
+  }
+  const std::vector<double> far(n, -1e9);  // tier-1 skips every chunk
+
+  struct Observed {
+    std::vector<Response> common_near, common_far, common_resumed, per_query;
+    BatchRunStats stats;
+    int64_t positives = 0, processed = 0;
+  };
+  const auto run_all = [&](BatchKernelMode mode, bool exp_nu) {
+    SetBatchKernelMode(mode);
+    Observed obs;
+    Rng rng(77);
+    std::unique_ptr<SvtMechanism> mech;
+    if (exp_nu) {
+      mech = std::make_unique<CustomSvt>(AllExponentialSpec(), &rng);
+    } else {
+      SvtOptions o;
+      o.epsilon = 0.5;
+      o.cutoff = 1 << 20;
+      mech = SparseVector::Create(o, &rng).value();
+    }
+    obs.common_near = mech->Run(near, 0.0);
+    obs.common_far = mech->Run(far, 0.0);
+    // Back-to-back re-run without reseeding: catches any stream-position
+    // drift from run 1, and its resumes re-enter mid-chunk.
+    obs.common_resumed = mech->Run(near, -0.5);
+    obs.per_query = mech->Run(near, bars);
+    auto* spec_mech = dynamic_cast<SpecDrivenSvt*>(mech.get());
+    EXPECT_NE(spec_mech, nullptr);
+    if (spec_mech != nullptr) obs.stats = spec_mech->batch_stats();
+    obs.positives = mech->positives_emitted();
+    obs.processed = mech->queries_processed();
+    return obs;
+  };
+
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    for (bool exp_nu : {false, true}) {
+      const std::string ctx = std::string(vec::DispatchLevelName(level)) +
+                              (exp_nu ? " exp" : " laplace");
+      Observed mega, comp;
+      {
+        SCOPED_TRACE(ctx);
+        mega = run_all(BatchKernelMode::kMegakernel, exp_nu);
+        comp = run_all(BatchKernelMode::kComposition, exp_nu);
+      }
+      ExpectSameResponses(mega.common_near, comp.common_near,
+                          ctx + " common near");
+      ExpectSameResponses(mega.common_far, comp.common_far,
+                          ctx + " common far");
+      ExpectSameResponses(mega.common_resumed, comp.common_resumed,
+                          ctx + " common resumed");
+      ExpectSameResponses(mega.per_query, comp.per_query, ctx + " per-query");
+      EXPECT_EQ(mega.positives, comp.positives) << ctx;
+      EXPECT_GT(mega.positives, 0) << ctx << " workload must have positives";
+      EXPECT_EQ(mega.processed, comp.processed) << ctx;
+      EXPECT_EQ(mega.stats.tier1_chunks_skipped, comp.stats.tier1_chunks_skipped)
+          << ctx;
+      EXPECT_EQ(mega.stats.tier2_chunks_scanned, comp.stats.tier2_chunks_scanned)
+          << ctx;
+      EXPECT_EQ(mega.stats.tier2_fused_segments, comp.stats.tier2_fused_segments)
+          << ctx;
+      EXPECT_EQ(mega.stats.tier2_spans_skipped, comp.stats.tier2_spans_skipped)
+          << ctx;
+      EXPECT_EQ(mega.stats.tier2_fused_subblocks,
+                comp.stats.tier2_fused_subblocks)
+          << ctx;
+      EXPECT_GT(mega.stats.tier1_chunks_skipped, 0) << ctx;
+      EXPECT_GT(mega.stats.tier2_spans_skipped, 0) << ctx;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, MegakernelModeAgreesUnderRhoResampling) {
+  // ρ resampling moves the bar after every positive, so the megakernel
+  // arm's cached fused-scan hits go stale mid-chunk and each resume must
+  // fall back to the checkpoint walk — including rebuilding its stream
+  // cursor at an off-grid position from the enclosing span's pass-1
+  // checkpoint. A hit-dense near-threshold workload forces many such
+  // resumes per chunk; responses, counters, and stream positions must
+  // still match the composition exactly at every dispatch level.
+  ScopedDispatchLevel restore_level;
+  ScopedBatchKernelMode restore_mode(ActiveBatchKernelMode());
+
+  const size_t n = 2 * BatchRunner::kChunkSize + 57;
+  std::vector<double> near(n);
+  Rng gen(424242);
+  for (size_t i = 0; i < n; ++i) {
+    near[i] = -2.0 + 2.5 * (gen.NextDouble() - 0.5);
+  }
+
+  const auto run_all = [&](BatchKernelMode mode) {
+    SetBatchKernelMode(mode);
+    Rng rng(1234);
+    SvtOptions o;
+    o.epsilon = 0.75;
+    o.cutoff = 1 << 20;
+    o.resample_threshold_noise = true;
+    auto mech = SparseVector::Create(o, &rng).value();
+    std::vector<Response> out = mech->Run(near, 0.0);
+    // Second run resumes from a shifted stream; its chunks re-enter the
+    // fallback from fresh cached state.
+    std::vector<Response> out2 = mech->Run(near, -0.25);
+    auto* spec_mech = dynamic_cast<SpecDrivenSvt*>(mech.get());
+    EXPECT_NE(spec_mech, nullptr);
+    return std::tuple{std::move(out), std::move(out2),
+                      spec_mech != nullptr ? spec_mech->batch_stats()
+                                           : BatchRunStats{},
+                      mech->positives_emitted()};
+  };
+
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    const std::string ctx(vec::DispatchLevelName(level));
+    const auto [mega1, mega2, mega_stats, mega_pos] =
+        run_all(BatchKernelMode::kMegakernel);
+    const auto [comp1, comp2, comp_stats, comp_pos] =
+        run_all(BatchKernelMode::kComposition);
+    ExpectSameResponses(mega1, comp1, ctx + " run 1");
+    ExpectSameResponses(mega2, comp2, ctx + " run 2");
+    EXPECT_EQ(mega_pos, comp_pos) << ctx;
+    EXPECT_GT(mega_pos, 20) << ctx << " workload must resample repeatedly";
+    EXPECT_EQ(mega_stats.tier2_fused_segments, comp_stats.tier2_fused_segments)
+        << ctx;
+    EXPECT_EQ(mega_stats.tier2_spans_skipped, comp_stats.tier2_spans_skipped)
+        << ctx;
+  }
+}
+
 TEST(BatchRunnerTest, TinyAndOddSizedBatchesMatchStreaming) {
   // Engine-level odd-tail regression for the fused paths: batches shorter
   // than one SIMD width, shorter than one bound span, and one past each
