@@ -41,7 +41,10 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # run_arm <binary> <filter> <name-suffix>: one bench invocation, appending
-# "name value" lines (items/sec, unit-expanded) to $tmp.
+# "name metric value" lines to $tmp — items/sec (unit-expanded) always,
+# plus the bound-prefilter prune_rate counter where a benchmark exports it
+# (BM_SvtRunBatchNearThresholdPrefiltered: fraction of tier-2 span visits
+# the quantized bound level discharged).
 run_arm() {
   "$1" --benchmark_filter="$2" --benchmark_min_time="$MIN_TIME" \
     2>/dev/null |
@@ -54,7 +57,12 @@ run_arm() {
       else if (v ~ /M\/s$/) mult = 1e6
       else if (v ~ /k\/s$/) mult = 1e3
       sub(/[GMk]?\/s$/, "", v)
-      printf "%s%s %.6e\n", $1, suffix, v * mult
+      printf "%s%s items_per_second %.6e\n", $1, suffix, v * mult
+      for (f = 1; f <= NF; ++f) if ($f ~ /^prune_rate=/) {
+        p = $f
+        sub(/^prune_rate=/, "", p)
+        printf "%s%s prune_rate %.6e\n", $1, suffix, p + 0
+      }
     }' >>"$tmp"
 }
 
@@ -84,7 +92,7 @@ fi
 
 awk -v proto="$proto" '
 {
-  n = $1; v = $2 + 0
+  n = $1 "_" $2; v = $3 + 0
   if (!(n in min) || v < min[n]) min[n] = v
   if (!(n in max) || v > max[n]) max[n] = v
   if (!(n in seen)) { order[++k] = n; seen[n] = 1 }
@@ -94,7 +102,7 @@ END {
   printf "  \"noise_protocol\": \"%s\"", proto
   for (i = 1; i <= k; ++i) {
     n = order[i]
-    printf ",\n  \"%s_items_per_second\": [%.4e, %.4e]", n, min[n], max[n]
+    printf ",\n  \"%s\": [%.4e, %.4e]", n, min[n], max[n]
   }
   printf "\n}\n"
 }' "$tmp"

@@ -1,12 +1,48 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
 
 namespace svt {
+
+void LatencyHistogram::Add(int64_t nanos) {
+  // Negative durations can only come from a skewed clock source; clamp
+  // into bucket 0 rather than index out of range.
+  const uint64_t v = nanos > 0 ? static_cast<uint64_t>(nanos) : 0;
+  counts_[std::bit_width(v)] += 1;
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+}
+
+int64_t LatencyHistogram::PercentileUpperNanos(double p) const {
+  SVT_CHECK(p >= 0.0 && p <= 1.0) << "percentile must be in [0, 1], got "
+                                  << p;
+  if (count_ == 0) return 0;
+  // Smallest bucket whose cumulative count covers p of the total
+  // (nearest-rank, ranks 1..count_): its upper edge bounds the true
+  // quantile from above.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::ceil(p * static_cast<double>(count_))));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      return b == 0 ? 0
+                    : static_cast<int64_t>((uint64_t{1} << b) - 1);
+    }
+  }
+  return std::numeric_limits<int64_t>::max();
+}
 
 void RunningStats::Add(double value) {
   if (count_ == 0) {

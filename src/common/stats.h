@@ -37,6 +37,36 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Fixed-bucket latency histogram: log2 buckets keyed by the bit width of
+/// the nanosecond value, so Add is one branch-free bucket computation and
+/// the whole accumulator is a flat copyable array — cheap enough to sit in
+/// per-shard serving stats and be snapshotted/merged under a lock. Driven
+/// by the injectable Clock, so tests with a VirtualClock get deterministic
+/// percentiles. Quantile answers are bucket UPPER edges: the reported
+/// p-quantile is >= the true one, never under — overload shows up, never
+/// hides (within the 2x bucket resolution).
+class LatencyHistogram {
+ public:
+  void Add(int64_t nanos);
+
+  /// Merges another histogram (cross-shard aggregation).
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+
+  /// Upper edge of the bucket holding the p-quantile (p in [0, 1]) of the
+  /// recorded values; 0 when empty. PercentileUpperNanos(0.5) is the p50
+  /// upper bound, (0.99) the p99.
+  int64_t PercentileUpperNanos(double p) const;
+
+ private:
+  /// One bucket per possible bit width of a non-negative int64 (0..63):
+  /// bucket b holds values in [2^(b-1), 2^b - 1], bucket 0 holds 0.
+  static constexpr int kBuckets = 64;
+  int64_t counts_[kBuckets] = {};
+  int64_t count_ = 0;
+};
+
 /// One-shot helpers.
 double Mean(std::span<const double> values);
 double SampleStddev(std::span<const double> values);

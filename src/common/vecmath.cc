@@ -865,6 +865,88 @@ __attribute__((target("avx2"))) uint64_t MinWordBlockAvx2(
   return m;
 }
 
+__attribute__((target("avx2"))) double MinBlockAvx2(const double* in,
+                                                    size_t n) {
+  __m256d acc = _mm256_set1_pd(in[0]);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_min_pd(acc, _mm256_loadu_pd(in + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double m = std::min(std::min(lanes[0], lanes[1]),
+                      std::min(lanes[2], lanes[3]));
+  for (; i < n; ++i) m = std::min(m, in[i]);
+  return m;
+}
+
+// Quantized bound-code reductions: exact unsigned integer max/min, 16 (u16)
+// or 32 (u8) codes per 256-bit op. Association-free, so the accumulator
+// seeding with codes[0] (the MaxBlock idiom above) is harmless.
+__attribute__((target("avx2"))) uint16_t QuantizedSpanMaxU16Avx2(
+    const uint16_t* codes, size_t n) {
+  __m256i acc = _mm256_set1_epi16(static_cast<short>(codes[0]));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm256_max_epu16(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i)));
+  }
+  alignas(32) uint16_t lanes[16];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint16_t m = lanes[0];
+  for (int lane = 1; lane < 16; ++lane) m = std::max(m, lanes[lane]);
+  for (; i < n; ++i) m = std::max(m, codes[i]);
+  return m;
+}
+
+__attribute__((target("avx2"))) uint16_t QuantizedSpanMinU16Avx2(
+    const uint16_t* codes, size_t n) {
+  __m256i acc = _mm256_set1_epi16(static_cast<short>(codes[0]));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm256_min_epu16(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i)));
+  }
+  alignas(32) uint16_t lanes[16];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint16_t m = lanes[0];
+  for (int lane = 1; lane < 16; ++lane) m = std::min(m, lanes[lane]);
+  for (; i < n; ++i) m = std::min(m, codes[i]);
+  return m;
+}
+
+__attribute__((target("avx2"))) uint8_t QuantizedSpanMaxU8Avx2(
+    const uint8_t* codes, size_t n) {
+  __m256i acc = _mm256_set1_epi8(static_cast<char>(codes[0]));
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc = _mm256_max_epu8(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i)));
+  }
+  alignas(32) uint8_t lanes[32];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint8_t m = lanes[0];
+  for (int lane = 1; lane < 32; ++lane) m = std::max(m, lanes[lane]);
+  for (; i < n; ++i) m = std::max(m, codes[i]);
+  return m;
+}
+
+__attribute__((target("avx2"))) uint8_t QuantizedSpanMinU8Avx2(
+    const uint8_t* codes, size_t n) {
+  __m256i acc = _mm256_set1_epi8(static_cast<char>(codes[0]));
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc = _mm256_min_epu8(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i)));
+  }
+  alignas(32) uint8_t lanes[32];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint8_t m = lanes[0];
+  for (int lane = 1; lane < 32; ++lane) m = std::min(m, lanes[lane]);
+  for (; i < n; ++i) m = std::min(m, codes[i]);
+  return m;
+}
+
 __attribute__((target("avx2"))) size_t FindFirstSumGeAvx2(const double* a,
                                                           const double* b,
                                                           double bar,
@@ -1861,6 +1943,21 @@ __attribute__((target("avx512f,avx512dq"))) uint64_t MinWordBlockAvx512(
   return m;
 }
 
+__attribute__((target("avx512f,avx512dq"))) double MinBlockAvx512(
+    const double* in, size_t n) {
+  __m512d acc = _mm512_set1_pd(in[0]);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_min_pd(acc, _mm512_loadu_pd(in + i));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  double m = lanes[0];
+  for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+  for (; i < n; ++i) m = std::min(m, in[i]);
+  return m;
+}
+
 __attribute__((target("avx512f,avx512dq"))) size_t FindFirstSumGeAvx512(
     const double* a, const double* b, double bar, size_t n) {
   const __m512d vbar = _mm512_set1_pd(bar);
@@ -2778,6 +2875,75 @@ uint64_t MinWordBlock(std::span<const uint64_t> words, size_t stride) {
   for (size_t i = 0; i < words.size(); i += stride) {
     m = std::min(m, words[i]);
   }
+  return m;
+}
+
+double MinBlock(std::span<const double> in) {
+  SVT_CHECK(!in.empty()) << "MinBlock requires at least one element";
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return MinBlockAvx512(in.data(), in.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return MinBlockAvx2(in.data(), in.size());
+  }
+#endif
+  double m = in[0];
+  for (double x : in) m = std::min(m, x);
+  return m;
+}
+
+// The quantized reductions dispatch the AVX2 lane at every SIMD level:
+// 512-bit byte/word max needs AVX-512BW (outside the library's F+DQ+VL
+// gate), and the reduction is exact at any width, so the AVX-512 level
+// simply reuses the 256-bit lane (see vecmath.h).
+uint16_t QuantizedSpanMax(std::span<const uint16_t> codes) {
+  SVT_CHECK(!codes.empty()) << "QuantizedSpanMax requires an element";
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return QuantizedSpanMaxU16Avx2(codes.data(), codes.size());
+  }
+#endif
+  uint16_t m = codes[0];
+  for (uint16_t c : codes) m = std::max(m, c);
+  return m;
+}
+
+uint16_t QuantizedSpanMin(std::span<const uint16_t> codes) {
+  SVT_CHECK(!codes.empty()) << "QuantizedSpanMin requires an element";
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return QuantizedSpanMinU16Avx2(codes.data(), codes.size());
+  }
+#endif
+  uint16_t m = codes[0];
+  for (uint16_t c : codes) m = std::min(m, c);
+  return m;
+}
+
+uint8_t QuantizedSpanMax(std::span<const uint8_t> codes) {
+  SVT_CHECK(!codes.empty()) << "QuantizedSpanMax requires an element";
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return QuantizedSpanMaxU8Avx2(codes.data(), codes.size());
+  }
+#endif
+  uint8_t m = codes[0];
+  for (uint8_t c : codes) m = std::max(m, c);
+  return m;
+}
+
+uint8_t QuantizedSpanMin(std::span<const uint8_t> codes) {
+  SVT_CHECK(!codes.empty()) << "QuantizedSpanMin requires an element";
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return QuantizedSpanMinU8Avx2(codes.data(), codes.size());
+  }
+#endif
+  uint8_t m = codes[0];
+  for (uint8_t c : codes) m = std::min(m, c);
   return m;
 }
 

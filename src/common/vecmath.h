@@ -164,12 +164,40 @@ void ExponentialTransformBlock(std::span<const std::uint64_t> words, double b,
 /// a NaN max fails its comparison and falls through to the exact scan).
 double MaxBlock(std::span<const double> in);
 
+/// Reduction: min over in (in.size() >= 1), dispatched. Same contract
+/// shape as MaxBlock: exact and association-independent when no element is
+/// NaN (the per-query bound's threshold-side input); with NaNs the result
+/// is unspecified — callers must already be conservative under NaN (the
+/// span bound is: a NaN-threshold element can never fire its positive
+/// test, so any lower bound over the remaining thresholds stays sound).
+double MinBlock(std::span<const double> in);
+
 /// Reduction: minimum of words[0], words[stride], words[2*stride], ...
 /// (words.size() must be a multiple of stride; at least one element).
 /// Exact at every dispatch level. stride 2 is the batch engine's bound on
 /// the magnitude uniforms (the even words of a ν chunk).
 std::uint64_t MinWordBlock(std::span<const std::uint64_t> words,
                            std::size_t stride);
+
+// --- Quantized bound reductions -------------------------------------------
+//
+// Integer max/min over the quantized bound codes of the two-level bound
+// prefilter (data/bound_prefilter.h): the primary bound level reduces
+// uint8/uint16 codes instead of doubles, touching 4-8x less memory per
+// span. Unsigned integer max/min is exact and association-free, so every
+// lane returns the identical code — no rounding contract needed. The
+// AVX-512 dispatch level reuses the AVX2 lane: 512-bit byte/word max
+// needs AVX-512BW, which is outside the library's F+DQ+VL gate, and an
+// exact integer reduction gains nothing from a wider accumulator that
+// the 256-bit lane doesn't already deliver from L1/L2.
+
+/// Max over a span of quantized bound codes (codes.size() >= 1).
+std::uint8_t QuantizedSpanMax(std::span<const std::uint8_t> codes);
+std::uint16_t QuantizedSpanMax(std::span<const std::uint16_t> codes);
+
+/// Min over a span of quantized bound codes (codes.size() >= 1).
+std::uint8_t QuantizedSpanMin(std::span<const std::uint8_t> codes);
+std::uint16_t QuantizedSpanMin(std::span<const std::uint16_t> codes);
 
 /// Returns the smallest i with a[i] + b[i] >= bar — the SVT positive test
 /// of the batch engine's tier-2 compare-scan — or a.size() if no element

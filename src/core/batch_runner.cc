@@ -10,6 +10,8 @@
 #include "common/check.h"
 #include "common/distributions.h"
 #include "common/vecmath.h"
+#include "core/bound_pipeline.h"
+#include "data/bound_prefilter.h"
 
 namespace svt {
 
@@ -32,16 +34,17 @@ std::atomic<int>& KernelModeVar() {
   return mode;
 }
 
-// Inflation applied to the chunk's ν magnitude bound before the all-below
-// test. IEEE rounding of the bound chain (log, multiply, add) is monotone,
-// but libm's log() is only *nearly* correctly rounded, so pad the bound by
-// ~1e-12 relative — four orders of magnitude above any few-ulp libm error —
-// to make the shortcut strictly conservative.
-constexpr double kBoundSlack = 1.0 + 1e-12;
-
 static_assert(Response{}.outcome == Outcome::kBelow,
               "value-initialized Response must be ⊥: the batch engine emits "
               "⊥ runs via zero-initializing resize");
+
+static_assert(BatchRunner::kChunkSize / BatchRunner::kBoundSpan <=
+                  BoundPipeline::kMaxSpans,
+              "BoundPipeline's static span plan must cover a full chunk");
+static_assert(BatchRunner::kFusedSubBlock % BatchRunner::kBoundSpan == 0,
+              "per-query sub-blocks must align on bound-span boundaries so "
+              "sub-block span indices map onto the chunk's BoundPipeline "
+              "plan");
 
 // Streaming-identical single draw of a role's noise kind (the batch slow
 // path at positives must consume the base stream exactly as Process()
@@ -58,9 +61,9 @@ double SampleNoise(Rng& rng, NoiseKind kind, double scale) {
 }
 
 // Raw 64-bit words one ν variate consumes — the distribution-traits knob
-// that threads the noise axis through the fill sizes, the tier-1 word
-// reduction stride, and the fused-kernel spans below. Laplace: 2 (magnitude
-// word + sign word). Exponential: 1 (one-sided, no sign word).
+// that threads the noise axis through the fill sizes, the bound pipeline's
+// word reduction stride, and the fused-kernel spans below. Laplace: 2
+// (magnitude word + sign word). Exponential: 1 (one-sided, no sign word).
 size_t WordsPerVariate(NoiseKind kind) {
   return kind == NoiseKind::kExponential ? 1 : 2;
 }
@@ -132,6 +135,24 @@ size_t BatchRunner::ScanChunk(const double* answers, size_t n,
 
 size_t BatchRunner::Run(std::span<const double> answers, double threshold,
                         std::vector<Response>* out) {
+  return Run(answers, threshold, /*prefilter=*/nullptr, out);
+}
+
+size_t BatchRunner::Run(std::span<const double> answers,
+                        std::span<const double> thresholds,
+                        std::vector<Response>* out) {
+  return Run(answers, thresholds, /*prefilter=*/nullptr, out);
+}
+
+size_t BatchRunner::Run(std::span<const double> answers, double threshold,
+                        const BoundPrefilter* prefilter,
+                        std::vector<Response>* out) {
+  if (prefilter != nullptr) {
+    SVT_CHECK(prefilter->size() == answers.size())
+        << "BoundPrefilter size " << prefilter->size()
+        << " does not match answers size " << answers.size()
+        << "; a prefilter may only attach to the arrays it was built over";
+  }
   const size_t start = out->size();
   if (state_->exhausted || answers.empty()) return 0;
   const size_t total = answers.size();
@@ -141,10 +162,17 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
   Response* const res = out->data() + start;
 
   const bool has_nu = spec_.nu_scale > 0.0;
-  // Cache-line-aligned so the 512-bit loads of the tier-1 word reduction
-  // and the fused scan kernels never split lines.
+  // Cache-line-aligned so the 512-bit loads of the bound-pipeline word
+  // reduction and the fused scan kernels never split lines.
   alignas(64) uint64_t words[2 * kChunkSize];
   SVT_DCHECK(reinterpret_cast<uintptr_t>(words) % 64 == 0);
+  // The single bound implementation: every skip decision below — tier-1
+  // chunk test, tier-2 span tests, the megakernels' skip-word inputs —
+  // comes out of this pipeline (core/bound_pipeline.h), at the quantized
+  // level when a prefilter is attached and the gate is on, at full
+  // precision otherwise.
+  BoundPipeline pipe(has_nu ? prefilter : nullptr, spec_.nu_scale, kBoundSpan,
+                     &state_->batch);
 
   size_t done = 0;
   while (done < total) {
@@ -180,30 +208,15 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
       uint64_t span_min[kChunkSize / kBoundSpan];
       BlockRng::State span_states[kChunkSize / kBoundSpan];
-      const size_t nspans = (n + kBoundSpan - 1) / kBoundSpan;
 
-      // Answer maxima in one pass: the per-span maxima feed the tier-2
-      // walk (and the bounded kernels' word thresholds) and their
-      // reduction is the tier-1 a_max — answers stream from memory once
-      // per chunk, and resume segments reuse the cached span maxima
-      // instead of re-reducing. Max is exact, so the split reduction
-      // equals the whole-chunk reduction. This pass runs before the
-      // generate pass because the fused scan's word threshold needs
-      // a_max up front.
-      double a_span_max[kChunkSize / kBoundSpan];
-      for (size_t j = 0; j < nspans; ++j) {
-        const size_t s = j * kBoundSpan;
-        a_span_max[j] = vec::MaxBlock({a + s, std::min(kBoundSpan, n - s)});
-      }
-      double a_max = a_span_max[0];
-      for (size_t j = 1; j < nspans; ++j) {
-        a_max = std::max(a_max, a_span_max[j]);
-      }
-
+      pipe.BeginChunk(a, /*thresholds=*/nullptr, done, n);
       const double nu_scale = spec_.nu_scale;
       const double bar0 = threshold + state_->rho;
+      // Any upper bound on the chunk's answers is a sound skip-word input
+      // (vec::MegaSkipWordThreshold contract), so the pipeline's chunk
+      // upper — quantized or exact — feeds it directly.
       const uint64_t chunk_skip =
-          vec::MegaSkipWordThreshold(a_max, bar0, nu_scale);
+          vec::MegaSkipWordThreshold(pipe.ChunkScoreUpper(), bar0, nu_scale);
       // When no sound chunk-wide word threshold exists (some answer is at
       // or above the bar), the fused scan would degenerate into a full
       // per-element transform of draws a hit-dense chunk may never need;
@@ -213,27 +226,25 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       constexpr size_t kMaxChunkHits = kChunkSize / 16;
       vec::FusedScanHit hits[kMaxChunkHits];
       size_t found = 0;
-      uint64_t w_min;
+      uint64_t w_min_unused;
       BlockRng::State end_state = state_->nu_rng.state();
       if (fused_scan) {
         found = exp_nu ? vec::MegaExpFillMinScanSpans(
                              &end_state, nu_scale, {a, n}, bar0, chunk_skip,
                              kBoundSpan, span_min, span_states, hits,
-                             kMaxChunkHits, &w_min)
+                             kMaxChunkHits, &w_min_unused)
                        : vec::MegaLaplaceFillMinScanSpans(
                              &end_state, 0.0, nu_scale, {a, n}, bar0,
                              chunk_skip, kBoundSpan, span_min, span_states,
-                             hits, kMaxChunkHits, &w_min);
+                             hits, kMaxChunkHits, &w_min_unused);
       } else {
-        w_min = vec::MegaFillMinSpans(&end_state, n, wpv, kBoundSpan,
-                                      span_min, span_states);
+        vec::MegaFillMinSpans(&end_state, n, wpv, kBoundSpan, span_min,
+                              span_states);
       }
       state_->nu_rng.RestoreState(end_state);
 
-      const double nu_bound =
-          nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min))) *
-          kBoundSlack;
-      if (a_max + nu_bound < bar0) {
+      pipe.SetNoiseMinima(span_min);
+      if (!pipe.ChunkCanFire(bar0)) {
         // The tier-1 bound dominates every computed positive test, so a
         // skipped chunk cannot have recorded hits.
         SVT_DCHECK(found == 0);
@@ -244,29 +255,22 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
         // under the chunk-entry bar are already in hand and complete, so
         // as long as the bar is unchanged — always for non-resampling
         // variants, and up to the first positive otherwise — a resume
-        // only replays the composition's walk decisions on the cached
-        // per-span reductions (one float compare per span, no words
-        // touched) and returns the next recorded hit. Once ρ has been
-        // resampled (or the hit record overflowed), the walk falls back
-        // to the checkpoint form: a skipped span costs one float compare
-        // — its words are never regenerated — and a surviving span
-        // re-enters the bounded scan megakernel from its pass-1
-        // checkpoint, regenerating its words once, in registers, and
-        // transforming only the lockstep groups its word threshold
-        // cannot discharge. After a positive the fallback scans the
-        // firing span's remainder exactly from the stream cursor the hit
-        // left behind, then re-anchors on the pass-1 grid, so no
-        // off-grid words are ever re-bounded. The ν bounds per span are
-        // rho-free, so they are computed once per chunk and survive ρ
-        // resampling.
+        // only replays the walk's span decisions on the pipeline's cached
+        // per-span bounds (one float compare per span, no words touched)
+        // and returns the next recorded hit. Once ρ has been resampled
+        // (or the hit record overflowed), the walk falls back to the
+        // checkpoint form: a skipped span costs one float compare — its
+        // words are never regenerated — and a surviving span re-enters
+        // the bounded scan megakernel from its pass-1 checkpoint,
+        // regenerating its words once, in registers, and transforming
+        // only the lockstep groups its word threshold cannot discharge.
+        // After a positive the fallback scans the firing span's remainder
+        // exactly from the stream cursor the hit left behind, then
+        // re-anchors on the pass-1 grid, so no off-grid words are ever
+        // re-bounded. The pipeline's ν bounds per span are rho-free, so
+        // they are computed once per chunk and survive ρ resampling.
         ++state_->batch.tier2_chunks_scanned;
         BatchRunStats* const stats = &state_->batch;
-        double span_bound[kChunkSize / kBoundSpan];
-        for (size_t j = 0; j < nspans; ++j) {
-          span_bound[j] =
-              nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(span_min[j]))) *
-              kBoundSlack;
-        }
         const bool cache_complete = fused_scan && found <= kMaxChunkHits;
         const bool resample = spec_.resample_rho_after_positive;
         BlockRng::State cur;       // fallback stream cursor, at element
@@ -277,9 +281,9 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
           if (cache_complete && (!resample || from == 0)) {
             // Cached walk: the bar still equals the one the fused pass
             // tested against, so the next positive is the next recorded
-            // hit; the counters replay the composition's span decisions
-            // (a span holding a hit always survives its bound — the
-            // bound chain dominates every computed test).
+            // hit; the counters replay the fallback's span decisions (a
+            // span holding a hit always survives its bound — the bound
+            // chain dominates every computed test, quantized or exact).
             SVT_DCHECK(bar == bar0);
             const vec::FusedScanHit* h = nullptr;
             for (size_t k = 0; k < found; ++k) {
@@ -303,9 +307,7 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
                 ++stats->tier2_fused_segments;
                 return *h;
               }
-              if (a_span_max[j] + span_bound[j] < bar) {
-                ++stats->tier2_spans_skipped;
-              } else {
+              if (pipe.SpanCanFire(j, bar)) {
                 ++stats->tier2_fused_segments;
               }
               s += m;
@@ -330,7 +332,7 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
             const size_t m = std::min(kBoundSpan - s % kBoundSpan, n - s);
             ++stats->tier2_fused_segments;
             const uint64_t skip_word = vec::MegaSkipWordThreshold(
-                vec::MaxBlock({a + s, m}), bar, nu_scale);
+                pipe.SubrangeScoreUpper(s, m), bar, nu_scale);
             BlockRng::State scan_st = cur;
             const vec::FusedScanHit hit =
                 exp_nu ? vec::MegaExpScanSumGeBounded(&scan_st, nu_scale,
@@ -349,19 +351,18 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
           while (s < n) {
             const size_t j = s / kBoundSpan;
             const size_t m = std::min(kBoundSpan, n - s);
-            if (a_span_max[j] + span_bound[j] < bar) {
-              ++stats->tier2_spans_skipped;
+            if (!pipe.SpanCanFire(j, bar)) {
               s += m;
               continue;
             }
             ++stats->tier2_fused_segments;
             // Typically only one or two elements keep a surviving span
-            // alive; the bounded scan reuses the span max to skip the
-            // log transform for every lockstep group that provably
-            // cannot fire — bit-identical to the unbounded scan by the
-            // MegaSkipWordThreshold contract.
-            const uint64_t skip_word =
-                vec::MegaSkipWordThreshold(a_span_max[j], bar, nu_scale);
+            // alive; the bounded scan reuses the span's score upper to
+            // skip the log transform for every lockstep group that
+            // provably cannot fire — bit-identical to the unbounded scan
+            // by the MegaSkipWordThreshold contract.
+            const uint64_t skip_word = vec::MegaSkipWordThreshold(
+                pipe.SpanScoreUpper(j), bar, nu_scale);
             BlockRng::State scan_st = span_states[j];
             const vec::FusedScanHit hit =
                 exp_nu ? vec::MegaExpScanSumGeBounded(&scan_st, nu_scale,
@@ -391,39 +392,26 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
       state_->nu_rng.FillUint64({words, wpv * n});
 
-      // Tier-1 shortcut: bound every ν_i in the chunk by b·(-log(u_min)),
-      // where u_min is the smallest magnitude uniform — an integer min over
-      // the magnitude words, no log per element. For Laplace ν this bounds
-      // |ν_i| (the sign words are skipped by the stride); for exponential ν
-      // it is the exact one-sided envelope: ν_i = b·(-log u_i) ≥ 0 and
-      // u_min ≤ u_i implies ν_i ≤ b·(-log u_min), so the same chain bounds
-      // the only side that can fire a positive. If even the largest answer
-      // cannot cross the noisy threshold under that bound, the whole chunk
-      // is provably ⊥ and the transform is skipped entirely. Every step of
-      // the bound chain is a monotone rounded operation, so the shortcut
-      // emits exactly what the exact comparison would. The bound evaluates
-      // the same vecmath log kernel that the fused scan applies per word,
-      // so kBoundSlack only has to absorb the kernel's own sub-ulp rounding
-      // wiggle, never a libm-vs-polynomial discrepancy.
-      const uint64_t w_min = vec::MinWordBlock({words, wpv * n}, wpv);
-      // Split answer-maxima pass, shared shape with the megakernel arm:
-      // identical a_max (max is exact) and identical per-span maxima for
-      // the tier-2 skip decisions, so the two modes' counters stay equal
-      // bit for bit.
+      // Per-span magnitude-word minima up front; the pipeline reduces them
+      // to the chunk minimum (unsigned min is association-free, so this is
+      // bit-for-bit the whole-chunk reduction) and owns the whole bound
+      // chain from here: the tier-1 all-⊥ shortcut and the per-span tier-2
+      // tests, each a monotone rounded chain over these minima and the
+      // chunk's score uppers — provably conservative, so the shortcut
+      // emits exactly what the exact comparison would (proof in
+      // core/bound_pipeline.h). Shared bound inputs with the megakernel
+      // arm keep the two modes' skip decisions and counters equal bit for
+      // bit.
+      pipe.BeginChunk(a, /*thresholds=*/nullptr, done, n);
       const size_t nspans = (n + kBoundSpan - 1) / kBoundSpan;
-      double a_span_max[kChunkSize / kBoundSpan];
+      uint64_t span_min[kChunkSize / kBoundSpan];
       for (size_t j = 0; j < nspans; ++j) {
         const size_t s = j * kBoundSpan;
-        a_span_max[j] = vec::MaxBlock({a + s, std::min(kBoundSpan, n - s)});
+        const size_t m = std::min(kBoundSpan, n - s);
+        span_min[j] = vec::MinWordBlock({words + wpv * s, wpv * m}, wpv);
       }
-      double a_max = a_span_max[0];
-      for (size_t j = 1; j < nspans; ++j) {
-        a_max = std::max(a_max, a_span_max[j]);
-      }
-      const double u_min = Rng::ToUnitDoublePositive(w_min);
-      const double nu_bound =
-          spec_.nu_scale * (-vec::Log(u_min)) * kBoundSlack;
-      if (a_max + nu_bound < threshold + state_->rho) {
+      pipe.SetNoiseMinima(span_min);
+      if (!pipe.ChunkCanFire(threshold + state_->rho)) {
         state_->processed += static_cast<int64_t>(n);  // res already ⊥
         ++state_->batch.tier1_chunks_skipped;
       } else {
@@ -462,18 +450,7 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
           while (s < n) {
             const size_t j = s / kBoundSpan;
             const size_t m = std::min(kBoundSpan, n - s);
-            // Sub-span bound: the tier-1 chain over [s, s+m). Monotone
-            // rounded ops + kBoundSlack make the skip strictly
-            // conservative (one-sided envelope for exponential ν — see the
-            // tier-1 comment), and every input is dispatch-independent, so
-            // the skip decisions (and counters) are too.
-            const uint64_t w_min_span =
-                vec::MinWordBlock({w + wpv * s, wpv * m}, wpv);
-            const double nu_bound =
-                nu_scale * (-vec::Log(Rng::ToUnitDoublePositive(w_min_span))) *
-                kBoundSlack;
-            if (a_span_max[j] + nu_bound < bar) {
-              ++stats->tier2_spans_skipped;
+            if (!pipe.SpanCanFire(j, bar)) {
               s += m;
               continue;
             }
@@ -503,10 +480,20 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
 
 size_t BatchRunner::Run(std::span<const double> answers,
                         std::span<const double> thresholds,
+                        const BoundPrefilter* prefilter,
                         std::vector<Response>* out) {
   SVT_CHECK(answers.size() == thresholds.size())
       << "answers/thresholds size mismatch: " << answers.size() << " vs "
       << thresholds.size();
+  if (prefilter != nullptr) {
+    SVT_CHECK(prefilter->size() == answers.size())
+        << "BoundPrefilter size " << prefilter->size()
+        << " does not match answers size " << answers.size()
+        << "; a prefilter may only attach to the arrays it was built over";
+    SVT_CHECK(prefilter->has_thresholds())
+        << "per-query-threshold runs need a prefilter built with the "
+           "two-array Build(answers, thresholds)";
+  }
   const size_t start = out->size();
   if (state_->exhausted || answers.empty()) return 0;
   const size_t total = answers.size();
@@ -515,12 +502,21 @@ size_t BatchRunner::Run(std::span<const double> answers,
 
   const bool has_nu = spec_.nu_scale > 0.0;
   // Per-query scratch: one sub-block of raw ν words, cache-line-aligned.
-  // There is no tier-1 bound to feed (it would be unsound under per-query
-  // bars), so nothing forces a whole-chunk prefetch — the words are pulled
-  // through the bounded fill hook in L1-sized pieces and consumed by the
-  // fused scan while still hot.
+  // There is no tier-1 chunk bound to feed (a single common bar does not
+  // exist), so nothing forces a whole-chunk prefetch — the words are
+  // pulled through the bounded fill hook in L1-sized pieces and consumed
+  // by the fused scan while still hot.
   alignas(64) uint64_t words[2 * kFusedSubBlock];
   SVT_DCHECK(reinterpret_cast<uintptr_t>(words) % 64 == 0);
+  // The per-query bound level: per span, the pipeline holds an upper
+  // bound on the answers AND a lower bound on the thresholds, and a span
+  // is skipped when fl(score_up + ν_bound) < fl(bar_down + ρ) — the same
+  // monotone chain as the common-threshold tiers, pairwise-safe because
+  // the bar lower bounds every bar in the span (proof in
+  // core/bound_pipeline.h). Before the pipeline this path had no bound at
+  // all and scanned every element.
+  BoundPipeline pipe(has_nu ? prefilter : nullptr, spec_.nu_scale, kBoundSpan,
+                     &state_->batch);
 
   size_t done = 0;
   while (done < total) {
@@ -540,11 +536,12 @@ size_t BatchRunner::Run(std::span<const double> answers,
       };
       chunk_processed = ScanChunk(a, n, find_next, res + done);
     } else {
-      // Fused per-query tier-2: bounded fills pull the chunk's substream
-      // words sub-block by sub-block — the same words in the same order a
-      // scalar draw loop (or the pre-fusion whole-chunk fill) consumes, so
-      // a completed chunk leaves the substream at the identical position.
+      // Fused per-query tier-2: bounded fills (or lane-resident prepasses)
+      // pull the chunk's substream words sub-block by sub-block — the same
+      // words in the same order a scalar draw loop consumes, so a
+      // completed chunk leaves the substream at the identical position.
       ++state_->batch.tier2_chunks_scanned;
+      pipe.BeginChunk(a, t, done, n);
       const double nu_scale = spec_.nu_scale;
       const size_t wpv = WordsPerVariate(spec_.nu_kind);
       const bool exp_nu = spec_.nu_kind == NoiseKind::kExponential;
@@ -557,37 +554,93 @@ size_t BatchRunner::Run(std::span<const double> answers,
         ++stats->tier2_fused_subblocks;
         const double* const a_sub = a + sub;
         const double* const t_sub = t + sub;
+        const size_t first_span = sub / kBoundSpan;
+        const size_t sub_nspans = (m + kBoundSpan - 1) / kBoundSpan;
+        uint64_t span_min[kFusedSubBlock / kBoundSpan];
         size_t sub_processed;
         if (use_mega) {
-          // Lane-resident sub-block: no fill at all — the pairwise scan
-          // megakernel generates each query's words in registers as it
-          // tests it, and the running State is the cursor the resume
-          // segments continue from. Afterwards the substream is restored
-          // to the sub-block end (advancing past any unscanned remainder
-          // on a cutoff exit), exactly where the composition's upfront
-          // bounded fill leaves it.
-          BlockRng::State cur = state_->nu_rng.state();
-          size_t cur_pos = 0;
-          const auto find_next = [&](size_t from, double rho) {
-            SVT_DCHECK(from == cur_pos);
-            ++stats->tier2_fused_segments;
-            const vec::FusedScanHit hit =
-                exp_nu ? vec::MegaExpScanSumGePairwise(
-                             &cur, nu_scale, {a_sub + from, m - from},
-                             {t_sub + from, m - from}, rho)
-                       : vec::MegaLaplaceScanSumGePairwise(
-                             &cur, 0.0, nu_scale, {a_sub + from, m - from},
-                             {t_sub + from, m - from}, rho);
-            cur_pos = from + hit.index + (hit.index < m - from ? 1 : 0);
-            return vec::FusedScanHit{from + hit.index, hit.nu};
+          // Lane-resident sub-block: a generate-and-bound prepass steps
+          // the lanes through the sub-block once, recording the per-span
+          // magnitude minima (the pipeline's ν-bound inputs) and a
+          // checkpoint at every span entry, then the substream is restored
+          // to the sub-block end — the prepass consumes exactly m·wpv
+          // words, so the stream position matches the composition's
+          // upfront fill whatever the walk later skips. Skipped spans'
+          // words are never regenerated; surviving spans re-enter the
+          // pairwise scan megakernel from their checkpoints.
+          BlockRng::State span_states[kFusedSubBlock / kBoundSpan];
+          BlockRng::State end_state = state_->nu_rng.state();
+          vec::MegaFillMinSpans(&end_state, m, wpv, kBoundSpan, span_min,
+                                span_states);
+          state_->nu_rng.RestoreState(end_state);
+          pipe.SetSpanNoiseMinima(span_min, first_span, sub_nspans);
+
+          BlockRng::State cur;        // resume cursor, at element cur_pos
+          size_t cur_pos = SIZE_MAX;  // once established
+          const auto find_next = [&](size_t from,
+                                     double rho) -> vec::FusedScanHit {
+            size_t s = from;
+            if (s % kBoundSpan != 0 && s < m) {
+              // Off-grid resume after a positive: scan the firing span's
+              // remainder exactly from the cursor the hit left behind
+              // (heads are never bound-checked), then re-anchor on the
+              // prepass grid.
+              const size_t mh = std::min(kBoundSpan - s % kBoundSpan, m - s);
+              ++stats->tier2_fused_segments;
+              if (cur_pos != s) {
+                const size_t j = s / kBoundSpan;
+                cur = span_states[j];
+                const size_t p = s - j * kBoundSpan;
+                if (p > 0) {
+                  uint64_t scratch;
+                  vec::MegaFillMinSpans(&cur, p, wpv, p, &scratch, nullptr);
+                }
+                cur_pos = s;
+              }
+              BlockRng::State scan_st = cur;
+              const vec::FusedScanHit hit =
+                  exp_nu ? vec::MegaExpScanSumGePairwise(
+                               &scan_st, nu_scale, {a_sub + s, mh},
+                               {t_sub + s, mh}, rho)
+                         : vec::MegaLaplaceScanSumGePairwise(
+                               &scan_st, 0.0, nu_scale, {a_sub + s, mh},
+                               {t_sub + s, mh}, rho);
+              if (hit.index < mh) {
+                cur = scan_st;  // at element s + hit.index + 1
+                cur_pos = s + hit.index + 1;
+                return {s + hit.index, hit.nu};
+              }
+              s += mh;
+            }
+            while (s < m) {
+              const size_t j = s / kBoundSpan;
+              const size_t mm = std::min(kBoundSpan, m - s);
+              if (!pipe.SpanCanFirePerQuery(first_span + j, rho)) {
+                s += mm;
+                continue;
+              }
+              ++stats->tier2_fused_segments;
+              BlockRng::State scan_st = span_states[j];
+              const vec::FusedScanHit hit =
+                  exp_nu ? vec::MegaExpScanSumGePairwise(
+                               &scan_st, nu_scale, {a_sub + s, mm},
+                               {t_sub + s, mm}, rho)
+                         : vec::MegaLaplaceScanSumGePairwise(
+                               &scan_st, 0.0, nu_scale, {a_sub + s, mm},
+                               {t_sub + s, mm}, rho);
+              if (hit.index < mm) {
+                cur = scan_st;  // at element s + hit.index + 1
+                cur_pos = s + hit.index + 1;
+                return {s + hit.index, hit.nu};
+              }
+              s += mm;
+            }
+            cur_pos = m;
+            return {m, 0.0};
           };
           sub_processed = ScanChunk(a_sub, m, find_next, res + done + sub);
-          if (cur_pos < m) {
-            uint64_t unused;
-            vec::MegaFillMinSpans(&cur, m - cur_pos, wpv, m - cur_pos,
-                                  &unused, nullptr);
-          }
-          state_->nu_rng.RestoreState(cur);
+          // The prepass already left the substream at the sub-block end —
+          // nothing to advance, even on a cutoff exit mid-block.
         } else {
           size_t filled = 0;
           while (filled < wpv * m) {
@@ -595,19 +648,50 @@ size_t BatchRunner::Run(std::span<const double> answers,
                 {words + filled, wpv * m - filled});
           }
           const uint64_t* const w = words;
-          const auto find_next = [a_sub, t_sub, w, m, nu_scale, stats,
-                                  exp_nu](size_t from, double rho) {
-            ++stats->tier2_fused_segments;
-            const vec::FusedScanHit hit =
-                exp_nu ? vec::FusedExpScanSumGePairwise(
-                             {w + from, m - from}, nu_scale,
-                             {a_sub + from, m - from}, {t_sub + from, m - from},
-                             rho)
-                       : vec::FusedLaplaceScanSumGePairwise(
-                             {w + 2 * from, 2 * (m - from)}, 0.0, nu_scale,
-                             {a_sub + from, m - from}, {t_sub + from, m - from},
-                             rho);
-            return vec::FusedScanHit{from + hit.index, hit.nu};
+          // Same per-span minima as the prepass records (same words, and
+          // unsigned min is association-free) — skip decisions and
+          // counters stay equal between the modes bit for bit.
+          for (size_t k = 0; k < sub_nspans; ++k) {
+            const size_t s = k * kBoundSpan;
+            const size_t mm = std::min(kBoundSpan, m - s);
+            span_min[k] = vec::MinWordBlock({w + wpv * s, wpv * mm}, wpv);
+          }
+          pipe.SetSpanNoiseMinima(span_min, first_span, sub_nspans);
+          const auto find_next = [&](size_t from,
+                                     double rho) -> vec::FusedScanHit {
+            size_t s = from;
+            if (s % kBoundSpan != 0 && s < m) {
+              const size_t mh = std::min(kBoundSpan - s % kBoundSpan, m - s);
+              ++stats->tier2_fused_segments;
+              const vec::FusedScanHit hit =
+                  exp_nu ? vec::FusedExpScanSumGePairwise(
+                               {w + s, mh}, nu_scale, {a_sub + s, mh},
+                               {t_sub + s, mh}, rho)
+                         : vec::FusedLaplaceScanSumGePairwise(
+                               {w + 2 * s, 2 * mh}, 0.0, nu_scale,
+                               {a_sub + s, mh}, {t_sub + s, mh}, rho);
+              if (hit.index < mh) return {s + hit.index, hit.nu};
+              s += mh;
+            }
+            while (s < m) {
+              const size_t j = s / kBoundSpan;
+              const size_t mm = std::min(kBoundSpan, m - s);
+              if (!pipe.SpanCanFirePerQuery(first_span + j, rho)) {
+                s += mm;
+                continue;
+              }
+              ++stats->tier2_fused_segments;
+              const vec::FusedScanHit hit =
+                  exp_nu ? vec::FusedExpScanSumGePairwise(
+                               {w + s, mm}, nu_scale, {a_sub + s, mm},
+                               {t_sub + s, mm}, rho)
+                         : vec::FusedLaplaceScanSumGePairwise(
+                               {w + 2 * s, 2 * mm}, 0.0, nu_scale,
+                               {a_sub + s, mm}, {t_sub + s, mm}, rho);
+              if (hit.index < mm) return {s + hit.index, hit.nu};
+              s += mm;
+            }
+            return {m, 0.0};
           };
           sub_processed = ScanChunk(a_sub, m, find_next, res + done + sub);
         }

@@ -18,9 +18,12 @@
 //     words — the ν block of the pre-fusion engine is never materialized,
 //     and resume segments after a positive re-enter the kernel past it, so
 //     every word pair is transformed exactly once per chunk;
-//   * per-query-threshold chunks (no sound tier-1 bound) pull their words
-//     through Rng::FillUint64Bounded in L1-resident sub-blocks and scan
-//     them fused while still hot;
+//   * per-query-threshold chunks (no sound chunk-wide tier-1 bound — there
+//     is no single bar) pull their words through Rng::FillUint64Bounded in
+//     L1-resident sub-blocks and scan them fused while still hot, with a
+//     per-span bound of their own: the BoundPipeline pairs each span's
+//     answer upper bound with its *threshold lower bound*, so spans that
+//     provably cannot fire under any of their bars skip the scan outright;
 //   * a slow path only at positives, handling the cutoff, Alg. 2's ρ
 //     resampling, Alg. 3's q+ν output and ε₃ numeric answers.
 //
@@ -39,6 +42,13 @@
 // responses, statistics, and stream positions (the megakernels are
 // stream-neutral by the vecmath equivalence contract), so the toggle is
 // purely a performance axis — and the A/B seam the paired benchmarks use.
+//
+// Every conservative skip decision above — tier-1 chunk tests, tier-2
+// span tests (common and per-query), and the megakernels' skip-word
+// inputs — is computed by a single BoundPipeline (core/bound_pipeline.h),
+// which optionally reads a quantized BoundPrefilter
+// (data/bound_prefilter.h) instead of the double arrays; the runner only
+// decides how surviving spans get scanned.
 //
 // Which tier each chunk took is counted in SvtRunState::batch (exposed as
 // SpecDrivenSvt::batch_stats()) so tests and capacity planning can verify
@@ -115,6 +125,18 @@ class BatchRunner {
   /// tier-1 chunk bound enabled.
   size_t Run(std::span<const double> answers, double threshold,
              std::vector<Response>* out);
+
+  /// Prefiltered forms: `prefilter` (may be null) must be built over
+  /// exactly these answers (and, pairwise, thresholds) arrays — sizes are
+  /// checked. When attached and SVT_BOUND_PREFILTER is on, the
+  /// BoundPipeline's skip decisions read the quantized codes instead of
+  /// the doubles; responses, statistics beyond the bound counters, and
+  /// stream positions are bit-identical either way (core/svt.h contract).
+  size_t Run(std::span<const double> answers,
+             std::span<const double> thresholds,
+             const BoundPrefilter* prefilter, std::vector<Response>* out);
+  size_t Run(std::span<const double> answers, double threshold,
+             const BoundPrefilter* prefilter, std::vector<Response>* out);
 
  private:
   Response MakePositiveResponse(double answer, double nu_j);

@@ -151,6 +151,7 @@ size_t ShardedSvtServer::ExecuteLocked(Shard& shard,
   shard.stats.exec_nanos += exec_nanos;
   shard.stats.exec_nanos_max =
       std::max(shard.stats.exec_nanos_max, exec_nanos);
+  shard.stats.exec_hist.Add(exec_nanos);
   return appended;
 }
 
@@ -239,6 +240,7 @@ ServingStats ShardedSvtServer::TotalStats() const {
     total.stall_nanos += s.stall_nanos;
     total.exec_nanos += s.exec_nanos;
     total.exec_nanos_max = std::max(total.exec_nanos_max, s.exec_nanos_max);
+    total.exec_hist.Merge(s.exec_hist);
   }
   return total;
 }

@@ -39,6 +39,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/response.h"
 #include "core/svt.h"
 #include "interactive/session.h"
@@ -113,6 +114,14 @@ struct ServingStats {
   /// total across requests, and the slowest single request.
   int64_t exec_nanos = 0;
   int64_t exec_nanos_max = 0;
+  /// Per-request execution-time distribution (same clock samples as
+  /// exec_nanos), log2-bucketed so tail latency is visible in telemetry
+  /// instead of only the mean and max. Deterministic under a VirtualClock.
+  LatencyHistogram exec_hist;
+
+  /// Conservative (upper-edge) percentile views of exec_hist.
+  int64_t exec_p50_nanos() const { return exec_hist.PercentileUpperNanos(0.50); }
+  int64_t exec_p99_nanos() const { return exec_hist.PercentileUpperNanos(0.99); }
 };
 
 class RequestBatcher;

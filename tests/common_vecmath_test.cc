@@ -353,6 +353,101 @@ TEST(VecmathDispatchTest, ReductionsAndScansAcrossLevels) {
   }
 }
 
+TEST(VecmathDispatchTest, MinBlockBitIdenticalAcrossLevels) {
+  ScopedDispatchLevel restore;
+  Rng rng(11);
+  std::vector<double> a(1000);
+  rng.FillDouble(a);
+  // Adversarial splices: signed zeros, subnormals, infinities, max
+  // magnitude — the values the bar-lower reduction meets in practice.
+  a[0] = -0.0;
+  a[1] = 0.0;
+  a[13] = 5e-324;
+  a[14] = -5e-324;
+  a[500] = -std::numeric_limits<double>::max();
+  a[501] = std::numeric_limits<double>::infinity();
+  a[502] = -std::numeric_limits<double>::infinity();
+
+  SetDispatchLevel(DispatchLevel::kScalar);
+  const double ref_min = MinBlock(a);
+  EXPECT_EQ(ref_min, -std::numeric_limits<double>::infinity());
+  for (DispatchLevel level :
+       {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (!SetDispatchLevel(level)) continue;
+    EXPECT_EQ(std::bit_cast<uint64_t>(MinBlock(a)),
+              std::bit_cast<uint64_t>(ref_min))
+        << DispatchLevelName(level);
+  }
+
+  // Odd lengths exercise the scalar tails; finite values check the
+  // non-sentinel path too.
+  std::vector<double> b(64);
+  rng.FillDouble(b);
+  for (size_t len : {1u, 2u, 3u, 5u, 7u, 9u, 15u, 31u, 33u, 64u}) {
+    const std::span<const double> head(b.data(), len);
+    SetDispatchLevel(DispatchLevel::kScalar);
+    const double m_scalar = MinBlock(head);
+    for (DispatchLevel level :
+         {DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+      if (!SetDispatchLevel(level)) continue;
+      EXPECT_EQ(std::bit_cast<uint64_t>(MinBlock(head)),
+                std::bit_cast<uint64_t>(m_scalar))
+          << DispatchLevelName(level) << " len=" << len;
+    }
+  }
+}
+
+template <typename Code>
+void CheckQuantizedSpanReductions() {
+  ScopedDispatchLevel restore;
+  Rng rng(17);
+  constexpr Code kMax = std::numeric_limits<Code>::max();
+  std::vector<Code> codes(1000);
+  for (Code& c : codes) {
+    c = static_cast<Code>(rng.NextUint64() & kMax);
+  }
+  codes[3] = kMax;  // sentinel value must surface through Max
+  codes[900] = 0;   // and 0 through Min
+
+  // Exact scalar references.
+  auto ref_max = [&](std::span<const Code> s) {
+    Code m = 0;
+    for (Code c : s) m = std::max(m, c);
+    return m;
+  };
+  auto ref_min = [&](std::span<const Code> s) {
+    Code m = kMax;
+    for (Code c : s) m = std::min(m, c);
+    return m;
+  };
+
+  for (size_t start : {0u, 1u, 3u}) {
+    for (size_t len : {1u, 2u, 15u, 16u, 17u, 31u, 32u, 33u, 128u, 997u}) {
+      if (start + len > codes.size()) continue;
+      const std::span<const Code> s(codes.data() + start, len);
+      for (DispatchLevel level :
+           {DispatchLevel::kScalar, DispatchLevel::kAvx2,
+            DispatchLevel::kAvx512}) {
+        if (!SetDispatchLevel(level)) continue;
+        EXPECT_EQ(QuantizedSpanMax(s), ref_max(s))
+            << DispatchLevelName(level) << " start=" << start
+            << " len=" << len;
+        EXPECT_EQ(QuantizedSpanMin(s), ref_min(s))
+            << DispatchLevelName(level) << " start=" << start
+            << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(VecmathDispatchTest, QuantizedSpanReductionsAcrossLevels) {
+  // Integer max/min are exact at every level, so the assertion is equality
+  // with a scalar loop — covering both code widths, unaligned starts, and
+  // every tail shape of the 128-element bound span and beyond.
+  CheckQuantizedSpanReductions<uint8_t>();
+  CheckQuantizedSpanReductions<uint16_t>();
+}
+
 TEST(VecmathDispatchTest, PairwiseScansAcrossLevels) {
   // The per-query-threshold compare-scan: bars vary per element. Checked
   // against a literal transcription of the streaming positive test, at

@@ -638,5 +638,73 @@ TEST(LatencyStatsTest, ExecNanosTrackTheInjectedClock) {
   EXPECT_EQ(stats.exec_nanos_max, 10);
 }
 
+TEST(LatencyStatsTest, HistogramBucketsAndConservativeQuantiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.PercentileUpperNanos(0.5), 0);  // empty
+  // Values across bucket boundaries: 0 (bucket 0), 1, 100, 800, 4100.
+  const int64_t values[] = {0, 1, 100, 800, 4100};
+  for (int64_t v : values) h.Add(v);
+  h.Add(-7);  // skewed-clock negative clamps into bucket 0
+  EXPECT_EQ(h.count(), 6);
+  // Upper-edge quantiles bound the true nearest-rank quantile from above:
+  // rank ceil(0.5*6)=3 → value 1 (after the two bucket-0 entries), upper
+  // edge of bucket [1, 1] is 1.
+  EXPECT_EQ(h.PercentileUpperNanos(0.5), 1);
+  // rank ceil(0.99*6)=6 → value 4100, bucket [4096, 8191].
+  EXPECT_EQ(h.PercentileUpperNanos(0.99), 8191);
+  EXPECT_EQ(h.PercentileUpperNanos(0.0), 0);  // rank clamps to 1 → value 0
+  // Merge is a plain counter sum.
+  LatencyHistogram other;
+  other.Add(4100);
+  other.Merge(h);
+  EXPECT_EQ(other.count(), 7);
+  EXPECT_EQ(other.PercentileUpperNanos(1.0), 8191);
+}
+
+TEST(LatencyStatsTest, ServingPercentilesAreDeterministicOnInjectedClock) {
+  // A scripted clock hands out exact start/end pairs per request, so the
+  // per-shard p50/p99 are a pure function of the request sequence — two
+  // identically-driven servers report identical percentiles.
+  class ScriptedClock : public Clock {
+   public:
+    int64_t NowNanos() override {
+      const int64_t v = script_[std::min(i_, script_.size() - 1)];
+      ++i_;
+      return v;
+    }
+    void SleepFor(int64_t /*nanos*/) override {}
+
+   private:
+    // (start, end) per request: durations 100, 100, 100, 800, 64000.
+    std::vector<int64_t> script_ = {0,    100,   200,  300,  400, 500,
+                                    1000, 1800,  2000, 66000};
+    size_t i_ = 0;
+  };
+  ScriptedClock clock_a, clock_b;
+  const std::vector<double> answers = MakeAnswers(10, 71);
+  auto run = [&](Clock* clock) {
+    ServingOptions so = AutoResetOptions(1, 24);
+    so.clock = clock;
+    auto server = ShardedSvtServer::Create(so).value();
+    std::vector<Response> out;
+    for (int i = 0; i < 5; ++i) {
+      server->ExecuteOnShard(0, answers, 0.0, &out);
+    }
+    return server->TotalStats();
+  };
+  const ServingStats a = run(&clock_a);
+  const ServingStats b = run(&clock_b);
+  EXPECT_EQ(a.exec_hist.count(), 5);
+  // Three 100ns requests put the median in [64, 127]; the 64000ns tail
+  // lands p99 in [32768, 65535]. Upper edges are what's reported.
+  EXPECT_EQ(a.exec_p50_nanos(), 127);
+  EXPECT_EQ(a.exec_p99_nanos(), 65535);
+  EXPECT_EQ(b.exec_p50_nanos(), a.exec_p50_nanos());
+  EXPECT_EQ(b.exec_p99_nanos(), a.exec_p99_nanos());
+  // The percentiles never understate: max duration <= p100 upper edge.
+  EXPECT_GE(a.exec_hist.PercentileUpperNanos(1.0), a.exec_nanos_max);
+}
+
 }  // namespace
 }  // namespace svt
