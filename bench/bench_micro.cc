@@ -324,6 +324,13 @@ void RunBatchPerQueryNearThresholdBody(benchmark::State& state,
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  // Reset() zeroes the counters, so this is the last iteration's run: the
+  // fraction of per-query elements whose transform the span skip words
+  // discharged — identical in both modes by the counter's contract, and
+  // the quantity the PR-10 pairwise-bounded kernels monetize.
+  state.counters["words_skipped_frac"] =
+      static_cast<double>(mech->batch_stats().mega_words_skipped_q) /
+      static_cast<double>(state.range(0));
   state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
 }
 
@@ -337,6 +344,58 @@ void BM_SvtRunBatchPerQueryNearThresholdComposition(
   RunBatchPerQueryNearThresholdBody(state, BatchKernelMode::kComposition);
 }
 BENCHMARK(BM_SvtRunBatchPerQueryNearThresholdComposition)
+    ->Arg(1 << 20)
+    ->Arg(65536);
+
+void RunBatchResampleNearThresholdBody(benchmark::State& state,
+                                       BatchKernelMode mode) {
+  // RevSVT-style resample-heavy regime: ρ is redrawn after every positive,
+  // so tier-2 resumes re-enter mid-chunk under a moved bar — many times
+  // per chunk at this positive rate (~e⁻⁴/2 per query). Before PR 10 the
+  // megakernel arm's cached fused-scan hits were unusable under any bar
+  // move and every resume regenerated from span checkpoints; now upward
+  // moves replay the cache with exact revalidation and only downward
+  // moves rebuild. The paired composition arm rescans its scratch words
+  // from the resume point either way.
+  ScopedKernelModeBench scoped(mode);
+  Rng rng(5);
+  SvtOptions o;
+  o.epsilon = 0.1;
+  o.cutoff = 1 << 20;
+  o.monotonic = true;
+  o.resample_threshold_noise = true;
+  auto mech = SparseVector::Create(o, &rng).value();
+  const double nu_scale = mech->query_noise_scale();
+  std::vector<double> answers(static_cast<size_t>(state.range(0)));
+  Rng gen(7);
+  for (double& a : answers) {
+    a = (-4.0 + (gen.NextDouble() - 0.5)) * nu_scale;  // frequent positives
+  }
+  std::vector<Response> out;
+  for (auto _ : state) {
+    mech->Reset();
+    out.clear();
+    mech->RunAppend(answers, 0.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  // Resumes that re-entered under a moved ρ, per iteration (Reset()
+  // zeroes the counters): the volume the cached replay now absorbs.
+  state.counters["rederivations_per_iter"] = static_cast<double>(
+      mech->batch_stats().replay_rederivations);
+  state.SetLabel(vec::DispatchLevelName(vec::ActiveDispatchLevel()));
+}
+
+void BM_SvtRunBatchResampleNearThreshold(benchmark::State& state) {
+  RunBatchResampleNearThresholdBody(state, BatchKernelMode::kMegakernel);
+}
+BENCHMARK(BM_SvtRunBatchResampleNearThreshold)->Arg(1 << 20)->Arg(65536);
+
+void BM_SvtRunBatchResampleNearThresholdComposition(
+    benchmark::State& state) {
+  RunBatchResampleNearThresholdBody(state, BatchKernelMode::kComposition);
+}
+BENCHMARK(BM_SvtRunBatchResampleNearThresholdComposition)
     ->Arg(1 << 20)
     ->Arg(65536);
 

@@ -27,7 +27,7 @@ BENCH="${BENCH:-build/bench_micro}"
 BENCH_B="${BENCH_B:-$BENCH}"
 REPS="${REPS:-5}"
 MIN_TIME="${MIN_TIME:-0.25}"
-FILTER="${1:-BM_SvtRunBatch/|BM_SvtRunBatchNearThreshold|BM_SvtRunBatchPerQueryNearThreshold|BM_FusedLaplaceScanSumGePairwise|BM_RngFillUint64|BM_LaplaceSampleBlock}"
+FILTER="${1:-BM_SvtRunBatch/|BM_SvtRunBatchNearThreshold|BM_SvtRunBatchPerQueryNearThreshold|BM_SvtRunBatchResampleNearThreshold|BM_FusedLaplaceScanSumGePairwise|BM_RngFillUint64|BM_LaplaceSampleBlock}"
 FILTER_B="${2:-}"
 
 for bin in "$BENCH" "$BENCH_B"; do
@@ -42,9 +42,11 @@ trap 'rm -f "$tmp"' EXIT
 
 # run_arm <binary> <filter> <name-suffix>: one bench invocation, appending
 # "name metric value" lines to $tmp — items/sec (unit-expanded) always,
-# plus the bound-prefilter prune_rate counter where a benchmark exports it
+# plus the diagnostic counters some benchmarks export: prune_rate
 # (BM_SvtRunBatchNearThresholdPrefiltered: fraction of tier-2 span visits
-# the quantized bound level discharged).
+# the quantized bound level discharged) and words_skipped_frac
+# (BM_SvtRunBatchPerQueryNearThreshold*: fraction of per-query elements
+# whose transform the span skip words discharged).
 run_arm() {
   "$1" --benchmark_filter="$2" --benchmark_min_time="$MIN_TIME" \
     2>/dev/null |
@@ -58,10 +60,12 @@ run_arm() {
       else if (v ~ /k\/s$/) mult = 1e3
       sub(/[GMk]?\/s$/, "", v)
       printf "%s%s items_per_second %.6e\n", $1, suffix, v * mult
-      for (f = 1; f <= NF; ++f) if ($f ~ /^prune_rate=/) {
+      for (f = 1; f <= NF; ++f) if ($f ~ /^(prune_rate|words_skipped_frac)=/) {
         p = $f
-        sub(/^prune_rate=/, "", p)
-        printf "%s%s prune_rate %.6e\n", $1, suffix, p + 0
+        key = $f
+        sub(/=.*/, "", key)
+        sub(/^[a-z_]+=/, "", p)
+        printf "%s%s %s %.6e\n", $1, suffix, key, p + 0
       }
     }' >>"$tmp"
 }

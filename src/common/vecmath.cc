@@ -633,6 +633,117 @@ size_t MegaExpFillMinScanSpansScalar(BlockRng::State* st, double b,
   return found;
 }
 
+// Scalar reference lanes of the pairwise bounded scans: the pairwise
+// walkers with the skip-word discharge inline. Stream advance unchanged,
+// and skipped elements provably cannot fire any pairwise test covered by
+// the skip word, so results and end states are bit-identical to the
+// unbounded pairwise walkers.
+
+FusedScanHit MegaScanSumGePairwiseBoundedScalar(BlockRng::State* st, double mu,
+                                                double b, const double* a,
+                                                const double* bars, double rho,
+                                                uint64_t skip_word, size_t n,
+                                                size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const uint64_t w_mag = MegaNextWord(st);
+    const uint64_t w_sign = MegaNextWord(st);
+    if ((w_mag >> 11) >= skip_word) continue;
+    const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+    if (a[i] + nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+FusedScanHit MegaExpScanSumGePairwiseBoundedScalar(BlockRng::State* st,
+                                                   double b, const double* a,
+                                                   const double* bars,
+                                                   double rho,
+                                                   uint64_t skip_word,
+                                                   size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    const uint64_t word = MegaNextWord(st);
+    if ((word >> 11) >= skip_word) continue;
+    const double nu = ExpNuScalar(word, b);
+    if (a[i] + nu >= bars[i] + rho) return {i, nu};
+  }
+  return {n, 0.0};
+}
+
+// Scalar lanes of the per-query fused generate-bound-and-scan pass: the
+// generate-and-bound walk with the pairwise bounded test riding along,
+// the skip threshold reloaded from the per-span vector at every span
+// boundary, and the skipped-element count accumulated per element (a
+// pure function of words and vector — dispatch-level-independent).
+
+size_t MegaLaplaceFillMinScanSpansPairwiseScalar(
+    BlockRng::State* st, double mu, double b, const double* a,
+    const double* bars, double rho, const uint64_t* skip_words, size_t count,
+    size_t span_elems, uint64_t* span_min, BlockRng::State* span_states,
+    FusedScanHit* hits, size_t max_hits, uint64_t* skipped_out) {
+  uint64_t skipped = 0;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    const uint64_t skip_word = skip_words[span];
+    if (span_states != nullptr) span_states[span] = *st;
+    uint64_t m = UINT64_MAX;
+    for (; e < span_end; ++e) {
+      const uint64_t w_mag = MegaNextWord(st);
+      const uint64_t w_sign = MegaNextWord(st);
+      m = std::min(m, w_mag);
+      if ((w_mag >> 11) >= skip_word) {
+        ++skipped;
+        continue;
+      }
+      const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+      if (a[e] + nu >= bars[e] + rho) {
+        if (found < max_hits) hits[found] = {e, nu};
+        ++found;
+      }
+    }
+    span_min[span] = m;
+    ++span;
+  }
+  *skipped_out = skipped;
+  return found;
+}
+
+size_t MegaExpFillMinScanSpansPairwiseScalar(
+    BlockRng::State* st, double b, const double* a, const double* bars,
+    double rho, const uint64_t* skip_words, size_t count, size_t span_elems,
+    uint64_t* span_min, BlockRng::State* span_states, FusedScanHit* hits,
+    size_t max_hits, uint64_t* skipped_out) {
+  uint64_t skipped = 0;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    const uint64_t skip_word = skip_words[span];
+    if (span_states != nullptr) span_states[span] = *st;
+    uint64_t m = UINT64_MAX;
+    for (; e < span_end; ++e) {
+      const uint64_t word = MegaNextWord(st);
+      m = std::min(m, word);
+      if ((word >> 11) >= skip_word) {
+        ++skipped;
+        continue;
+      }
+      const double nu = ExpNuScalar(word, b);
+      if (a[e] + nu >= bars[e] + rho) {
+        if (found < max_hits) hits[found] = {e, nu};
+        ++found;
+      }
+    }
+    span_min[span] = m;
+    ++span;
+  }
+  *skipped_out = skipped;
+  return found;
+}
+
 }  // namespace
 
 #if SVT_VECMATH_HAVE_AVX2
@@ -1732,6 +1843,287 @@ __attribute__((target("avx2"))) size_t MegaExpFillMinScanSpansAvx2(
   return found;
 }
 
+// Pairwise bounded scan lanes: the pairwise scan bodies with the bounded
+// lanes' group skip test in front (per-group shift/compare/movemask; a
+// dead group bypasses the whole transform-and-test body). Same signed-
+// compare validity argument as the common-bar bounded lanes.
+
+__attribute__((target("avx2"))) FusedScanHit
+MegaLaplaceScanSumGePairwiseBoundedAvx2(BlockRng::State* st, double mu,
+                                        double b, const double* a,
+                                        const double* bars, double rho,
+                                        uint64_t skip_word, size_t n) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+    // Magnitude words (order-free for the any-live test), top 53 bits.
+    const __m256i mag53 = _mm256_srli_epi64(_mm256_unpacklo_epi64(v0, v1), 11);
+    const __m256i live = _mm256_cmpgt_epi64(vskip, mag53);
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(live)) == 0) continue;
+    const __m256d nu = LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGePairwiseBoundedScalar(st, mu, b, a, bars, rho, skip_word,
+                                            n, i);
+}
+
+__attribute__((target("avx2"))) FusedScanHit
+MegaExpScanSumGePairwiseBoundedAvx2(BlockRng::State* st, double b,
+                                    const double* a, const double* bars,
+                                    double rho, uint64_t skip_word, size_t n) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i v = lockstep::Step4Avx2(s0, s1, s2, s3);
+    const __m256i live = _mm256_cmpgt_epi64(vskip, _mm256_srli_epi64(v, 11));
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(live)) == 0) continue;
+    const __m256d nu = ExpNu4Avx2Reg(v, vnb);
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + i), nu);
+    const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + i), vrho);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+    if (mask != 0) return MegaHitAvx2(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGePairwiseBoundedScalar(st, b, a, bars, rho, skip_word,
+                                               n, i);
+}
+
+// Per-query fused generate-bound-and-scan lanes: the FillMinScanSpans
+// walk with the pairwise bounded test, the skip threshold reloaded from
+// the per-span vector at each span entry, and the skipped-element count
+// accumulated from the group live masks (element-granular — the count is
+// what the scalar lane's per-element test produces, whatever the lane
+// width, so it stays dispatch-level-independent).
+
+__attribute__((target("avx2"))) size_t
+MegaLaplaceFillMinScanSpansPairwiseAvx2(
+    BlockRng::State* st, double mu, double b, const double* a,
+    const double* bars, double rho, const uint64_t* skip_words, size_t count,
+    size_t span_elems, uint64_t* span_min, BlockRng::State* span_states,
+    FusedScanHit* hits, size_t max_hits, uint64_t* skipped_out) {
+  const __m256d vmu = _mm256_set1_pd(mu);
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t skipped = 0;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    const uint64_t skip_word = skip_words[span];
+    const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (; e + 4 <= span_end; e += 4) {
+      const __m256i v0 = lockstep::Step4Avx2(s0, s1, s2, s3);
+      const __m256i v1 = lockstep::Step4Avx2(s0, s1, s2, s3);
+      // Magnitude words (order-free for min, any-live, and the count).
+      const __m256i mags = _mm256_unpacklo_epi64(v0, v1);
+      acc = MinU64Avx2(acc, mags);
+      const __m256i live =
+          _mm256_cmpgt_epi64(vskip, _mm256_srli_epi64(mags, 11));
+      const int lmask = _mm256_movemask_pd(_mm256_castsi256_pd(live));
+      skipped += 4 - static_cast<unsigned>(
+                         __builtin_popcount(static_cast<unsigned>(lmask)));
+      if (lmask == 0) continue;
+      const __m256d nu = LaplaceNu4Avx2Reg(v0, v1, vmu, vnb);
+      const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + e), nu);
+      const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + e), vrho);
+      int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+      if (mask != 0) {
+        alignas(32) double nus[4];
+        _mm256_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    uint64_t m = std::min(std::min(lanes[0], lanes[1]),
+                          std::min(lanes[2], lanes[3]));
+    if (e < span_end) {
+      // Sub-group span tail: only the final span can be short (dispatch
+      // entry point guarantee), so spilling to scalar ends the call.
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t w_mag = MegaNextWord(st);
+        const uint64_t w_sign = MegaNextWord(st);
+        m = std::min(m, w_mag);
+        if ((w_mag >> 11) >= skip_word) {
+          ++skipped;
+          continue;
+        }
+        const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+        if (a[e] + nu >= bars[e] + rho) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *skipped_out = skipped;
+      return found;
+    }
+    span_min[span] = m;
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *skipped_out = skipped;
+  return found;
+}
+
+__attribute__((target("avx2"))) size_t MegaExpFillMinScanSpansPairwiseAvx2(
+    BlockRng::State* st, double b, const double* a, const double* bars,
+    double rho, const uint64_t* skip_words, size_t count, size_t span_elems,
+    uint64_t* span_min, BlockRng::State* span_states, FusedScanHit* hits,
+    size_t max_hits, uint64_t* skipped_out) {
+  const __m256d vnb = _mm256_set1_pd(-b);
+  const __m256d vrho = _mm256_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t skipped = 0;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    const uint64_t skip_word = skip_words[span];
+    const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (; e + 4 <= span_end; e += 4) {
+      const __m256i v = lockstep::Step4Avx2(s0, s1, s2, s3);
+      acc = MinU64Avx2(acc, v);
+      const __m256i live = _mm256_cmpgt_epi64(vskip, _mm256_srli_epi64(v, 11));
+      const int lmask = _mm256_movemask_pd(_mm256_castsi256_pd(live));
+      skipped += 4 - static_cast<unsigned>(
+                         __builtin_popcount(static_cast<unsigned>(lmask)));
+      if (lmask == 0) continue;
+      const __m256d nu = ExpNu4Avx2Reg(v, vnb);
+      const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(a + e), nu);
+      const __m256d bar = _mm256_add_pd(_mm256_loadu_pd(bars + e), vrho);
+      int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, bar, _CMP_GE_OQ));
+      if (mask != 0) {
+        alignas(32) double nus[4];
+        _mm256_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    uint64_t m = std::min(std::min(lanes[0], lanes[1]),
+                          std::min(lanes[2], lanes[3]));
+    if (e < span_end) {
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t word = MegaNextWord(st);
+        m = std::min(m, word);
+        if ((word >> 11) >= skip_word) {
+          ++skipped;
+          continue;
+        }
+        const double nu = ExpNuScalar(word, b);
+        if (a[e] + nu >= bars[e] + rho) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *skipped_out = skipped;
+      return found;
+    }
+    span_min[span] = m;
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *skipped_out = skipped;
+  return found;
+}
+
+// Scratch-buffer skipped-word count for the composition mode: same
+// shift/compare/popcount as the fused lanes, over the already-filled word
+// buffer (element words are every wpv-th, starting at the first; the
+// wpv == 2 unpack is order-free for counting).
+
+__attribute__((target("avx2"))) size_t SkipWordCountBlockAvx2(
+    const uint64_t* words, size_t n, size_t wpv, uint64_t skip_word) {
+  const __m256i vskip = _mm256_set1_epi64x(static_cast<int64_t>(skip_word));
+  size_t c = 0;
+  size_t i = 0;
+  if (wpv == 2) {
+    for (; i + 8 <= n; i += 8) {
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i + 4));
+      const __m256i mag53 =
+          _mm256_srli_epi64(_mm256_unpacklo_epi64(v0, v1), 11);
+      const __m256i live = _mm256_cmpgt_epi64(vskip, mag53);
+      const int lmask = _mm256_movemask_pd(_mm256_castsi256_pd(live));
+      c += 4 - static_cast<unsigned>(
+                   __builtin_popcount(static_cast<unsigned>(lmask)));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+      const __m256i live = _mm256_cmpgt_epi64(vskip, _mm256_srli_epi64(v, 11));
+      const int lmask = _mm256_movemask_pd(_mm256_castsi256_pd(live));
+      c += 4 - static_cast<unsigned>(
+                   __builtin_popcount(static_cast<unsigned>(lmask)));
+    }
+  }
+  for (; i < n; i += wpv) c += (words[i] >> 11) >= skip_word;
+  return c;
+}
+
 }  // namespace
 
 #endif  // SVT_VECMATH_HAVE_AVX2
@@ -1740,10 +2132,12 @@ __attribute__((target("avx2"))) size_t MegaExpFillMinScanSpansAvx2(
 
 // GCC's AVX-512 intrinsic headers initialize "undefined" vectors with a
 // self-read (`__m512i __Y = __Y;`), which -Wmaybe-uninitialized flags
-// through inlining on GCC 12. Header-internal false positive; silence it
-// for this lane only.
+// through inlining on GCC 12 — and which surfaces as plain -Wuninitialized
+// when a helper grows past the inlining budget and gets a standalone body.
+// Header-internal false positive; silence both for this lane only.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
 
 namespace {
 
@@ -2747,6 +3141,289 @@ MegaExpFillMinScanSpansAvx512(BlockRng::State* st, double b, const double* a,
   return found;
 }
 
+// Pairwise bounded scan lanes at 8-wide: the pairwise scan bodies with
+// the bounded lanes' group skip test in front.
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaLaplaceScanSumGePairwiseBoundedAvx512(BlockRng::State* st, double mu,
+                                          double b, const double* a,
+                                          const double* bars, double rho,
+                                          uint64_t skip_word, size_t n) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v0 = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    const __m512i v1 = _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+    // Magnitude words (order-free for the any-live test), top 53 bits.
+    const __m512i mag53 = _mm512_srli_epi64(_mm512_unpacklo_epi64(v0, v1), 11);
+    if (_mm512_cmplt_epu64_mask(mag53, vskip) == 0) continue;
+    const __m512d nu = LaplaceNu8Avx512Reg(v0, v1, vmu, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 2, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaScanSumGePairwiseBoundedScalar(st, mu, b, a, bars, rho, skip_word,
+                                            n, i);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) FusedScanHit
+MegaExpScanSumGePairwiseBoundedAvx512(BlockRng::State* st, double b,
+                                      const double* a, const double* bars,
+                                      double rho, uint64_t skip_word,
+                                      size_t n) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i c0 = s0, c1 = s1, c2 = s2, c3 = s3;
+    const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+    const __m512i v = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+    if (_mm512_cmplt_epu64_mask(_mm512_srli_epi64(v, 11), vskip) == 0) {
+      continue;
+    }
+    const __m512d nu = ExpNu8Avx512Reg(v, vnb);
+    const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + i), nu);
+    const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + i), vrho);
+    const __mmask8 mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+    if (mask != 0) return MegaHitAvx512(st, i, mask, nu, 1, c0, c1, c2, c3);
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  return MegaExpScanSumGePairwiseBoundedScalar(st, b, a, bars, rho, skip_word,
+                                               n, i);
+}
+
+// Per-query fused generate-bound-and-scan lanes at 8-wide: the span skip
+// threshold reloads from the per-span vector at each span entry and the
+// group live masks feed the element-granular skipped count.
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) size_t
+MegaLaplaceFillMinScanSpansPairwiseAvx512(
+    BlockRng::State* st, double mu, double b, const double* a,
+    const double* bars, double rho, const uint64_t* skip_words, size_t count,
+    size_t span_elems, uint64_t* span_min, BlockRng::State* span_states,
+    FusedScanHit* hits, size_t max_hits, uint64_t* skipped_out) {
+  const __m512d vmu = _mm512_set1_pd(mu);
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t skipped = 0;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    const uint64_t skip_word = skip_words[span];
+    const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m512i acc = _mm512_set1_epi64(-1);
+    for (; e + 8 <= span_end; e += 8) {
+      const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r2 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r3 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m512i v0 = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+      const __m512i v1 = _mm512_inserti64x4(_mm512_castsi256_si512(r2), r3, 1);
+      // Magnitude words (order-free for min, any-live, and the count).
+      const __m512i mags = _mm512_unpacklo_epi64(v0, v1);
+      acc = _mm512_min_epu64(acc, mags);
+      const __mmask8 live =
+          _mm512_cmplt_epu64_mask(_mm512_srli_epi64(mags, 11), vskip);
+      skipped += 8 - static_cast<unsigned>(
+                         __builtin_popcount(static_cast<unsigned>(live)));
+      if (live == 0) continue;
+      const __m512d nu = LaplaceNu8Avx512Reg(v0, v1, vmu, vnb);
+      const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + e), nu);
+      const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + e), vrho);
+      unsigned mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+      if (mask != 0) {
+        alignas(64) double nus[8];
+        _mm512_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(mask);
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    uint64_t m = lanes[0];
+    for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+    if (e < span_end) {
+      // Sub-group span tail: only the final span can be short (dispatch
+      // entry point guarantee), so spilling to scalar ends the call.
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t w_mag = MegaNextWord(st);
+        const uint64_t w_sign = MegaNextWord(st);
+        m = std::min(m, w_mag);
+        if ((w_mag >> 11) >= skip_word) {
+          ++skipped;
+          continue;
+        }
+        const double nu = LaplaceNuScalar(w_mag, w_sign, mu, b);
+        if (a[e] + nu >= bars[e] + rho) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *skipped_out = skipped;
+      return found;
+    }
+    span_min[span] = m;
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *skipped_out = skipped;
+  return found;
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) size_t
+MegaExpFillMinScanSpansPairwiseAvx512(
+    BlockRng::State* st, double b, const double* a, const double* bars,
+    double rho, const uint64_t* skip_words, size_t count, size_t span_elems,
+    uint64_t* span_min, BlockRng::State* span_states, FusedScanHit* hits,
+    size_t max_hits, uint64_t* skipped_out) {
+  const __m512d vnb = _mm512_set1_pd(-b);
+  const __m512d vrho = _mm512_set1_pd(rho);
+  uint64_t* w = st->words.data();
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+  __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 8));
+  __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 12));
+  uint64_t skipped = 0;
+  size_t found = 0;
+  size_t e = 0;
+  size_t span = 0;
+  while (e < count) {
+    const size_t span_end = std::min(count, e + span_elems);
+    const uint64_t skip_word = skip_words[span];
+    const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+    if (span_states != nullptr) {
+      MegaStoreAvx2(&span_states[span], s0, s1, s2, s3);
+    }
+    __m512i acc = _mm512_set1_epi64(-1);
+    for (; e + 8 <= span_end; e += 8) {
+      const __m256i r0 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m256i r1 = lockstep::Step4Avx512(s0, s1, s2, s3);
+      const __m512i v = _mm512_inserti64x4(_mm512_castsi256_si512(r0), r1, 1);
+      acc = _mm512_min_epu64(acc, v);
+      const __mmask8 live =
+          _mm512_cmplt_epu64_mask(_mm512_srli_epi64(v, 11), vskip);
+      skipped += 8 - static_cast<unsigned>(
+                         __builtin_popcount(static_cast<unsigned>(live)));
+      if (live == 0) continue;
+      const __m512d nu = ExpNu8Avx512Reg(v, vnb);
+      const __m512d sum = _mm512_add_pd(_mm512_loadu_pd(a + e), nu);
+      const __m512d bar = _mm512_add_pd(_mm512_loadu_pd(bars + e), vrho);
+      unsigned mask = _mm512_cmp_pd_mask(sum, bar, _CMP_GE_OQ);
+      if (mask != 0) {
+        alignas(64) double nus[8];
+        _mm512_store_pd(nus, nu);
+        do {
+          const int lane = __builtin_ctz(mask);
+          if (found < max_hits) {
+            hits[found] = {e + static_cast<size_t>(lane), nus[lane]};
+          }
+          ++found;
+          mask &= mask - 1;
+        } while (mask != 0);
+      }
+    }
+    alignas(64) uint64_t lanes[8];
+    _mm512_store_si512(lanes, acc);
+    uint64_t m = lanes[0];
+    for (int lane = 1; lane < 8; ++lane) m = std::min(m, lanes[lane]);
+    if (e < span_end) {
+      MegaStoreAvx2(st, s0, s1, s2, s3);
+      for (; e < span_end; ++e) {
+        const uint64_t word = MegaNextWord(st);
+        m = std::min(m, word);
+        if ((word >> 11) >= skip_word) {
+          ++skipped;
+          continue;
+        }
+        const double nu = ExpNuScalar(word, b);
+        if (a[e] + nu >= bars[e] + rho) {
+          if (found < max_hits) hits[found] = {e, nu};
+          ++found;
+        }
+      }
+      span_min[span] = m;
+      *skipped_out = skipped;
+      return found;
+    }
+    span_min[span] = m;
+    ++span;
+  }
+  MegaStoreAvx2(st, s0, s1, s2, s3);
+  *skipped_out = skipped;
+  return found;
+}
+
+// Scratch-buffer skipped-word count at 8-wide for the composition mode.
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) size_t
+SkipWordCountBlockAvx512(const uint64_t* words, size_t n, size_t wpv,
+                         uint64_t skip_word) {
+  const __m512i vskip = _mm512_set1_epi64(static_cast<int64_t>(skip_word));
+  size_t c = 0;
+  size_t i = 0;
+  if (wpv == 2) {
+    for (; i + 16 <= n; i += 16) {
+      const __m512i v0 = _mm512_loadu_si512(words + i);
+      const __m512i v1 = _mm512_loadu_si512(words + i + 8);
+      const __m512i mag53 =
+          _mm512_srli_epi64(_mm512_unpacklo_epi64(v0, v1), 11);
+      const __mmask8 live = _mm512_cmplt_epu64_mask(mag53, vskip);
+      c += 8 - static_cast<unsigned>(
+                   __builtin_popcount(static_cast<unsigned>(live)));
+    }
+  } else {
+    for (; i + 8 <= n; i += 8) {
+      const __m512i v = _mm512_loadu_si512(words + i);
+      const __mmask8 live =
+          _mm512_cmplt_epu64_mask(_mm512_srli_epi64(v, 11), vskip);
+      c += 8 - static_cast<unsigned>(
+                   __builtin_popcount(static_cast<unsigned>(live)));
+    }
+  }
+  for (; i < n; i += wpv) c += (words[i] >> 11) >= skip_word;
+  return c;
+}
+
 }  // namespace
 
 #pragma GCC diagnostic pop
@@ -3602,6 +4279,171 @@ size_t MegaExpFillMinScanSpans(BlockRng::State* state, double b,
   return MegaExpFillMinScanSpansScalar(state, b, a.data(), bar, skip_word, n,
                                        span_elems, span_min, span_states, hits,
                                        max_hits, min_out);
+}
+
+// Per-query (pairwise) bounded entries. The scan entries realign like
+// their unbounded pairwise counterparts (resume segments enter
+// mid-group); the realignment prologue reuses the span's skip word —
+// sound, since the word bound is positional-context-free.
+
+FusedScanHit MegaLaplaceScanSumGePairwiseBounded(
+    BlockRng::State* state, double mu, double b, std::span<const double> a,
+    std::span<const double> bars, double rho, uint64_t skip_word) {
+  SVT_CHECK(a.size() == bars.size())
+      << "MegaLaplaceScanSumGePairwiseBounded size mismatch: " << a.size()
+      << " vs " << bars.size();
+  SVT_DCHECK(skip_word <= kMegaNeverSkip + 1);
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 2);
+    if (p < a.size()) {
+      const FusedScanHit pre = MegaScanSumGePairwiseBoundedScalar(
+          state, mu, b, a.data(), bars.data(), rho, skip_word, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit = MegaLaplaceScanSumGePairwiseBounded(
+          state, mu, b, a.subspan(p), bars.subspan(p), rho, skip_word);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaLaplaceScanSumGePairwiseBoundedAvx512(
+        state, mu, b, a.data(), bars.data(), rho, skip_word, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaLaplaceScanSumGePairwiseBoundedAvx2(
+        state, mu, b, a.data(), bars.data(), rho, skip_word, a.size());
+  }
+#endif
+  return MegaScanSumGePairwiseBoundedScalar(state, mu, b, a.data(),
+                                            bars.data(), rho, skip_word,
+                                            a.size(), 0);
+}
+
+FusedScanHit MegaExpScanSumGePairwiseBounded(BlockRng::State* state, double b,
+                                             std::span<const double> a,
+                                             std::span<const double> bars,
+                                             double rho, uint64_t skip_word) {
+  SVT_CHECK(a.size() == bars.size())
+      << "MegaExpScanSumGePairwiseBounded size mismatch: " << a.size()
+      << " vs " << bars.size();
+  SVT_DCHECK(skip_word <= kMegaNeverSkip + 1);
+  if (state->phase != 0 && ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    const size_t p = MegaRealignElems(state->phase, 1);
+    if (p < a.size()) {
+      const FusedScanHit pre = MegaExpScanSumGePairwiseBoundedScalar(
+          state, b, a.data(), bars.data(), rho, skip_word, p, 0);
+      if (pre.index < p) return pre;
+      const FusedScanHit hit = MegaExpScanSumGePairwiseBounded(
+          state, b, a.subspan(p), bars.subspan(p), rho, skip_word);
+      return {p + hit.index, hit.nu};
+    }
+  }
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0) {
+    return MegaExpScanSumGePairwiseBoundedAvx512(
+        state, b, a.data(), bars.data(), rho, skip_word, a.size());
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0) {
+    return MegaExpScanSumGePairwiseBoundedAvx2(state, b, a.data(), bars.data(),
+                                               rho, skip_word, a.size());
+  }
+#endif
+  return MegaExpScanSumGePairwiseBoundedScalar(state, b, a.data(), bars.data(),
+                                               rho, skip_word, a.size(), 0);
+}
+
+size_t MegaLaplaceFillMinScanSpansPairwise(
+    BlockRng::State* state, double mu, double b, std::span<const double> a,
+    std::span<const double> bars, double rho, const uint64_t* skip_words,
+    size_t span_elems, uint64_t* span_min, BlockRng::State* span_states,
+    FusedScanHit* hits, size_t max_hits, uint64_t* skipped_out) {
+  SVT_CHECK(a.size() == bars.size())
+      << "MegaLaplaceFillMinScanSpansPairwise size mismatch: " << a.size()
+      << " vs " << bars.size();
+  SVT_CHECK(span_elems > 0)
+      << "MegaLaplaceFillMinScanSpansPairwise requires span_elems > 0";
+  const size_t n = a.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0 &&
+      (span_elems % 8 == 0 || n <= span_elems)) {
+    return MegaLaplaceFillMinScanSpansPairwiseAvx512(
+        state, mu, b, a.data(), bars.data(), rho, skip_words, n, span_elems,
+        span_min, span_states, hits, max_hits, skipped_out);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0 &&
+      (span_elems % 4 == 0 || n <= span_elems)) {
+    return MegaLaplaceFillMinScanSpansPairwiseAvx2(
+        state, mu, b, a.data(), bars.data(), rho, skip_words, n, span_elems,
+        span_min, span_states, hits, max_hits, skipped_out);
+  }
+#endif
+  return MegaLaplaceFillMinScanSpansPairwiseScalar(
+      state, mu, b, a.data(), bars.data(), rho, skip_words, n, span_elems,
+      span_min, span_states, hits, max_hits, skipped_out);
+}
+
+size_t MegaExpFillMinScanSpansPairwise(
+    BlockRng::State* state, double b, std::span<const double> a,
+    std::span<const double> bars, double rho, const uint64_t* skip_words,
+    size_t span_elems, uint64_t* span_min, BlockRng::State* span_states,
+    FusedScanHit* hits, size_t max_hits, uint64_t* skipped_out) {
+  SVT_CHECK(a.size() == bars.size())
+      << "MegaExpFillMinScanSpansPairwise size mismatch: " << a.size()
+      << " vs " << bars.size();
+  SVT_CHECK(span_elems > 0)
+      << "MegaExpFillMinScanSpansPairwise requires span_elems > 0";
+  const size_t n = a.size();
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512 && state->phase == 0 &&
+      (span_elems % 8 == 0 || n <= span_elems)) {
+    return MegaExpFillMinScanSpansPairwiseAvx512(
+        state, b, a.data(), bars.data(), rho, skip_words, n, span_elems,
+        span_min, span_states, hits, max_hits, skipped_out);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2 && state->phase == 0 &&
+      (span_elems % 4 == 0 || n <= span_elems)) {
+    return MegaExpFillMinScanSpansPairwiseAvx2(
+        state, b, a.data(), bars.data(), rho, skip_words, n, span_elems,
+        span_min, span_states, hits, max_hits, skipped_out);
+  }
+#endif
+  return MegaExpFillMinScanSpansPairwiseScalar(
+      state, b, a.data(), bars.data(), rho, skip_words, n, span_elems,
+      span_min, span_states, hits, max_hits, skipped_out);
+}
+
+size_t SkipWordCountBlock(std::span<const std::uint64_t> words, size_t wpv,
+                          uint64_t skip_word) {
+  SVT_CHECK(wpv == 1 || wpv == 2)
+      << "SkipWordCountBlock words-per-variate must be 1 or 2, got " << wpv;
+  SVT_CHECK(words.size() % wpv == 0)
+      << "SkipWordCountBlock size not a words-per-variate multiple: "
+      << words.size();
+  if (skip_word >= kMegaNeverSkip) return 0;
+#if SVT_VECMATH_HAVE_AVX512
+  if (ActiveDispatchLevel() == DispatchLevel::kAvx512) {
+    return SkipWordCountBlockAvx512(words.data(), words.size(), wpv,
+                                    skip_word);
+  }
+#endif
+#if SVT_VECMATH_HAVE_AVX2
+  if (ActiveDispatchLevel() >= DispatchLevel::kAvx2) {
+    return SkipWordCountBlockAvx2(words.data(), words.size(), wpv, skip_word);
+  }
+#endif
+  size_t c = 0;
+  for (size_t i = 0; i < words.size(); i += wpv) {
+    c += (words[i] >> 11) >= skip_word;
+  }
+  return c;
 }
 
 }  // namespace vec

@@ -480,6 +480,74 @@ std::size_t MegaExpFillMinScanSpans(BlockRng::State* state, double b,
                                     FusedScanHit* hits, std::size_t max_hits,
                                     std::uint64_t* min_out);
 
+// --- per-query (pairwise) bounded megakernels ------------------------------
+//
+// The per-query-threshold path has no single chunk bar, so the bounded
+// scans above cannot serve it: element i's bar is fl(t_i + rho). A span's
+// conservative skip word instead pairs the span's answer UPPER bound with
+// its bar LOWER bound (BoundPipeline::SpanSkipWordPerQuery): fl(dn + rho)
+// <= fl(t_i + rho) for every t_i in the span (monotone rounded add), so
+// MegaSkipWordThreshold(up, fl(dn + rho), b) skips only elements that
+// provably fail every computed pairwise test in the span. The skip
+// threshold is therefore a per-span VECTOR, not a chunk scalar — the
+// fill-min-scan forms below reload it at every span boundary. Skipped
+// elements' words are still generated and consumed (stream-neutral), so
+// hit indices, ν payloads, and end states stay bit-identical to the
+// unbounded pairwise kernels and the FillUint64 + fused composition.
+
+/// MegaLaplaceScanSumGePairwise with transform skipping: bit-identical
+/// result and end state, evaluating the transform only for lockstep
+/// groups holding a magnitude word below skip_word. skip_word must be
+/// sound for every element of the call (e.g. one span's
+/// SpanSkipWordPerQuery when the call covers a single bound span).
+FusedScanHit MegaLaplaceScanSumGePairwiseBounded(
+    BlockRng::State* state, double mu, double b, std::span<const double> a,
+    std::span<const double> bars, double rho, std::uint64_t skip_word);
+
+/// Exponential-noise pairwise bounded scan (wpv = 1); same contract.
+FusedScanHit MegaExpScanSumGePairwiseBounded(BlockRng::State* state, double b,
+                                             std::span<const double> a,
+                                             std::span<const double> bars,
+                                             double rho,
+                                             std::uint64_t skip_word);
+
+/// Per-query fused generate-bound-and-scan: MegaFillMinSpans plus the
+/// bounded pairwise positive test riding along, driven by a per-span
+/// skip-word vector. skip_words[j] governs span j (kMegaNeverSkipWord
+/// entries simply never skip); `hits` records every element with
+/// fl(a[i] + ν_i) >= fl(bars[i] + rho) in index order, and the walk
+/// never stops early — exactly a.size() * wpv words are consumed, so the
+/// end state is the generate-and-bound pass's. *skipped_out gets the
+/// number of elements whose magnitude word's top 53 bits reached their
+/// span's skip word — a pure function of the words and the vector, so
+/// the count is dispatch-level-independent (unlike the group-granular
+/// transform elisions, which vary with lane width). Returns the total
+/// number of positives; only the first max_hits are stored. No chunk-min
+/// output: the per-query path has no tier-1 bound to feed.
+std::size_t MegaLaplaceFillMinScanSpansPairwise(
+    BlockRng::State* state, double mu, double b, std::span<const double> a,
+    std::span<const double> bars, double rho, const std::uint64_t* skip_words,
+    std::size_t span_elems, std::uint64_t* span_min,
+    BlockRng::State* span_states, FusedScanHit* hits, std::size_t max_hits,
+    std::uint64_t* skipped_out);
+
+/// Exponential-noise per-query fused pass (wpv = 1); same contract.
+std::size_t MegaExpFillMinScanSpansPairwise(
+    BlockRng::State* state, double b, std::span<const double> a,
+    std::span<const double> bars, double rho, const std::uint64_t* skip_words,
+    std::size_t span_elems, std::uint64_t* span_min,
+    BlockRng::State* span_states, FusedScanHit* hits, std::size_t max_hits,
+    std::uint64_t* skipped_out);
+
+/// Scratch-buffer counterpart of the fused passes' skipped-element count,
+/// for the composition kernel mode: the number of element magnitude words
+/// (every wpv-th word, starting at the first) in `words` whose top 53
+/// bits are at or above skip_word. Dispatched like the other word-block
+/// reductions so keeping the counter mode-independent does not put a
+/// scalar drag on the composition A/B baseline.
+std::size_t SkipWordCountBlock(std::span<const std::uint64_t> words,
+                               std::size_t wpv, std::uint64_t skip_word);
+
 }  // namespace vec
 }  // namespace svt
 

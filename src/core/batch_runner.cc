@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <string_view>
 
 #include "common/check.h"
@@ -15,18 +16,32 @@
 
 namespace svt {
 
+bool ParseBatchKernelMode(std::string_view value, BatchKernelMode* mode) {
+  SVT_CHECK(mode != nullptr);
+  if (value == "megakernel") {
+    *mode = BatchKernelMode::kMegakernel;
+    return true;
+  }
+  if (value == "composition") {
+    *mode = BatchKernelMode::kComposition;
+    return true;
+  }
+  return false;
+}
+
 namespace {
 
 BatchKernelMode InitialKernelMode() {
   const char* env = std::getenv("SVT_BATCH_KERNELS");
   if (env == nullptr) return BatchKernelMode::kMegakernel;
-  const std::string_view v(env);
-  if (v == "megakernel") return BatchKernelMode::kMegakernel;
-  if (v == "composition") return BatchKernelMode::kComposition;
-  SVT_CHECK(false) << "SVT_BATCH_KERNELS must be 'megakernel' or "
-                      "'composition', got '"
-                   << env << "'";
-  return BatchKernelMode::kMegakernel;
+  BatchKernelMode mode = BatchKernelMode::kMegakernel;
+  if (!ParseBatchKernelMode(env, &mode)) {
+    // Latched once (KernelModeVar's function-local static), so an
+    // unrecognized value warns exactly once per process.
+    std::cerr << "svt: unrecognized SVT_BATCH_KERNELS value '" << env
+              << "'; falling back to 'megakernel'\n";
+  }
+  return mode;
 }
 
 std::atomic<int>& KernelModeVar() {
@@ -120,8 +135,13 @@ Response BatchRunner::MakePositiveResponse(double answer, double nu_j) {
 template <typename FindNext>
 size_t BatchRunner::ScanChunk(const double* answers, size_t n,
                               FindNext find_next, Response* res) {
+  const double rho0 = state_->rho;
   size_t i = 0;
   while (i < n) {
+    // Resume under a resampled ρ: whatever find_next does about it —
+    // cached-hit revalidation or a checkpoint rescan — counts here, once,
+    // so the counter is kernel-mode- and dispatch-independent.
+    if (i > 0 && state_->rho != rho0) ++state_->batch.replay_rederivations;
     const vec::FusedScanHit hit = find_next(i, state_->rho);
     state_->processed += static_cast<int64_t>(hit.index - i);
     if (hit.index == n) return n;
@@ -215,8 +235,7 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       // Any upper bound on the chunk's answers is a sound skip-word input
       // (vec::MegaSkipWordThreshold contract), so the pipeline's chunk
       // upper — quantized or exact — feeds it directly.
-      const uint64_t chunk_skip =
-          vec::MegaSkipWordThreshold(pipe.ChunkScoreUpper(), bar0, nu_scale);
+      const uint64_t chunk_skip = pipe.ChunkSkipWord(bar0);
       // When no sound chunk-wide word threshold exists (some answer is at
       // or above the bar), the fused scan would degenerate into a full
       // per-element transform of draws a hit-dense chunk may never need;
@@ -253,62 +272,73 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
       } else {
         // Tier-2. When the fused pass scanned, the chunk's positives
         // under the chunk-entry bar are already in hand and complete, so
-        // as long as the bar is unchanged — always for non-resampling
-        // variants, and up to the first positive otherwise — a resume
+        // as long as the bar has not *dropped* — always for non-resampling
+        // variants, and for every upward resample otherwise — a resume
         // only replays the walk's span decisions on the pipeline's cached
         // per-span bounds (one float compare per span, no words touched)
-        // and returns the next recorded hit. Once ρ has been resampled
-        // (or the hit record overflowed), the walk falls back to the
-        // checkpoint form: a skipped span costs one float compare — its
-        // words are never regenerated — and a surviving span re-enters
-        // the bounded scan megakernel from its pass-1 checkpoint,
-        // regenerating its words once, in registers, and transforming
-        // only the lockstep groups its word threshold cannot discharge.
-        // After a positive the fallback scans the firing span's remainder
-        // exactly from the stream cursor the hit left behind, then
-        // re-anchors on the pass-1 grid, so no off-grid words are ever
-        // re-bounded. The pipeline's ν bounds per span are rho-free, so
-        // they are computed once per chunk and survive ρ resampling.
+        // and returns the next recorded hit, re-validated against the
+        // moved bar with the exact computed test when ρ was resampled.
+        // Only when the bar dropped below the chunk-entry bar (a negative
+        // resample draw — elements the fused pass rejected could now
+        // fire) or the hit record overflowed does the walk fall back to
+        // the checkpoint form: a skipped span costs one float compare —
+        // its words are never regenerated — and a surviving span
+        // re-enters the bounded scan megakernel from its pass-1
+        // checkpoint, regenerating its words once, in registers, and
+        // transforming only the lockstep groups its word threshold cannot
+        // discharge. After a positive the fallback scans the firing
+        // span's remainder exactly from the stream cursor the hit left
+        // behind, then re-anchors on the pass-1 grid, so no off-grid
+        // words are ever re-bounded. The pipeline's ν bounds per span are
+        // rho-free, so they are computed once per chunk and survive ρ
+        // resampling.
         ++state_->batch.tier2_chunks_scanned;
         BatchRunStats* const stats = &state_->batch;
         const bool cache_complete = fused_scan && found <= kMaxChunkHits;
-        const bool resample = spec_.resample_rho_after_positive;
         BlockRng::State cur;       // fallback stream cursor, at element
         size_t cur_pos = SIZE_MAX; // cur_pos once established
         const auto find_next = [&](size_t from,
                                    double rho) -> vec::FusedScanHit {
           const double bar = threshold + rho;
-          if (cache_complete && (!resample || from == 0)) {
-            // Cached walk: the bar still equals the one the fused pass
-            // tested against, so the next positive is the next recorded
-            // hit; the counters replay the fallback's span decisions (a
-            // span holding a hit always survives its bound — the bound
-            // chain dominates every computed test, quantized or exact).
-            SVT_DCHECK(bar == bar0);
-            const vec::FusedScanHit* h = nullptr;
-            for (size_t k = 0; k < found; ++k) {
-              if (hits[k].index >= from) {
-                h = &hits[k];
-                break;
+          if (cache_complete && bar >= bar0) {
+            // Cached walk, sound for every bar >= the fused pass's bar0:
+            // an unrecorded element either failed its computed test at
+            // bar0 (the rounded add is monotone, so it fails at any
+            // higher bar too) or was word-skipped under a threshold
+            // sound for bar0 and hence for bar; a recorded hit carries
+            // the bit-identical ν a rescan would recompute, so testing
+            // `a + ν >= bar` here IS the rescan's computed test. The
+            // span decisions replay the fallback's on the pipeline's
+            // cached bounds (a span holding a surviving hit always
+            // passes its bound — the bound chain dominates every
+            // computed test, quantized or exact — so the counters stay
+            // mode-equal).
+            const auto next_hit =
+                [&](size_t lo, size_t hi) -> const vec::FusedScanHit* {
+              for (size_t k = 0; k < found; ++k) {
+                if (hits[k].index < lo) continue;
+                if (hits[k].index >= hi) break;
+                if (bar == bar0 || a[hits[k].index] + hits[k].nu >= bar) {
+                  return &hits[k];
+                }
               }
-            }
-            const size_t hit_at = h != nullptr ? h->index : n;
+              return nullptr;
+            };
             size_t s = from;
             if (s % kBoundSpan != 0 && s < n) {
               ++stats->tier2_fused_segments;
               const size_t m = std::min(kBoundSpan - s % kBoundSpan, n - s);
-              if (hit_at < s + m) return *h;
+              if (const vec::FusedScanHit* h = next_hit(s, s + m)) return *h;
               s += m;
             }
             while (s < n) {
               const size_t j = s / kBoundSpan;
               const size_t m = std::min(kBoundSpan, n - s);
-              if (hit_at < s + m) {
-                ++stats->tier2_fused_segments;
-                return *h;
-              }
               if (pipe.SpanCanFire(j, bar)) {
                 ++stats->tier2_fused_segments;
+                if (const vec::FusedScanHit* h = next_hit(s, s + m)) {
+                  return *h;
+                }
               }
               s += m;
             }
@@ -361,8 +391,7 @@ size_t BatchRunner::Run(std::span<const double> answers, double threshold,
             // skip the log transform for every lockstep group that
             // provably cannot fire — bit-identical to the unbounded scan
             // by the MegaSkipWordThreshold contract.
-            const uint64_t skip_word = vec::MegaSkipWordThreshold(
-                pipe.SpanScoreUpper(j), bar, nu_scale);
+            const uint64_t skip_word = pipe.SpanSkipWord(j, bar);
             BlockRng::State scan_st = span_states[j];
             const vec::FusedScanHit hit =
                 exp_nu ? vec::MegaExpScanSumGeBounded(&scan_st, nu_scale,
@@ -559,26 +588,116 @@ size_t BatchRunner::Run(std::span<const double> answers,
         uint64_t span_min[kFusedSubBlock / kBoundSpan];
         size_t sub_processed;
         if (use_mega) {
-          // Lane-resident sub-block: a generate-and-bound prepass steps
-          // the lanes through the sub-block once, recording the per-span
-          // magnitude minima (the pipeline's ν-bound inputs) and a
-          // checkpoint at every span entry, then the substream is restored
-          // to the sub-block end — the prepass consumes exactly m·wpv
-          // words, so the stream position matches the composition's
-          // upfront fill whatever the walk later skips. Skipped spans'
-          // words are never regenerated; surviving spans re-enter the
-          // pairwise scan megakernel from their checkpoints.
+          // Lane-resident sub-block. The pipeline's span plan (each
+          // span's answer-max paired with its bar-min, quantized or
+          // exact) yields a per-span skip-word *vector* at the sub-block
+          // entry ρ — derivable before any words are drawn. When any
+          // span's word threshold can discharge at all, the prepass is
+          // the fused pairwise generate-bound-and-scan: one pass steps
+          // the lanes through the sub-block, records the per-span
+          // magnitude minima (the pipeline's ν-bound inputs), a
+          // checkpoint at every span entry, AND every element whose
+          // pairwise positive test fires at the entry ρ — skipping the
+          // transform for every word its span's threshold discharges
+          // (counted element-granular in mega_words_skipped_q). The
+          // substream is then restored to the sub-block end: the prepass
+          // consumes exactly m·wpv words, so the stream position matches
+          // the composition's upfront fill whatever the walk later
+          // skips. When no span has a finite skip word (hit-dense
+          // sub-block), the fused scan would transform everything for
+          // positives a cutoff may never need, so only generate-and-
+          // bound runs — mirroring the common arm's fused_scan gate, and
+          // the composition's zero skipped-word count.
           BlockRng::State span_states[kFusedSubBlock / kBoundSpan];
+          const double rho0 = state_->rho;
+          uint64_t skip_words[kFusedSubBlock / kBoundSpan];
+          bool any_skip = false;
+          for (size_t k = 0; k < sub_nspans; ++k) {
+            skip_words[k] = pipe.SpanSkipWordPerQuery(first_span + k, rho0);
+            any_skip = any_skip || skip_words[k] < vec::kMegaNeverSkipWord;
+          }
+          constexpr size_t kMaxSubHits = kFusedSubBlock / 16;
+          vec::FusedScanHit hits[kMaxSubHits];
+          size_t found = 0;
+          uint64_t skipped = 0;
           BlockRng::State end_state = state_->nu_rng.state();
-          vec::MegaFillMinSpans(&end_state, m, wpv, kBoundSpan, span_min,
-                                span_states);
+          if (any_skip) {
+            found = exp_nu ? vec::MegaExpFillMinScanSpansPairwise(
+                                 &end_state, nu_scale, {a_sub, m}, {t_sub, m},
+                                 rho0, skip_words, kBoundSpan, span_min,
+                                 span_states, hits, kMaxSubHits, &skipped)
+                           : vec::MegaLaplaceFillMinScanSpansPairwise(
+                                 &end_state, 0.0, nu_scale, {a_sub, m},
+                                 {t_sub, m}, rho0, skip_words, kBoundSpan,
+                                 span_min, span_states, hits, kMaxSubHits,
+                                 &skipped);
+            stats->mega_words_skipped_q += static_cast<int64_t>(skipped);
+          } else {
+            vec::MegaFillMinSpans(&end_state, m, wpv, kBoundSpan, span_min,
+                                  span_states);
+          }
           state_->nu_rng.RestoreState(end_state);
           pipe.SetSpanNoiseMinima(span_min, first_span, sub_nspans);
+          const bool cache_complete = any_skip && found <= kMaxSubHits;
 
           BlockRng::State cur;        // resume cursor, at element cur_pos
           size_t cur_pos = SIZE_MAX;  // once established
           const auto find_next = [&](size_t from,
                                      double rho) -> vec::FusedScanHit {
+            if (cache_complete && rho >= rho0) {
+              // Cached walk, sound for every ρ >= the prepass's ρ0:
+              // fl(t_i + ρ) is monotone in ρ, so an element that failed
+              // its computed test at ρ0 fails at ρ, and a span skip word
+              // derived against fl(bar_min + ρ0) stays sound (see
+              // SpanSkipWordPerQuery); a recorded hit carries the
+              // bit-identical ν a rescan would recompute, so re-testing
+              // it against fl(t_i + ρ) IS the rescan's computed test.
+              // Span decisions replay the fallback's on the pipeline's
+              // cached bounds: a span holding a surviving hit always
+              // passes its bound (the bound chain dominates every
+              // computed test), so the counters stay mode-equal.
+              const auto next_hit =
+                  [&](size_t lo, size_t hi) -> const vec::FusedScanHit* {
+                for (size_t k = 0; k < found; ++k) {
+                  if (hits[k].index < lo) continue;
+                  if (hits[k].index >= hi) break;
+                  if (rho == rho0 ||
+                      a_sub[hits[k].index] + hits[k].nu >=
+                          t_sub[hits[k].index] + rho) {
+                    return &hits[k];
+                  }
+                }
+                return nullptr;
+              };
+              size_t s = from;
+              if (s % kBoundSpan != 0 && s < m) {
+                ++stats->tier2_fused_segments;
+                const size_t mh =
+                    std::min(kBoundSpan - s % kBoundSpan, m - s);
+                if (const vec::FusedScanHit* h = next_hit(s, s + mh)) {
+                  return *h;
+                }
+                s += mh;
+              }
+              while (s < m) {
+                const size_t j = s / kBoundSpan;
+                const size_t mm = std::min(kBoundSpan, m - s);
+                if (pipe.SpanCanFirePerQuery(first_span + j, rho)) {
+                  ++stats->tier2_fused_segments;
+                  if (const vec::FusedScanHit* h = next_hit(s, s + mm)) {
+                    return *h;
+                  }
+                }
+                s += mm;
+              }
+              return {m, 0.0};
+            }
+            // Checkpoint fallback: ρ dropped below ρ0 (elements the
+            // prepass rejected could now fire), the hit record
+            // overflowed, or no span had a finite skip word. Span skip
+            // words are re-derived from the pipeline at the *current* ρ
+            // per visit, so surviving spans still transform only the
+            // lockstep groups their thresholds cannot discharge.
             size_t s = from;
             if (s % kBoundSpan != 0 && s < m) {
               // Off-grid resume after a positive: scan the firing span's
@@ -620,14 +739,16 @@ size_t BatchRunner::Run(std::span<const double> answers,
                 continue;
               }
               ++stats->tier2_fused_segments;
+              const uint64_t skip_word =
+                  pipe.SpanSkipWordPerQuery(first_span + j, rho);
               BlockRng::State scan_st = span_states[j];
               const vec::FusedScanHit hit =
-                  exp_nu ? vec::MegaExpScanSumGePairwise(
+                  exp_nu ? vec::MegaExpScanSumGePairwiseBounded(
                                &scan_st, nu_scale, {a_sub + s, mm},
-                               {t_sub + s, mm}, rho)
-                         : vec::MegaLaplaceScanSumGePairwise(
+                               {t_sub + s, mm}, rho, skip_word)
+                         : vec::MegaLaplaceScanSumGePairwiseBounded(
                                &scan_st, 0.0, nu_scale, {a_sub + s, mm},
-                               {t_sub + s, mm}, rho);
+                               {t_sub + s, mm}, rho, skip_word);
               if (hit.index < mm) {
                 cur = scan_st;  // at element s + hit.index + 1
                 cur_pos = s + hit.index + 1;
@@ -657,6 +778,28 @@ size_t BatchRunner::Run(std::span<const double> answers,
             span_min[k] = vec::MinWordBlock({w + wpv * s, wpv * mm}, wpv);
           }
           pipe.SetSpanNoiseMinima(span_min, first_span, sub_nspans);
+          // Mirror the megakernel prepass's element-granular skipped-word
+          // count over the scratch words: the same per-span skip words at
+          // the same sub-block-entry ρ over the same magnitude words give
+          // the same count (never-skip spans contribute zero, exactly as
+          // they do inside the fused lanes), keeping the counter
+          // kernel-mode-independent without slowing this arm's scans — a
+          // vectorized compare-count per span, only where a finite skip
+          // word exists.
+          {
+            uint64_t skipped = 0;
+            for (size_t k = 0; k < sub_nspans; ++k) {
+              const uint64_t sw =
+                  pipe.SpanSkipWordPerQuery(first_span + k, state_->rho);
+              if (sw < vec::kMegaNeverSkipWord) {
+                const size_t s = k * kBoundSpan;
+                const size_t mm = std::min(kBoundSpan, m - s);
+                skipped +=
+                    vec::SkipWordCountBlock({w + wpv * s, wpv * mm}, wpv, sw);
+              }
+            }
+            stats->mega_words_skipped_q += static_cast<int64_t>(skipped);
+          }
           const auto find_next = [&](size_t from,
                                      double rho) -> vec::FusedScanHit {
             size_t s = from;

@@ -64,6 +64,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -85,10 +86,15 @@ enum class BatchKernelMode {
 };
 
 /// Process-wide kernel mode, initialized once from SVT_BATCH_KERNELS
-/// ("megakernel" | "composition"; unset means megakernel, anything else
-/// aborts) and adjustable at runtime for A/B and equivalence tests.
+/// ("megakernel" | "composition"; unset means megakernel; an unrecognized
+/// value logs one warning and falls back to megakernel) and adjustable at
+/// runtime for A/B and equivalence tests.
 BatchKernelMode ActiveBatchKernelMode();
 void SetBatchKernelMode(BatchKernelMode mode);
+
+/// Parses a SVT_BATCH_KERNELS value into *mode. Returns false — leaving
+/// *mode untouched — on anything other than the two recognized spellings.
+bool ParseBatchKernelMode(std::string_view value, BatchKernelMode* mode);
 
 class BatchRunner {
  public:

@@ -125,6 +125,25 @@ double BoundPipeline::SubrangeScoreUpper(size_t s, size_t m) const {
   return vec::MaxBlock({a_ + s, m});
 }
 
+std::uint64_t BoundPipeline::ChunkSkipWord(double bar) const {
+  return vec::MegaSkipWordThreshold(chunk_upper_, bar, nu_scale_);
+}
+
+std::uint64_t BoundPipeline::SpanSkipWord(size_t j, double bar) const {
+  SVT_DCHECK(j < nspans_);
+  return vec::MegaSkipWordThreshold(span_upper_[j], bar, nu_scale_);
+}
+
+std::uint64_t BoundPipeline::SpanSkipWordPerQuery(size_t j, double rho) const {
+  SVT_DCHECK(j < nspans_ && t_ != nullptr);
+  // The rounded add matches the kernels' per-element fl(t_i + ρ) shape;
+  // MegaSkipWordThreshold's contract only needs a_max >= every a_i and
+  // the bar <= every per-element bar, both of which the span plan holds
+  // (quantized uppers/lowers included — see the class comment).
+  return vec::MegaSkipWordThreshold(span_upper_[j], span_bar_lower_[j] + rho,
+                                    nu_scale_);
+}
+
 bool BoundPipeline::ChunkCanFire(double bar) const {
   // fl(up + NB) < bar with up >= every a_i and NB >= every ν_i on the side
   // that can fire implies fl(a_i + ν_i) < bar for all i (monotone rounded

@@ -121,6 +121,20 @@ class BoundPipeline {
   /// bound_bytes_touched (heads are positive-frequency rare).
   double SubrangeScoreUpper(size_t s, size_t m) const;
 
+  /// Megakernel skip words, derived inside the pipeline so both kernel
+  /// modes (and the quantized level, when attached) feed identical
+  /// answer-max / bar pairs into vec::MegaSkipWordThreshold. Valid after
+  /// BeginChunk; they need no noise minima.
+  std::uint64_t ChunkSkipWord(double bar) const;
+  std::uint64_t SpanSkipWord(size_t j, double bar) const;
+  /// Per-query form: the span's bar-min folded with ρ. fl(dn + ρ) is a
+  /// lower bound on every computed fl(t_i + ρ) in the span (monotone
+  /// rounded add), so a word the threshold discharges at this bar cannot
+  /// fire any per-query test in the span — and, since fl(dn + ρ) is
+  /// non-decreasing in ρ, a skip word derived at the sub-block-entry ρ
+  /// stays sound for every later resampled ρ' >= ρ.
+  std::uint64_t SpanSkipWordPerQuery(size_t j, double rho) const;
+
   /// Tier-1: false when the whole chunk provably cannot fire under the
   /// common bar. Pure — the caller counts tier1_chunks_skipped.
   bool ChunkCanFire(double bar) const;

@@ -143,6 +143,21 @@ struct BatchRunStats {
   /// (deterministic in the workload shape: dispatch- and mode-independent;
   /// resume-head re-reductions after positives are not counted).
   int64_t bound_bytes_touched = 0;
+  /// Elements of per-query sub-blocks whose magnitude word's top 53 bits
+  /// reached their span's conservative skip word (the span's answer-max
+  /// paired with its bar-min at the sub-block-entry ρ): their transform
+  /// is provably discharged. Element-granular — a pure function of the
+  /// words and the skip-word vector — so dispatch- and kernel-mode-
+  /// independent (the composition arm counts the same words with
+  /// vec::SkipWordCountBlock over its scratch buffer).
+  int64_t mega_words_skipped_q = 0;
+  /// Resume scans entered under a ρ that differs from the ρ the chunk
+  /// (or per-query sub-block) was entered with — the resamples the
+  /// megakernel's cached-hit replay re-validates its recorded positives
+  /// (and re-derives span skip words) against instead of falling back to
+  /// the checkpoint walk. Counted centrally at the resume site, so
+  /// dispatch- and kernel-mode-independent.
+  int64_t replay_rederivations = 0;
 };
 
 /// Mutable per-run state shared by the streaming Process() path and the

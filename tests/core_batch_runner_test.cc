@@ -706,6 +706,22 @@ class ScopedBatchKernelMode {
   BatchKernelMode saved_;
 };
 
+TEST(BatchRunnerTest, ParseBatchKernelModeFallsBackOnUnrecognized) {
+  BatchKernelMode mode = BatchKernelMode::kComposition;
+  EXPECT_TRUE(ParseBatchKernelMode("megakernel", &mode));
+  EXPECT_EQ(mode, BatchKernelMode::kMegakernel);
+  EXPECT_TRUE(ParseBatchKernelMode("composition", &mode));
+  EXPECT_EQ(mode, BatchKernelMode::kComposition);
+  // Anything else leaves *mode untouched: the SVT_BATCH_KERNELS reader
+  // logs one warning and keeps the default instead of aborting.
+  EXPECT_FALSE(ParseBatchKernelMode("fused", &mode));
+  EXPECT_EQ(mode, BatchKernelMode::kComposition);
+  EXPECT_FALSE(ParseBatchKernelMode("", &mode));
+  EXPECT_EQ(mode, BatchKernelMode::kComposition);
+  EXPECT_FALSE(ParseBatchKernelMode("Megakernel", &mode));
+  EXPECT_EQ(mode, BatchKernelMode::kComposition);
+}
+
 TEST(BatchRunnerTest, MegakernelAndCompositionModesAgreeExactly) {
   // The kernel-mode axis is purely a performance toggle: responses, run
   // counters, every batch statistic, and the RNG stream positions must be
@@ -761,6 +777,11 @@ TEST(BatchRunnerTest, MegakernelAndCompositionModesAgreeExactly) {
     return obs;
   };
 
+  // The element-granular per-query skip counter must be identical not just
+  // across kernel modes but across dispatch levels (it is a deterministic
+  // function of the stream words and the span skip words).
+  std::optional<int64_t> words_skipped_by_nu[2];
+
   for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
     if (!vec::SetDispatchLevel(level)) continue;
     for (bool exp_nu : {false, true}) {
@@ -793,20 +814,40 @@ TEST(BatchRunnerTest, MegakernelAndCompositionModesAgreeExactly) {
       EXPECT_EQ(mega.stats.tier2_fused_subblocks,
                 comp.stats.tier2_fused_subblocks)
           << ctx;
+      EXPECT_EQ(mega.stats.mega_words_skipped_q,
+                comp.stats.mega_words_skipped_q)
+          << ctx;
+      EXPECT_EQ(mega.stats.replay_rederivations,
+                comp.stats.replay_rederivations)
+          << ctx;
       EXPECT_GT(mega.stats.tier1_chunks_skipped, 0) << ctx;
       EXPECT_GT(mega.stats.tier2_spans_skipped, 0) << ctx;
+      // The per-query run's far-below spans have finite skip words, so the
+      // skip counter moves; ρ never resamples here, so no resume enters
+      // under a moved ρ in either mode.
+      EXPECT_GT(mega.stats.mega_words_skipped_q, 0) << ctx;
+      EXPECT_EQ(mega.stats.replay_rederivations, 0) << ctx;
+      std::optional<int64_t>& words = words_skipped_by_nu[exp_nu ? 1 : 0];
+      if (!words.has_value()) {
+        words = mega.stats.mega_words_skipped_q;
+      } else {
+        EXPECT_EQ(*words, mega.stats.mega_words_skipped_q) << ctx;
+      }
     }
   }
 }
 
 TEST(BatchRunnerTest, MegakernelModeAgreesUnderRhoResampling) {
-  // ρ resampling moves the bar after every positive, so the megakernel
-  // arm's cached fused-scan hits go stale mid-chunk and each resume must
-  // fall back to the checkpoint walk — including rebuilding its stream
-  // cursor at an off-grid position from the enclosing span's pass-1
-  // checkpoint. A hit-dense near-threshold workload forces many such
-  // resumes per chunk; responses, counters, and stream positions must
-  // still match the composition exactly at every dispatch level.
+  // ρ resampling moves the bar after every positive. Upward moves keep
+  // the megakernel arm's cached fused-scan hits live: the cached walk
+  // replays them with each recorded hit revalidated against the resampled
+  // bar (the recorded ν are bit-identical to streaming's, so revalidation
+  // is exact). Downward moves void the cache and the resume falls back to
+  // the checkpoint walk — including rebuilding its stream cursor at an
+  // off-grid position from the enclosing span's pass-1 checkpoint. A
+  // hit-dense near-threshold workload forces many of both per chunk;
+  // responses, counters, and stream positions must still match the
+  // composition exactly at every dispatch level.
   ScopedDispatchLevel restore_level;
   ScopedBatchKernelMode restore_mode(ActiveBatchKernelMode());
 
@@ -852,6 +893,182 @@ TEST(BatchRunnerTest, MegakernelModeAgreesUnderRhoResampling) {
         << ctx;
     EXPECT_EQ(mega_stats.tier2_spans_skipped, comp_stats.tier2_spans_skipped)
         << ctx;
+    // Every mid-chunk resume here enters under a freshly resampled ρ, and
+    // the counter is mode-independent by construction (counted centrally
+    // at the resume site, before the walk decides cache vs. fallback).
+    EXPECT_EQ(mega_stats.replay_rederivations, comp_stats.replay_rederivations)
+        << ctx;
+    EXPECT_GT(mega_stats.replay_rederivations, 0) << ctx;
+    // Common-threshold runs never touch the per-query skip counter.
+    EXPECT_EQ(mega_stats.mega_words_skipped_q, 0) << ctx;
+    EXPECT_EQ(comp_stats.mega_words_skipped_q, 0) << ctx;
+  }
+}
+
+TEST(BatchRunnerTest, PerQueryResamplingAgreesAcrossModesAndLevels) {
+  // RevSVT-style workload: per-query thresholds with ρ resampled after
+  // every positive. Each positive moves ρ mid-sub-block, so the megakernel
+  // arm must either replay its recorded prepass hits against the resampled
+  // ρ (upward moves — the span skip words derived at the entry ρ stay
+  // sound because fl(bar_min + ρ) is monotone in ρ) or rebuild from span
+  // checkpoints through the *bounded* pairwise kernels, re-deriving each
+  // span's skip word at the current ρ (downward moves). Every third span
+  // sits far below its bars so the skip-word vector actually bites.
+  // Responses, positives, and both new counters must match the
+  // composition exactly at every dispatch level — and the counters must
+  // be identical across levels too.
+  ScopedDispatchLevel restore_level;
+  ScopedBatchKernelMode restore_mode(ActiveBatchKernelMode());
+
+  const size_t n = 2 * BatchRunner::kChunkSize + 57;
+  std::vector<double> answers(n), bars(n);
+  Rng gen(31337);
+  for (size_t i = 0; i < n; ++i) {
+    const bool far_span = (i / BatchRunner::kBoundSpan) % 3 == 0;
+    answers[i] = far_span ? -1e9 : -2.0 + 2.5 * (gen.NextDouble() - 0.5);
+    bars[i] = gen.NextDouble() - 0.5;
+  }
+
+  const auto run_all = [&](BatchKernelMode mode, bool exp_noise) {
+    SetBatchKernelMode(mode);
+    Rng rng(4242);
+    std::unique_ptr<SvtMechanism> mech;
+    if (exp_noise) {
+      VariantSpec spec = AllExponentialSpec();
+      spec.resample_rho_after_positive = true;
+      spec.rho_resample_scale = 1.0;
+      mech = std::make_unique<CustomSvt>(spec, &rng);
+    } else {
+      SvtOptions o;
+      o.epsilon = 0.75;
+      o.cutoff = 1 << 20;
+      o.resample_threshold_noise = true;
+      mech = SparseVector::Create(o, &rng).value();
+    }
+    std::vector<Response> out = mech->Run(answers, bars);
+    auto* spec_mech = dynamic_cast<SpecDrivenSvt*>(mech.get());
+    EXPECT_NE(spec_mech, nullptr);
+    return std::tuple{std::move(out),
+                      spec_mech != nullptr ? spec_mech->batch_stats()
+                                           : BatchRunStats{},
+                      mech->positives_emitted()};
+  };
+
+  for (bool exp_noise : {false, true}) {
+    std::optional<int64_t> level_words, level_rederiv;
+    for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+      if (!vec::SetDispatchLevel(level)) continue;
+      const std::string ctx = std::string(vec::DispatchLevelName(level)) +
+                              (exp_noise ? " exp" : " laplace");
+      const auto [mega, mega_stats, mega_pos] =
+          run_all(BatchKernelMode::kMegakernel, exp_noise);
+      const auto [comp, comp_stats, comp_pos] =
+          run_all(BatchKernelMode::kComposition, exp_noise);
+      ExpectSameResponses(mega, comp, ctx + " per-query resample");
+      EXPECT_EQ(mega_pos, comp_pos) << ctx;
+      EXPECT_GT(mega_pos, 10) << ctx << " workload must resample repeatedly";
+      EXPECT_EQ(mega_stats.tier2_fused_segments,
+                comp_stats.tier2_fused_segments)
+          << ctx;
+      EXPECT_EQ(mega_stats.tier2_spans_skipped, comp_stats.tier2_spans_skipped)
+          << ctx;
+      EXPECT_EQ(mega_stats.mega_words_skipped_q,
+                comp_stats.mega_words_skipped_q)
+          << ctx;
+      EXPECT_EQ(mega_stats.replay_rederivations,
+                comp_stats.replay_rederivations)
+          << ctx;
+      EXPECT_GT(mega_stats.mega_words_skipped_q, 0) << ctx;
+      EXPECT_GT(mega_stats.replay_rederivations, 0) << ctx;
+      if (!level_words.has_value()) {
+        level_words = mega_stats.mega_words_skipped_q;
+        level_rederiv = mega_stats.replay_rederivations;
+      } else {
+        EXPECT_EQ(*level_words, mega_stats.mega_words_skipped_q) << ctx;
+        EXPECT_EQ(*level_rederiv, mega_stats.replay_rederivations) << ctx;
+      }
+    }
+  }
+}
+
+TEST(BatchRunnerTest, ResamplingHitOverflowAgreesAcrossModes) {
+  // The cached-hit replay only engages while a chunk's (or sub-block's)
+  // recorded prepass hits fit the fixed cache (kChunkSize/16 entries).
+  // This workload defeats it on purpose: the answers sit close enough
+  // under the bar that the recording prepass still runs (the skip word is
+  // finite) yet hundreds of elements fire the prepass test, so the
+  // recorder overflows and every resampled resume must take the
+  // checkpoint-rebuild path instead — in the common arm and, with half
+  // the spans far below to keep the skip-word vector live, in the
+  // per-query arm. Responses and counters must still match composition
+  // exactly at every dispatch level.
+  ScopedDispatchLevel restore_level;
+  ScopedBatchKernelMode restore_mode(ActiveBatchKernelMode());
+
+  SvtOptions o;
+  o.epsilon = 0.75;
+  o.cutoff = 1 << 20;
+  o.resample_threshold_noise = true;
+  Rng rng_probe(8);
+  const double nu_scale =
+      SparseVector::Create(o, &rng_probe).value()->query_noise_scale();
+
+  const size_t n = 2 * BatchRunner::kChunkSize + 57;
+  std::vector<double> dense(n), mixed(n), bars(n);
+  Rng gen(515151);
+  for (size_t i = 0; i < n; ++i) {
+    // Dense: every element ~1.5 ν scales under the common bar — the fire
+    // probability (~e^-1.5/2 per element) yields far more than
+    // kChunkSize/16 prepass hits per chunk while the chunk skip word
+    // stays finite.
+    dense[i] = (-1.5 + 0.2 * (gen.NextDouble() - 0.5)) * nu_scale;
+    bars[i] = 0.5 * (gen.NextDouble() - 0.5) * nu_scale;
+    // Mixed (per-query arm): alternating spans far below (finite skip
+    // words keep the recording prepass on) and spans hugging their bars
+    // (~e^-0.5/2 fire probability — overflow again).
+    const bool far_span = (i / BatchRunner::kBoundSpan) % 2 == 0;
+    mixed[i] =
+        far_span ? -1e9 : bars[i] + (-0.5 + 0.2 * (gen.NextDouble() - 0.5)) *
+                              nu_scale;
+  }
+
+  const auto run_all = [&](BatchKernelMode mode) {
+    SetBatchKernelMode(mode);
+    Rng rng(9090);
+    auto mech = SparseVector::Create(o, &rng).value();
+    std::vector<Response> common = mech->Run(dense, 0.0);
+    std::vector<Response> per_query = mech->Run(mixed, bars);
+    auto* spec_mech = dynamic_cast<SpecDrivenSvt*>(mech.get());
+    EXPECT_NE(spec_mech, nullptr);
+    return std::tuple{std::move(common), std::move(per_query),
+                      spec_mech != nullptr ? spec_mech->batch_stats()
+                                           : BatchRunStats{},
+                      mech->positives_emitted()};
+  };
+
+  for (vec::DispatchLevel level : vec::kAllDispatchLevels) {
+    if (!vec::SetDispatchLevel(level)) continue;
+    const std::string ctx(vec::DispatchLevelName(level));
+    const auto [mega_c, mega_pq, mega_stats, mega_pos] =
+        run_all(BatchKernelMode::kMegakernel);
+    const auto [comp_c, comp_pq, comp_stats, comp_pos] =
+        run_all(BatchKernelMode::kComposition);
+    ExpectSameResponses(mega_c, comp_c, ctx + " overflow common");
+    ExpectSameResponses(mega_pq, comp_pq, ctx + " overflow per-query");
+    EXPECT_EQ(mega_pos, comp_pos) << ctx;
+    // Dense positives: far more than the hit cache can hold per chunk.
+    EXPECT_GT(mega_pos, static_cast<int64_t>(BatchRunner::kChunkSize / 16))
+        << ctx;
+    EXPECT_EQ(mega_stats.tier2_fused_segments, comp_stats.tier2_fused_segments)
+        << ctx;
+    EXPECT_EQ(mega_stats.tier2_spans_skipped, comp_stats.tier2_spans_skipped)
+        << ctx;
+    EXPECT_EQ(mega_stats.mega_words_skipped_q, comp_stats.mega_words_skipped_q)
+        << ctx;
+    EXPECT_EQ(mega_stats.replay_rederivations, comp_stats.replay_rederivations)
+        << ctx;
+    EXPECT_GT(mega_stats.replay_rederivations, 0) << ctx;
+    EXPECT_GT(mega_stats.mega_words_skipped_q, 0) << ctx;
   }
 }
 
